@@ -1,0 +1,46 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it to the terminal (bypassing capture) and writes it under ``results/``.
+The workload scale is controlled with the ``REPRO_SCALE`` environment
+variable (default 1.0 — the full suite takes well under a minute); the
+Try15 window with ``REPRO_WINDOW`` (default 15, the paper's value).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def window() -> int:
+    return int(os.environ.get("REPRO_WINDOW", "15"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Print a rendered table to the real terminal and save it."""
+
+    def _emit(name: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {name} ===")
+            print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

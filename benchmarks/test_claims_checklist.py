@@ -1,0 +1,12 @@
+"""The reproduction certificate: every paper claim checked at full scale."""
+
+from repro.analysis import render_claims, verify_claims
+
+
+def test_paper_claims_checklist(benchmark, emit, scale, window):
+    results = benchmark.pedantic(
+        lambda: verify_claims(scale=scale, window=window), rounds=1, iterations=1
+    )
+    emit("claims_checklist", render_claims(results))
+    failing = [r.claim_id for r in results if not r.passed]
+    assert not failing, failing

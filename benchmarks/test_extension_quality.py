@@ -1,0 +1,50 @@
+"""Extension bench: layout-quality internals across the algorithms.
+
+Regenerates the quantities the paper's prose tracks — fall-through rate
+(Yeh et al's 62%-taken problem, Hwu & Chang's 58% fall-through result),
+backward-taken share, dynamic jump overhead and chain shape — for the
+original layout and all four algorithms, on one branchy benchmark.
+"""
+
+from repro.analysis import compare_layout_quality, layout_quality
+from repro.core import (
+    CostAligner,
+    GreedyAligner,
+    TraceAligner,
+    TryNAligner,
+    make_model,
+)
+from repro.isa import link, link_identity
+from repro.profiling import profile_program
+from repro.workloads import generate_benchmark
+
+
+def test_extension_layout_quality(benchmark, emit, scale, window):
+    def run():
+        program = generate_benchmark("espresso", 0.5 * scale)
+        profile = profile_program(program)
+        model = make_model("likely")
+        layouts = {
+            "orig": link_identity(program),
+            "trace": link(TraceAligner().align(program, profile)),
+            "greedy": link(GreedyAligner().align(program, profile)),
+            "cost": link(CostAligner(model).align(program, profile)),
+            "try15": link(TryNAligner(model, window=window).align(program, profile)),
+        }
+        return {name: layout_quality(linked, profile)
+                for name, linked in layouts.items()}
+
+    qualities = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("extension_layout_quality", compare_layout_quality(qualities))
+
+    # Every aligner raises the fall-through rate over the original.
+    base = qualities["orig"].percent_fallthrough
+    for name in ("trace", "greedy", "cost", "try15"):
+        assert qualities[name].percent_fallthrough > base, name
+    # Chain-merging aligners reach the ballpark of Hwu & Chang's 58%
+    # fall-through result on taken-hot integer code.
+    assert qualities["greedy"].percent_fallthrough > 55.0
+    # Try15 under LIKELY instead maximises *predicted* branches: most of
+    # the taken executions it keeps point backward.
+    assert qualities["try15"].percent_taken_backward > \
+        qualities["orig"].percent_taken_backward

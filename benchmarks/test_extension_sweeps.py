@@ -1,0 +1,53 @@
+"""Extension benches: sensitivity of alignment's benefit to the machine.
+
+The paper's forward-looking claims, made quantitative:
+"As wide issue architectures become more popular, branch alignment
+algorithms will have a larger impact on the performance of programs."
+"""
+
+from repro.analysis import (
+    format_table,
+    issue_width_sweep,
+    mispredict_penalty_sweep,
+)
+from repro.workloads import generate_benchmark
+
+
+def test_extension_mispredict_penalty_sweep(benchmark, emit, scale):
+    def run():
+        program = generate_benchmark("eqntott", 0.3 * scale)
+        return mispredict_penalty_sweep(
+            program, arch="fallthrough", penalties=(2, 4, 8, 16, 32)
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "extension_penalty_sweep",
+        format_table(
+            ["Mispredict cycles", "Orig rel CPI", "Try15 rel CPI", "Gain %"],
+            [[f"{p.parameter:.0f}", f"{p.original:.3f}", f"{p.aligned:.3f}",
+              f"{p.gain_percent:.1f}"] for p in points],
+        ),
+    )
+    gains = [p.gain_percent for p in points]
+    assert gains == sorted(gains)
+    assert gains[-1] > 2 * gains[0]
+
+
+def test_extension_issue_width_sweep(benchmark, emit, scale):
+    def run():
+        program = generate_benchmark("gcc", 0.3 * scale)
+        return issue_width_sweep(program, widths=(1, 2, 4, 8))
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "extension_issue_width_sweep",
+        format_table(
+            ["Issue width", "Orig cycles", "Try15 cycles", "Gain %"],
+            [[f"{p.parameter:.0f}", f"{p.original:,.0f}", f"{p.aligned:,.0f}",
+              f"{p.gain_percent:.1f}"] for p in points],
+        ),
+    )
+    # Alignment helps at every width and more at 4-wide than scalar.
+    assert all(p.aligned < p.original for p in points)
+    assert points[2].gain_percent > points[0].gain_percent

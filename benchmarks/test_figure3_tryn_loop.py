@@ -1,0 +1,55 @@
+"""Figure 3: the loop Try15 rotates and Greedy cannot.
+
+Regenerates the paper's exact arithmetic: with edge weights 9000 / 8999 /
+8999 / 1 the original layout costs 36,002 cycles under the LIKELY and
+BT/FNT cost models; the rotated layout (chain C, A, B with the
+unconditional branch removed) costs ~27,000, the paper's 33% improvement.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import GreedyAligner, TryNAligner, make_model
+from repro.isa import link, link_identity
+from repro.profiling import profile_program
+from repro.workloads import FIGURE3_ORIGINAL_COST, figure3_program
+
+
+def test_figure3_loop_rotation(benchmark, emit):
+    def run():
+        program = figure3_program()  # the paper's exact weights
+        profile = profile_program(program)
+        out = {}
+        for arch in ("likely", "btfnt"):
+            model = make_model(arch)
+            proc = program.procedure("fig3")
+            original = model.procedure_cost(link_identity(program), proc, profile)
+            tryn_layout = TryNAligner.for_architecture(arch).align(program, profile)
+            greedy_layout = GreedyAligner().align(program, profile)
+            out[arch] = (
+                original,
+                model.procedure_cost(link(tryn_layout), proc, profile),
+                model.procedure_cost(link(greedy_layout), proc, profile),
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [arch, f"{orig:.0f}", f"{tryn:.0f}", f"{greedy:.0f}"]
+        for arch, (orig, tryn, greedy) in out.items()
+    ]
+    emit(
+        "figure3_tryn_loop",
+        format_table(["Model", "Original", "Try15", "Greedy"], rows)
+        + "\n(paper: original 36,002 cycles; transformed 27,004)",
+    )
+
+    for arch, (orig, tryn, greedy) in out.items():
+        # The paper's original cost, exactly.
+        assert orig == FIGURE3_ORIGINAL_COST, arch
+        # Our whole-procedure accounting adds one entry jump: 27,005
+        # against the paper's 27,004 fragment count.
+        assert tryn <= 27005.0, arch
+        assert orig / tryn == pytest.approx(4.0 / 3.0, rel=0.01), arch
+        # Greedy leaves money on the table here.
+        assert tryn < greedy, arch

@@ -1,0 +1,42 @@
+"""Figure 4: total execution time on the Alpha AXP 21064 model.
+
+Regenerates the hardware experiment for the SPEC92 C programs: relative
+execution time of the original binary, the Pettis & Hansen (Greedy)
+alignment and Try15 (BTB cost model), on the dual-issue 21064 front-end
+timing model.
+"""
+
+from repro.analysis import render_figure4, run_figure4
+
+
+def test_figure4_alpha_execution_time(benchmark, emit, scale, window):
+    rows = benchmark.pedantic(
+        lambda: run_figure4(scale=scale, window=window), rounds=1, iterations=1
+    )
+    emit("figure4_alpha", render_figure4(rows))
+
+    by_name = {r.name: r for r in rows}
+
+    # Alignment never hurts materially, and always executes.
+    for row in rows:
+        assert row.try15_relative <= 1.02, row.name
+        assert row.greedy_relative <= 1.05, row.name
+
+    # The FP programs see no benefit (paper: "ALVINN and EAR do not see
+    # any benefit from the branch alignment").
+    assert by_name["alvinn"].try15_improvement_percent < 2.0
+    assert by_name["ear"].try15_improvement_percent < 3.5
+
+    # The branchy C programs benefit the most (paper: GCC, EQNTOTT, SC).
+    for name in ("gcc", "eqntott", "sc"):
+        assert by_name[name].try15_improvement_percent > \
+            by_name["alvinn"].try15_improvement_percent, name
+
+    # Gains land in the paper's "up to 16%" band.
+    best = max(r.try15_improvement_percent for r in rows)
+    assert 2.0 < best <= 16.0
+
+    # Try15 at least matches the Pettis & Hansen alignment on average.
+    avg_tryn = sum(r.try15_relative for r in rows) / len(rows)
+    avg_greedy = sum(r.greedy_relative for r in rows) / len(rows)
+    assert avg_tryn <= avg_greedy + 0.002

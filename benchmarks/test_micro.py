@@ -1,0 +1,77 @@
+"""Micro-benchmarks: throughput of the substrate components.
+
+Unlike the table/figure regenerators, these use pytest-benchmark's normal
+multi-round timing to track the performance of the alignment algorithms,
+the executor and the predictor simulators themselves.
+"""
+
+import pytest
+
+from repro.core import GreedyAligner, TryNAligner, make_model
+from repro.isa import link, link_identity
+from repro.profiling import profile_program
+from repro.sim.executor import execute
+from repro.sim.metrics import default_architectures, simulate
+from repro.sim.predictors import BTBSim, CorrelationPHT, DirectMappedPHT
+from repro.sim import trace as tr
+from repro.workloads import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def gcc_program():
+    return generate_benchmark("gcc", 0.25)
+
+
+@pytest.fixture(scope="module")
+def gcc_profile(gcc_program):
+    return profile_program(gcc_program)
+
+
+def test_bench_profiling_pass(benchmark, gcc_program):
+    benchmark(lambda: profile_program(gcc_program))
+
+
+def test_bench_greedy_alignment(benchmark, gcc_program, gcc_profile):
+    benchmark(lambda: GreedyAligner().align(gcc_program, gcc_profile))
+
+
+def test_bench_try15_alignment(benchmark, gcc_program, gcc_profile):
+    aligner = TryNAligner(make_model("likely"), window=15)
+    benchmark(lambda: aligner.align(gcc_program, gcc_profile))
+
+
+def test_bench_executor_throughput(benchmark, gcc_program):
+    linked = link_identity(gcc_program)
+    result = benchmark(lambda: execute(linked))
+    assert result.instructions > 0
+
+
+def test_bench_all_architectures_simulation(benchmark, gcc_program, gcc_profile):
+    linked = link_identity(gcc_program)
+    benchmark(lambda: simulate(linked, gcc_profile))
+
+
+def _event_block():
+    events = []
+    for i in range(2000):
+        site = 0x120000000 + (i % 97) * 12
+        events.append((tr.COND, site, site + 64, (i % 3) != 0))
+    return events
+
+
+@pytest.mark.parametrize(
+    "make_sim",
+    [lambda: DirectMappedPHT(), lambda: CorrelationPHT(), lambda: BTBSim(256, 4)],
+    ids=["pht-direct", "pht-correlation", "btb-256x4"],
+)
+def test_bench_predictor_event_rate(benchmark, make_sim):
+    events = _event_block()
+
+    def run():
+        sim = make_sim()
+        on_event = sim.on_event
+        for event in events:
+            on_event(event)
+        return sim.bep
+
+    assert benchmark(run) >= 0

@@ -1,0 +1,34 @@
+"""Table 1: the branch cost model, in cycles.
+
+Regenerates the paper's cost table from the implementation's constants and
+verifies the per-architecture expected-cost functions they imply.
+"""
+
+from repro.analysis import format_table
+from repro.core import DEFAULT_COSTS, make_model
+
+
+def test_table1_cost_model(benchmark, emit):
+    def build():
+        rows = [
+            ["Unconditional branch", f"{DEFAULT_COSTS.unconditional:.0f}",
+             "instruction + misfetch"],
+            ["Correctly predicted fall-through", f"{DEFAULT_COSTS.correct_fallthrough:.0f}",
+             "instruction"],
+            ["Correctly predicted taken", f"{DEFAULT_COSTS.correct_taken:.0f}",
+             "instruction + misfetch"],
+            ["Mispredicted", f"{DEFAULT_COSTS.mispredicted:.0f}",
+             "instruction + mispredict"],
+        ]
+        return format_table(["Branch outcome", "Cycles", "Breakdown"], rows)
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("table1_cost_model", text)
+
+    assert DEFAULT_COSTS.unconditional == 2
+    assert DEFAULT_COSTS.correct_fallthrough == 1
+    assert DEFAULT_COSTS.correct_taken == 2
+    assert DEFAULT_COSTS.mispredicted == 5
+    # The dynamic models weaken the penalties by their hit rates.
+    assert make_model("pht").cond_cost(100, 0, False) < 100 * 5
+    assert make_model("btb").uncond_cost(100) < make_model("pht").uncond_cost(100)

@@ -1,0 +1,38 @@
+"""Table 2: measured attributes of the traced programs.
+
+Regenerates the full 24-program measurement table: traced instructions,
+break density, conditional-site quantiles, static site counts, taken rate
+and the break-kind mix.
+"""
+
+from repro.analysis import (
+    category_break_density,
+    compute_table2,
+    render_table2,
+)
+from repro.workloads import calibration_report, check_calibration
+
+
+def test_table2_program_attributes(benchmark, emit, scale):
+    rows = benchmark.pedantic(
+        lambda: compute_table2(scale=scale), rounds=1, iterations=1
+    )
+    emit("table2_attributes", render_table2(rows))
+
+    assert len(rows) == 24
+    # The paper's central Table 2 contrast: FP programs break control flow
+    # far less often than integer and C++ programs (6.5% vs 16%).
+    fp = category_break_density(rows, "SPECfp92")
+    intd = category_break_density(rows, "SPECint92")
+    other = category_break_density(rows, "Other")
+    assert intd > 1.5 * fp
+    assert other > 1.5 * fp
+    # Original layouts are taken-hot, the headroom alignment exploits.
+    avg_taken = sum(r.percent_taken for r in rows) / len(rows)
+    assert avg_taken > 55.0
+    # gcc has the most conditional branch sites, as in the paper.
+    by_sites = max(rows, key=lambda r: r.static_sites)
+    assert by_sites.name == "gcc"
+    # Every benchmark sits inside its calibrated Table 2 band.
+    issues = check_calibration(rows)
+    assert not issues, calibration_report(rows)

@@ -1,0 +1,56 @@
+"""Table 3: relative CPI for the static prediction architectures.
+
+Regenerates the (FALLTHROUGH, BT/FNT, LIKELY) x (Orig, Greedy, Try15)
+relative-CPI table plus the fall-through percentages of executed
+conditional branches, over the full 24-program suite.
+"""
+
+from repro.analysis import (
+    category_average,
+    render_table3,
+    run_suite_experiment,
+)
+from repro.sim.metrics import STATIC_ARCHS
+from repro.workloads import CATEGORIES
+
+
+def test_table3_static_architectures(benchmark, emit, scale, window):
+    experiments = benchmark.pedantic(
+        lambda: run_suite_experiment(scale=scale, window=window, archs=STATIC_ARCHS),
+        rounds=1,
+        iterations=1,
+    )
+    emit("table3_static", render_table3(experiments))
+
+    def avg(aligner, arch):
+        total = [category_average(experiments, cat, aligner, arch) for cat in CATEGORIES]
+        return sum(total) / len(total)
+
+    # Try15 <= Greedy <= Orig on average, for every static architecture.
+    for arch in STATIC_ARCHS:
+        assert avg("try15", arch) <= avg("greedy", arch) + 0.01, arch
+        assert avg("try15", arch) < avg("orig", arch), arch
+
+    # FALLTHROUGH has the most headroom, LIKELY the least.
+    gains = {
+        arch: avg("orig", arch) - avg("try15", arch) for arch in STATIC_ARCHS
+    }
+    assert gains["fallthrough"] > gains["btfnt"] > 0
+    assert gains["btfnt"] >= gains["likely"] > 0
+
+    # Aligned FALLTHROUGH and BT/FNT are nearly identical (section 6).
+    assert abs(avg("try15", "fallthrough") - avg("try15", "btfnt")) < 0.05
+
+    # SPECint92/Other benefit more than SPECfp92 (section 6).
+    fp_gain = category_average(experiments, "SPECfp92", "orig", "likely") - \
+        category_average(experiments, "SPECfp92", "try15", "likely")
+    int_gain = category_average(experiments, "SPECint92", "orig", "likely") - \
+        category_average(experiments, "SPECint92", "try15", "likely")
+    assert int_gain > fp_gain
+
+    # Try15 pushes some program above 95% fall-through conditionals under
+    # the FALLTHROUGH model (the paper reports up to 99%).
+    best_ft = max(
+        e.cell("try15", "fallthrough").percent_fallthrough for e in experiments
+    )
+    assert best_ft > 95.0

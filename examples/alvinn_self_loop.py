@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Figure 2 walkthrough: the ALVINN single-block loop transformation.
+
+The paper's motivating micro-example: a tight loop consisting of one
+11-instruction basic block that branches back to itself.  Under the
+FALLTHROUGH architecture every iteration mispredicts (5 cycles); the Cost
+algorithm inverts the conditional and appends an unconditional jump,
+dropping each iteration to 3 cycles — shown here at the instruction level
+with before/after disassembly.
+"""
+
+from repro.core import CostAligner, make_model
+from repro.isa import link, link_identity
+from repro.profiling import profile_program
+from repro.sim.metrics import simulate
+from repro.workloads import figure2_program
+
+
+def show(title, linked):
+    print(f"--- {title} ---")
+    for instruction in linked.disassemble("input_hidden"):
+        print("  " + instruction.render())
+
+
+def main() -> None:
+    program = figure2_program(iters=200, trips=30)
+    profile = profile_program(program)
+    model = make_model("fallthrough")
+
+    original = link_identity(program)
+    show("original input_hidden", original)
+
+    aligner = CostAligner(model)
+    layout = aligner.align(program, profile)
+    aligned = link(layout)
+    print()
+    show("aligned input_hidden (inverted + jump)", aligned)
+
+    print("\nModelled cost (Table 1 cycles):")
+    print(f"  original : {model.layout_cost(original, profile):>10.0f}")
+    print(f"  aligned  : {model.layout_cost(aligned, profile):>10.0f}"
+          "   (5 cycles/iteration -> 3)")
+
+    base = simulate(original, profile)
+    after = simulate(aligned, profile)
+    print("\nSimulated FALLTHROUGH architecture:")
+    print(f"  BEP original: {base.arch['fallthrough'].bep:,} cycles")
+    print(f"  BEP aligned : {after.arch['fallthrough'].bep:,} cycles")
+    print(f"  relative CPI: "
+          f"{base.relative_cpi('fallthrough', base.instructions):.3f} -> "
+          f"{after.relative_cpi('fallthrough', base.instructions):.3f}")
+
+
+if __name__ == "__main__":
+    main()

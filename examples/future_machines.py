@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Projecting the paper forward: wider issue, deeper pipelines, unrolling.
+
+The paper closes with a prediction: "As wide issue architectures become
+more popular, branch alignment algorithms will have a larger impact on
+the performance of programs."  This example runs the three projections
+this reproduction adds:
+
+1. alignment gain vs fetch width (the wide-issue front-end model);
+2. alignment gain vs mispredict penalty (deeper pipelines);
+3. the section-3 loop-unrolling suggestion, combined with alignment.
+
+Run:  python examples/future_machines.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis import issue_width_sweep, mispredict_penalty_sweep
+from repro.core import CostAligner, make_model
+from repro.isa import link, link_identity
+from repro.profiling import profile_program
+from repro.sim.metrics import simulate
+from repro.transforms import unroll_program_self_loops
+from repro.workloads import generate_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "eqntott"
+    print(f"=== {name}: branch alignment on tomorrow's machines ===\n")
+
+    program = generate_benchmark(name, 0.25)
+
+    print("Fetch width (wide-issue front end):")
+    print(f"  {'width':>6} {'orig cycles':>14} {'aligned':>12} {'gain %':>7}")
+    for point in issue_width_sweep(program, widths=(1, 2, 4, 8)):
+        print(f"  {point.parameter:>6.0f} {point.original:>14,.0f} "
+              f"{point.aligned:>12,.0f} {point.gain_percent:>7.1f}")
+
+    print("\nMispredict penalty (deeper pipelines, FALLTHROUGH architecture):")
+    print(f"  {'cycles':>6} {'orig CPI':>10} {'aligned':>9} {'gain %':>7}")
+    for point in mispredict_penalty_sweep(program, arch="fallthrough",
+                                          penalties=(2, 4, 8, 16)):
+        print(f"  {point.parameter:>6.0f} {point.original:>10.3f} "
+              f"{point.aligned:>9.3f} {point.gain_percent:>7.1f}")
+
+    print("\nSelf-loop unrolling + alignment (alvinn, FALLTHROUGH):")
+    model = make_model("fallthrough")
+    for factor in (1, 2, 4):
+        candidate = generate_benchmark("alvinn", 0.15)
+        if factor > 1:
+            pre = profile_program(candidate)
+            candidate = unroll_program_self_loops(candidate, factor, pre,
+                                                  min_weight=100)
+        profile = profile_program(candidate)
+        base = simulate(link_identity(candidate), profile)
+        layout = CostAligner(model).align(candidate, profile)
+        aligned = simulate(link(layout), profile)
+        print(f"  unroll x{factor}: "
+              f"{base.relative_cpi('fallthrough', base.instructions):.3f} -> "
+              f"{aligned.relative_cpi('fallthrough', base.instructions):.3f} relative CPI")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: align one benchmark and measure the branch-cost win.
+
+This walks the paper's whole methodology in ~20 lines of API:
+
+1. build a workload (a synthetic stand-in for a SPEC92 binary),
+2. trace it once to collect an edge profile (the ATOM pass),
+3. align its basic blocks with Try15 under an architecture cost model,
+4. re-link and simulate both binaries against the branch-prediction
+   architectures, reporting relative CPI (original = baseline).
+
+Run:  python examples/quickstart.py [benchmark] [scale]
+"""
+
+import sys
+
+import repro
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "eqntott"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    print(f"Building {name!r} (scale {scale}) ...")
+    program = repro.generate_benchmark(name, scale)
+    print(f"  {len(program)} procedures, "
+          f"{program.instruction_count()} static instructions, "
+          f"{program.static_conditional_sites()} conditional branch sites")
+
+    print("Profiling the original binary ...")
+    profile = repro.profile_program(program)
+
+    original = repro.link_identity(program)
+    base_report = repro.simulate(original, profile)
+    base_instructions = base_report.instructions
+    print(f"  executed {base_instructions:,} instructions, "
+          f"{base_report.cond_executed:,} conditional branches "
+          f"({100 - base_report.percent_fallthrough:.1f}% taken)")
+
+    print("\nAligning with Try15 per architecture cost model ...")
+    rows = []
+    for arch_model, arch_names in (
+        ("fallthrough", ["fallthrough"]),
+        ("btfnt", ["btfnt"]),
+        ("likely", ["likely"]),
+        ("pht", ["pht-direct", "pht-correlation"]),
+        ("btb", ["btb-64x2", "btb-256x4"]),
+    ):
+        aligner = repro.TryNAligner.for_architecture(arch_model)
+        layout = aligner.align(program, profile)
+        linked = repro.link(layout)
+        report = repro.simulate(linked, profile)
+        for arch in arch_names:
+            before = base_report.relative_cpi(arch, base_instructions)
+            after = report.relative_cpi(arch, base_instructions)
+            rows.append((arch, before, after, 100 * (before - after) / before))
+
+    print(f"\n{'architecture':<18}{'orig CPI':>10}{'try15 CPI':>11}{'gain %':>8}")
+    for arch, before, after, gain in rows:
+        print(f"{arch:<18}{before:>10.3f}{after:>11.3f}{gain:>8.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""repro — a reproduction of Calder & Grunwald, "Reducing Branch Costs via
+Branch Alignment" (ASPLOS-VI, 1994).
+
+The package implements the paper's branch alignment algorithms (Greedy,
+Cost, Try15) as a link-time layout transformation over a synthetic ISA,
+plus every substrate the evaluation needs: a CFG model, an executor that
+replays deterministic workloads, edge profiling, five branch-prediction
+architecture families, the BEP/relative-CPI metrics, an Alpha AXP 21064
+front-end timing model, and a 24-program synthetic benchmark suite.
+
+Quickstart::
+
+    import repro
+
+    program = repro.generate_benchmark("eqntott", scale=0.2)
+    profile = repro.profile_program(program)
+    layout = repro.TryNAligner(repro.make_model("fallthrough")).align(program, profile)
+    report = repro.simulate(repro.link(layout), profile)
+    base = repro.simulate(repro.link_identity(program), profile)
+    print(report.relative_cpi("fallthrough", base.instructions))
+"""
+
+from .analysis import (
+    BenchmarkExperiment,
+    compute_table2,
+    render_figure4,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_benchmark_experiment,
+    run_figure4,
+    run_suite_experiment,
+)
+from .cfg import (
+    BasicBlock,
+    CallSite,
+    Edge,
+    EdgeKind,
+    Procedure,
+    ProcedureBuilder,
+    Program,
+    ProgramBuilder,
+    TerminatorKind,
+    procedure_to_dot,
+)
+from .core import (
+    Aligner,
+    ArchModel,
+    BranchCosts,
+    ChainSet,
+    CostAligner,
+    GreedyAligner,
+    OriginalAligner,
+    TryNAligner,
+    align_program,
+    make_model,
+)
+from .isa import (
+    LinkedProgram,
+    ProcedureLayout,
+    ProgramLayout,
+    link,
+    link_identity,
+)
+from .profiling import EdgeProfile, profile_program
+from .sim import (
+    AlphaConfig,
+    AlphaSim,
+    SimulationReport,
+    TraceStats,
+    alpha_execution_cycles,
+    default_architectures,
+    execute,
+    relative_cpi,
+    simulate,
+)
+from .workloads import (
+    SUITE,
+    benchmark_names,
+    build_suite,
+    figure1_program,
+    figure2_program,
+    figure3_program,
+    generate_benchmark,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aligner",
+    "AlphaConfig",
+    "AlphaSim",
+    "ArchModel",
+    "BasicBlock",
+    "BenchmarkExperiment",
+    "BranchCosts",
+    "CallSite",
+    "ChainSet",
+    "CostAligner",
+    "Edge",
+    "EdgeKind",
+    "EdgeProfile",
+    "GreedyAligner",
+    "LinkedProgram",
+    "OriginalAligner",
+    "Procedure",
+    "ProcedureBuilder",
+    "ProcedureLayout",
+    "Program",
+    "ProgramBuilder",
+    "ProgramLayout",
+    "SUITE",
+    "SimulationReport",
+    "TerminatorKind",
+    "TraceStats",
+    "TryNAligner",
+    "align_program",
+    "alpha_execution_cycles",
+    "benchmark_names",
+    "build_suite",
+    "compute_table2",
+    "default_architectures",
+    "execute",
+    "figure1_program",
+    "figure2_program",
+    "figure3_program",
+    "generate_benchmark",
+    "link",
+    "link_identity",
+    "make_model",
+    "procedure_to_dot",
+    "profile_program",
+    "relative_cpi",
+    "render_figure4",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "run_benchmark_experiment",
+    "run_figure4",
+    "run_suite_experiment",
+    "simulate",
+]

@@ -1,0 +1,16 @@
+"""Module entry point: ``python -m repro``."""
+
+import sys
+
+from .cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # Output piped into a pager/head that closed early — not an error.
+    code = 0
+    try:
+        sys.stdout.close()
+    except BrokenPipeError:
+        pass
+sys.exit(code)

@@ -1,0 +1,88 @@
+"""Experiment drivers and paper-style report rendering."""
+
+from .breakdown import PenaltyBreakdown, penalty_breakdown, render_breakdown
+from .claims import ClaimResult, DEFAULT_BENCHMARKS, render_claims, verify_claims
+from .experiment import (
+    ALIGNER_KEYS,
+    ArchOutcome,
+    BenchmarkExperiment,
+    TRY_MODEL_ARCHS,
+    category_average,
+    make_arch_sims,
+    run_benchmark_experiment,
+    run_suite_experiment,
+)
+from .export import (
+    experiment_records,
+    figure4_records,
+    records_to_csv,
+    table2_records,
+    write_csv,
+)
+from .figure4 import Figure4Row, run_figure4
+from .hotspots import (
+    BranchHotspot,
+    ProcedureHotspot,
+    branch_hotspots,
+    procedure_hotspots,
+    render_hotspots,
+)
+from .quality import LayoutQuality, compare_layout_quality, layout_quality
+from .reporting import (
+    format_table,
+    render_figure4,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from .stability import StabilityCell, cross_input_generalisation, seed_stability
+from .sweeps import SweepPoint, issue_width_sweep, mispredict_penalty_sweep
+from .table2 import Table2Row, category_break_density, compute_table2, measure_program
+
+__all__ = [
+    "ALIGNER_KEYS",
+    "ArchOutcome",
+    "BenchmarkExperiment",
+    "ClaimResult",
+    "DEFAULT_BENCHMARKS",
+    "PenaltyBreakdown",
+    "BranchHotspot",
+    "Figure4Row",
+    "TRY_MODEL_ARCHS",
+    "Table2Row",
+    "category_average",
+    "compare_layout_quality",
+    "category_break_density",
+    "compute_table2",
+    "experiment_records",
+    "figure4_records",
+    "format_table",
+    "make_arch_sims",
+    "measure_program",
+    "LayoutQuality",
+    "ProcedureHotspot",
+    "branch_hotspots",
+    "penalty_breakdown",
+    "procedure_hotspots",
+    "render_breakdown",
+    "render_claims",
+    "render_hotspots",
+    "render_figure4",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "run_benchmark_experiment",
+    "run_figure4",
+    "records_to_csv",
+    "run_suite_experiment",
+    "StabilityCell",
+    "table2_records",
+    "write_csv",
+    "SweepPoint",
+    "cross_input_generalisation",
+    "seed_stability",
+    "verify_claims",
+    "issue_width_sweep",
+    "layout_quality",
+    "mispredict_penalty_sweep",
+]

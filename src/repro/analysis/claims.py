@@ -1,0 +1,240 @@
+"""The reproduction checklist: every testable claim in the paper, checked.
+
+Each :class:`Claim` quotes the paper, computes the relevant quantities
+from a suite experiment run, and judges PASS/FAIL.  ``verify_claims``
+runs the whole checklist and returns a report — the programmatic version
+of EXPERIMENTS.md, regenerable at any workload scale via
+``python -m repro verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim.metrics import STATIC_ARCHS
+from ..workloads import CATEGORIES, FIGURE4_PROGRAMS
+from .experiment import BenchmarkExperiment, run_suite_experiment
+from .figure4 import run_figure4
+from .reporting import format_table
+
+#: Benchmarks exercised by the default verification run — a spread of
+#: categories chosen so every claim's precondition is represented.
+DEFAULT_BENCHMARKS = (
+    "alvinn", "swm256", "tomcatv",          # SPECfp92
+    "eqntott", "compress", "gcc", "sc",     # SPECint92
+    "cfront", "tex",                        # Other
+)
+
+
+@dataclass
+class ClaimResult:
+    """Outcome of checking one claim."""
+
+    claim_id: str
+    quote: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class _Context:
+    experiments: List[BenchmarkExperiment]
+    figure4_rows: list
+
+    def avg(self, aligner: str, arch: str) -> float:
+        cells = [e.cell(aligner, arch).relative_cpi for e in self.experiments]
+        return sum(cells) / len(cells)
+
+    def gain(self, arch: str, aligner: str = "try15") -> float:
+        return self.avg("orig", arch) - self.avg(aligner, arch)
+
+    def category(self, category: str) -> List[BenchmarkExperiment]:
+        return [e for e in self.experiments if e.category == category]
+
+
+def _check_static_help(ctx: _Context) -> ClaimResult:
+    ok = all(ctx.gain(arch) > 0 for arch in STATIC_ARCHS)
+    detail = ", ".join(f"{a}: {ctx.gain(a):+.3f}" for a in STATIC_ARCHS)
+    return ClaimResult(
+        "static-archs-benefit",
+        "branch alignment algorithms can improve a broad range of static "
+        "and dynamic branch prediction architectures",
+        ok, detail,
+    )
+
+
+def _check_static_ordering(ctx: _Context) -> ClaimResult:
+    g = {a: ctx.gain(a) for a in STATIC_ARCHS}
+    ok = g["fallthrough"] > g["btfnt"] > 0 and g["fallthrough"] > g["likely"] > 0
+    return ClaimResult(
+        "fallthrough-most-headroom",
+        "more opportunities for optimization with the FALLTHROUGH method "
+        "than the BT/FNT model ... more ... than the LIKELY model",
+        ok, ", ".join(f"{a}: {v:.3f}" for a, v in g.items()),
+    )
+
+
+def _check_aligned_convergence(ctx: _Context) -> ClaimResult:
+    ft, bt = ctx.avg("try15", "fallthrough"), ctx.avg("try15", "btfnt")
+    ok = abs(ft - bt) < 0.05
+    return ClaimResult(
+        "aligned-ft-equals-btfnt",
+        "the aligned FALLTHROUGH and BT/FNT architectures have almost "
+        "identical performance",
+        ok, f"fallthrough {ft:.3f} vs btfnt {bt:.3f}",
+    )
+
+
+def _check_tryn_beats_greedy(ctx: _Context) -> ClaimResult:
+    diffs = {a: ctx.avg("greedy", a) - ctx.avg("try15", a) for a in STATIC_ARCHS}
+    ok = all(d >= -0.005 for d in diffs.values()) and any(d > 0.003 for d in diffs.values())
+    return ClaimResult(
+        "cost-model-beats-greedy",
+        "the branch alignment heuristics that use the architectural cost "
+        "model usually perform better than the simpler Greedy algorithm",
+        ok, ", ".join(f"{a}: {d:+.3f}" for a, d in diffs.items()),
+    )
+
+
+def _check_fallthrough_conversion(ctx: _Context) -> ClaimResult:
+    best = max(
+        e.cell("try15", "fallthrough").percent_fallthrough for e in ctx.experiments
+    )
+    ok = best > 95.0
+    return ClaimResult(
+        "99-percent-fallthrough",
+        "the Try15 heuristic converts up to 99% of all conditional branches "
+        "in some programs to be fall-through in the FALLTHROUGH model",
+        ok, f"best program reaches {best:.1f}% fall-through",
+    )
+
+
+def _check_btb_small_gains(ctx: _Context) -> ClaimResult:
+    btb_gain = ctx.gain("btb-256x4")
+    pht_gain = ctx.gain("pht-direct")
+    ok = 0 <= btb_gain < pht_gain
+    return ClaimResult(
+        "btb-gains-little",
+        "branch alignment offers some improvement for the PHT architectures "
+        "and little improvement to the BTB architectures",
+        ok, f"btb-256x4 gain {btb_gain:.3f} vs pht-direct gain {pht_gain:.3f}",
+    )
+
+
+def _check_btb_best(ctx: _Context) -> ClaimResult:
+    btb = ctx.avg("orig", "btb-256x4")
+    others = {a: ctx.avg("orig", a) for a in
+              ("fallthrough", "btfnt", "likely", "pht-direct", "pht-correlation")}
+    ok = all(btb <= v for v in others.values())
+    return ClaimResult(
+        "btb-best-overall",
+        "the BTB architecture has the best overall performance",
+        ok, f"btb {btb:.3f} vs min(others) {min(others.values()):.3f}",
+    )
+
+
+def _check_gap_narrows(ctx: _Context) -> ClaimResult:
+    archs = ("fallthrough", "btfnt", "likely", "pht-direct", "pht-correlation")
+    before = [ctx.avg("orig", a) for a in archs]
+    after = [ctx.avg("try15", a) for a in archs]
+    ok = (max(after) - min(after)) < (max(before) - min(before))
+    return ClaimResult(
+        "alignment-narrows-gap",
+        "branch alignment reduces the difference in performance between the "
+        "various branch architectures",
+        ok,
+        f"spread {max(before) - min(before):.3f} -> {max(after) - min(after):.3f}",
+    )
+
+
+def _check_int_gains_more(ctx: _Context) -> ClaimResult:
+    def category_gain(cat: str) -> float:
+        members = ctx.category(cat)
+        if not members:
+            return float("nan")
+        orig = sum(e.cell("orig", "likely").relative_cpi for e in members) / len(members)
+        new = sum(e.cell("try15", "likely").relative_cpi for e in members) / len(members)
+        return orig - new
+
+    fp, intd = category_gain("SPECfp92"), category_gain("SPECint92")
+    ok = intd > fp
+    return ClaimResult(
+        "int-gains-more-than-fp",
+        "The SPECint92 and Other programs see more benefit from branch "
+        "alignment than the SPECfp92 programs",
+        ok, f"SPECint92 gain {intd:.3f} vs SPECfp92 gain {fp:.3f}",
+    )
+
+
+def _check_accurate_archs_still_gain(ctx: _Context) -> ClaimResult:
+    gains = {
+        a: 100.0 * ctx.gain(a) / ctx.avg("orig", a)
+        for a in ("likely", "pht-direct", "pht-correlation")
+    }
+    ok = all(1.0 < g < 15.0 for g in gains.values())
+    return ClaimResult(
+        "five-percent-on-accurate",
+        "a programs performance can be improved by approximately 5% even "
+        "when using recently proposed, highly accurate branch prediction "
+        "architectures",
+        ok, ", ".join(f"{a}: {g:.1f}%" for a, g in gains.items()),
+    )
+
+
+def _check_figure4(ctx: _Context) -> ClaimResult:
+    rows = {r.name: r for r in ctx.figure4_rows}
+    fp_flat = all(rows[n].try15_improvement_percent < 3.5 for n in ("alvinn", "ear")
+                  if n in rows)
+    best = max(r.try15_improvement_percent for r in ctx.figure4_rows)
+    ok = fp_flat and 2.0 < best <= 16.0
+    return ClaimResult(
+        "alpha-up-to-16-percent",
+        "When implementing these algorithms on a Alpha AXP 21064 up to a "
+        "16% reduction in total execution time is achieved [FP programs "
+        "see none]",
+        ok, f"best modelled gain {best:.1f}%, FP programs flat: {fp_flat}",
+    )
+
+
+CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
+    _check_static_help,
+    _check_static_ordering,
+    _check_aligned_convergence,
+    _check_tryn_beats_greedy,
+    _check_fallthrough_conversion,
+    _check_btb_small_gains,
+    _check_btb_best,
+    _check_gap_narrows,
+    _check_int_gains_more,
+    _check_accurate_archs_still_gain,
+    _check_figure4,
+)
+
+
+def verify_claims(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    scale: float = 0.25,
+    seed: int = 0,
+    window: int = 15,
+) -> List[ClaimResult]:
+    """Run the whole checklist; returns one result per claim."""
+    experiments = run_suite_experiment(list(benchmarks), scale=scale, seed=seed,
+                                       window=window)
+    figure4_names = [n for n in FIGURE4_PROGRAMS if n in benchmarks] or ["eqntott"]
+    if "ear" not in figure4_names:
+        figure4_names.append("ear")
+    figure4_rows = run_figure4(figure4_names, scale=scale, seed=seed, window=window)
+    ctx = _Context(experiments=experiments, figure4_rows=figure4_rows)
+    return [check(ctx) for check in CHECKS]
+
+
+def render_claims(results: Sequence[ClaimResult]) -> str:
+    """Render the checklist as a report table."""
+    rows = [
+        [r.claim_id, "PASS" if r.passed else "FAIL", r.detail]
+        for r in results
+    ]
+    passed = sum(r.passed for r in results)
+    table = format_table(["Claim", "Verdict", "Measured"], rows)
+    return f"{table}\n\n{passed}/{len(results)} claims reproduced"

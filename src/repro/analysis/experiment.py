@@ -1,0 +1,223 @@
+"""The Tables 3 & 4 experiment driver.
+
+For one benchmark this runs the paper's full methodology:
+
+1. trace the original binary once to collect an edge profile (ATOM pass);
+2. simulate the original layout against all seven architectures;
+3. align with Pettis–Hansen Greedy — highest-executed-first chain order
+   for every architecture except BT/FNT, which uses the Pettis–Hansen
+   precedence order (section 6.1);
+4. align with Try15 *per architecture cost model* (FALLTHROUGH, BT/FNT,
+   LIKELY, PHT, BTB) — "the cost model algorithm is different for each
+   architecture" — and simulate each aligned binary on its architectures;
+5. report relative CPI = (aligned instructions + BEP) / original
+   instructions, plus the fall-through percentage of executed
+   conditionals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cfg import Program
+from ..core import GreedyAligner, OriginalAligner, TryNAligner, make_model
+from ..isa.encoder import LinkedProgram, link, link_identity
+from ..profiling import EdgeProfile, profile_program
+from ..sim.metrics import ALL_ARCHS, SimulationReport, simulate
+from ..sim.predictors import (
+    BTBSim,
+    BTFNTSim,
+    CorrelationPHT,
+    DirectMappedPHT,
+    FallthroughSim,
+    LikelySim,
+)
+from ..workloads import SUITE, generate_benchmark
+
+#: Which simulated architectures each Try15 cost model serves.
+TRY_MODEL_ARCHS: Dict[str, Tuple[str, ...]] = {
+    "fallthrough": ("fallthrough",),
+    "btfnt": ("btfnt",),
+    "likely": ("likely",),
+    "pht": ("pht-direct", "pht-correlation"),
+    "btb": ("btb-64x2", "btb-256x4"),
+}
+
+ALIGNER_KEYS = ("orig", "greedy", "try15")
+
+
+def make_arch_sims(
+    names: Sequence[str], linked: LinkedProgram, profile: EdgeProfile
+) -> List[object]:
+    """Instantiate the named architecture simulators for one binary."""
+    sims: List[object] = []
+    for name in names:
+        if name == "fallthrough":
+            sims.append(FallthroughSim())
+        elif name == "btfnt":
+            sims.append(BTFNTSim(linked))
+        elif name == "likely":
+            sims.append(LikelySim(linked, profile))
+        elif name == "pht-direct":
+            sims.append(DirectMappedPHT())
+        elif name == "pht-correlation":
+            sims.append(CorrelationPHT())
+        elif name == "btb-64x2":
+            sims.append(BTBSim(64, 2))
+        elif name == "btb-256x4":
+            sims.append(BTBSim(256, 4))
+        else:
+            raise ValueError(f"unknown architecture {name!r}")
+    return sims
+
+
+@dataclass
+class ArchOutcome:
+    """One (aligner, architecture) cell of Tables 3/4."""
+
+    relative_cpi: float
+    percent_fallthrough: float
+    bep: int
+    instructions: int
+    cond_accuracy: float
+
+
+@dataclass
+class BenchmarkExperiment:
+    """All aligner x architecture outcomes for one benchmark."""
+
+    name: str
+    category: str
+    original_instructions: int
+    #: outcomes[aligner_key][arch_name]
+    outcomes: Dict[str, Dict[str, ArchOutcome]] = field(default_factory=dict)
+
+    def cell(self, aligner: str, arch: str) -> ArchOutcome:
+        """The outcome for one (aligner, architecture) table cell."""
+        """The outcome for one (aligner, architecture) table cell."""
+        return self.outcomes[aligner][arch]
+
+
+def _report_outcomes(
+    report: SimulationReport,
+    arch_names: Iterable[str],
+    original_instructions: int,
+) -> Dict[str, ArchOutcome]:
+    out = {}
+    for arch in arch_names:
+        result = report.arch[arch]
+        out[arch] = ArchOutcome(
+            relative_cpi=report.relative_cpi(arch, original_instructions),
+            percent_fallthrough=report.percent_fallthrough,
+            bep=result.bep,
+            instructions=report.instructions,
+            cond_accuracy=result.cond_accuracy,
+        )
+    return out
+
+
+def run_benchmark_experiment(
+    name: str,
+    program: Optional[Program] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    window: int = 15,
+    min_weight: int = 2,
+    archs: Sequence[str] = ALL_ARCHS,
+) -> BenchmarkExperiment:
+    """Run the full Tables 3/4 methodology for one benchmark.
+
+    ``program`` overrides the suite workload (used by tests to run the
+    methodology on arbitrary programs; the category then reads "custom").
+    """
+    if program is None:
+        program = generate_benchmark(name, scale)
+        category = SUITE[name].category
+    else:
+        category = SUITE[name].category if name in SUITE else "custom"
+    archs = tuple(archs)
+    profile = profile_program(program, seed=seed)
+
+    experiment = BenchmarkExperiment(name=name, category=category, original_instructions=0)
+
+    # --- original layout -------------------------------------------------
+    orig_linked = link_identity(program)
+    orig_report = simulate(
+        orig_linked, profile, archs=make_arch_sims(archs, orig_linked, profile), seed=seed
+    )
+    base = orig_report.instructions
+    experiment.original_instructions = base
+    experiment.outcomes["orig"] = _report_outcomes(orig_report, archs, base)
+
+    # --- Pettis-Hansen greedy --------------------------------------------
+    greedy_archs = tuple(a for a in archs if a != "btfnt")
+    experiment.outcomes["greedy"] = {}
+    if greedy_archs:
+        layout = GreedyAligner(chain_order="weight").align(program, profile)
+        linked = link(layout)
+        report = simulate(
+            linked, profile, archs=make_arch_sims(greedy_archs, linked, profile), seed=seed
+        )
+        experiment.outcomes["greedy"].update(
+            _report_outcomes(report, greedy_archs, base)
+        )
+    if "btfnt" in archs:
+        layout = GreedyAligner(chain_order="btfnt").align(program, profile)
+        linked = link(layout)
+        report = simulate(
+            linked, profile, archs=make_arch_sims(("btfnt",), linked, profile), seed=seed
+        )
+        experiment.outcomes["greedy"].update(
+            _report_outcomes(report, ("btfnt",), base)
+        )
+
+    # --- Try15, one alignment per architecture cost model -----------------
+    experiment.outcomes["try15"] = {}
+    for model_name, served in TRY_MODEL_ARCHS.items():
+        wanted = tuple(a for a in served if a in archs)
+        if not wanted:
+            continue
+        aligner = TryNAligner.for_architecture(
+            model_name, window=window, min_weight=min_weight
+        )
+        layout = aligner.align(program, profile)
+        linked = link(layout)
+        report = simulate(
+            linked, profile, archs=make_arch_sims(wanted, linked, profile), seed=seed
+        )
+        experiment.outcomes["try15"].update(_report_outcomes(report, wanted, base))
+
+    return experiment
+
+
+def run_suite_experiment(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    window: int = 15,
+    archs: Sequence[str] = ALL_ARCHS,
+) -> List[BenchmarkExperiment]:
+    """Run the experiment across several benchmarks (default: all 24)."""
+    selected = list(names) if names is not None else list(SUITE)
+    return [
+        run_benchmark_experiment(name, scale=scale, seed=seed, window=window, archs=archs)
+        for name in selected
+    ]
+
+
+def category_average(
+    experiments: Sequence[BenchmarkExperiment],
+    category: str,
+    aligner: str,
+    arch: str,
+) -> float:
+    """Arithmetic mean of relative CPI across one category (Table style)."""
+    values = [
+        e.cell(aligner, arch).relative_cpi
+        for e in experiments
+        if e.category == category and arch in e.outcomes.get(aligner, {})
+    ]
+    if not values:
+        raise ValueError(f"no experiments in category {category!r} for {aligner}/{arch}")
+    return sum(values) / len(values)

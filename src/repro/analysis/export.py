@@ -1,0 +1,91 @@
+"""Machine-readable export of experiment results (CSV / dict records).
+
+The text renderers mimic the paper's tables for humans; downstream
+analysis (plotting, regression tracking, spreadsheets) wants flat
+records.  Every experiment object flattens to one row per measurement
+with stable column names.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from .experiment import ALIGNER_KEYS, BenchmarkExperiment
+from .figure4 import Figure4Row
+from .table2 import Table2Row
+
+
+def experiment_records(
+    experiments: Sequence[BenchmarkExperiment],
+) -> List[Dict[str, object]]:
+    """One record per (benchmark, aligner, architecture) cell."""
+    records: List[Dict[str, object]] = []
+    for experiment in experiments:
+        for aligner in ALIGNER_KEYS:
+            for arch, outcome in sorted(experiment.outcomes.get(aligner, {}).items()):
+                records.append({
+                    "benchmark": experiment.name,
+                    "category": experiment.category,
+                    "aligner": aligner,
+                    "architecture": arch,
+                    "relative_cpi": round(outcome.relative_cpi, 6),
+                    "percent_fallthrough": round(outcome.percent_fallthrough, 3),
+                    "bep_cycles": outcome.bep,
+                    "instructions": outcome.instructions,
+                    "cond_accuracy": round(outcome.cond_accuracy, 6),
+                })
+    return records
+
+
+def table2_records(rows: Sequence[Table2Row]) -> List[Dict[str, object]]:
+    """One record per Table 2 benchmark row."""
+    return [
+        {
+            "benchmark": row.name,
+            "category": row.category,
+            "instructions": row.instructions,
+            "percent_breaks": round(row.percent_breaks, 3),
+            "q50": row.q50, "q90": row.q90, "q99": row.q99, "q100": row.q100,
+            "static_sites": row.static_sites,
+            "percent_taken": round(row.percent_taken, 3),
+            "percent_cbr": round(row.percent_cbr, 3),
+            "percent_ij": round(row.percent_ij, 3),
+            "percent_br": round(row.percent_br, 3),
+            "percent_call": round(row.percent_call, 3),
+            "percent_ret": round(row.percent_ret, 3),
+        }
+        for row in rows
+    ]
+
+
+def figure4_records(rows: Sequence[Figure4Row]) -> List[Dict[str, object]]:
+    """One record per Figure 4 program."""
+    return [
+        {
+            "benchmark": row.name,
+            "original_cycles": round(row.original_cycles, 3),
+            "greedy_relative": round(row.greedy_relative, 6),
+            "try15_relative": round(row.try15_relative, 6),
+            "try15_improvement_percent": round(row.try15_improvement_percent, 3),
+        }
+        for row in rows
+    ]
+
+
+def records_to_csv(records: Sequence[Dict[str, object]]) -> str:
+    """Serialise flat records to CSV text (stable column order)."""
+    if not records:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0].keys()))
+    writer.writeheader()
+    writer.writerows(records)
+    return buffer.getvalue()
+
+
+def write_csv(records: Sequence[Dict[str, object]], path: Union[str, Path]) -> None:
+    """Write flat records to a CSV file."""
+    Path(path).write_text(records_to_csv(records))

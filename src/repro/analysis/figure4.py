@@ -1,0 +1,75 @@
+"""Figure 4: total execution time on the Alpha AXP 21064 model.
+
+The paper measured wall-clock time for the SPEC92 C programs linked three
+ways: the original OM output, the Pettis–Hansen (Greedy) alignment with
+highest-executed-first chain ordering, and Try15 using the BTB cost model
+("the same alignment as used for the BTB simulations").  We substitute the
+21064 front-end timing model for the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core import GreedyAligner, TryNAligner, make_model
+from ..isa.encoder import link, link_identity
+from ..profiling import profile_program
+from ..sim.alpha import AlphaConfig, alpha_execution_cycles
+from ..workloads import FIGURE4_PROGRAMS, generate_benchmark
+
+
+@dataclass
+class Figure4Row:
+    """Relative execution times of one program (original = 1.0)."""
+
+    name: str
+    original_cycles: float
+    greedy_cycles: float
+    try15_cycles: float
+
+    @property
+    def greedy_relative(self) -> float:
+        return self.greedy_cycles / self.original_cycles
+
+    @property
+    def try15_relative(self) -> float:
+        return self.try15_cycles / self.original_cycles
+
+    @property
+    def try15_improvement_percent(self) -> float:
+        """Speedup of Try15 over the original binary, in percent."""
+        return 100.0 * (1.0 - self.try15_relative)
+
+
+def run_figure4(
+    names: Sequence[str] = FIGURE4_PROGRAMS,
+    scale: float = 1.0,
+    seed: int = 0,
+    window: int = 15,
+    config: AlphaConfig = AlphaConfig(),
+) -> List[Figure4Row]:
+    """Model Figure 4's hardware measurement for the given programs."""
+    rows: List[Figure4Row] = []
+    for name in names:
+        program = generate_benchmark(name, scale)
+        profile = profile_program(program, seed=seed)
+
+        original = alpha_execution_cycles(link_identity(program), seed=seed, config=config)
+
+        greedy_layout = GreedyAligner(chain_order="weight").align(program, profile)
+        greedy = alpha_execution_cycles(link(greedy_layout), seed=seed, config=config)
+
+        try_aligner = TryNAligner(make_model("btb"), window=window)
+        try_layout = try_aligner.align(program, profile)
+        try15 = alpha_execution_cycles(link(try_layout), seed=seed, config=config)
+
+        rows.append(
+            Figure4Row(
+                name=name,
+                original_cycles=original.cycles,
+                greedy_cycles=greedy.cycles,
+                try15_cycles=try15.cycles,
+            )
+        )
+    return rows

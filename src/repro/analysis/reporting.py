@@ -1,0 +1,115 @@
+"""Plain-text table rendering in the style of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.metrics import DYNAMIC_ARCHS, STATIC_ARCHS
+from ..workloads import CATEGORIES
+from .experiment import ALIGNER_KEYS, BenchmarkExperiment, category_average
+from .figure4 import Figure4Row
+from .table2 import Table2Row
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    """Render Table 2 ("Measured attributes of the traced programs")."""
+    headers = [
+        "Program", "Insns", "%Breaks", "Q-50", "Q-90", "Q-99", "Q-100",
+        "Static", "%Taken", "%CBr", "%IJ", "%Br", "%Call", "%Ret",
+    ]
+    body = []
+    for category in CATEGORIES:
+        for row in rows:
+            if row.category != category:
+                continue
+            body.append([
+                row.name,
+                f"{row.instructions:,}",
+                f"{row.percent_breaks:.1f}",
+                str(row.q50), str(row.q90), str(row.q99), str(row.q100),
+                str(row.static_sites),
+                f"{row.percent_taken:.1f}",
+                f"{row.percent_cbr:.1f}", f"{row.percent_ij:.1f}",
+                f"{row.percent_br:.1f}", f"{row.percent_call:.1f}",
+                f"{row.percent_ret:.1f}",
+            ])
+    return format_table(headers, body)
+
+
+def _experiment_rows(
+    experiments: Sequence[BenchmarkExperiment],
+    archs: Sequence[str],
+    with_fallthrough_pct: bool,
+) -> Tuple[List[str], List[List[str]]]:
+    headers = ["Program"]
+    for arch in archs:
+        for aligner in ALIGNER_KEYS:
+            headers.append(f"{arch}:{aligner}")
+    if with_fallthrough_pct:
+        for arch in STATIC_ARCHS:
+            headers.append(f"%FT:{arch}:try15")
+    rows: List[List[str]] = []
+    for category in CATEGORIES + ("custom",):
+        members = [e for e in experiments if e.category == category]
+        for exp in members:
+            row = [exp.name]
+            for arch in archs:
+                for aligner in ALIGNER_KEYS:
+                    row.append(f"{exp.cell(aligner, arch).relative_cpi:.3f}")
+            if with_fallthrough_pct:
+                for arch in STATIC_ARCHS:
+                    row.append(f"{exp.cell('try15', arch).percent_fallthrough:.1f}")
+            rows.append(row)
+        if members and category in CATEGORIES:
+            avg_row = [f"{category} Avg"]
+            for arch in archs:
+                for aligner in ALIGNER_KEYS:
+                    avg_row.append(
+                        f"{category_average(members, category, aligner, arch):.3f}"
+                    )
+            if with_fallthrough_pct:
+                for arch in STATIC_ARCHS:
+                    values = [e.cell("try15", arch).percent_fallthrough for e in members]
+                    avg_row.append(f"{sum(values) / len(values):.1f}")
+            rows.append(avg_row)
+    return headers, rows
+
+
+def render_table3(experiments: Sequence[BenchmarkExperiment]) -> str:
+    """Render Table 3 (static architectures, relative CPI + %fall-through)."""
+    headers, rows = _experiment_rows(experiments, STATIC_ARCHS, with_fallthrough_pct=True)
+    return format_table(headers, rows)
+
+
+def render_table4(experiments: Sequence[BenchmarkExperiment]) -> str:
+    """Render Table 4 (dynamic architectures, relative CPI)."""
+    headers, rows = _experiment_rows(experiments, DYNAMIC_ARCHS, with_fallthrough_pct=False)
+    return format_table(headers, rows)
+
+
+def render_figure4(rows: Sequence[Figure4Row]) -> str:
+    """Render Figure 4 as a table of relative execution times."""
+    headers = ["Program", "Original", "Pettis&Hansen", "Try15", "Try15 gain %"]
+    body = [
+        [
+            row.name,
+            "1.000",
+            f"{row.greedy_relative:.3f}",
+            f"{row.try15_relative:.3f}",
+            f"{row.try15_improvement_percent:.1f}",
+        ]
+        for row in rows
+    ]
+    return format_table(headers, body)

@@ -1,0 +1,104 @@
+"""Sensitivity sweeps: projecting the paper's claims to other machines.
+
+Two sweeps the paper's prose motivates but never tabulates:
+
+* **Mispredict-penalty sweep** — "pipeline bubbles due to mispredicted
+  breaks in control flow degrade a programs performance more than the
+  misfetch penalty"; deeper pipelines make alignment's mispredict savings
+  worth more.  Penalty *counts* are layout properties and the cycle
+  weights machine properties, so one simulation per layout supports the
+  whole sweep.
+* **Issue-width sweep** — "reducing the number of misfetch and
+  misprediction penalties will be increasingly important for wide-issue
+  architectures", measured with the wide-issue fetch model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cfg import Program
+from ..core import Aligner, TryNAligner
+from ..isa.encoder import link, link_identity
+from ..profiling import EdgeProfile, profile_program
+from ..sim.metrics import simulate
+from ..sim.predictors import likely_bits
+from ..sim.wideissue import WideIssueConfig, wide_issue_cycles
+from .experiment import make_arch_sims
+
+
+@dataclass
+class SweepPoint:
+    """One machine point: original vs aligned cost and the gain."""
+
+    parameter: float
+    original: float
+    aligned: float
+
+    @property
+    def gain_percent(self) -> float:
+        if not self.original:
+            return 0.0
+        return 100.0 * (self.original - self.aligned) / self.original
+
+
+def mispredict_penalty_sweep(
+    program: Program,
+    arch: str = "likely",
+    penalties: Sequence[float] = (2.0, 4.0, 8.0, 16.0),
+    aligner: Optional[Aligner] = None,
+    profile: Optional[EdgeProfile] = None,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Alignment gain as the mispredict penalty deepens.
+
+    Relative CPI is recomputed from the one simulation's penalty counts
+    under each assumed penalty (misfetch stays one cycle).
+    """
+    if profile is None:
+        profile = profile_program(program, seed=seed)
+    if aligner is None:
+        aligner = TryNAligner.for_architecture(arch)
+    original = link_identity(program)
+    aligned = link(aligner.align(program, profile))
+
+    def counts(linked):
+        sims = make_arch_sims((arch,), linked, profile)
+        report = simulate(linked, profile, archs=sims, seed=seed)
+        result = report.arch[arch]
+        return report.instructions, result.misfetches, result.mispredicts
+
+    base_instr, base_mf, base_mp = counts(original)
+    new_instr, new_mf, new_mp = counts(aligned)
+    points = []
+    for penalty in penalties:
+        orig_cpi = (base_instr + base_mf + base_mp * penalty) / base_instr
+        new_cpi = (new_instr + new_mf + new_mp * penalty) / base_instr
+        points.append(SweepPoint(penalty, orig_cpi, new_cpi))
+    return points
+
+
+def issue_width_sweep(
+    program: Program,
+    widths: Sequence[int] = (1, 2, 4, 8),
+    aligner: Optional[Aligner] = None,
+    profile: Optional[EdgeProfile] = None,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Alignment gain in total front-end cycles as issue width grows."""
+    if profile is None:
+        profile = profile_program(program, seed=seed)
+    if aligner is None:
+        aligner = TryNAligner.for_architecture("likely")
+    original = link_identity(program)
+    aligned = link(aligner.align(program, profile))
+    orig_bits = likely_bits(original, profile)
+    new_bits = likely_bits(aligned, profile)
+    points = []
+    for width in widths:
+        config = WideIssueConfig(issue_width=width)
+        before = wide_issue_cycles(original, config, orig_bits, seed=seed).cycles
+        after = wide_issue_cycles(aligned, config, new_bits, seed=seed).cycles
+        points.append(SweepPoint(float(width), before, after))
+    return points

@@ -1,0 +1,79 @@
+"""Table 2: measured attributes of the traced programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cfg import Program
+from ..isa.encoder import link_identity
+from ..sim.executor import execute
+from ..sim.trace import TraceStats
+from ..workloads import SUITE, generate_benchmark
+
+
+@dataclass
+class Table2Row:
+    """One benchmark's Table 2 attributes."""
+
+    name: str
+    category: str
+    instructions: int
+    percent_breaks: float
+    q50: int
+    q90: int
+    q99: int
+    q100: int
+    static_sites: int
+    percent_taken: float
+    percent_cbr: float
+    percent_ij: float
+    percent_br: float
+    percent_call: float
+    percent_ret: float
+
+
+def measure_program(name: str, program: Program, category: str, seed: int = 0) -> Table2Row:
+    """Trace one program in its original layout and compute its row."""
+    stats = TraceStats()
+    linked = link_identity(program)
+    result = execute(linked, listeners=[stats], seed=seed)
+    stats.finish(result.instructions)
+    kinds = stats.kind_percentages()
+    return Table2Row(
+        name=name,
+        category=category,
+        instructions=result.instructions,
+        percent_breaks=stats.percent_breaks,
+        q50=stats.quantile_sites(50),
+        q90=stats.quantile_sites(90),
+        q99=stats.quantile_sites(99),
+        q100=stats.quantile_sites(100),
+        static_sites=program.static_conditional_sites(),
+        percent_taken=stats.percent_taken,
+        percent_cbr=kinds["CBr"],
+        percent_ij=kinds["IJ"],
+        percent_br=kinds["Br"],
+        percent_call=kinds["Call"],
+        percent_ret=kinds["Ret"],
+    )
+
+
+def compute_table2(
+    names: Optional[Sequence[str]] = None, scale: float = 1.0, seed: int = 0
+) -> List[Table2Row]:
+    """Measure the Table 2 attributes for the selected benchmarks."""
+    selected = list(names) if names is not None else list(SUITE)
+    rows = []
+    for name in selected:
+        program = generate_benchmark(name, scale)
+        rows.append(measure_program(name, program, SUITE[name].category, seed=seed))
+    return rows
+
+
+def category_break_density(rows: Sequence[Table2Row], category: str) -> float:
+    """Average %breaks of one category (the paper's 6.5% vs 16% contrast)."""
+    values = [r.percent_breaks for r in rows if r.category == category]
+    if not values:
+        raise ValueError(f"no rows in category {category!r}")
+    return sum(values) / len(values)

@@ -1,0 +1,43 @@
+"""Control-flow-graph substrate: blocks, procedures, programs, builders."""
+
+from .analysis import (
+    NaturalLoop,
+    dominates,
+    immediate_dominators,
+    loop_depths,
+    natural_loops,
+    reverse_postorder,
+)
+from .blocks import (
+    BasicBlock,
+    BlockId,
+    CallSite,
+    Edge,
+    EdgeKind,
+    TerminatorKind,
+)
+from .builder import ProcedureBuilder, ProgramBuilder
+from .dot import procedure_to_dot
+from .procedure import CFGError, Procedure
+from .program import Program
+
+__all__ = [
+    "BasicBlock",
+    "BlockId",
+    "CFGError",
+    "CallSite",
+    "Edge",
+    "NaturalLoop",
+    "EdgeKind",
+    "Procedure",
+    "ProcedureBuilder",
+    "Program",
+    "ProgramBuilder",
+    "TerminatorKind",
+    "dominates",
+    "immediate_dominators",
+    "loop_depths",
+    "natural_loops",
+    "procedure_to_dot",
+    "reverse_postorder",
+]

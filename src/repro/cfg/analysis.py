@@ -1,0 +1,146 @@
+"""Classic CFG analyses: dominators, natural loops, loop nesting.
+
+Branch alignment itself only needs the cheap cycle test
+(`Procedure.cyclic_edge_pairs`), but a credible CFG substrate carries the
+standard analyses: immediate dominators (Cooper/Harvey/Kennedy's simple
+iterative algorithm), back edges (`dst` dominates `src`), natural loops
+(the blocks that reach a back edge's source without passing its header)
+and per-block loop nesting depth.  The analysis layer powers reporting —
+"which loops is this hot branch in?" — and gives tests an independent
+oracle for the SCC-based hints the aligners use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .blocks import BlockId
+from .procedure import Procedure
+
+
+def reverse_postorder(proc: Procedure) -> List[BlockId]:
+    """Blocks reachable from the entry, in reverse postorder."""
+    seen: Set[BlockId] = set()
+    order: List[BlockId] = []
+    stack: List[Tuple[BlockId, int]] = [(proc.entry, 0)]
+    seen.add(proc.entry)
+    succs = {bid: proc.successors(bid) for bid in proc.blocks}
+    while stack:
+        bid, idx = stack.pop()
+        children = succs[bid]
+        while idx < len(children):
+            child = children[idx]
+            idx += 1
+            if child not in seen:
+                seen.add(child)
+                stack.append((bid, idx))
+                stack.append((child, 0))
+                break
+        else:
+            order.append(bid)
+    order.reverse()
+    return order
+
+
+def immediate_dominators(proc: Procedure) -> Dict[BlockId, Optional[BlockId]]:
+    """idom per reachable block (entry maps to ``None``).
+
+    Cooper, Harvey & Kennedy's iterative algorithm over reverse postorder.
+    Unreachable blocks are absent from the result.
+    """
+    order = reverse_postorder(proc)
+    index = {bid: i for i, bid in enumerate(order)}
+    idom: Dict[BlockId, Optional[BlockId]] = {proc.entry: proc.entry}
+    preds = {
+        bid: [p for p in proc.predecessors(bid) if p in index] for bid in order
+    }
+
+    def intersect(a: BlockId, b: BlockId) -> BlockId:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            if bid == proc.entry:
+                continue
+            candidates = [p for p in preds[bid] if p in idom]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for other in candidates[1:]:
+                new = intersect(new, other)
+            if idom.get(bid) != new:
+                idom[bid] = new
+                changed = True
+    result: Dict[BlockId, Optional[BlockId]] = {
+        bid: (None if bid == proc.entry else idom[bid]) for bid in order
+    }
+    return result
+
+
+def dominates(idom: Dict[BlockId, Optional[BlockId]], a: BlockId, b: BlockId) -> bool:
+    """True if ``a`` dominates ``b`` under the given idom tree."""
+    cur: Optional[BlockId] = b
+    while cur is not None:
+        if cur == a:
+            return True
+        cur = idom.get(cur)
+    return False
+
+
+@dataclass
+class NaturalLoop:
+    """A natural loop: header, its back edges, and the member blocks."""
+
+    header: BlockId
+    back_edges: List[Tuple[BlockId, BlockId]] = field(default_factory=list)
+    body: Set[BlockId] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+def natural_loops(proc: Procedure) -> List[NaturalLoop]:
+    """All natural loops, merged per header, sorted by header id.
+
+    A back edge is an edge whose destination dominates its source; the
+    loop body is everything that reaches the source without passing the
+    header.  Irreducible cycles (none are produced by the structured
+    templates) simply yield no natural loop.
+    """
+    idom = immediate_dominators(proc)
+    loops: Dict[BlockId, NaturalLoop] = {}
+    for edge in proc.edges:
+        if edge.src not in idom or edge.dst not in idom:
+            continue  # unreachable
+        if not dominates(idom, edge.dst, edge.src):
+            continue
+        loop = loops.setdefault(edge.dst, NaturalLoop(header=edge.dst))
+        loop.back_edges.append((edge.src, edge.dst))
+        # Collect the body by walking predecessors from the source.
+        loop.body.add(edge.dst)
+        stack = [edge.src]
+        while stack:
+            bid = stack.pop()
+            if bid in loop.body:
+                continue
+            loop.body.add(bid)
+            stack.extend(p for p in proc.predecessors(bid) if p in idom)
+    return [loops[h] for h in sorted(loops)]
+
+
+def loop_depths(proc: Procedure) -> Dict[BlockId, int]:
+    """Loop nesting depth per block (0 = not in any natural loop)."""
+    depths = {bid: 0 for bid in proc.blocks}
+    for loop in natural_loops(proc):
+        for bid in loop.body:
+            depths[bid] += 1
+    return depths

@@ -1,0 +1,165 @@
+"""Fluent construction helpers for procedures and programs.
+
+The builder keeps the paper's structural invariant automatic: a block's
+fall-through successor is simply the next block declared, so the original
+layout is always well-formed.  Blocks are named with strings and mapped to
+dense integer ids in declaration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .blocks import BasicBlock, BlockId, CallSite, Edge, EdgeKind, TerminatorKind
+from .procedure import CFGError, Procedure
+from .program import Program
+
+
+@dataclass
+class _PendingBlock:
+    name: str
+    size: int
+    kind: TerminatorKind
+    taken: Optional[str] = None
+    indirect_targets: Sequence[str] = ()
+    behavior: Any = None
+    calls: List[CallSite] = field(default_factory=list)
+    falls_through: bool = False
+
+
+class ProcedureBuilder:
+    """Builds a :class:`Procedure` block by block, in layout order."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._pending: List[_PendingBlock] = []
+        self._names: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _add(self, pending: _PendingBlock) -> "ProcedureBuilder":
+        if pending.name in self._names:
+            raise CFGError(f"{self.name}: duplicate block name {pending.name!r}")
+        self._names[pending.name] = len(self._pending)
+        self._pending.append(pending)
+        return self
+
+    def fall(self, name: str, size: int = 1, calls: Sequence[CallSite] = ()) -> "ProcedureBuilder":
+        """A straight-line block that falls through to the next block."""
+        return self._add(
+            _PendingBlock(name, size, TerminatorKind.FALLTHROUGH,
+                          calls=list(calls), falls_through=True)
+        )
+
+    def cond(
+        self,
+        name: str,
+        size: int,
+        taken: str,
+        behavior: Any = None,
+        calls: Sequence[CallSite] = (),
+    ) -> "ProcedureBuilder":
+        """A block ending in a conditional branch.
+
+        The taken target is ``taken``; the fall-through target is the next
+        block declared after this one.
+        """
+        return self._add(
+            _PendingBlock(name, size, TerminatorKind.COND, taken=taken,
+                          behavior=behavior, calls=list(calls), falls_through=True)
+        )
+
+    def uncond(
+        self, name: str, size: int, target: str, calls: Sequence[CallSite] = ()
+    ) -> "ProcedureBuilder":
+        """A block ending in an unconditional branch to ``target``."""
+        return self._add(
+            _PendingBlock(name, size, TerminatorKind.UNCOND, taken=target,
+                          calls=list(calls))
+        )
+
+    def indirect(
+        self,
+        name: str,
+        size: int,
+        targets: Sequence[str],
+        behavior: Any = None,
+        calls: Sequence[CallSite] = (),
+    ) -> "ProcedureBuilder":
+        """A block ending in an indirect jump to one of ``targets``."""
+        return self._add(
+            _PendingBlock(name, size, TerminatorKind.INDIRECT,
+                          indirect_targets=tuple(targets), behavior=behavior,
+                          calls=list(calls))
+        )
+
+    def ret(self, name: str, size: int = 1, calls: Sequence[CallSite] = ()) -> "ProcedureBuilder":
+        """A block ending in a procedure return."""
+        return self._add(
+            _PendingBlock(name, size, TerminatorKind.RETURN, calls=list(calls))
+        )
+
+    # ------------------------------------------------------------------
+    def build(self) -> Procedure:
+        """Materialise the procedure, wiring implicit fall-through edges."""
+        if not self._pending:
+            raise CFGError(f"{self.name}: no blocks declared")
+        blocks: List[BasicBlock] = []
+        edges: List[Edge] = []
+        for idx, pending in enumerate(self._pending):
+            blocks.append(
+                BasicBlock(
+                    bid=idx,
+                    size=pending.size,
+                    kind=pending.kind,
+                    calls=pending.calls,
+                    behavior=pending.behavior,
+                    label=pending.name,
+                )
+            )
+            if pending.falls_through:
+                if idx + 1 >= len(self._pending):
+                    raise CFGError(
+                        f"{self.name}: block {pending.name!r} falls through "
+                        f"but is the last block"
+                    )
+                edges.append(Edge(idx, idx + 1, EdgeKind.FALLTHROUGH))
+            if pending.taken is not None:
+                edges.append(Edge(idx, self._resolve(pending.taken), EdgeKind.TAKEN))
+            for target in pending.indirect_targets:
+                edges.append(Edge(idx, self._resolve(target), EdgeKind.INDIRECT))
+        return Procedure(self.name, blocks, edges)
+
+    def _resolve(self, name: str) -> BlockId:
+        if name not in self._names:
+            raise CFGError(f"{self.name}: unknown block name {name!r}")
+        return self._names[name]
+
+    def name_to_id(self) -> Dict[str, BlockId]:
+        """Mapping from declared block names to their ids."""
+        return dict(self._names)
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` from a sequence of procedure builders."""
+
+    def __init__(self, entry: Optional[str] = None):
+        self._procs: List[Procedure] = []
+        self._builders: List[ProcedureBuilder] = []
+        self._entry = entry
+
+    def procedure(self, name: str) -> ProcedureBuilder:
+        """Start a new procedure builder registered with this program."""
+        builder = ProcedureBuilder(name)
+        self._builders.append(builder)
+        return builder
+
+    def add(self, proc: Procedure) -> "ProgramBuilder":
+        """Register an already-built procedure with the program."""
+        self._procs.append(proc)
+        return self
+
+    def build(self) -> Program:
+        """Materialise the program from all registered procedures."""
+        procs = self._procs + [b.build() for b in self._builders]
+        return Program(procs, entry=self._entry)

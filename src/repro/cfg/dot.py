@@ -1,0 +1,49 @@
+"""Graphviz (DOT) export of procedures, in the style of the paper's figures.
+
+The paper draws fall-through edges darkened (solid/bold here) and taken
+edges dotted; nodes are labelled with the block id and its instruction
+count in parentheses, and edges carry execution percentages.  This module
+regenerates Figures 1-3's topology from our CFG objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .blocks import EdgeKind
+from .procedure import Procedure
+
+_EDGE_STYLE = {
+    EdgeKind.FALLTHROUGH: 'style=bold',
+    EdgeKind.TAKEN: 'style=dotted',
+    EdgeKind.INDIRECT: 'style=dashed',
+}
+
+
+def procedure_to_dot(
+    proc: Procedure,
+    edge_weights: Optional[Dict[Tuple[int, int], int]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``proc`` as a DOT digraph string.
+
+    ``edge_weights`` maps (src, dst) block-id pairs to execution counts; when
+    given, edges are labelled with the percentage of total edge executions,
+    matching the labelling convention of Figure 1 in the paper.
+    """
+    total = sum(edge_weights.values()) if edge_weights else 0
+    lines = [f'digraph "{title or proc.name}" {{']
+    lines.append('  node [shape=box, fontname="Helvetica"];')
+    for block in proc:
+        name = block.label or f"B{block.bid}"
+        lines.append(f'  n{block.bid} [label="{name} ({block.size})"];')
+    for edge in proc.edges:
+        attrs = [_EDGE_STYLE[edge.kind]]
+        if edge_weights and total:
+            weight = edge_weights.get((edge.src, edge.dst), 0)
+            pct = 100.0 * weight / total
+            if pct >= 1.0:
+                attrs.append(f'label="{pct:.0f}"')
+        lines.append(f'  n{edge.src} -> n{edge.dst} [{", ".join(attrs)}];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,286 @@
+"""Procedures: directed control-flow graphs of basic blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .blocks import BasicBlock, BlockId, Edge, EdgeKind, TerminatorKind
+
+
+class CFGError(ValueError):
+    """Raised when a procedure's control-flow graph is malformed."""
+
+
+class Procedure:
+    """A named procedure represented as a control-flow graph.
+
+    Blocks are kept in *original layout order*: the order of the ``blocks``
+    argument is the order in which the compiler emitted them, which defines
+    the initial placement that branch alignment rewrites.  The first block
+    is the procedure entry and always remains first after alignment.
+    """
+
+    def __init__(self, name: str, blocks: Iterable[BasicBlock], edges: Iterable[Edge]):
+        self.name = name
+        self._order: List[BlockId] = []
+        self.blocks: Dict[BlockId, BasicBlock] = {}
+        for block in blocks:
+            if block.bid in self.blocks:
+                raise CFGError(f"{name}: duplicate block id {block.bid}")
+            self.blocks[block.bid] = block
+            self._order.append(block.bid)
+        if not self._order:
+            raise CFGError(f"{name}: procedure has no blocks")
+        self.edges: List[Edge] = list(edges)
+        self._out: Dict[BlockId, List[Edge]] = {bid: [] for bid in self.blocks}
+        self._in: Dict[BlockId, List[Edge]] = {bid: [] for bid in self.blocks}
+        for edge in self.edges:
+            if edge.src not in self.blocks:
+                raise CFGError(f"{name}: edge {edge} has unknown source")
+            if edge.dst not in self.blocks:
+                raise CFGError(f"{name}: edge {edge} has unknown destination")
+            self._out[edge.src].append(edge)
+            self._in[edge.dst].append(edge)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> BlockId:
+        """The entry block id (always laid out first)."""
+        return self._order[0]
+
+    @property
+    def original_order(self) -> Tuple[BlockId, ...]:
+        """Block ids in the original (pre-alignment) layout order."""
+        return tuple(self._order)
+
+    def block(self, bid: BlockId) -> BasicBlock:
+        """The basic block with id ``bid``."""
+        return self.blocks[bid]
+
+    def out_edges(self, bid: BlockId) -> List[Edge]:
+        """All out-edges of block ``bid``, in declaration order."""
+        return self._out[bid]
+
+    def in_edges(self, bid: BlockId) -> List[Edge]:
+        """All in-edges of block ``bid``."""
+        return self._in[bid]
+
+    def taken_edge(self, bid: BlockId) -> Optional[Edge]:
+        """The taken out-edge of ``bid``, if any."""
+        for edge in self._out[bid]:
+            if edge.kind is EdgeKind.TAKEN:
+                return edge
+        return None
+
+    def fallthrough_edge(self, bid: BlockId) -> Optional[Edge]:
+        """The fall-through out-edge of ``bid``, if any."""
+        for edge in self._out[bid]:
+            if edge.kind is EdgeKind.FALLTHROUGH:
+                return edge
+        return None
+
+    def successors(self, bid: BlockId) -> List[BlockId]:
+        """Successor block ids of ``bid`` (one per out-edge)."""
+        return [e.dst for e in self._out[bid]]
+
+    def predecessors(self, bid: BlockId) -> List[BlockId]:
+        """Predecessor block ids of ``bid``."""
+        return [e.src for e in self._in[bid]]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        for bid in self._order:
+            yield self.blocks[bid]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, bid: BlockId) -> bool:
+        return bid in self.blocks
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`CFGError` on failure."""
+        for bid, block in self.blocks.items():
+            out = self._out[bid]
+            kinds = tuple(sorted((e.kind for e in out), key=lambda k: k.value))
+            kind = block.kind
+            if kind is TerminatorKind.FALLTHROUGH:
+                ok = kinds == (EdgeKind.FALLTHROUGH,)
+            elif kind is TerminatorKind.COND:
+                ok = kinds == (EdgeKind.FALLTHROUGH, EdgeKind.TAKEN)
+            elif kind is TerminatorKind.UNCOND:
+                ok = kinds == (EdgeKind.TAKEN,)
+            elif kind is TerminatorKind.INDIRECT:
+                ok = len(out) >= 1 and all(e.kind is EdgeKind.INDIRECT for e in out)
+            elif kind is TerminatorKind.RETURN:
+                ok = not out
+            else:  # pragma: no cover - exhaustive enum
+                raise AssertionError(kind)
+            if not ok:
+                raise CFGError(
+                    f"{self.name}: block {bid} ({kind.value}) has illegal "
+                    f"out-edges {[str(e) for e in out]}"
+                )
+            ft = self.fallthrough_edge(bid)
+            if ft is not None and ft.dst == bid:
+                raise CFGError(
+                    f"{self.name}: block {bid} falls through to itself"
+                )
+            if kind is TerminatorKind.COND:
+                taken = self.taken_edge(bid)
+                assert taken is not None and ft is not None
+                if taken.dst == ft.dst:
+                    raise CFGError(
+                        f"{self.name}: block {bid} conditional branch has "
+                        f"identical taken and fall-through targets"
+                    )
+        self._validate_original_fallthroughs()
+
+    def _validate_original_fallthroughs(self) -> None:
+        """In the original layout each fall-through edge must be adjacent."""
+        position = {bid: i for i, bid in enumerate(self._order)}
+        for edge in self.edges:
+            if edge.kind is not EdgeKind.FALLTHROUGH:
+                continue
+            if position[edge.dst] != position[edge.src] + 1:
+                raise CFGError(
+                    f"{self.name}: fall-through edge {edge} is not adjacent "
+                    f"in the original layout"
+                )
+
+    # ------------------------------------------------------------------
+    # Analyses used by the alignment cost models
+    # ------------------------------------------------------------------
+    def reachable_blocks(self) -> Set[BlockId]:
+        """Blocks reachable from the entry via any edge."""
+        seen: Set[BlockId] = set()
+        stack = [self.entry]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(self.successors(bid))
+        return seen
+
+    def retreating_edges(self) -> Set[Tuple[BlockId, BlockId]]:
+        """(src, dst) pairs of edges that close a cycle in a DFS from entry.
+
+        Used by the BT/FNT cost model to approximate which taken branches
+        will end up *backward* in the final layout: an edge back to a loop
+        header is laid out backward by every reasonable chain ordering.
+        """
+        retreating: Set[Tuple[BlockId, BlockId]] = set()
+        color: Dict[BlockId, int] = {}
+        # Iterative DFS with explicit grey/black colouring.
+        stack: List[Tuple[BlockId, int]] = [(self.entry, 0)]
+        succs: Dict[BlockId, List[BlockId]] = {
+            bid: self.successors(bid) for bid in self.blocks
+        }
+        while stack:
+            bid, idx = stack.pop()
+            if idx == 0:
+                color[bid] = 1  # grey
+            children = succs[bid]
+            advanced = False
+            while idx < len(children):
+                child = children[idx]
+                idx += 1
+                state = color.get(child, 0)
+                if state == 1:
+                    retreating.add((bid, child))
+                elif state == 0:
+                    stack.append((bid, idx))
+                    stack.append((child, 0))
+                    advanced = True
+                    break
+            if not advanced and idx >= len(children):
+                color[bid] = 2  # black
+        return retreating
+
+    def cyclic_edge_pairs(self) -> Set[Tuple[BlockId, BlockId]]:
+        """(src, dst) pairs of edges whose endpoints share a CFG cycle.
+
+        Both endpoints lying in one strongly connected component means the
+        edge participates in a loop, so *some* chain layout can make it a
+        backward branch (by wrapping the loop).  The BT/FNT and LIKELY
+        alignment cost models use this as the "could be laid out backward"
+        hint — it correctly covers loop rotations, which plain
+        DFS-retreating edges miss (a rotated loop header's taken edge to
+        the body is a tree edge, yet ends up backward after alignment).
+        """
+        component = self._tarjan_scc()
+        return {
+            (e.src, e.dst)
+            for e in self.edges
+            if component[e.src] == component[e.dst]
+        }
+
+    def _tarjan_scc(self) -> Dict[BlockId, int]:
+        """Iterative Tarjan SCC; returns block -> component id.
+
+        A self-loop edge places its block in a "cyclic" component by
+        itself, which the caller detects via the edge-pair test.
+        """
+        index: Dict[BlockId, int] = {}
+        lowlink: Dict[BlockId, int] = {}
+        on_stack: Set[BlockId] = set()
+        stack: List[BlockId] = []
+        component: Dict[BlockId, int] = {}
+        counter = [0]
+        comp_counter = [0]
+        succs = {bid: self.successors(bid) for bid in self.blocks}
+
+        for root in self._order:
+            if root in index:
+                continue
+            work: List[Tuple[BlockId, int]] = [(root, 0)]
+            while work:
+                bid, child_idx = work.pop()
+                if child_idx == 0:
+                    index[bid] = lowlink[bid] = counter[0]
+                    counter[0] += 1
+                    stack.append(bid)
+                    on_stack.add(bid)
+                recurse = False
+                children = succs[bid]
+                while child_idx < len(children):
+                    child = children[child_idx]
+                    child_idx += 1
+                    if child not in index:
+                        work.append((bid, child_idx))
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        lowlink[bid] = min(lowlink[bid], index[child])
+                if recurse:
+                    continue
+                if lowlink[bid] == index[bid]:
+                    while True:
+                        node = stack.pop()
+                        on_stack.discard(node)
+                        component[node] = comp_counter[0]
+                        if node == bid:
+                            break
+                    comp_counter[0] += 1
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[bid])
+        return component
+
+    def instruction_count(self) -> int:
+        """Total static instruction count of the procedure."""
+        return sum(block.size for block in self.blocks.values())
+
+    def conditional_sites(self) -> List[BlockId]:
+        """Ids of blocks ending in conditional branches."""
+        return [b.bid for b in self if b.kind is TerminatorKind.COND]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Procedure({self.name!r}, {len(self)} blocks, {len(self.edges)} edges)"

@@ -1,0 +1,116 @@
+"""Programs: ordered collections of procedures with a designated entry."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .blocks import CallSite
+from .procedure import CFGError, Procedure
+
+
+class Program:
+    """A whole program: procedures in link order plus an entry procedure.
+
+    The paper's transformations rearrange basic blocks *within* each
+    procedure; procedures themselves are not reordered ("we do not perform
+    procedure splitting nor any procedure rearranging", section 6), so the
+    procedure order given here is preserved by every layout.
+    """
+
+    def __init__(self, procedures: Iterable[Procedure], entry: Optional[str] = None):
+        self.procedures: Dict[str, Procedure] = {}
+        self._order: List[str] = []
+        for proc in procedures:
+            if proc.name in self.procedures:
+                raise CFGError(f"duplicate procedure name {proc.name!r}")
+            self.procedures[proc.name] = proc
+            self._order.append(proc.name)
+        if not self._order:
+            raise CFGError("program has no procedures")
+        self.entry = entry if entry is not None else self._order[0]
+        if self.entry not in self.procedures:
+            raise CFGError(f"entry procedure {self.entry!r} not defined")
+        self._validate_calls()
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> Tuple[str, ...]:
+        """Procedure names in link order."""
+        return tuple(self._order)
+
+    def procedure(self, name: str) -> Procedure:
+        """The procedure named ``name``."""
+        return self.procedures[name]
+
+    def __iter__(self) -> Iterator[Procedure]:
+        for name in self._order:
+            yield self.procedures[name]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.procedures
+
+    # ------------------------------------------------------------------
+    def _validate_calls(self) -> None:
+        for proc in self:
+            for block in proc:
+                for call in block.calls:
+                    if call.callee is not None and call.callee not in self.procedures:
+                        raise CFGError(
+                            f"{proc.name}: block {block.bid} calls unknown "
+                            f"procedure {call.callee!r}"
+                        )
+
+    def call_sites(self) -> Iterator[Tuple[Procedure, int, CallSite]]:
+        """Yield (procedure, block id, call site) for every call site."""
+        for proc in self:
+            for block in proc:
+                for call in block.calls:
+                    yield proc, block.bid, call
+
+    def call_graph(self) -> Dict[str, Set[str]]:
+        """Direct-call edges between procedures (indirect calls excluded)."""
+        graph: Dict[str, Set[str]] = {name: set() for name in self._order}
+        for proc, _bid, call in self.call_sites():
+            if call.callee is not None:
+                graph[proc.name].add(call.callee)
+        return graph
+
+    def instruction_count(self) -> int:
+        """Total static instruction count of the program."""
+        return sum(proc.instruction_count() for proc in self)
+
+    def static_conditional_sites(self) -> int:
+        """Total number of conditional branch sites ("Static" in Table 2)."""
+        return sum(len(proc.conditional_sites()) for proc in self)
+
+    def reset_behaviors(self, seed: int = 0) -> None:
+        """Reset every block behaviour and call-site chooser to a
+        deterministic state derived from ``seed``.
+
+        Running the executor after identical resets replays the identical
+        dynamic block sequence, which is how the original and aligned
+        binaries are compared on "the same input".
+        """
+        for proc in self:
+            for block in proc:
+                if block.behavior is not None:
+                    block.behavior.reset(_mix(seed, proc.name, block.bid, 0))
+                for idx, call in enumerate(block.calls):
+                    if call.chooser is not None:
+                        call.chooser.reset(_mix(seed, proc.name, block.bid, idx + 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Program({len(self)} procedures, entry={self.entry!r})"
+
+
+def _mix(seed: int, name: str, bid: int, salt: int) -> int:
+    """Derive a stable per-site seed (independent of Python hash salting)."""
+    acc = (seed * 1000003) & 0xFFFFFFFF
+    for ch in name:
+        acc = (acc * 31 + ord(ch)) & 0xFFFFFFFF
+    acc = (acc * 1000003 + bid) & 0xFFFFFFFF
+    acc = (acc * 1000003 + salt) & 0xFFFFFFFF
+    return acc

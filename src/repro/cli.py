@@ -1,0 +1,362 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library's main workflows a shell entry point:
+
+* ``list`` — the 24-benchmark suite and its categories;
+* ``profile`` — trace a benchmark, write an edge profile (JSON);
+* ``align`` — align a benchmark and report per-architecture relative CPI
+  (optionally reusing a saved profile, the paper's two-pass workflow);
+* ``table2`` / ``table3`` / ``table4`` / ``figure4`` — regenerate the
+  paper's evaluation artifacts;
+* ``dot`` — emit a procedure's control-flow graph in Graphviz format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    branch_hotspots,
+    compare_layout_quality,
+    layout_quality,
+    compute_table2,
+    experiment_records,
+    figure4_records,
+    records_to_csv,
+    table2_records,
+    procedure_hotspots,
+    render_hotspots,
+    render_claims,
+    verify_claims,
+    format_table,
+    issue_width_sweep,
+    mispredict_penalty_sweep,
+    penalty_breakdown,
+    render_breakdown,
+    render_figure4,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_figure4,
+    run_suite_experiment,
+)
+from .cfg import procedure_to_dot
+from .core import CostAligner, GreedyAligner, TryNAligner, make_model
+from .isa import ProgramLayout, diff_layouts, link, link_identity, render_diff, save_layout
+from .profiling import load_profile, profile_program, save_profile
+from .sim.metrics import ALL_ARCHS, DYNAMIC_ARCHS, STATIC_ARCHS, simulate
+from .workloads import SUITE, generate_benchmark
+
+
+def _write(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+
+
+def _benchmark_list(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    unknown = [name for name in names if name not in SUITE]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {', '.join(unknown)}")
+    return names
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    width = max(len(name) for name in SUITE)
+    for name, spec in SUITE.items():
+        print(f"{name:<{width}}  {spec.category:<10}  {spec.description}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    program = generate_benchmark(args.benchmark, args.scale)
+    profile = profile_program(program, seed=args.seed)
+    save_profile(profile, args.output)
+    total = sum(profile.total_weight(name) for name in profile.procedures())
+    print(f"wrote {args.output}: {len(profile.procedures())} procedures, "
+          f"{total:,} edge traversals")
+    return 0
+
+
+def _make_aligner(algorithm: str, arch: str, window: int):
+    if algorithm == "greedy":
+        return GreedyAligner()
+    if algorithm == "cost":
+        return CostAligner(make_model(arch))
+    if algorithm == "tryn":
+        return TryNAligner.for_architecture(arch, window=window)
+    raise SystemExit(f"unknown algorithm {algorithm!r}")
+
+
+def cmd_align(args: argparse.Namespace) -> int:
+    program = generate_benchmark(args.benchmark, args.scale)
+    if args.profile:
+        profile = load_profile(args.profile)
+    else:
+        profile = profile_program(program, seed=args.seed)
+    aligner = _make_aligner(args.algorithm, args.arch, args.window)
+    layout = aligner.align(program, profile)
+    if args.save_layout:
+        save_layout(layout, args.save_layout)
+        print(f"alignment map written to {args.save_layout}")
+    if args.diff:
+        print(render_diff(
+            diff_layouts(ProgramLayout.identity(program), layout), profile
+        ))
+        print()
+
+    inversions = jumps = removed = 0
+    for name in program.order:
+        proc_layout = layout[name]
+        inversions += len(proc_layout.inverted_conditionals())
+        jumps += len(proc_layout.inserted_jumps())
+        removed += len(proc_layout.removed_branches())
+    print(f"{args.algorithm} alignment ({args.arch} model): "
+          f"{inversions} inverted conditionals, {jumps} inserted jumps, "
+          f"{removed} removed branches")
+
+    base = simulate(link_identity(program), profile, seed=args.seed)
+    aligned = simulate(link(layout), profile, seed=args.seed)
+    print(f"\n{'architecture':<18}{'orig CPI':>10}{'aligned':>10}{'gain %':>8}")
+    for arch in ALL_ARCHS:
+        before = base.relative_cpi(arch, base.instructions)
+        after = aligned.relative_cpi(arch, base.instructions)
+        print(f"{arch:<18}{before:>10.3f}{after:>10.3f}"
+              f"{100 * (before - after) / before:>8.1f}")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    rows = compute_table2(_benchmark_list(args.benchmarks), scale=args.scale,
+                          seed=args.seed)
+    if args.csv:
+        _write(records_to_csv(table2_records(rows)).rstrip(), args.output)
+    else:
+        _write(render_table2(rows), args.output)
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    experiments = run_suite_experiment(
+        _benchmark_list(args.benchmarks), scale=args.scale, seed=args.seed,
+        window=args.window, archs=STATIC_ARCHS,
+    )
+    if args.csv:
+        _write(records_to_csv(experiment_records(experiments)).rstrip(), args.output)
+    else:
+        _write(render_table3(experiments), args.output)
+    return 0
+
+
+def cmd_table4(args: argparse.Namespace) -> int:
+    experiments = run_suite_experiment(
+        _benchmark_list(args.benchmarks), scale=args.scale, seed=args.seed,
+        window=args.window, archs=DYNAMIC_ARCHS,
+    )
+    if args.csv:
+        _write(records_to_csv(experiment_records(experiments)).rstrip(), args.output)
+    else:
+        _write(render_table4(experiments), args.output)
+    return 0
+
+
+def cmd_figure4(args: argparse.Namespace) -> int:
+    names = _benchmark_list(args.benchmarks)
+    kwargs = {"scale": args.scale, "seed": args.seed, "window": args.window}
+    rows = run_figure4(names, **kwargs) if names else run_figure4(**kwargs)
+    if args.csv:
+        _write(records_to_csv(figure4_records(rows)).rstrip(), args.output)
+    else:
+        _write(render_figure4(rows), args.output)
+    return 0
+
+
+def cmd_breakdown(args: argparse.Namespace) -> int:
+    program = generate_benchmark(args.benchmark, args.scale)
+    archs = tuple(a.strip() for a in args.archs.split(",")) if args.archs else ALL_ARCHS
+    rows = penalty_breakdown(program, archs=archs, seed=args.seed)
+    _write(render_breakdown(rows), args.output)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    program = generate_benchmark(args.benchmark, args.scale)
+    if args.kind == "penalty":
+        raw = args.points or "2,4,8,16"
+        points = mispredict_penalty_sweep(
+            program, arch=args.arch,
+            penalties=[float(p) for p in raw.split(",")],
+            seed=args.seed,
+        )
+        header = "Mispredict cycles"
+    else:
+        raw = args.points or "1,2,4,8"
+        points = issue_width_sweep(
+            program, widths=[int(p) for p in raw.split(",")], seed=args.seed
+        )
+        header = "Issue width"
+    text = format_table(
+        [header, "Original", "Aligned", "Gain %"],
+        [[f"{p.parameter:g}", f"{p.original:,.3f}", f"{p.aligned:,.3f}",
+          f"{p.gain_percent:.1f}"] for p in points],
+    )
+    _write(text, args.output)
+    return 0
+
+
+def cmd_quality(args: argparse.Namespace) -> int:
+    program = generate_benchmark(args.benchmark, args.scale)
+    profile = profile_program(program, seed=args.seed)
+    qualities = {"orig": layout_quality(link_identity(program), profile)}
+    for algorithm in ("greedy", "cost", "tryn"):
+        aligner = _make_aligner(algorithm, args.arch, args.window)
+        linked = link(aligner.align(program, profile))
+        qualities[algorithm] = layout_quality(linked, profile)
+    _write(compare_layout_quality(qualities), args.output)
+    return 0
+
+
+def cmd_hotspots(args: argparse.Namespace) -> int:
+    program = generate_benchmark(args.benchmark, args.scale)
+    from .profiling import profile_program as _pp
+    profile = _pp(program, seed=args.seed)
+    model = make_model(args.arch)
+    aligner = TryNAligner.for_architecture(args.arch, window=args.window)
+    procs = procedure_hotspots(program, model, aligner, profile, seed=args.seed)
+    branches = branch_hotspots(program, model, aligner, profile, seed=args.seed,
+                               top=args.top)
+    _write(render_hotspots(procs, branches), args.output)
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    results = verify_claims(scale=args.scale, seed=args.seed, window=args.window)
+    _write(render_claims(results), args.output)
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    program = generate_benchmark(args.benchmark, args.scale)
+    if args.procedure not in program:
+        raise SystemExit(
+            f"unknown procedure {args.procedure!r}; "
+            f"available: {', '.join(program.order)}"
+        )
+    weights = None
+    if args.weights:
+        profile = profile_program(program, seed=args.seed)
+        weights = profile.proc_edges(args.procedure)
+    text = procedure_to_dot(program.procedure(args.procedure), edge_weights=weights)
+    _write(text, args.output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Branch alignment reproduction (Calder & Grunwald, ASPLOS 1994)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, window=False):
+        p.add_argument("--scale", type=float, default=0.25,
+                       help="workload scale multiplier (default 0.25)")
+        p.add_argument("--seed", type=int, default=0, help="behaviour seed")
+        p.add_argument("-o", "--output", help="write result to a file")
+        if window:
+            p.add_argument("--window", type=int, default=15,
+                           help="TryN window size (default 15)")
+
+    sub.add_parser("list", help="list the benchmark suite").set_defaults(func=cmd_list)
+
+    p = sub.add_parser("profile", help="trace a benchmark, save its edge profile")
+    p.add_argument("benchmark")
+    p.add_argument("output", help="profile JSON path")
+    common(p)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("align", help="align a benchmark and compare CPI")
+    p.add_argument("benchmark")
+    p.add_argument("--algorithm", choices=("greedy", "cost", "tryn"), default="tryn")
+    p.add_argument("--arch", choices=("fallthrough", "btfnt", "likely", "pht", "btb"),
+                   default="btb", help="cost-model architecture")
+    p.add_argument("--profile", help="reuse a saved profile instead of tracing")
+    p.add_argument("--save-layout", help="write the alignment map (JSON) here")
+    p.add_argument("--diff", action="store_true",
+                   help="print the block-level transformation report")
+    common(p, window=True)
+    p.set_defaults(func=cmd_align)
+
+    p = sub.add_parser("breakdown", help="misfetch/mispredict decomposition")
+    p.add_argument("benchmark")
+    p.add_argument("--archs", help="comma-separated architecture subset")
+    common(p)
+    p.set_defaults(func=cmd_breakdown)
+
+    p = sub.add_parser("sweep", help="machine-sensitivity sweeps")
+    p.add_argument("benchmark")
+    p.add_argument("kind", choices=("penalty", "width"))
+    p.add_argument("--points", default=None,
+                   help="comma-separated sweep points")
+    p.add_argument("--arch", default="likely",
+                   help="architecture for the penalty sweep")
+    common(p)
+    p.set_defaults(func=cmd_sweep)
+
+    for name, func, window in (
+        ("table2", cmd_table2, False),
+        ("table3", cmd_table3, True),
+        ("table4", cmd_table4, True),
+        ("figure4", cmd_figure4, True),
+    ):
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        p.add_argument("--benchmarks", help="comma-separated subset")
+        p.add_argument("--csv", action="store_true",
+                       help="emit machine-readable CSV instead of a table")
+        common(p, window=window)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("quality", help="layout-quality internals per algorithm")
+    p.add_argument("benchmark")
+    p.add_argument("--arch", choices=("fallthrough", "btfnt", "likely", "pht", "btb"),
+                   default="likely")
+    common(p, window=True)
+    p.set_defaults(func=cmd_quality)
+
+    p = sub.add_parser("hotspots", help="per-procedure / per-branch cost attribution")
+    p.add_argument("benchmark")
+    p.add_argument("--arch", choices=("fallthrough", "btfnt", "likely", "pht", "btb"),
+                   default="likely")
+    p.add_argument("--top", type=int, default=15, help="branch sites to show")
+    common(p, window=True)
+    p.set_defaults(func=cmd_hotspots)
+
+    p = sub.add_parser("verify", help="check every paper claim (reproduction certificate)")
+    common(p, window=True)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("dot", help="emit a procedure's CFG as Graphviz")
+    p.add_argument("benchmark")
+    p.add_argument("procedure")
+    p.add_argument("--weights", action="store_true",
+                   help="label edges with profiled execution percentages")
+    common(p)
+    p.set_defaults(func=cmd_dot)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

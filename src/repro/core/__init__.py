@@ -1,0 +1,49 @@
+"""The paper's contribution: branch alignment algorithms and cost models."""
+
+from .align import Aligner, OriginalAligner, align_program
+from .chains import ChainSet
+from .cost import AlignmentOption, CostAligner, block_options
+from .exhaustive import ExhaustiveAligner
+from .costmodel import (
+    ArchModel,
+    BranchCosts,
+    BTBModel,
+    BTFNTModel,
+    DEFAULT_COSTS,
+    FallthroughModel,
+    LikelyModel,
+    MODELS,
+    PHTModel,
+    make_model,
+)
+from .greedy import GreedyAligner
+from .layout_order import order_chains
+from .refine import refine_senses
+from .trace_packing import TraceAligner
+from .tryn import TryNAligner
+
+__all__ = [
+    "Aligner",
+    "AlignmentOption",
+    "ArchModel",
+    "BTBModel",
+    "BTFNTModel",
+    "BranchCosts",
+    "ChainSet",
+    "CostAligner",
+    "DEFAULT_COSTS",
+    "ExhaustiveAligner",
+    "FallthroughModel",
+    "GreedyAligner",
+    "LikelyModel",
+    "MODELS",
+    "OriginalAligner",
+    "PHTModel",
+    "TraceAligner",
+    "TryNAligner",
+    "align_program",
+    "block_options",
+    "make_model",
+    "order_chains",
+    "refine_senses",
+]

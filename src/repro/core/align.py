@@ -1,0 +1,118 @@
+"""Top-level alignment orchestration and the aligner base class."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..cfg import BlockId, Procedure, Program
+from ..isa.layout import ProcedureLayout, ProgramLayout
+from ..profiling.edge_profile import EdgeProfile
+from .chains import ChainSet
+from .layout_order import order_chains
+
+
+class Aligner:
+    """Base class for branch alignment algorithms.
+
+    Subclasses implement :meth:`build_chains`, returning the chain
+    structure plus jump preferences (which successor of an unaligned
+    conditional travels through the appended jump).  The base class turns
+    chains into a concrete :class:`ProgramLayout` via the configured chain
+    ordering strategy.
+    """
+
+    #: Report name ("greedy", "cost", "try15", ...).
+    name: str = "abstract"
+    #: Chain concatenation strategy: "weight" or "btfnt" (section 6.1).
+    chain_order: str = "weight"
+    #: Architecture cost model, when the algorithm is cost-driven.  A
+    #: model-driven aligner gets the position-exact sense refinement pass
+    #: after chain ordering (see :mod:`repro.core.refine`); the
+    #: architecture-blind Greedy algorithm does not, matching the paper.
+    model = None
+    #: Optional distinct model for the sense-refinement pass.  Used by the
+    #: BT/FNT alignment, where chain formation cannot know final branch
+    #: directions ("it is not known where the taken branch will be
+    #: located", section 6) and therefore searches with a
+    #: direction-optimistic model, refining with the true BT/FNT costs
+    #: once positions are fixed.
+    refine_model = None
+
+    def build_chains(
+        self, proc: Procedure, profile: EdgeProfile
+    ) -> Tuple[ChainSet, Dict[BlockId, BlockId]]:
+        """Build the chain structure plus per-block jump preferences."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def align_procedure(self, proc: Procedure, profile: EdgeProfile) -> ProcedureLayout:
+        """Align one procedure, producing a checked layout."""
+        chains, jump_prefs = self.build_chains(proc, profile)
+        chains.check()
+        order = order_chains(chains, profile, self.chain_order)
+        layout = ProcedureLayout.from_order(proc, order, jump_preference=jump_prefs)
+        refine_with = self.refine_model or self.model
+        if refine_with is not None:
+            from .refine import refine_senses
+
+            layout = refine_senses(layout, refine_with, profile)
+        return layout
+
+    def align(self, program: Program, profile: EdgeProfile) -> ProgramLayout:
+        """Align every procedure of a program (procedure order unchanged)."""
+        layouts = {
+            proc.name: self.align_procedure(proc, profile) for proc in program
+        }
+        return ProgramLayout(program, layouts)
+
+
+class OriginalAligner(Aligner):
+    """The no-op aligner: the compiler's original layout."""
+
+    name = "orig"
+
+    def align(self, program: Program, profile: EdgeProfile) -> ProgramLayout:
+        return ProgramLayout.identity(program)
+
+    def align_procedure(self, proc: Procedure, profile: EdgeProfile) -> ProcedureLayout:
+        return ProcedureLayout.identity(proc)
+
+    def build_chains(
+        self, proc: Procedure, profile: EdgeProfile
+    ) -> Tuple[ChainSet, Dict[BlockId, BlockId]]:
+        """Unsupported: the original layout has no chain structure."""
+        raise NotImplementedError("the original layout has no chains")
+
+
+def align_program(
+    program: Program, profile: EdgeProfile, aligner: Aligner
+) -> ProgramLayout:
+    """Convenience wrapper: ``aligner.align(program, profile)``."""
+    return aligner.align(program, profile)
+
+
+def greedy_link_pass(
+    chains: ChainSet,
+    proc: Procedure,
+    profile: EdgeProfile,
+    min_weight: int = 0,
+) -> None:
+    """Link remaining edges in weight order wherever feasible.
+
+    Shared by all aligners as the final pass that threads cold blocks into
+    chains: it never changes the modelled cost of hot branches (those are
+    already decided) but improves adjacency, mirroring Pettis–Hansen's
+    processing of every edge.
+    """
+    for (src, dst), _w in profile.sorted_edges(proc, min_weight=min_weight):
+        if chains.can_link(src, dst):
+            chains.link(src, dst)
+    # Edges that never executed are absent from the profile entirely;
+    # sweep the static CFG so completely-cold regions still chain up.
+    for edge in proc.edges:
+        if not proc.block(edge.src).kind.alignable:
+            continue
+        if edge.kind.value in ("fallthrough", "taken") and chains.can_link(
+            edge.src, edge.dst
+        ):
+            chains.link(edge.src, edge.dst)

@@ -1,0 +1,141 @@
+"""Pettis–Hansen chains: sequences of blocks threaded by fall-through links.
+
+A *chain* is a contiguous run of basic blocks; linking the edge S -> D
+makes D the layout fall-through of S, merging D's chain onto S's.  The
+structure enforces the three feasibility rules every alignment algorithm
+shares:
+
+* a block has at most one layout successor and one layout predecessor;
+* linking must not close a cycle (chains are simple paths);
+* the procedure entry block can never acquire a predecessor, because the
+  entry must remain the first block of the procedure.
+
+A block may also be *sealed*: the Cost and TryN algorithms seal a block
+when the cost model prefers ending it with an (possibly appended)
+unconditional jump over giving it any fall-through successor — the
+"align neither edge" transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..cfg import BlockId, Procedure
+
+
+class ChainSet:
+    """Disjoint chains over the blocks of one procedure."""
+
+    def __init__(self, proc: Procedure):
+        self.proc = proc
+        self.entry = proc.entry
+        self.succ: Dict[BlockId, Optional[BlockId]] = {b: None for b in proc.blocks}
+        self.pred: Dict[BlockId, Optional[BlockId]] = {b: None for b in proc.blocks}
+        self.sealed: Set[BlockId] = set()
+        # Union-find over chain membership, with head/tail per root.
+        self._parent: Dict[BlockId, BlockId] = {b: b for b in proc.blocks}
+        self._head: Dict[BlockId, BlockId] = {b: b for b in proc.blocks}
+        self._tail: Dict[BlockId, BlockId] = {b: b for b in proc.blocks}
+
+    # ------------------------------------------------------------------
+    def _find(self, bid: BlockId) -> BlockId:
+        root = bid
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[bid] != root:
+            self._parent[bid], bid = root, self._parent[bid]
+        return root
+
+    # ------------------------------------------------------------------
+    def can_link(self, src: BlockId, dst: BlockId) -> bool:
+        """True if dst may become the layout fall-through of src."""
+        if src == dst or dst == self.entry:
+            return False
+        if src in self.sealed:
+            return False
+        if self.succ[src] is not None or self.pred[dst] is not None:
+            return False
+        if not self.proc.block(src).kind.alignable:
+            return False
+        return self._find(src) != self._find(dst)
+
+    def link(self, src: BlockId, dst: BlockId) -> None:
+        """Make dst the layout fall-through of src (must be linkable)."""
+        if not self.can_link(src, dst):
+            raise ValueError(f"cannot link {src} -> {dst}")
+        self.succ[src] = dst
+        self.pred[dst] = src
+        src_root, dst_root = self._find(src), self._find(dst)
+        head = self._head[src_root]
+        tail = self._tail[dst_root]
+        self._parent[dst_root] = src_root
+        self._head[src_root] = head
+        self._tail[src_root] = tail
+
+    def unlink(self, src: BlockId) -> None:
+        """Undo a link (used by the TryN backtracking search).
+
+        Splits src's chain after src; both halves keep correct head/tail
+        records.  Union-find parents are rebuilt for the two fragments.
+        """
+        dst = self.succ[src]
+        if dst is None:
+            raise ValueError(f"{src} has no layout successor to unlink")
+        self.succ[src] = None
+        self.pred[dst] = None
+        # Rebuild the two fragments from scratch; fragments are short in
+        # practice, and correctness beats cleverness here.
+        for start in (self._chain_start(src), dst):
+            bid = start
+            prev: Optional[BlockId] = None
+            while bid is not None:
+                self._parent[bid] = start
+                prev = bid
+                bid = self.succ[bid]
+            self._head[start] = start
+            self._tail[start] = prev if prev is not None else start
+
+    def _chain_start(self, bid: BlockId) -> BlockId:
+        while self.pred[bid] is not None:
+            bid = self.pred[bid]
+        return bid
+
+    # ------------------------------------------------------------------
+    def seal(self, bid: BlockId) -> None:
+        """Forbid the block from ever getting a layout successor."""
+        if self.succ[bid] is not None:
+            raise ValueError(f"cannot seal {bid}: it already has a successor")
+        self.sealed.add(bid)
+
+    def unseal(self, bid: BlockId) -> None:
+        """Allow a previously sealed block to take a successor again."""
+        self.sealed.discard(bid)
+
+    # ------------------------------------------------------------------
+    def chain_of(self, bid: BlockId) -> List[BlockId]:
+        """The full chain containing ``bid``, head to tail."""
+        out = []
+        cur: Optional[BlockId] = self._chain_start(bid)
+        while cur is not None:
+            out.append(cur)
+            cur = self.succ[cur]
+        return out
+
+    def chains(self) -> List[List[BlockId]]:
+        """All chains, each listed head to tail, in head-id order."""
+        heads = [b for b in self.proc.blocks if self.pred[b] is None]
+        heads.sort()
+        return [self.chain_of(h) for h in heads]
+
+    def check(self) -> None:
+        """Verify internal consistency (used by property tests)."""
+        seen: Set[BlockId] = set()
+        for chain in self.chains():
+            for bid in chain:
+                if bid in seen:
+                    raise AssertionError(f"block {bid} appears in two chains")
+                seen.add(bid)
+        if seen != set(self.proc.blocks):
+            raise AssertionError("chains do not cover all blocks")
+        if self.pred[self.entry] is not None:
+            raise AssertionError("entry block acquired a predecessor")

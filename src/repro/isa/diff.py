@@ -1,0 +1,152 @@
+"""Layout diffing: what exactly did the aligner change?
+
+OM users read rewrite logs to trust a binary rewriter; this module gives
+the reproduction the same audit trail.  ``diff_layouts`` compares two
+layouts of one program and reports, per procedure: blocks that moved,
+conditionals whose sense flipped, unconditional branches inserted or
+removed, and the static size delta — with profile weights attached so a
+reader can see *which* of the changes carry execution weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cfg import BlockId, TerminatorKind
+from ..profiling.edge_profile import EdgeProfile
+from .layout import ProcedureLayout, ProgramLayout
+
+
+@dataclass
+class ProcedureDiff:
+    """All layout changes within one procedure."""
+
+    name: str
+    moved_blocks: List[BlockId] = field(default_factory=list)
+    inverted: List[BlockId] = field(default_factory=list)
+    jumps_added: List[Tuple[BlockId, BlockId]] = field(default_factory=list)
+    jumps_removed: List[Tuple[BlockId, BlockId]] = field(default_factory=list)
+    branches_removed: List[BlockId] = field(default_factory=list)
+    branches_restored: List[BlockId] = field(default_factory=list)
+    size_before: int = 0
+    size_after: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(
+            self.moved_blocks or self.inverted or self.jumps_added
+            or self.jumps_removed or self.branches_removed or self.branches_restored
+        )
+
+    @property
+    def size_delta(self) -> int:
+        return self.size_after - self.size_before
+
+
+def diff_procedure_layouts(
+    before: ProcedureLayout, after: ProcedureLayout
+) -> ProcedureDiff:
+    """Structural diff of two layouts of the same procedure."""
+    if before.procedure is not after.procedure and (
+        before.procedure.name != after.procedure.name
+        or set(before.procedure.blocks) != set(after.procedure.blocks)
+    ):
+        raise ValueError("layouts describe different procedures")
+    proc = before.procedure
+    diff = ProcedureDiff(
+        name=proc.name,
+        size_before=before.total_size(),
+        size_after=after.total_size(),
+    )
+    order_before = [p.bid for p in before.placements]
+    order_after = [p.bid for p in after.placements]
+    pos_before = {bid: i for i, bid in enumerate(order_before)}
+    # A block "moved" when its predecessor-in-order changed.
+    for idx, bid in enumerate(order_after):
+        prev_after = order_after[idx - 1] if idx else None
+        prev_before = (
+            order_before[pos_before[bid] - 1] if pos_before[bid] else None
+        )
+        if prev_after != prev_before:
+            diff.moved_blocks.append(bid)
+
+    jumps_before = dict(before.inserted_jumps())
+    jumps_after = dict(after.inserted_jumps())
+    for bid, target in sorted(jumps_after.items()):
+        if jumps_before.get(bid) != target:
+            diff.jumps_added.append((bid, target))
+    for bid, target in sorted(jumps_before.items()):
+        if jumps_after.get(bid) != target:
+            diff.jumps_removed.append((bid, target))
+
+    removed_before = set(before.removed_branches())
+    removed_after = set(after.removed_branches())
+    diff.branches_removed = sorted(removed_after - removed_before)
+    diff.branches_restored = sorted(removed_before - removed_after)
+
+    inverted_before = set(before.inverted_conditionals())
+    inverted_after = set(after.inverted_conditionals())
+    diff.inverted = sorted(inverted_before ^ inverted_after)
+    return diff
+
+
+def diff_layouts(
+    before: ProgramLayout, after: ProgramLayout
+) -> List[ProcedureDiff]:
+    """Per-procedure diffs for two layouts of the same program."""
+    if before.program.order != after.program.order:
+        raise ValueError("layouts describe different programs")
+    return [
+        diff_procedure_layouts(before[name], after[name])
+        for name in before.program.order
+    ]
+
+
+def render_diff(
+    diffs: Sequence[ProcedureDiff],
+    profile: Optional[EdgeProfile] = None,
+    show_unchanged: bool = False,
+) -> str:
+    """Render a human-readable transformation report."""
+    lines: List[str] = []
+    for diff in diffs:
+        if not diff.changed and not show_unchanged:
+            continue
+        lines.append(f"{diff.name}: "
+                     f"{len(diff.moved_blocks)} blocks moved, "
+                     f"size {diff.size_before} -> {diff.size_after} "
+                     f"({diff.size_delta:+d})")
+        for bid in diff.inverted:
+            lines.append(f"  invert conditional @ block {bid}"
+                         + _weight_note(profile, diff.name, bid))
+        for bid, target in diff.jumps_added:
+            lines.append(f"  insert jump block {bid} -> {target}"
+                         + _weight_note(profile, diff.name, bid, target))
+        for bid, target in diff.jumps_removed:
+            lines.append(f"  drop jump block {bid} -> {target}")
+        for bid in diff.branches_removed:
+            lines.append(f"  delete unconditional branch @ block {bid}")
+        for bid in diff.branches_restored:
+            lines.append(f"  restore unconditional branch @ block {bid}")
+    if not lines:
+        return "layouts are identical"
+    return "\n".join(lines)
+
+
+def _weight_note(
+    profile: Optional[EdgeProfile],
+    proc_name: str,
+    src: BlockId,
+    dst: Optional[BlockId] = None,
+) -> str:
+    if profile is None:
+        return ""
+    if dst is not None:
+        weight = profile.weight(proc_name, src, dst)
+    else:
+        weight = sum(
+            count for (s, _d), count in profile.proc_edges(proc_name).items()
+            if s == src
+        )
+    return f"  [{weight:,} execs]" if weight else ""

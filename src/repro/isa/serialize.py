@@ -1,0 +1,97 @@
+"""Layout persistence: save and reapply alignment decisions as JSON.
+
+OM separates analysis from rewriting: the alignment pass decides a block
+order and the link step applies it.  This module captures a
+:class:`ProgramLayout` — per-procedure block order, branch senses and
+jump placements — in a versioned JSON "alignment map" that can be
+inspected, diffed, stored next to a profile, and re-applied to a freshly
+generated program.  Loading re-validates the layout against the target
+program, so a stale map for a changed CFG fails loudly instead of
+miscompiling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..cfg import Program
+from .layout import BlockPlacement, LayoutError, ProcedureLayout, ProgramLayout
+
+FORMAT_VERSION = 1
+
+
+class LayoutFormatError(ValueError):
+    """Raised when an alignment map is malformed or incompatible."""
+
+
+def layout_to_dict(layout: ProgramLayout) -> dict:
+    """Serialise a program layout to JSON-compatible data."""
+    procedures = {}
+    for proc_layout in layout:
+        procedures[proc_layout.procedure.name] = [
+            {
+                "bid": p.bid,
+                "taken": p.taken_target,
+                "jump": p.jump_target,
+                "removed": p.branch_removed,
+            }
+            for p in proc_layout.placements
+        ]
+    return {
+        "format": "repro-alignment-map",
+        "version": FORMAT_VERSION,
+        "procedures": procedures,
+    }
+
+
+def layout_from_dict(data: dict, program: Program) -> ProgramLayout:
+    """Rebuild (and re-validate) a layout for ``program``."""
+    if not isinstance(data, dict) or data.get("format") != "repro-alignment-map":
+        raise LayoutFormatError("not a repro alignment map")
+    if data.get("version") != FORMAT_VERSION:
+        raise LayoutFormatError(
+            f"unsupported version {data.get('version')!r} (expected {FORMAT_VERSION})"
+        )
+    procedures = data.get("procedures")
+    if not isinstance(procedures, dict):
+        raise LayoutFormatError("missing procedures mapping")
+    layouts = {}
+    for name in program.order:
+        if name not in procedures:
+            raise LayoutFormatError(f"map lacks procedure {name!r}")
+        placements = []
+        for entry in procedures[name]:
+            try:
+                placements.append(
+                    BlockPlacement(
+                        bid=entry["bid"],
+                        taken_target=entry["taken"],
+                        jump_target=entry["jump"],
+                        branch_removed=bool(entry["removed"]),
+                    )
+                )
+            except (KeyError, TypeError) as exc:
+                raise LayoutFormatError(f"bad placement entry {entry!r}") from exc
+        try:
+            layouts[name] = ProcedureLayout(program.procedure(name), placements)
+        except LayoutError as exc:
+            raise LayoutFormatError(
+                f"alignment map does not fit procedure {name!r}: {exc}"
+            ) from exc
+    return ProgramLayout(program, layouts)
+
+
+def save_layout(layout: ProgramLayout, path: Union[str, Path]) -> None:
+    """Write an alignment map to ``path``."""
+    Path(path).write_text(json.dumps(layout_to_dict(layout), indent=1))
+
+
+def load_layout(path: Union[str, Path], program: Program) -> ProgramLayout:
+    """Read an alignment map and validate it against ``program``."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise LayoutFormatError(f"invalid JSON in {path}: {exc}") from exc
+    return layout_from_dict(data, program)

@@ -1,0 +1,22 @@
+"""Profile collection (the ATOM substitute)."""
+
+from .edge_profile import EdgeProfile
+from .profiler import profile_program, profile_program_with_result
+from .storage import (
+    ProfileFormatError,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+
+__all__ = [
+    "EdgeProfile",
+    "ProfileFormatError",
+    "load_profile",
+    "profile_from_dict",
+    "profile_program",
+    "profile_program_with_result",
+    "profile_to_dict",
+    "save_profile",
+]

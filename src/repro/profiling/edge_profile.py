@@ -1,0 +1,119 @@
+"""Edge-execution profiles keyed by stable block ids.
+
+Profiles are collected on the *original* binary and keyed by
+(procedure, source block, destination block), so they remain valid after
+the blocks are rearranged — exactly how the paper feeds one profiling run
+into the alignment pass and then measures the aligned binary on the same
+input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..cfg import BlockId, EdgeKind, Procedure, Program, TerminatorKind
+
+EdgeKey = Tuple[BlockId, BlockId]
+
+
+class EdgeProfile:
+    """Execution counts for every traversed intra-procedural CFG edge."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, Dict[EdgeKey, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def hook(self, proc_name: str, src: BlockId, dst: BlockId) -> None:
+        """Executor profile hook: bump the (src, dst) edge count."""
+        per_proc = self._counts.get(proc_name)
+        if per_proc is None:
+            per_proc = self._counts[proc_name] = {}
+        key = (src, dst)
+        per_proc[key] = per_proc.get(key, 0) + 1
+
+    def set_weight(self, proc_name: str, src: BlockId, dst: BlockId, count: int) -> None:
+        """Directly set an edge weight (used by hand-built paper figures)."""
+        self._counts.setdefault(proc_name, {})[(src, dst)] = count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def weight(self, proc_name: str, src: BlockId, dst: BlockId) -> int:
+        """Execution count of one edge (0 if never traversed)."""
+        return self._counts.get(proc_name, {}).get((src, dst), 0)
+
+    def proc_edges(self, proc_name: str) -> Dict[EdgeKey, int]:
+        """All counted edges of one procedure."""
+        return dict(self._counts.get(proc_name, {}))
+
+    def procedures(self) -> List[str]:
+        """Names of procedures with at least one counted edge."""
+        return list(self._counts)
+
+    def sorted_edges(
+        self, proc: Procedure, min_weight: int = 1
+    ) -> List[Tuple[EdgeKey, int]]:
+        """The procedure's alignable edges, heaviest first.
+
+        Only fall-through and taken edges participate in alignment; the
+        paper gives all other edges weight zero.  Ties break on block ids
+        so alignment is deterministic.
+        """
+        counts = self._counts.get(proc.name, {})
+        out: List[Tuple[EdgeKey, int]] = []
+        for edge in proc.edges:
+            if edge.kind not in (EdgeKind.FALLTHROUGH, EdgeKind.TAKEN):
+                continue
+            weight = counts.get((edge.src, edge.dst), 0)
+            if weight >= min_weight:
+                out.append(((edge.src, edge.dst), weight))
+        out.sort(key=lambda item: (-item[1], item[0]))
+        return out
+
+    def block_weight(self, proc: Procedure, bid: BlockId) -> int:
+        """Estimated execution count of a block.
+
+        For blocks with out-edges this is exact: each execution traverses
+        exactly one out-edge.  Return blocks have no out-edges, so their
+        in-edge sum is used (exact except for a procedure whose entry block
+        returns, where invocations through calls are not edge-profiled).
+        """
+        counts = self._counts.get(proc.name, {})
+        block = proc.block(bid)
+        if block.kind is not TerminatorKind.RETURN:
+            return sum(counts.get((bid, e.dst), 0) for e in proc.out_edges(bid))
+        return sum(counts.get((e.src, bid), 0) for e in proc.in_edges(bid))
+
+    def total_weight(self, proc_name: str) -> int:
+        """Sum of all edge counts of a procedure."""
+        return sum(self._counts.get(proc_name, {}).values())
+
+    def merge(self, other: "EdgeProfile") -> "EdgeProfile":
+        """Combine two profiles (e.g. from multiple inputs) into a new one."""
+        merged = EdgeProfile()
+        for source in (self, other):
+            for proc_name, counts in source._counts.items():
+                dest = merged._counts.setdefault(proc_name, {})
+                for key, count in counts.items():
+                    dest[key] = dest.get(key, 0) + count
+        return merged
+
+    def scaled(self, factor: float) -> "EdgeProfile":
+        """A copy with every count scaled (rounded) by ``factor``."""
+        scaled = EdgeProfile()
+        for proc_name, counts in self._counts.items():
+            scaled._counts[proc_name] = {
+                key: int(round(count * factor)) for key, count in counts.items()
+            }
+        return scaled
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeProfile):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        edges = sum(len(v) for v in self._counts.values())
+        return f"EdgeProfile({len(self._counts)} procedures, {edges} edges)"

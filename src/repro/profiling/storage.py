@@ -1,0 +1,74 @@
+"""Profile persistence: save and reload edge profiles as JSON.
+
+The paper's tooling stores profiles between the trace run and the
+alignment link ("we used profile information from the prior run"), and
+notes profiles from several inputs can be combined.  This module provides
+that workflow: a versioned, human-diffable JSON format keyed by procedure
+name and stable block ids.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .edge_profile import EdgeProfile
+
+#: Format version written into every file; bumped on incompatible change.
+FORMAT_VERSION = 1
+
+
+class ProfileFormatError(ValueError):
+    """Raised when a profile file is malformed or from a newer version."""
+
+
+def profile_to_dict(profile: EdgeProfile) -> dict:
+    """Serialise a profile to plain JSON-compatible data."""
+    procedures = {}
+    for name in profile.procedures():
+        procedures[name] = [
+            [src, dst, count]
+            for (src, dst), count in sorted(profile.proc_edges(name).items())
+        ]
+    return {"format": "repro-edge-profile", "version": FORMAT_VERSION,
+            "procedures": procedures}
+
+
+def profile_from_dict(data: dict) -> EdgeProfile:
+    """Rebuild a profile from :func:`profile_to_dict` data."""
+    if not isinstance(data, dict) or data.get("format") != "repro-edge-profile":
+        raise ProfileFormatError("not a repro edge-profile document")
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ProfileFormatError(
+            f"unsupported profile version {version!r} (expected {FORMAT_VERSION})"
+        )
+    profile = EdgeProfile()
+    procedures = data.get("procedures")
+    if not isinstance(procedures, dict):
+        raise ProfileFormatError("missing procedures mapping")
+    for name, edges in procedures.items():
+        for entry in edges:
+            try:
+                src, dst, count = entry
+            except (TypeError, ValueError):
+                raise ProfileFormatError(f"bad edge entry {entry!r} in {name!r}")
+            if not all(isinstance(v, int) for v in (src, dst, count)) or count < 0:
+                raise ProfileFormatError(f"bad edge entry {entry!r} in {name!r}")
+            profile.set_weight(name, src, dst, count)
+    return profile
+
+
+def save_profile(profile: EdgeProfile, path: Union[str, Path]) -> None:
+    """Write a profile to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(profile_to_dict(profile), indent=1))
+
+
+def load_profile(path: Union[str, Path]) -> EdgeProfile:
+    """Read a profile previously written by :func:`save_profile`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ProfileFormatError(f"invalid JSON in {path}: {exc}") from exc
+    return profile_from_dict(data)

@@ -1,0 +1,45 @@
+"""Execution, tracing, branch-architecture simulation and metrics."""
+
+from . import behaviors, trace
+from .alpha import AlphaConfig, AlphaSim, alpha_execution_cycles
+from .executor import ExecutionError, ExecutionResult, execute
+from .icache import ICacheConfig, InstructionCache
+from .metrics import (
+    ALL_ARCHS,
+    ArchResult,
+    DYNAMIC_ARCHS,
+    STATIC_ARCHS,
+    SimulationReport,
+    default_architectures,
+    relative_cpi,
+    simulate,
+)
+from .trace import BranchEvent, EventRecorder, TraceStats
+from .wideissue import WideIssueConfig, WideIssueFrontEnd, wide_issue_cycles
+
+__all__ = [
+    "ALL_ARCHS",
+    "AlphaConfig",
+    "AlphaSim",
+    "ArchResult",
+    "BranchEvent",
+    "DYNAMIC_ARCHS",
+    "EventRecorder",
+    "ExecutionError",
+    "ExecutionResult",
+    "ICacheConfig",
+    "InstructionCache",
+    "STATIC_ARCHS",
+    "SimulationReport",
+    "TraceStats",
+    "WideIssueConfig",
+    "WideIssueFrontEnd",
+    "alpha_execution_cycles",
+    "behaviors",
+    "default_architectures",
+    "execute",
+    "relative_cpi",
+    "simulate",
+    "trace",
+    "wide_issue_cycles",
+]

@@ -1,0 +1,149 @@
+"""Branch execution penalty (BEP) and relative CPI (section 6).
+
+    "We define the branch execution penalty (BEP) to be the execution
+    penalty associated with misfetched and mispredicted branches. ...
+    In order to evaluate the performance of the different alignments and
+    architectures, we add the BEP to the number of instructions executed
+    in the aligned program and divide by the number of instructions
+    executed in the original program."
+
+This module wires the executor to a set of architecture simulators and
+reports per-architecture relative CPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..isa.encoder import LinkedProgram
+from ..profiling.edge_profile import EdgeProfile
+from .executor import ExecutionResult, execute
+from .predictors import (
+    BTBSim,
+    BTFNTSim,
+    CorrelationPHT,
+    DirectMappedPHT,
+    FallthroughSim,
+    LikelySim,
+)
+
+#: Architecture names in the order Tables 3 and 4 report them.
+STATIC_ARCHS = ("fallthrough", "btfnt", "likely")
+DYNAMIC_ARCHS = ("pht-direct", "pht-correlation", "btb-64x2", "btb-256x4")
+ALL_ARCHS = STATIC_ARCHS + DYNAMIC_ARCHS
+
+
+@dataclass
+class ArchResult:
+    """Per-architecture outcome of one simulation."""
+
+    name: str
+    misfetches: int
+    mispredicts: int
+    bep: int
+    cond_executed: int
+    cond_correct: int
+
+    @property
+    def cond_accuracy(self) -> float:
+        if not self.cond_executed:
+            return 1.0
+        return self.cond_correct / self.cond_executed
+
+
+@dataclass
+class SimulationReport:
+    """All architecture results for one (program, layout) execution."""
+
+    instructions: int
+    events: int
+    cond_taken: int
+    cond_executed: int
+    arch: Dict[str, ArchResult] = field(default_factory=dict)
+
+    def relative_cpi(self, arch_name: str, original_instructions: int) -> float:
+        """(aligned instructions + BEP) / original instructions."""
+        result = self.arch[arch_name]
+        if original_instructions <= 0:
+            raise ValueError("original instruction count must be positive")
+        return (self.instructions + result.bep) / original_instructions
+
+    @property
+    def percent_fallthrough(self) -> float:
+        """Fall-through percentage of executed conditional branches."""
+        if not self.cond_executed:
+            return 100.0
+        return 100.0 * (self.cond_executed - self.cond_taken) / self.cond_executed
+
+
+class _CondMix:
+    """Tiny listener counting executed/taken conditionals."""
+
+    def __init__(self) -> None:
+        self.executed = 0
+        self.taken = 0
+
+    def on_event(self, event) -> None:
+        if event[0] == 0:  # trace.COND
+            self.executed += 1
+            if event[3]:
+                self.taken += 1
+
+
+def default_architectures(
+    linked: LinkedProgram, profile: EdgeProfile, ras_depth: int = 32
+) -> List[object]:
+    """The seven architectures of Tables 3 and 4, freshly initialised."""
+    return [
+        FallthroughSim(ras_depth),
+        BTFNTSim(linked, ras_depth),
+        LikelySim(linked, profile, ras_depth),
+        DirectMappedPHT(ras_depth=ras_depth),
+        CorrelationPHT(ras_depth=ras_depth),
+        BTBSim(64, 2, ras_depth),
+        BTBSim(256, 4, ras_depth),
+    ]
+
+
+def simulate(
+    linked: LinkedProgram,
+    profile: EdgeProfile,
+    archs: Optional[Sequence[object]] = None,
+    seed: int = 0,
+    max_events: Optional[int] = None,
+) -> SimulationReport:
+    """Execute a linked binary once, feeding every architecture simulator.
+
+    ``profile`` supplies the likely bits for the LIKELY architecture (and
+    is the same profile that drove the alignment, per the paper).
+    """
+    sims = list(archs) if archs is not None else default_architectures(linked, profile)
+    mix = _CondMix()
+    result: ExecutionResult = execute(
+        linked, listeners=list(sims) + [mix], seed=seed, max_events=max_events
+    )
+    report = SimulationReport(
+        instructions=result.instructions,
+        events=result.events,
+        cond_taken=mix.taken,
+        cond_executed=mix.executed,
+    )
+    for sim in sims:
+        counts = sim.counts
+        report.arch[sim.name] = ArchResult(
+            name=sim.name,
+            misfetches=counts.misfetches,
+            mispredicts=counts.mispredicts,
+            bep=counts.bep,
+            cond_executed=counts.cond_executed,
+            cond_correct=counts.cond_correct,
+        )
+    return report
+
+
+def relative_cpi(instructions: int, bep: float, original_instructions: int) -> float:
+    """Standalone relative-CPI helper (see :class:`SimulationReport`)."""
+    if original_instructions <= 0:
+        raise ValueError("original instruction count must be positive")
+    return (instructions + bep) / original_instructions

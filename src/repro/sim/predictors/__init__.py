@@ -1,0 +1,43 @@
+"""Branch prediction architecture simulators."""
+
+from .base import (
+    BranchArchSim,
+    MISFETCH_CYCLES,
+    MISPREDICT_CYCLES,
+    PenaltyCounts,
+)
+from .btb import BTB, BTBSim, pentium_btb, small_btb
+from .counters import CounterTable, SaturatingCounter
+from .pht import PAPER_PHT_ENTRIES, CorrelationPHT, DirectMappedPHT, LocalHistoryPHT, TournamentPHT
+from .ras import ReturnStack
+from .static_ import (
+    BTFNTSim,
+    FallthroughSim,
+    LikelySim,
+    conditional_taken_targets,
+    likely_bits,
+)
+
+__all__ = [
+    "BTB",
+    "BTBSim",
+    "BTFNTSim",
+    "BranchArchSim",
+    "CorrelationPHT",
+    "CounterTable",
+    "DirectMappedPHT",
+    "FallthroughSim",
+    "LocalHistoryPHT",
+    "LikelySim",
+    "MISFETCH_CYCLES",
+    "MISPREDICT_CYCLES",
+    "PAPER_PHT_ENTRIES",
+    "PenaltyCounts",
+    "ReturnStack",
+    "SaturatingCounter",
+    "TournamentPHT",
+    "conditional_taken_targets",
+    "likely_bits",
+    "pentium_btb",
+    "small_btb",
+]

@@ -1,0 +1,15 @@
+"""CFG transformations beyond pure reordering (the paper's future work)."""
+
+from .unroll import (
+    UnrollError,
+    find_self_loops,
+    unroll_program_self_loops,
+    unroll_self_loop,
+)
+
+__all__ = [
+    "UnrollError",
+    "find_self_loops",
+    "unroll_program_self_loops",
+    "unroll_self_loop",
+]

@@ -1,0 +1,64 @@
+"""Synthetic benchmark suite and paper-figure workloads."""
+
+from .paper_figures import (
+    FIGURE3_ALIGNED_COST_PAPER,
+    FIGURE3_ORIGINAL_COST,
+    figure1_program,
+    figure2_program,
+    figure3_program,
+)
+from .calibration import (
+    CalibrationIssue,
+    calibration_report,
+    check_calibration,
+)
+from .synthetic import SyntheticSpec, generate_synthetic
+from .suite import (
+    CATEGORIES,
+    FIGURE4_PROGRAMS,
+    SUITE,
+    BenchmarkSpec,
+    benchmark_names,
+    build_suite,
+    generate_benchmark,
+)
+from .templates import (
+    Call,
+    Construct,
+    IfElse,
+    ProcedureTemplate,
+    Straight,
+    Switch,
+    VirtualCall,
+    WhileLoop,
+    pattern_if,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CalibrationIssue",
+    "calibration_report",
+    "check_calibration",
+    "Call",
+    "Construct",
+    "FIGURE3_ALIGNED_COST_PAPER",
+    "FIGURE3_ORIGINAL_COST",
+    "FIGURE4_PROGRAMS",
+    "IfElse",
+    "ProcedureTemplate",
+    "SUITE",
+    "BenchmarkSpec",
+    "Straight",
+    "Switch",
+    "SyntheticSpec",
+    "VirtualCall",
+    "WhileLoop",
+    "benchmark_names",
+    "build_suite",
+    "figure1_program",
+    "figure2_program",
+    "figure3_program",
+    "generate_benchmark",
+    "generate_synthetic",
+    "pattern_if",
+]

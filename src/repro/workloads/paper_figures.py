@@ -1,0 +1,91 @@
+"""Hand-built CFGs reproducing the paper's worked examples (Figures 1-3).
+
+* Figure 1 — a fragment of ESPRESSO's ``elim_lowering``: a loop whose hot
+  edges (25->31, 31->25, 27->29) are all taken branches in the original
+  layout, so every static architecture suffers; alignment makes 31->25 a
+  fall-through and places 29 before 27.
+* Figure 2 — ALVINN's ``input_hidden``: a single 11-instruction basic
+  block looping on itself, the source of 64% of ALVINN's branches.
+* Figure 3 — the loop on which Try15 beats Greedy: rotating the loop so
+  the unconditional branch C->A disappears drops the modelled branch cost
+  from 36,002 to ~27,000 cycles (the paper's 33% improvement).
+"""
+
+from __future__ import annotations
+
+from ..cfg import ProcedureBuilder, Program, ProcedureBuilder as _PB
+from ..sim.behaviors import Bernoulli, Loop, NeverTaken
+from .templates import Call, ProcedureTemplate, Straight, WhileLoop
+
+
+def _driver(callee: str, iters: int) -> ProcedureTemplate:
+    """A main procedure calling ``callee`` in a loop ``iters`` times."""
+    return ProcedureTemplate(
+        "main", [Straight(3), WhileLoop(body=[Call(callee)], trips=iters)]
+    )
+
+
+def figure1_program(iters: int = 2000) -> Program:
+    """The ESPRESSO ``elim_lowering`` fragment of Figure 1.
+
+    Blocks are named after the paper's node numbers with the paper's
+    instruction counts; behaviours approximate the published edge
+    frequencies (the edge 25->31 carries ~16% of the routine's edge
+    transitions and is taken, as are 31->25 and 27->29).
+    """
+    b = ProcedureBuilder("elim_lowering")
+    b.fall("entry", 2)
+    b.cond("n25", 3, taken="n31", behavior=Bernoulli(16.0 / 21.0))
+    b.cond("n26", 5, taken="n30", behavior=Bernoulli(0.20))
+    b.cond("n27", 4, taken="n29", behavior=Bernoulli(0.75))
+    b.cond("n28", 5, taken="n25", behavior=Bernoulli(0.50))
+    b.fall("n29", 1)
+    b.cond("n30", 7, taken="n32", behavior=Bernoulli(0.10))
+    b.cond("n31", 3, taken="n25", behavior=Bernoulli(0.94))
+    b.ret("n32", 8)
+    proc = b.build()
+    main = _driver("elim_lowering", iters).lower()
+    return Program([main, proc], entry="main")
+
+
+def figure2_program(iters: int = 600, trips: int = 30) -> Program:
+    """ALVINN's ``input_hidden`` single-block loop (Figure 2).
+
+    The 11-instruction block branches back to itself on nearly every
+    execution.  Under the FALLTHROUGH cost model the original loop costs
+    five cycles per iteration (mispredicted taken branch); inverting the
+    conditional and appending an unconditional jump costs three.
+    """
+    b = ProcedureBuilder("input_hidden")
+    b.fall("entry", 3)
+    b.cond("loop", 11, taken="loop", behavior=Loop(trips, continue_taken=True))
+    b.ret("exit", 2)
+    proc = b.build()
+    main = _driver("input_hidden", iters).lower()
+    return Program([main, proc], entry="main")
+
+
+def figure3_program(loop_trips: int = 9000) -> Program:
+    """The Figure 3 loop that Try15 rotates and Greedy cannot.
+
+    Original layout E, A, B, C, D with the loop A->B->C->A and the exit
+    B->D.  With the paper's weights (A->B 9000, B->C 8999, C->A 8999,
+    B->D 1) the LIKELY/BT-FNT modelled cost of the original layout is
+    exactly the paper's 36,002 cycles; rotating the loop into the chain
+    C, A, B removes the unconditional branch and drops the cost to
+    ~27,000 (the paper reports 27,004 for its fragment accounting).
+    """
+    b = ProcedureBuilder("fig3")
+    b.fall("E", 2)
+    b.cond("A", 4, taken="D", behavior=NeverTaken())
+    b.cond("B", 4, taken="D", behavior=Loop(loop_trips, continue_taken=False))
+    b.uncond("C", 2, target="A")
+    b.ret("D", 2)
+    proc = b.build()
+    main = ProcedureTemplate("main", [Straight(2), Call("fig3")]).lower()
+    return Program([main, proc], entry="main")
+
+
+#: Paper-quoted cycle costs for the Figure 3 example (LIKELY / BT-FNT).
+FIGURE3_ORIGINAL_COST = 36002.0
+FIGURE3_ALIGNED_COST_PAPER = 27004.0

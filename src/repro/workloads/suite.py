@@ -1,0 +1,922 @@
+"""The 24-program benchmark suite (Table 2's programs, synthesised).
+
+The paper traces 13 SPECfp92 programs, 6 SPECint92 programs and 5 "other"
+programs (four C++ programs and TeX).  We cannot run the original
+binaries, so each program here is a structured synthetic workload tuned to
+the *shape* statistics Table 2 reports for its namesake:
+
+* SPECfp92 — few, hot, deeply nested loops over large straight-line
+  blocks: ~6.5% of instructions break control flow, conditionals are
+  mostly loop back-edges (taken), and a handful of branch sites dominate
+  (tiny Q-50).
+* SPECint92 — branchy scalar code: ~16% breaks, many more contributing
+  sites, data-dependent (Bernoulli/pattern) conditionals, switches, and
+  hotter call/return traffic.
+* Other — C++ programs add indirect calls (virtual dispatch, counted as
+  indirect jumps per the paper) and deeper call chains; TeX is a large
+  branchy C program.
+
+Crucially, the originals are emitted the way 1993 compilers emitted them
+— *without* profile-guided layout.  Hot paths frequently sit on taken
+edges: error-check diamonds keep the rare then-side as the fall-through,
+some loops are naive top-test shapes (exit test up front, unconditional
+latch at the bottom), and loop back edges are taken.  That is the headroom
+branch alignment exploits; the paper's originals run 54-97% taken.
+
+Every workload is deterministic given the seed, and sized by ``scale``
+(multiplying top-level iteration counts), so Table 2/3/4 runs are exactly
+reproducible at any budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cfg import Program
+from ..sim.behaviors import Loop
+from .templates import (
+    Call,
+    Construct,
+    IfElse,
+    ProcedureTemplate,
+    Straight,
+    Switch,
+    VirtualCall,
+    WhileLoop,
+    pattern_if,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A named benchmark: its paper category and a program factory."""
+
+    name: str
+    category: str  # "SPECfp92" | "SPECint92" | "Other"
+    build: Callable[[float], Program]
+    description: str = ""
+
+
+def _scaled(iterations: int, scale: float) -> int:
+    """Scale a top-level iteration count, staying >= 1."""
+    return max(1, int(round(iterations * scale)))
+
+
+def _program(templates: Sequence[ProcedureTemplate], entry: str = "main") -> Program:
+    return Program([t.lower() for t in templates], entry=entry)
+
+
+def _main(body: Sequence[Construct], iters: int, prologue: int = 6) -> ProcedureTemplate:
+    """A main procedure: prologue, a bottom-test driver loop, epilogue."""
+    return ProcedureTemplate(
+        "main",
+        [Straight(prologue), WhileLoop(body=list(body), trips=iters)],
+        epilogue_size=3,
+    )
+
+
+def _guard(hot: Construct, rare_size: int = 2, p_rare: float = 0.2) -> IfElse:
+    """An error-check diamond with the *hot* work on the taken (else) side.
+
+    This is the naive-compiler shape: ``if (unlikely) { fixup } else
+    { common }`` keeps the fixup as the fall-through, so the common path
+    crosses a taken branch — the case branch alignment inverts.
+    """
+    return IfElse(then=[Straight(rare_size)], orelse=[hot], p_then=p_rare)
+
+
+def _fp_kernel(
+    name: str,
+    inner_trips: int,
+    body_size: int = 14,
+    outer_trips: int = 1,
+    guard: Optional[IfElse] = None,
+    top_test: bool = False,
+) -> ProcedureTemplate:
+    """A floating-point kernel: (optionally nested) loops over big blocks."""
+    inner: List[Construct] = [Straight(body_size)]
+    if guard is not None:
+        inner.append(guard)
+    loop: Construct = WhileLoop(body=inner, trips=inner_trips, bottom_test=not top_test)
+    body: List[Construct] = [Straight(4)]
+    if outer_trips > 1:
+        body.append(WhileLoop(body=[Straight(3), loop], trips=outer_trips))
+    else:
+        body.append(loop)
+    return ProcedureTemplate(name, body)
+
+
+# ---------------------------------------------------------------------------
+# SPECfp92
+# ---------------------------------------------------------------------------
+
+def build_alvinn(scale: float = 1.0) -> Program:
+    """Neural-net trainer: two single-block-style hot loops (Figure 2).
+
+    Most of ALVINN's branches come from one tight loop in
+    ``input_hidden`` (and its sibling in ``hidden_input``): an
+    11-instruction block ending in a conditional taken on nearly every
+    execution — the FALLTHROUGH architecture mispredicts every iteration
+    until alignment inverts the branch and appends a jump.
+    """
+    def _self_loop_kernel(name, trips):
+        # The exact Figure 2 shape: one 11-instruction self-looping block.
+        from ..cfg import ProcedureBuilder
+        from ..sim.behaviors import Loop as _Loop
+
+        b = ProcedureBuilder(name)
+        b.fall("entry", 5)
+        b.cond("loop", 11, taken="loop", behavior=_Loop(trips, continue_taken=True))
+        b.ret("exit", 2)
+        return b.build()
+
+    input_hidden = _self_loop_kernel("input_hidden", trips=30)
+    hidden_input = _self_loop_kernel("hidden_input", trips=30)
+    weight_update = ProcedureTemplate(
+        "weight_update",
+        [Straight(6), WhileLoop(body=[Straight(12)], trips=12)],
+    ).lower()
+    main = _main(
+        [Call("input_hidden"), Call("hidden_input"), Call("weight_update"), Straight(8)],
+        iters=_scaled(420, scale),
+    ).lower()
+    return Program([main, input_hidden, hidden_input, weight_update], entry="main")
+
+
+def build_doduc(scale: float = 1.0) -> Program:
+    """Monte-Carlo reactor simulation: many mid-sized numeric routines."""
+    kernels = [
+        _fp_kernel(
+            f"ddflux{i}",
+            inner_trips=8 + 3 * i,
+            body_size=15 + i,
+            guard=_guard(Straight(6), rare_size=3, p_rare=0.25 + 0.08 * i),
+            top_test=(i == 3),
+        )
+        for i in range(6)
+    ]
+    integrate = ProcedureTemplate(
+        "integrate",
+        [
+            Straight(5),
+            WhileLoop(
+                body=[Straight(7), IfElse(then=[Straight(3)], orelse=[Straight(5)], p_then=0.3)],
+                trips=(4, 12),
+            ),
+        ],
+    )
+    main = _main(
+        [Call(k.name) for k in kernels] + [Call("integrate"), Straight(6)],
+        iters=_scaled(110, scale),
+    )
+    return _program([main, integrate] + kernels)
+
+
+def build_ear(scale: float = 1.0) -> Program:
+    """Human-ear model: a cascade of filter-bank kernels."""
+    stages = [
+        _fp_kernel(f"filter{i}", inner_trips=24, body_size=12)
+        for i in range(4)
+    ]
+    detect = ProcedureTemplate(
+        "detect",
+        [
+            Straight(4),
+            WhileLoop(
+                body=[Straight(8), _guard(Straight(4), rare_size=2, p_rare=0.12)],
+                trips=24,
+            ),
+        ],
+    )
+    main = _main(
+        [Call(s.name) for s in stages] + [Call("detect")],
+        iters=_scaled(220, scale),
+    )
+    return _program([main, detect] + stages)
+
+
+def build_fpppp(scale: float = 1.0) -> Program:
+    """Quantum chemistry: enormous straight-line blocks, few branches."""
+    twoel = ProcedureTemplate(
+        "twoel",
+        [
+            Straight(30),
+            WhileLoop(body=[Straight(70)], trips=18),
+            Straight(25),
+        ],
+    )
+    fock = ProcedureTemplate(
+        "fock",
+        [Straight(20), WhileLoop(body=[Straight(55)], trips=12), Straight(15)],
+    )
+    main = _main([Call("twoel"), Call("fock"), Straight(18)], iters=_scaled(150, scale))
+    return _program([main, twoel, fock])
+
+
+def build_hydro2d(scale: float = 1.0) -> Program:
+    """Hydrodynamics on a 2-D grid: doubly nested sweeps."""
+    sweep_x = _fp_kernel("sweep_x", inner_trips=28, body_size=11, outer_trips=14)
+    sweep_y = _fp_kernel("sweep_y", inner_trips=28, body_size=11, outer_trips=14)
+    boundary = ProcedureTemplate(
+        "boundary",
+        [Straight(3), WhileLoop(body=[Straight(5), _guard(Straight(3), p_rare=0.08)], trips=28)],
+    )
+    main = _main(
+        [Call("sweep_x"), Call("sweep_y"), Call("boundary")],
+        iters=_scaled(26, scale),
+    )
+    return _program([main, sweep_x, sweep_y, boundary])
+
+
+def build_mdljsp2(scale: float = 1.0) -> Program:
+    """Molecular dynamics: pair loop with a cutoff-radius test.
+
+    The cutoff test is else-hot: the common "within cutoff, accumulate
+    forces" work sits on the taken edge, as the compiler emitted it.
+    """
+    forces = ProcedureTemplate(
+        "forces",
+        [
+            Straight(5),
+            WhileLoop(
+                body=[
+                    Straight(8),
+                    IfElse(then=[Straight(3)], orelse=[Straight(11)], p_then=0.35),
+                ],
+                trips=60,
+            ),
+        ],
+    )
+    update = _fp_kernel("update", inner_trips=40, body_size=9)
+    main = _main([Call("forces"), Call("update")], iters=_scaled(130, scale))
+    return _program([main, forces, update])
+
+
+def build_nasa7(scale: float = 1.0) -> Program:
+    """The seven NASA kernels, called in sequence."""
+    kernels = [
+        _fp_kernel("mxm", inner_trips=22, body_size=14, outer_trips=8),
+        _fp_kernel("cfft2d", inner_trips=16, body_size=13, outer_trips=6, top_test=True),
+        _fp_kernel("cholsky", inner_trips=18, body_size=11, outer_trips=5),
+        _fp_kernel("btrix", inner_trips=20, body_size=13, outer_trips=4),
+        _fp_kernel("gmtry", inner_trips=26, body_size=12, outer_trips=4),
+        _fp_kernel("emit", inner_trips=14, body_size=12, outer_trips=5),
+        _fp_kernel("vpenta", inner_trips=24, body_size=12, outer_trips=5),
+    ]
+    main = _main([Call(k.name) for k in kernels], iters=_scaled(14, scale))
+    return _program([main] + kernels)
+
+
+def build_ora(scale: float = 1.0) -> Program:
+    """Optical ray tracing: a hot loop with data-dependent surface tests."""
+    trace_ray = ProcedureTemplate(
+        "trace_ray",
+        [
+            Straight(8),
+            WhileLoop(
+                body=[
+                    Straight(14),
+                    IfElse(then=[Straight(5)], orelse=[Straight(6)], p_then=0.45),
+                    _guard(Straight(4), p_rare=0.2),
+                ],
+                trips=(8, 18),
+            ),
+        ],
+    )
+    main = _main([Call("trace_ray"), Straight(5)], iters=_scaled(520, scale))
+    return _program([main, trace_ray])
+
+
+def build_spice(scale: float = 1.0) -> Program:
+    """Circuit simulation: device-model dispatch inside solver loops."""
+    devices = [
+        ProcedureTemplate(
+            f"model_{kind}",
+            [Straight(6), IfElse(then=[Straight(5)], orelse=[Straight(7)], p_then=p)],
+        )
+        for kind, p in (("res", 0.2), ("cap", 0.4), ("diode", 0.6), ("bjt", 0.5))
+    ]
+    load = ProcedureTemplate(
+        "load_matrix",
+        [
+            Straight(4),
+            WhileLoop(
+                body=[
+                    Switch(
+                        cases=[[Call(d.name)] for d in devices],
+                        weights=[0.4, 0.3, 0.2, 0.1],
+                    )
+                ],
+                trips=24,
+            ),
+        ],
+    )
+    solve = _fp_kernel("solve", inner_trips=30, body_size=8, outer_trips=6)
+    newton = ProcedureTemplate(
+        "newton",
+        [
+            Straight(3),
+            WhileLoop(
+                body=[Call("load_matrix"), Call("solve"),
+                      _guard(Straight(2), p_rare=0.3)],
+                trips=(3, 6),
+            ),
+        ],
+    )
+    main = _main([Call("newton")], iters=_scaled(55, scale))
+    return _program([main, newton, load, solve] + devices)
+
+
+def build_su2cor(scale: float = 1.0) -> Program:
+    """Quark-gluon physics: matrix kernels under a sweep loop."""
+    matmul = _fp_kernel("su2_matmul", inner_trips=12, body_size=16, outer_trips=10)
+    gauge = ProcedureTemplate(
+        "gauge_update",
+        [
+            Straight(4),
+            WhileLoop(
+                body=[Straight(9), Call("su2_matmul"),
+                      pattern_if("TTTN", then=[Straight(4)])],
+                trips=8,
+                bottom_test=False,
+            ),
+        ],
+    )
+    main = _main([Call("gauge_update")], iters=_scaled(60, scale))
+    return _program([main, gauge, matmul])
+
+
+def build_swm256(scale: float = 1.0) -> Program:
+    """Shallow-water model on a 256-wide grid: extremely loop-dominated."""
+    calc1 = _fp_kernel("calc1", inner_trips=256, body_size=13, outer_trips=3)
+    calc2 = _fp_kernel("calc2", inner_trips=256, body_size=12, outer_trips=3)
+    calc3 = _fp_kernel("calc3", inner_trips=256, body_size=11, outer_trips=3)
+    main = _main([Call("calc1"), Call("calc2"), Call("calc3")], iters=_scaled(22, scale))
+    return _program([main, calc1, calc2, calc3])
+
+
+def build_tomcatv(scale: float = 1.0) -> Program:
+    """Vectorised mesh generation with a convergence test."""
+    relax = _fp_kernel("relax", inner_trips=100, body_size=14, outer_trips=4)
+    residual = ProcedureTemplate(
+        "residual",
+        [
+            Straight(4),
+            WhileLoop(body=[Straight(7), _guard(Straight(3), p_rare=0.05)], trips=100),
+        ],
+    )
+    main = _main([Call("relax"), Call("residual"), Straight(4)], iters=_scaled(45, scale))
+    return _program([main, relax, residual])
+
+
+def build_wave5(scale: float = 1.0) -> Program:
+    """Plasma simulation: particle push + field solve phases."""
+    push = ProcedureTemplate(
+        "particle_push",
+        [
+            Straight(5),
+            WhileLoop(
+                body=[Straight(12), pattern_if("TTTTTTTN", then=[Straight(5)])],
+                trips=48,
+            ),
+        ],
+    )
+    field = _fp_kernel("field_solve", inner_trips=36, body_size=12, outer_trips=4)
+    main = _main([Call("particle_push"), Call("field_solve")], iters=_scaled(85, scale))
+    return _program([main, push, field])
+
+
+# ---------------------------------------------------------------------------
+# SPECint92
+# ---------------------------------------------------------------------------
+
+def build_compress(scale: float = 1.0) -> Program:
+    """LZW compression: a byte loop around hash probing.
+
+    The hash-hit test is else-hot (the probe usually hits and the hit
+    handling was emitted on the taken edge), the classic shape alignment
+    flips.
+    """
+    probe = ProcedureTemplate(
+        "hash_probe",
+        [
+            Straight(5),
+            IfElse(  # miss handling fall-through, hot hit path taken
+                then=[
+                    WhileLoop(  # secondary probe chain (fixed length: the
+                        # periodic exit is what a correlating PHT learns)
+                        body=[Straight(4), IfElse(then=[Straight(2)], p_then=0.4)],
+                        trips=3,
+                    )
+                ],
+                orelse=[Straight(4)],
+                p_then=0.28,
+            ),
+        ],
+    )
+    output_code = ProcedureTemplate(
+        "output_code",
+        [Straight(5), IfElse(then=[Straight(5)], p_then=0.15), Straight(3)],
+    )
+    main = _main(
+        [
+            Straight(5),
+            Call("hash_probe"),
+            IfElse(then=[Straight(3)], orelse=[Call("output_code")], p_then=0.55),
+            pattern_if("TNT", then=[Straight(3)]),
+        ],
+        iters=_scaled(2400, scale),
+    )
+    return _program([main, probe, output_code])
+
+
+def build_eqntott(scale: float = 1.0) -> Program:
+    """Truth-table generation: dominated by a comparison sort.
+
+    The paper's eqntott spends most of its time in ``cmppt``, whose
+    compare loop runs ~87% taken in the original layout: the hot
+    "elements equal, keep scanning" path sits on taken edges.  That is why
+    eqntott gains so much from alignment (Figure 4).
+    """
+    cmppt = ProcedureTemplate(
+        "cmppt",
+        [
+            Straight(3),
+            WhileLoop(
+                body=[
+                    Straight(3),
+                    IfElse(then=[Straight(2)], orelse=[Straight(2)], p_then=0.06),
+                    IfElse(then=[Straight(2)], orelse=[Straight(2)], p_then=0.12),
+                ],
+                trips=(4, 16),
+            ),
+        ],
+        epilogue_size=1,
+    )
+    quicksort_pass = ProcedureTemplate(
+        "sort_pass",
+        [
+            Straight(4),
+            WhileLoop(
+                body=[Call("cmppt"), IfElse(then=[Straight(4)], orelse=[Straight(3)], p_then=0.5)],
+                trips=18,
+            ),
+        ],
+    )
+    main = _main([Call("sort_pass"), Straight(3)], iters=_scaled(95, scale))
+    return _program([main, quicksort_pass, cmppt])
+
+
+def build_espresso(scale: float = 1.0) -> Program:
+    """Two-level logic minimisation: cube-list scans (cf. Figure 1)."""
+    elim_lowering = ProcedureTemplate(
+        "elim_lowering",
+        [
+            Straight(3),
+            WhileLoop(
+                body=[
+                    Straight(3),
+                    IfElse(then=[Straight(4)], orelse=[Straight(5)], p_then=0.3),
+                    IfElse(then=[Straight(3)], orelse=[Straight(6)], p_then=0.35),
+                ],
+                trips=(3, 9),
+            ),
+        ],
+    )
+    cofactor = ProcedureTemplate(
+        "cofactor",
+        [
+            Straight(4),
+            WhileLoop(
+                body=[Straight(3), pattern_if("TNTT", then=[Straight(3)], orelse=[Straight(2)])],
+                trips=12,
+            ),
+        ],
+    )
+    sharp = ProcedureTemplate(
+        "sharp",
+        [
+            Straight(4),
+            WhileLoop(body=[Straight(3), IfElse(then=[Straight(2)], p_then=0.5)], trips=4,
+                      bottom_test=False),
+        ],
+    )
+    main = _main(
+        [Call("elim_lowering"), Call("cofactor"), Call("sharp")],
+        iters=_scaled(300, scale),
+    )
+    return _program([main, elim_lowering, cofactor, sharp])
+
+
+def build_gcc(scale: float = 1.0) -> Program:
+    """An optimising compiler: the most procedures and branch sites."""
+    passes: List[ProcedureTemplate] = []
+    for i in range(22):
+        p_a = 0.15 + (i % 6) * 0.13
+        p_b = 0.85 - (i % 5) * 0.15
+        passes.append(
+            ProcedureTemplate(
+                f"pass_{i}",
+                [
+                    Straight(3),
+                    WhileLoop(
+                        body=[
+                            Straight(3),
+                            IfElse(then=[Straight(4)], orelse=[Straight(3)], p_then=p_a),
+                            IfElse(then=[Straight(3)], orelse=[Straight(4)], p_then=p_b),
+                            _guard(Straight(3), p_rare=0.1 + 0.02 * (i % 7)),
+                        ],
+                        trips=(2, 7),
+                        bottom_test=(i % 4 != 0),
+                    ),
+                ],
+            )
+        )
+    # yyparse: a big dispatch switch over grammar rules.
+    rule_actions: List[List[Construct]] = []
+    for i in range(16):
+        rule_actions.append(
+            [Straight(3 + i % 4), IfElse(then=[Straight(3)], p_then=0.25 + 0.04 * i)]
+        )
+    yyparse = ProcedureTemplate(
+        "yyparse",
+        [
+            Straight(4),
+            WhileLoop(
+                body=[Switch(cases=rule_actions,
+                             weights=[10, 8, 7, 6, 5, 5, 4, 4, 3, 3, 2, 2, 2, 1, 1, 1])],
+                trips=14,
+            ),
+        ],
+    )
+    rtl_gen = ProcedureTemplate(
+        "rtl_gen",
+        [
+            Straight(3),
+            WhileLoop(
+                body=[pattern_if("TTN", then=[Straight(3)], orelse=[Straight(4)])],
+                trips=(3, 10),
+                bottom_test=False,
+            ),
+        ],
+    )
+    main = _main(
+        [Call("yyparse")] + [Call(p.name) for p in passes] + [Call("rtl_gen")],
+        iters=_scaled(40, scale),
+    )
+    return _program([main, yyparse, rtl_gen] + passes)
+
+
+def build_li(scale: float = 1.0) -> Program:
+    """A Lisp interpreter: recursive eval/apply, heavy call traffic."""
+    xlobj = ProcedureTemplate(
+        "xlobj",
+        [Straight(5), IfElse(then=[Straight(3)], orelse=[Straight(4)], p_then=0.4)],
+        epilogue_size=2,
+    )
+    # eval recurses into apply (and vice versa) with a bounded depth
+    # driven by a loop behaviour: ~2 of 3 evaluations recurse.
+    xlapply = ProcedureTemplate(
+        "xlapply",
+        [
+            Straight(5),
+            IfElse(
+                then=[Call("xleval"), Straight(3)],
+                orelse=[Call("xlobj")],
+                behavior=Loop((2, 4), continue_taken=False),
+            ),
+            pattern_if("TTN", then=[Straight(2)]),
+        ],
+        epilogue_size=2,
+    )
+    xleval = ProcedureTemplate(
+        "xleval",
+        [
+            Straight(4),
+            IfElse(
+                then=[Call("xlapply")],
+                orelse=[Call("xlobj"), Straight(2)],
+                behavior=Loop((2, 3), continue_taken=False),
+            ),
+        ],
+        epilogue_size=2,
+    )
+    gc = ProcedureTemplate(
+        "gc_mark",
+        [
+            Straight(4),
+            WhileLoop(body=[Straight(4), IfElse(then=[Straight(3)], p_then=0.5)], trips=(4, 10)),
+        ],
+    )
+    main = _main(
+        [Call("xleval"), IfElse(then=[Call("gc_mark")], p_then=0.08)],
+        iters=_scaled(700, scale),
+    )
+    return _program([main, xleval, xlapply, xlobj, gc])
+
+
+def build_sc(scale: float = 1.0) -> Program:
+    """Spreadsheet recalculation: per-cell type dispatch and updates."""
+    eval_expr = ProcedureTemplate(
+        "eval_expr",
+        [
+            Straight(4),
+            WhileLoop(
+                body=[Straight(2), IfElse(then=[Straight(4)], orelse=[Straight(3)], p_then=0.38)],
+                trips=3,
+                bottom_test=False,
+            ),
+        ],
+        epilogue_size=1,
+    )
+    update_cell = ProcedureTemplate(
+        "update_cell",
+        [
+            Switch(
+                cases=[
+                    [Straight(4)],                      # blank
+                    [Call("eval_expr")],                # formula
+                    [Straight(5), IfElse(then=[Straight(3)], p_then=0.4)],  # label
+                ],
+                weights=[0.25, 0.55, 0.20],
+                size=3,
+            )
+        ],
+        epilogue_size=1,
+    )
+    recalc = ProcedureTemplate(
+        "recalc",
+        [
+            Straight(4),
+            WhileLoop(body=[Straight(3), Call("update_cell"), pattern_if("TN", then=[Straight(2)])], trips=30),
+        ],
+    )
+    main = _main([Call("recalc"), Straight(3)], iters=_scaled(70, scale))
+    return _program([main, recalc, update_cell, eval_expr])
+
+
+# ---------------------------------------------------------------------------
+# Other: C++ programs and TeX
+# ---------------------------------------------------------------------------
+
+def _token_methods(prefix: str, count: int, branchiness: float) -> List[ProcedureTemplate]:
+    """Small virtual-method bodies for the C++ workloads."""
+    methods = []
+    for i in range(count):
+        p = min(0.9, branchiness + 0.1 * i)
+        methods.append(
+            ProcedureTemplate(
+                f"{prefix}{i}",
+                [
+                    Straight(4 + i % 3),
+                    IfElse(then=[Straight(3)], orelse=[Straight(3)], p_then=1.0 - p),
+                ],
+                epilogue_size=2,
+            )
+        )
+    return methods
+
+
+def build_cfront(scale: float = 1.0) -> Program:
+    """The AT&T C++ front end: lexing + virtual AST-node processing."""
+    nodes = _token_methods("node_print", 4, 0.35)
+    lex = ProcedureTemplate(
+        "lex",
+        [
+            Straight(4),
+            Switch(
+                cases=[[Straight(4)], [Straight(5)], [Straight(3), IfElse(then=[Straight(3)], p_then=0.5)], [Straight(2)]],
+                weights=[0.45, 0.30, 0.15, 0.10],
+                size=3,
+            ),
+            pattern_if("TTNT", then=[Straight(2)]),
+        ],
+        epilogue_size=2,
+    )
+    typecheck = ProcedureTemplate(
+        "typecheck",
+        [
+            Straight(4),
+            VirtualCall([n.name for n in nodes], weights=[5, 3, 2, 1]),
+            Straight(3),
+            IfElse(then=[Straight(2)], orelse=[Straight(3)], p_then=0.3),
+        ],
+        epilogue_size=2,
+    )
+    main = _main(
+        [Straight(3), Call("lex"), Call("typecheck"), IfElse(then=[Straight(3)], p_then=0.3)],
+        iters=_scaled(650, scale),
+    )
+    return _program([main, lex, typecheck] + nodes)
+
+
+def build_dbpp(scale: float = 1.0) -> Program:
+    """DeltaBlue constraint solver: worklist over virtual constraints."""
+    constraints = _token_methods("satisfy", 5, 0.4)
+    plan_step = ProcedureTemplate(
+        "plan_step",
+        [
+            Straight(4),
+            VirtualCall([c.name for c in constraints], weights=[6, 4, 3, 2, 1]),
+            Straight(2),
+            IfElse(then=[Straight(2)], orelse=[Straight(3)], p_then=0.45),
+        ],
+        epilogue_size=2,
+    )
+    propagate = ProcedureTemplate(
+        "propagate",
+        [
+            Straight(3),
+            WhileLoop(body=[Straight(3), Call("plan_step")], trips=(3, 9), bottom_test=False),
+        ],
+    )
+    main = _main([Call("propagate")], iters=_scaled(330, scale))
+    return _program([main, propagate, plan_step] + constraints)
+
+
+def build_groff(scale: float = 1.0) -> Program:
+    """The ditroff formatter: glyph loop with device virtual dispatch."""
+    devices = _token_methods("emit_glyph", 3, 0.3)
+    render_word = ProcedureTemplate(
+        "render_word",
+        [
+            Straight(3),
+            WhileLoop(
+                body=[
+                    Straight(3),
+                    VirtualCall([d.name for d in devices], weights=[7, 2, 1]),
+                    pattern_if("TTTTN", then=[Straight(2)]),
+                ],
+                trips=(3, 8),
+            ),
+        ],
+        epilogue_size=2,
+    )
+    line_break = ProcedureTemplate(
+        "line_break",
+        [
+            Straight(4),
+            IfElse(then=[Straight(3)], orelse=[Straight(4)], p_then=0.25),
+        ],
+        epilogue_size=2,
+    )
+    main = _main(
+        [Call("render_word"), IfElse(then=[Call("line_break")], p_then=0.18)],
+        iters=_scaled(480, scale),
+    )
+    return _program([main, render_word, line_break] + devices)
+
+
+def build_idl(scale: float = 1.0) -> Program:
+    """A CORBA IDL parser: recursive descent + virtual AST building."""
+    builders = _token_methods("build_node", 4, 0.45)
+    parse_type = ProcedureTemplate(
+        "parse_type",
+        [
+            Straight(4),
+            Switch(
+                cases=[
+                    [Straight(4)],
+                    [VirtualCall([b.name for b in builders], weights=[4, 3, 2, 1])],
+                    [Straight(3), IfElse(then=[Straight(2)], p_then=0.5)],
+                ],
+                weights=[0.5, 0.3, 0.2],
+                size=3,
+            ),
+        ],
+        epilogue_size=2,
+    )
+    parse_member = ProcedureTemplate(
+        "parse_member",
+        [Straight(4), Call("parse_type"), Straight(2), IfElse(then=[Straight(2)], p_then=0.2)],
+        epilogue_size=2,
+    )
+    parse_interface = ProcedureTemplate(
+        "parse_interface",
+        [
+            Straight(4),
+            WhileLoop(body=[Straight(3), Call("parse_member")], trips=(2, 7)),
+        ],
+        epilogue_size=2,
+    )
+    main = _main([Call("parse_interface")], iters=_scaled(260, scale))
+    return _program([main, parse_interface, parse_member, parse_type] + builders)
+
+
+def build_tex(scale: float = 1.0) -> Program:
+    """TeX: the main control loop over tokens, with hyphenation."""
+    hyphenate = ProcedureTemplate(
+        "hyphenate",
+        [
+            Straight(3),
+            WhileLoop(
+                body=[Straight(3), IfElse(then=[Straight(2)], orelse=[Straight(3)], p_then=0.35)],
+                trips=4,
+                bottom_test=False,
+            ),
+        ],
+        epilogue_size=1,
+    )
+    line_fit = ProcedureTemplate(
+        "line_fit",
+        [
+            Straight(3),
+            WhileLoop(
+                body=[Straight(3), IfElse(then=[Straight(3)], orelse=[Straight(4)], p_then=0.4)],
+                trips=(3, 11),
+            ),
+        ],
+        epilogue_size=1,
+    )
+    main_control = ProcedureTemplate(
+        "main_control",
+        [
+            Switch(
+                cases=[
+                    [Straight(5)],                                   # letter
+                    [Straight(4), Call("hyphenate")],                # word end
+                    [Straight(2), Call("line_fit")],                 # line end
+                    [Straight(6), IfElse(then=[Straight(3)], p_then=0.5)],  # macro
+                ],
+                weights=[0.55, 0.2, 0.15, 0.1],
+                size=3,
+            )
+        ],
+        epilogue_size=1,
+    )
+    main = _main(
+        [Straight(3), Call("main_control"), pattern_if("TTN", then=[Straight(2)])],
+        iters=_scaled(900, scale),
+    )
+    return _program([main, main_control, hyphenate, line_fit])
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+SUITE: Dict[str, BenchmarkSpec] = {}
+
+
+def _register(name: str, category: str, build: Callable[[float], Program], description: str) -> None:
+    SUITE[name] = BenchmarkSpec(name, category, build, description)
+
+
+_register("alvinn", "SPECfp92", build_alvinn, "neural net trainer (Figure 2 loop)")
+_register("doduc", "SPECfp92", build_doduc, "Monte-Carlo reactor simulation")
+_register("ear", "SPECfp92", build_ear, "human ear model filter cascade")
+_register("fpppp", "SPECfp92", build_fpppp, "quantum chemistry, huge basic blocks")
+_register("hydro2d", "SPECfp92", build_hydro2d, "2-D hydrodynamics grid sweeps")
+_register("mdljsp2", "SPECfp92", build_mdljsp2, "molecular dynamics pair loop")
+_register("nasa7", "SPECfp92", build_nasa7, "seven NASA numeric kernels")
+_register("ora", "SPECfp92", build_ora, "optical ray tracing")
+_register("spice", "SPECfp92", build_spice, "circuit simulation with device dispatch")
+_register("su2cor", "SPECfp92", build_su2cor, "quark-gluon matrix kernels")
+_register("swm256", "SPECfp92", build_swm256, "shallow-water model, 256-wide loops")
+_register("tomcatv", "SPECfp92", build_tomcatv, "mesh generation relaxation")
+_register("wave5", "SPECfp92", build_wave5, "plasma particle/field phases")
+_register("compress", "SPECint92", build_compress, "LZW compression byte loop")
+_register("eqntott", "SPECint92", build_eqntott, "truth tables; taken-hot cmppt compare")
+_register("espresso", "SPECint92", build_espresso, "logic minimisation (Figure 1 routine)")
+_register("gcc", "SPECint92", build_gcc, "compiler passes + yyparse switch")
+_register("li", "SPECint92", build_li, "Lisp interpreter, recursive eval/apply")
+_register("sc", "SPECint92", build_sc, "spreadsheet recalculation")
+_register("cfront", "Other", build_cfront, "C++ front end (C++)")
+_register("db++", "Other", build_dbpp, "DeltaBlue constraint solver (C++)")
+_register("groff", "Other", build_groff, "ditroff formatter (C++)")
+_register("idl", "Other", build_idl, "CORBA IDL parser (C++)")
+_register("tex", "Other", build_tex, "TeX typesetting main loop")
+
+#: The SPEC92 C programs measured on real hardware in Figure 4.
+FIGURE4_PROGRAMS = (
+    "alvinn", "ear", "compress", "eqntott", "espresso", "gcc", "li", "sc",
+)
+
+CATEGORIES = ("SPECfp92", "SPECint92", "Other")
+
+
+def benchmark_names(category: Optional[str] = None) -> List[str]:
+    """Benchmark names, optionally filtered to one paper category."""
+    if category is None:
+        return list(SUITE)
+    if category not in CATEGORIES:
+        raise ValueError(f"unknown category {category!r}; pick from {CATEGORIES}")
+    return [name for name, spec in SUITE.items() if spec.category == category]
+
+
+def generate_benchmark(name: str, scale: float = 1.0) -> Program:
+    """Build one named benchmark program at the given scale."""
+    try:
+        spec = SUITE[name]
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}; pick from {sorted(SUITE)}")
+    return spec.build(scale)
+
+
+def build_suite(
+    names: Optional[Sequence[str]] = None, scale: float = 1.0
+) -> Dict[str, Program]:
+    """Build several benchmarks (default: the full 24-program suite)."""
+    selected = list(names) if names is not None else list(SUITE)
+    return {name: generate_benchmark(name, scale) for name in selected}

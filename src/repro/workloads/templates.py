@@ -1,0 +1,269 @@
+"""Structured program templates lowered to CFGs with behaviours.
+
+Workloads are written as little structured programs — sequences of
+straight-line code, if/else, while loops, switches and calls — and lowered
+to basic blocks the way a simple compiler would emit them:
+
+* an ``if`` branches *to the else side* when taken (branch-if-false), the
+  then side being the fall-through;
+* a bottom-test loop ends with a backward conditional to the body head;
+* a top-test loop has a forward exit branch at the header and an
+  unconditional latchback;
+* a switch is an indirect jump through a table of case heads, each case
+  jumping to a join block.
+
+These shapes give the synthetic suite the taken/fall-through mix the paper
+measures on real SPEC92 binaries (loops make taken branches common; the
+62%-taken problem branch alignment attacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..cfg import CallSite, Procedure, ProcedureBuilder
+from ..sim.behaviors import (
+    Bernoulli,
+    CalleeChoice,
+    CondBehavior,
+    IndirectChoice,
+    Loop,
+    Pattern,
+    TripSpec,
+)
+
+
+class Construct:
+    """Base class for structured-program constructs."""
+
+
+@dataclass
+class Straight(Construct):
+    """A run of straight-line instructions, optionally containing calls."""
+
+    size: int = 4
+    calls: Sequence[CallSite] = ()
+
+
+@dataclass
+class Call(Construct):
+    """A direct call embedded in a small straight-line block."""
+
+    callee: str
+    size: int = 2
+
+    def as_straight(self) -> Straight:
+        """Lower to a straight-line block containing the call site."""
+        return Straight(self.size, calls=[CallSite(0, self.callee)])
+
+
+@dataclass
+class VirtualCall(Construct):
+    """An indirect call choosing among callees (C++ dynamic dispatch)."""
+
+    callees: Sequence[str]
+    weights: Optional[Sequence[float]] = None
+    size: int = 2
+
+    def as_straight(self) -> Straight:
+        """Lower to a straight-line block with an indirect call site."""
+        chooser = CalleeChoice(list(self.callees), self.weights)
+        return Straight(self.size, calls=[CallSite(0, None, chooser)])
+
+
+@dataclass
+class IfElse(Construct):
+    """A two-way conditional.
+
+    ``p_then`` is the probability of the then (fall-through) side; when a
+    ``behavior`` is supplied it drives the branch directly and must return
+    True for the *else* side (the taken edge).  Use :func:`pattern_if` to
+    express a then/else pattern conveniently.
+    """
+
+    then: Sequence[Construct] = ()
+    orelse: Sequence[Construct] = ()
+    p_then: float = 0.5
+    cond_size: int = 3
+    behavior: Optional[CondBehavior] = None
+
+    def branch_behavior(self) -> CondBehavior:
+        """The behaviour driving this diamond's conditional branch."""
+        if self.behavior is not None:
+            return self.behavior
+        return Bernoulli(1.0 - self.p_then)
+
+
+def pattern_if(
+    then_pattern: str,
+    then: Sequence[Construct] = (),
+    orelse: Sequence[Construct] = (),
+    cond_size: int = 3,
+) -> IfElse:
+    """An if/else whose *then* side follows ``then_pattern`` ('T' = then).
+
+    The taken edge leads to the else side, so the pattern is inverted
+    before it drives the branch.
+    """
+    inverted = "".join("N" if ch == "T" else "T" for ch in then_pattern)
+    return IfElse(then=then, orelse=orelse, cond_size=cond_size, behavior=Pattern(inverted))
+
+
+@dataclass
+class WhileLoop(Construct):
+    """A loop whose body executes ``trips`` times per activation.
+
+    ``bottom_test=True`` (default) emits the dominant compiled shape: the
+    body followed by a backward conditional branch.  ``bottom_test=False``
+    emits a top-test while loop with a forward exit branch and an
+    unconditional latch — the layout Try15 likes to rotate.
+    """
+
+    body: Sequence[Construct] = ()
+    trips: TripSpec = 10
+    bottom_test: bool = True
+    test_size: int = 2
+
+
+@dataclass
+class Switch(Construct):
+    """An indirect jump through a case table."""
+
+    cases: Sequence[Sequence[Construct]] = ()
+    weights: Optional[Sequence[float]] = None
+    size: int = 3
+
+    def __post_init__(self) -> None:
+        if len(self.cases) < 1:
+            raise ValueError("switch needs at least one case")
+        if self.weights is not None and len(self.weights) != len(self.cases):
+            raise ValueError("switch weights must match case count")
+
+
+@dataclass
+class ProcedureTemplate:
+    """A named procedure: a body of constructs ending in a return."""
+
+    name: str
+    body: Sequence[Construct]
+    epilogue_size: int = 2
+
+    def lower(self) -> Procedure:
+        """Lower the template to a CFG in natural emission order."""
+        lowering = _Lowering(self.name)
+        lowering.emit_seq(self.body, label=None)
+        lowering.builder.ret(lowering.fresh("exit"), size=self.epilogue_size)
+        return lowering.builder.build()
+
+
+class _Lowering:
+    """Stateful recursive emitter from constructs to builder calls."""
+
+    def __init__(self, proc_name: str):
+        self.builder = ProcedureBuilder(proc_name)
+        self._counter = 0
+
+    def fresh(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}_{self._counter}"
+
+    # ------------------------------------------------------------------
+    def emit_seq(self, constructs: Sequence[Construct], label: Optional[str]) -> None:
+        """Emit a sequence; the first block takes ``label`` if given.
+
+        Every sequence ends with a block that falls through to whatever is
+        declared next, so callers can chain freely.  An empty sequence
+        emits a single one-instruction filler block.
+        """
+        if not constructs:
+            self.builder.fall(label or self.fresh("nop"), size=1)
+            return
+        for idx, construct in enumerate(constructs):
+            self.emit(construct, label if idx == 0 else None)
+
+    def emit(self, construct: Construct, label: Optional[str]) -> None:
+        if isinstance(construct, Call):
+            construct = construct.as_straight()
+        elif isinstance(construct, VirtualCall):
+            construct = construct.as_straight()
+        if isinstance(construct, Straight):
+            self.builder.fall(
+                label or self.fresh("code"), size=construct.size, calls=construct.calls
+            )
+        elif isinstance(construct, IfElse):
+            self._emit_if(construct, label)
+        elif isinstance(construct, WhileLoop):
+            self._emit_while(construct, label)
+        elif isinstance(construct, Switch):
+            self._emit_switch(construct, label)
+        else:
+            raise TypeError(f"unknown construct {construct!r}")
+
+    # ------------------------------------------------------------------
+    def _emit_if(self, node: IfElse, label: Optional[str]) -> None:
+        join = self.fresh("join")
+        behavior = node.branch_behavior()
+        if node.orelse:
+            else_label = self.fresh("else")
+            self.builder.cond(
+                label or self.fresh("if"),
+                size=node.cond_size,
+                taken=else_label,
+                behavior=behavior,
+            )
+            self.emit_seq(node.then, label=None)
+            self.builder.uncond(self.fresh("endthen"), size=1, target=join)
+            self.emit_seq(node.orelse, label=else_label)
+        else:
+            self.builder.cond(
+                label or self.fresh("if"),
+                size=node.cond_size,
+                taken=join,
+                behavior=behavior,
+            )
+            self.emit_seq(node.then, label=None)
+        self.builder.fall(join, size=1)
+
+    def _emit_while(self, node: WhileLoop, label: Optional[str]) -> None:
+        if node.bottom_test:
+            body_head = label or self.fresh("loop")
+            self.emit_seq(node.body, label=body_head)
+            self.builder.cond(
+                self.fresh("latch"),
+                size=node.test_size,
+                taken=body_head,
+                behavior=Loop(node.trips, continue_taken=True),
+            )
+        else:
+            header = label or self.fresh("while")
+            exit_label = self.fresh("wexit")
+            trips = node.trips
+            if isinstance(trips, int):
+                header_execs: TripSpec = trips + 1
+            else:
+                header_execs = (trips[0] + 1, trips[1] + 1)
+            self.builder.cond(
+                header,
+                size=node.test_size,
+                taken=exit_label,
+                behavior=Loop(header_execs, continue_taken=False),
+            )
+            self.emit_seq(node.body, label=None)
+            self.builder.uncond(self.fresh("latch"), size=1, target=header)
+            self.builder.fall(exit_label, size=1)
+
+    def _emit_switch(self, node: Switch, label: Optional[str]) -> None:
+        case_labels = [self.fresh("case") for _ in node.cases]
+        join = self.fresh("swjoin")
+        self.builder.indirect(
+            label or self.fresh("switch"),
+            size=node.size,
+            targets=case_labels,
+            behavior=IndirectChoice(len(node.cases), node.weights),
+        )
+        for idx, case in enumerate(node.cases):
+            self.emit_seq(case, label=case_labels[idx])
+            if idx != len(node.cases) - 1:
+                self.builder.uncond(self.fresh("endcase"), size=1, target=join)
+        self.builder.fall(join, size=1)

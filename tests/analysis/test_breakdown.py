@@ -1,0 +1,60 @@
+"""Tests for the penalty decomposition analysis."""
+
+import pytest
+
+from repro.analysis import penalty_breakdown, render_breakdown
+from repro.core import TryNAligner
+from repro.workloads import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def rows():
+    program = generate_benchmark("eqntott", 0.05)
+    return penalty_breakdown(program, archs=("fallthrough", "likely", "btb-256x4"))
+
+
+class TestBreakdown:
+    def test_layouts_and_archs_present(self, rows):
+        layouts = {r.layout for r in rows}
+        archs = {r.arch for r in rows}
+        assert layouts == {"orig", "greedy", "try15"}
+        assert archs == {"fallthrough", "likely", "btb-256x4"}
+
+    def test_bep_sums_components(self, rows):
+        for row in rows:
+            assert row.bep == row.misfetch_cycles + row.mispredict_cycles
+
+    def test_fallthrough_gain_is_mispredict_driven(self, rows):
+        """Inverting taken-hot branches converts 4-cycle mispredicts into
+        correct fall-throughs: the mispredict component must fall."""
+        orig = next(r for r in rows if r.layout == "orig" and r.arch == "fallthrough")
+        aligned = next(r for r in rows if r.layout == "try15" and r.arch == "fallthrough")
+        assert aligned.mispredict_cycles < orig.mispredict_cycles
+
+    def test_likely_gain_is_misfetch_driven(self, rows):
+        """LIKELY already predicts directions; its gain comes from
+        removing misfetches (taken -> fall-through conversions)."""
+        orig = next(r for r in rows if r.layout == "orig" and r.arch == "likely")
+        aligned = next(r for r in rows if r.layout == "try15" and r.arch == "likely")
+        assert aligned.misfetch_cycles < orig.misfetch_cycles
+
+    def test_relative_cpi_consistent(self, rows):
+        base = next(r for r in rows if r.layout == "orig")
+        for row in rows:
+            expected = (row.instructions + row.bep) / base.instructions
+            assert row.relative_cpi(base.instructions) == pytest.approx(expected)
+
+    def test_custom_aligners(self):
+        program = generate_benchmark("compress", 0.03)
+        rows = penalty_breakdown(
+            program,
+            aligners={"mine": TryNAligner.for_architecture("btb", window=6)},
+            archs=("btb-64x2",),
+        )
+        assert {r.layout for r in rows} == {"orig", "mine"}
+
+    def test_rendering(self, rows):
+        text = render_breakdown(rows)
+        assert "Misfetch cyc" in text
+        assert "try15" in text
+        assert text.count("\n") >= len(rows)

@@ -1,0 +1,41 @@
+"""Tests for the claims checklist."""
+
+import pytest
+
+from repro.analysis import render_claims, verify_claims
+from repro.analysis.claims import CHECKS, ClaimResult
+
+
+@pytest.fixture(scope="module")
+def results():
+    return verify_claims(scale=0.08, window=10)
+
+
+class TestVerifyClaims:
+    def test_one_result_per_check(self, results):
+        assert len(results) == len(CHECKS)
+
+    def test_all_claims_reproduce_at_small_scale(self, results):
+        failing = [r.claim_id for r in results if not r.passed]
+        assert not failing, failing
+
+    def test_every_result_quotes_the_paper(self, results):
+        for result in results:
+            assert len(result.quote) > 20
+            assert result.detail
+
+    def test_claim_ids_unique(self, results):
+        ids = [r.claim_id for r in results]
+        assert len(set(ids)) == len(ids)
+
+
+class TestRenderClaims:
+    def test_report_shape(self, results):
+        text = render_claims(results)
+        assert "PASS" in text
+        assert f"{sum(r.passed for r in results)}/{len(results)} claims" in text
+
+    def test_fail_rendered(self):
+        fake = [ClaimResult("x", "some quote from the paper", False, "detail")]
+        assert "FAIL" in render_claims(fake)
+        assert "0/1" in render_claims(fake)

@@ -1,0 +1,160 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.profiling import load_profile
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("alvinn", "gcc", "db++", "tex"):
+            assert name in out
+        assert "SPECfp92" in out and "Other" in out
+
+
+class TestProfile:
+    def test_writes_profile(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        assert main(["profile", "compress", str(path), "--scale", "0.02"]) == 0
+        profile = load_profile(path)
+        assert "main" in profile.procedures()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestAlign:
+    def test_align_prints_cpi_table(self, capsys):
+        assert main(["align", "eqntott", "--scale", "0.03",
+                     "--algorithm", "tryn", "--arch", "likely"]) == 0
+        out = capsys.readouterr().out
+        assert "inverted conditionals" in out
+        assert "btb-256x4" in out
+
+    def test_align_with_saved_profile(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        main(["profile", "compress", str(path), "--scale", "0.02"])
+        capsys.readouterr()
+        assert main(["align", "compress", "--scale", "0.02",
+                     "--profile", str(path), "--algorithm", "greedy"]) == 0
+        assert "greedy alignment" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["align", "eqntott", "--algorithm", "oracle"])
+
+
+class TestTables:
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "--benchmarks", "alvinn,li", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "alvinn" in out and "li" in out and "%Taken" in out
+
+    def test_table3_to_file(self, tmp_path):
+        path = tmp_path / "t3.txt"
+        assert main(["table3", "--benchmarks", "alvinn", "--scale", "0.02",
+                     "-o", str(path)]) == 0
+        assert "fallthrough:try15" in path.read_text()
+
+    def test_table4_subset(self, capsys):
+        assert main(["table4", "--benchmarks", "compress", "--scale", "0.02"]) == 0
+        assert "btb-256x4:try15" in capsys.readouterr().out
+
+    def test_figure4_subset(self, capsys):
+        assert main(["figure4", "--benchmarks", "eqntott", "--scale", "0.02"]) == 0
+        assert "Pettis&Hansen" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--benchmarks", "doom"])
+
+
+class TestDot:
+    def test_dot_output(self, capsys):
+        assert main(["dot", "eqntott", "cmppt", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "style=dotted" in out
+
+    def test_dot_with_weights(self, capsys):
+        assert main(["dot", "eqntott", "cmppt", "--weights", "--scale", "0.02"]) == 0
+        assert "label=" in capsys.readouterr().out
+
+    def test_unknown_procedure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dot", "eqntott", "nosuchproc"])
+
+
+class TestBreakdownCommand:
+    def test_breakdown_table(self, capsys):
+        assert main(["breakdown", "compress", "--scale", "0.02",
+                     "--archs", "fallthrough,likely"]) == 0
+        out = capsys.readouterr().out
+        assert "Misfetch cyc" in out and "try15" in out
+
+
+class TestSweepCommand:
+    def test_penalty_sweep(self, capsys):
+        assert main(["sweep", "eqntott", "penalty", "--scale", "0.02",
+                     "--points", "2,8"]) == 0
+        out = capsys.readouterr().out
+        assert "Mispredict cycles" in out and "Gain %" in out
+
+    def test_width_sweep_defaults(self, capsys):
+        assert main(["sweep", "eqntott", "width", "--scale", "0.02"]) == 0
+        assert "Issue width" in capsys.readouterr().out
+
+
+class TestSaveLayout:
+    def test_align_saves_map(self, tmp_path, capsys):
+        path = tmp_path / "map.json"
+        assert main(["align", "compress", "--scale", "0.02",
+                     "--save-layout", str(path)]) == 0
+        assert path.exists()
+        assert "alignment map written" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_verify_reports_claims(self, capsys):
+        code = main(["verify", "--scale", "0.05", "--window", "8"])
+        out = capsys.readouterr().out
+        assert "claims reproduced" in out
+        assert "alignment-narrows-gap" in out
+        assert code in (0, 1)
+
+
+class TestHotspotsCommand:
+    def test_hotspots_table(self, capsys):
+        assert main(["hotspots", "eqntott", "--scale", "0.03", "--top", "3",
+                     "--window", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-procedure branch cost" in out and "cmppt" in out
+
+
+class TestAlignDiff:
+    def test_diff_report_printed(self, capsys):
+        assert main(["align", "eqntott", "--scale", "0.03", "--diff",
+                     "--arch", "likely"]) == 0
+        out = capsys.readouterr().out
+        assert "blocks moved" in out
+
+
+class TestCSVOutput:
+    def test_table2_csv(self, capsys):
+        assert main(["table2", "--benchmarks", "alvinn", "--scale", "0.02",
+                     "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("benchmark,")
+        assert "alvinn" in out
+
+    def test_figure4_csv(self, capsys):
+        assert main(["figure4", "--benchmarks", "eqntott", "--scale", "0.02",
+                     "--csv"]) == 0
+        assert "try15_relative" in capsys.readouterr().out
+
+    def test_table3_csv_to_file(self, tmp_path):
+        path = tmp_path / "t3.csv"
+        assert main(["table3", "--benchmarks", "alvinn", "--scale", "0.02",
+                     "--csv", "-o", str(path)]) == 0
+        assert "relative_cpi" in path.read_text()

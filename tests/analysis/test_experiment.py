@@ -1,0 +1,100 @@
+"""Tests for the Tables 3/4 experiment driver."""
+
+import pytest
+
+from repro.analysis import (
+    BenchmarkExperiment,
+    category_average,
+    make_arch_sims,
+    run_benchmark_experiment,
+    run_suite_experiment,
+)
+from repro.isa import link_identity
+from repro.profiling import profile_program
+from repro.sim.metrics import ALL_ARCHS
+from repro.workloads import figure3_program
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def eqntott_experiment():
+    return run_benchmark_experiment("eqntott", scale=SCALE)
+
+
+class TestRunBenchmark:
+    def test_all_cells_present(self, eqntott_experiment):
+        for aligner in ("orig", "greedy", "try15"):
+            for arch in ALL_ARCHS:
+                cell = eqntott_experiment.cell(aligner, arch)
+                assert cell.relative_cpi >= 1.0
+
+    def test_original_cpi_definition(self, eqntott_experiment):
+        cell = eqntott_experiment.cell("orig", "fallthrough")
+        base = eqntott_experiment.original_instructions
+        assert cell.relative_cpi == pytest.approx((cell.instructions + cell.bep) / base)
+        assert cell.instructions == base
+
+    def test_try15_beats_original_on_static_archs(self, eqntott_experiment):
+        for arch in ("fallthrough", "btfnt", "likely"):
+            assert (
+                eqntott_experiment.cell("try15", arch).relative_cpi
+                < eqntott_experiment.cell("orig", arch).relative_cpi
+            ), arch
+
+    def test_try15_at_least_matches_greedy(self, eqntott_experiment):
+        for arch in ("fallthrough", "btfnt", "likely"):
+            assert (
+                eqntott_experiment.cell("try15", arch).relative_cpi
+                <= eqntott_experiment.cell("greedy", arch).relative_cpi * 1.02
+            ), arch
+
+    def test_alignment_raises_fallthrough_percentage(self, eqntott_experiment):
+        orig = eqntott_experiment.cell("orig", "fallthrough").percent_fallthrough
+        aligned = eqntott_experiment.cell("try15", "fallthrough").percent_fallthrough
+        assert aligned > orig + 20.0
+
+    def test_category_recorded(self, eqntott_experiment):
+        assert eqntott_experiment.category == "SPECint92"
+
+    def test_custom_program_supported(self):
+        program = figure3_program(loop_trips=50)
+        experiment = run_benchmark_experiment(
+            "fig3", program=program, archs=("fallthrough", "likely")
+        )
+        assert experiment.category == "custom"
+        assert set(experiment.outcomes["orig"]) == {"fallthrough", "likely"}
+
+    def test_arch_subset_runs_less(self):
+        experiment = run_benchmark_experiment("compress", scale=SCALE, archs=("likely",))
+        assert set(experiment.outcomes["try15"]) == {"likely"}
+
+
+class TestSuiteExperiment:
+    def test_subset_and_averages(self):
+        experiments = run_suite_experiment(
+            ["alvinn", "swm256"], scale=SCALE, archs=("fallthrough",)
+        )
+        avg = category_average(experiments, "SPECfp92", "try15", "fallthrough")
+        assert avg >= 1.0
+
+    def test_empty_category_raises(self):
+        experiments = run_suite_experiment(["alvinn"], scale=SCALE, archs=("likely",))
+        with pytest.raises(ValueError):
+            category_average(experiments, "SPECint92", "orig", "likely")
+
+
+class TestMakeArchSims:
+    def test_all_names_instantiable(self):
+        program = figure3_program(loop_trips=10)
+        profile = profile_program(program)
+        linked = link_identity(program)
+        sims = make_arch_sims(ALL_ARCHS, linked, profile)
+        assert [s.name for s in sims] == list(ALL_ARCHS)
+
+    def test_unknown_arch_rejected(self):
+        program = figure3_program(loop_trips=10)
+        profile = profile_program(program)
+        linked = link_identity(program)
+        with pytest.raises(ValueError):
+            make_arch_sims(("tage",), linked, profile)

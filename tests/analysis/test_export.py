@@ -1,0 +1,73 @@
+"""Tests for machine-readable experiment export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis import (
+    compute_table2,
+    experiment_records,
+    figure4_records,
+    records_to_csv,
+    run_benchmark_experiment,
+    run_figure4,
+    table2_records,
+    write_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_benchmark_experiment("compress", scale=0.03,
+                                    archs=("fallthrough", "likely"))
+
+
+class TestExperimentRecords:
+    def test_one_record_per_cell(self, experiment):
+        records = experiment_records([experiment])
+        # 3 aligners x 2 architectures.
+        assert len(records) == 6
+
+    def test_record_fields(self, experiment):
+        record = experiment_records([experiment])[0]
+        assert record["benchmark"] == "compress"
+        assert record["category"] == "SPECint92"
+        assert record["relative_cpi"] >= 1.0
+        assert record["instructions"] > 0
+
+    def test_values_match_cells(self, experiment):
+        records = experiment_records([experiment])
+        for record in records:
+            cell = experiment.cell(record["aligner"], record["architecture"])
+            assert record["relative_cpi"] == pytest.approx(cell.relative_cpi, abs=1e-5)
+
+
+class TestOtherRecordTypes:
+    def test_table2_records(self):
+        rows = compute_table2(["alvinn"], scale=0.02)
+        records = table2_records(rows)
+        assert records[0]["benchmark"] == "alvinn"
+        assert records[0]["percent_breaks"] > 0
+
+    def test_figure4_records(self):
+        rows = run_figure4(["eqntott"], scale=0.02)
+        records = figure4_records(rows)
+        assert 0 < records[0]["try15_relative"] <= 1.05
+
+
+class TestCSV:
+    def test_round_trip(self, experiment):
+        records = experiment_records([experiment])
+        text = records_to_csv(records)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(records)
+        assert parsed[0]["benchmark"] == "compress"
+
+    def test_empty_records(self):
+        assert records_to_csv([]) == ""
+
+    def test_write_csv(self, experiment, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(experiment_records([experiment]), path)
+        assert path.read_text().startswith("benchmark,")

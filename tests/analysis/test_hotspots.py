@@ -1,0 +1,75 @@
+"""Tests for hotspot attribution."""
+
+import pytest
+
+from repro.analysis import (
+    branch_hotspots,
+    procedure_hotspots,
+    render_hotspots,
+)
+from repro.core import GreedyAligner, make_model
+from repro.profiling import profile_program
+from repro.workloads import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = generate_benchmark("eqntott", 0.04)
+    profile = profile_program(program)
+    return program, profile
+
+
+class TestProcedureHotspots:
+    def test_sorted_by_cost(self, setup):
+        program, profile = setup
+        rows = procedure_hotspots(program, profile=profile)
+        costs = [r.original_cost for r in rows]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_cmppt_dominates_eqntott(self, setup):
+        """The paper's eqntott burns its cycles in cmppt."""
+        program, profile = setup
+        rows = procedure_hotspots(program, profile=profile)
+        assert rows[0].name == "cmppt"
+        assert rows[0].original_cost > sum(r.original_cost for r in rows[1:])
+
+    def test_savings_nonnegative_under_own_model(self, setup):
+        program, profile = setup
+        rows = procedure_hotspots(program, model=make_model("likely"), profile=profile)
+        for row in rows:
+            assert row.aligned_cost <= row.original_cost + 1e-6, row.name
+
+    def test_saving_percent(self, setup):
+        program, profile = setup
+        row = procedure_hotspots(program, profile=profile)[0]
+        assert row.saving_percent == pytest.approx(
+            100.0 * row.saving / row.original_cost
+        )
+
+    def test_custom_aligner(self, setup):
+        program, profile = setup
+        rows = procedure_hotspots(program, aligner=GreedyAligner(), profile=profile)
+        assert rows
+
+
+class TestBranchHotspots:
+    def test_top_limit(self, setup):
+        program, profile = setup
+        assert len(branch_hotspots(program, profile=profile, top=3)) == 3
+
+    def test_hot_branches_are_in_loops(self, setup):
+        program, profile = setup
+        rows = branch_hotspots(program, profile=profile, top=3)
+        assert all(r.loop_depth >= 1 for r in rows)
+
+    def test_weights_populated(self, setup):
+        program, profile = setup
+        for row in branch_hotspots(program, profile=profile, top=5):
+            assert row.executions > 0
+
+    def test_rendering(self, setup):
+        program, profile = setup
+        procs = procedure_hotspots(program, profile=profile)
+        branches = branch_hotspots(program, profile=profile, top=4)
+        text = render_hotspots(procs, branches)
+        assert "cmppt" in text and "Loop depth" in text

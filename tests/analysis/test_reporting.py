@@ -1,0 +1,63 @@
+"""Tests for the paper-style text table renderers."""
+
+import pytest
+
+from repro.analysis import (
+    compute_table2,
+    format_table,
+    render_figure4,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_figure4,
+    run_suite_experiment,
+)
+
+SCALE = 0.04
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+class TestRenderers:
+    @pytest.fixture(scope="class")
+    def experiments(self):
+        return run_suite_experiment(["alvinn", "compress", "tex"], scale=SCALE)
+
+    def test_table2_contains_categories_in_order(self):
+        rows = compute_table2(["compress", "alvinn"], scale=SCALE)
+        text = render_table2(rows)
+        # SPECfp92 rows print before SPECint92 rows regardless of input order.
+        assert text.index("alvinn") < text.index("compress")
+        assert "%Taken" in text and "Q-99" in text
+
+    def test_table3_columns(self, experiments):
+        text = render_table3(experiments)
+        assert "fallthrough:orig" in text
+        assert "btfnt:try15" in text
+        assert "%FT:likely:try15" in text
+        assert "SPECfp92 Avg" in text and "Other Avg" in text
+
+    def test_table4_columns(self, experiments):
+        text = render_table4(experiments)
+        assert "pht-correlation:greedy" in text
+        assert "btb-256x4:try15" in text
+        assert "%FT" not in text
+
+    def test_every_benchmark_row_present(self, experiments):
+        text = render_table3(experiments)
+        for name in ("alvinn", "compress", "tex"):
+            assert name in text
+
+    def test_figure4_rendering(self):
+        rows = run_figure4(["eqntott"], scale=SCALE)
+        text = render_figure4(rows)
+        assert "Pettis&Hansen" in text
+        assert "eqntott" in text
+        assert "1.000" in text

@@ -1,0 +1,61 @@
+"""Tests for the multi-seed stability analysis."""
+
+import pytest
+
+from repro.analysis import (
+    StabilityCell,
+    cross_input_generalisation,
+    seed_stability,
+)
+
+
+class TestStabilityCell:
+    def test_mean_and_spread(self):
+        cell = StabilityCell((1.0, 1.2, 1.1))
+        assert cell.mean == pytest.approx(1.1)
+        assert cell.spread == pytest.approx(0.2)
+
+    def test_single_value_stdev(self):
+        assert StabilityCell((1.5,)).stdev == 0.0
+
+    def test_stdev(self):
+        cell = StabilityCell((1.0, 2.0))
+        assert cell.stdev == pytest.approx(0.7071, rel=1e-3)
+
+
+class TestSeedStability:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return seed_stability("eqntott", arch="likely", seeds=(0, 1, 2),
+                              scale=0.04, window=10)
+
+    def test_alignment_wins_at_every_seed(self, cells):
+        for orig, aligned in zip(cells["orig"].values, cells["aligned"].values):
+            assert aligned < orig
+
+    def test_conclusion_exceeds_noise(self, cells):
+        """The mean gain must dwarf the across-seed spread — otherwise the
+        single-input protocol would be untrustworthy."""
+        gain = cells["orig"].mean - cells["aligned"].mean
+        noise = max(cells["orig"].spread, cells["aligned"].spread)
+        assert gain > noise
+
+    def test_values_recorded_per_seed(self, cells):
+        assert len(cells["orig"].values) == 3
+
+
+class TestCrossInput:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return cross_input_generalisation("compress", arch="likely",
+                                          train_seed=0, test_seeds=(1, 2),
+                                          scale=0.04, window=10)
+
+    def test_cross_input_still_wins(self, cells):
+        """An alignment trained on one input helps unseen inputs."""
+        assert cells["cross"].mean < cells["orig"].mean
+
+    def test_self_and_cross_close(self, cells):
+        """Profile biases are input-independent here, so self-measured and
+        cross-measured CPIs should nearly coincide."""
+        assert abs(cells["cross"].mean - cells["self"].mean) < 0.02

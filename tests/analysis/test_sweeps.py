@@ -1,0 +1,55 @@
+"""Tests for the sensitivity sweeps."""
+
+import pytest
+
+from repro.analysis import issue_width_sweep, mispredict_penalty_sweep
+from repro.core import GreedyAligner
+from repro.workloads import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_benchmark("eqntott", 0.05)
+
+
+class TestPenaltySweep:
+    def test_points_match_requested_penalties(self, program):
+        points = mispredict_penalty_sweep(program, penalties=(2, 8))
+        assert [p.parameter for p in points] == [2, 8]
+
+    def test_gain_grows_with_penalty(self, program):
+        """Deeper pipelines make the mispredict savings worth more."""
+        points = mispredict_penalty_sweep(program, arch="fallthrough",
+                                          penalties=(2, 4, 8, 16))
+        gains = [p.gain_percent for p in points]
+        assert gains == sorted(gains)
+        assert gains[-1] > gains[0]
+
+    def test_alignment_always_wins(self, program):
+        for point in mispredict_penalty_sweep(program):
+            assert point.aligned < point.original
+
+    def test_custom_aligner(self, program):
+        points = mispredict_penalty_sweep(program, aligner=GreedyAligner(),
+                                          penalties=(4,))
+        assert len(points) == 1
+
+    def test_gain_percent_formula(self):
+        from repro.analysis import SweepPoint
+
+        point = SweepPoint(4.0, original=2.0, aligned=1.5)
+        assert point.gain_percent == 25.0
+
+
+class TestWidthSweep:
+    def test_widths_recorded(self, program):
+        points = issue_width_sweep(program, widths=(1, 4))
+        assert [p.parameter for p in points] == [1.0, 4.0]
+
+    def test_wider_issue_gains_more(self, program):
+        points = issue_width_sweep(program, widths=(1, 4))
+        assert points[1].gain_percent > points[0].gain_percent
+
+    def test_cycles_decrease_with_width(self, program):
+        points = issue_width_sweep(program, widths=(1, 8))
+        assert points[1].original < points[0].original

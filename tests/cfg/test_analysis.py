@@ -1,0 +1,134 @@
+"""Unit tests for dominators, natural loops and loop depths."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cfg import (
+    ProcedureBuilder,
+    dominates,
+    immediate_dominators,
+    loop_depths,
+    natural_loops,
+    reverse_postorder,
+)
+from tests.conftest import (
+    diamond_procedure,
+    loop_procedure,
+    self_loop_procedure,
+)
+from tests.properties.strategies import programs
+
+
+def _labels(proc):
+    return {b.label: b.bid for b in proc}
+
+
+def nested_loop_procedure():
+    b = ProcedureBuilder("nested")
+    b.fall("entry", 1)
+    b.fall("outer_head", 2)
+    b.fall("inner_head", 2)
+    b.cond("inner_latch", 2, taken="inner_head")
+    b.cond("outer_latch", 2, taken="outer_head")
+    b.ret("exit", 1)
+    return b.build()
+
+
+class TestReversePostorder:
+    def test_entry_first(self, diamond):
+        assert reverse_postorder(diamond)[0] == diamond.entry
+
+    def test_covers_reachable_blocks(self, diamond):
+        assert set(reverse_postorder(diamond)) == diamond.reachable_blocks()
+
+    def test_topological_on_dag(self, diamond):
+        order = reverse_postorder(diamond)
+        position = {bid: i for i, bid in enumerate(order)}
+        ids = _labels(diamond)
+        assert position[ids["test"]] < position[ids["then"]]
+        assert position[ids["then"]] < position[ids["join"]]
+        assert position[ids["else"]] < position[ids["join"]]
+
+
+class TestDominators:
+    def test_entry_has_no_idom(self, diamond):
+        assert immediate_dominators(diamond)[diamond.entry] is None
+
+    def test_join_dominated_by_test_not_arms(self):
+        proc = diamond_procedure()
+        ids = _labels(proc)
+        idom = immediate_dominators(proc)
+        assert idom[ids["join"]] == ids["test"]
+
+    def test_linear_chain(self):
+        proc = loop_procedure()
+        ids = _labels(proc)
+        idom = immediate_dominators(proc)
+        assert idom[ids["body"]] == ids["entry"]
+        assert idom[ids["latch"]] == ids["body"]
+
+    def test_dominates_reflexive_and_transitive(self, diamond):
+        ids = _labels(diamond)
+        idom = immediate_dominators(diamond)
+        assert dominates(idom, ids["entry"], ids["exit"])
+        assert dominates(idom, ids["test"], ids["test"])
+        assert not dominates(idom, ids["then"], ids["join"])
+
+
+class TestNaturalLoops:
+    def test_simple_loop(self):
+        proc = loop_procedure()
+        ids = _labels(proc)
+        loops = natural_loops(proc)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == ids["body"]
+        assert loop.body == {ids["body"], ids["latch"]}
+        assert loop.back_edges == [(ids["latch"], ids["body"])]
+
+    def test_self_loop(self):
+        proc = self_loop_procedure()
+        ids = _labels(proc)
+        loops = natural_loops(proc)
+        assert len(loops) == 1
+        assert loops[0].body == {ids["loop"]}
+        assert loops[0].size == 1
+
+    def test_dag_has_no_loops(self, diamond):
+        assert natural_loops(diamond) == []
+
+    def test_nested_loops(self):
+        proc = nested_loop_procedure()
+        ids = _labels(proc)
+        loops = {l.header: l for l in natural_loops(proc)}
+        inner = loops[ids["inner_head"]]
+        outer = loops[ids["outer_head"]]
+        assert inner.body < outer.body
+        assert ids["outer_latch"] in outer.body
+        assert ids["outer_latch"] not in inner.body
+
+
+class TestLoopDepths:
+    def test_depths_for_nested(self):
+        proc = nested_loop_procedure()
+        ids = _labels(proc)
+        depths = loop_depths(proc)
+        assert depths[ids["entry"]] == 0
+        assert depths[ids["outer_head"]] == 1
+        assert depths[ids["inner_head"]] == 2
+        assert depths[ids["inner_latch"]] == 2
+        assert depths[ids["outer_latch"]] == 1
+        assert depths[ids["exit"]] == 0
+
+
+class TestAgainstSCCOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(program=programs())
+    def test_loop_membership_consistent_with_scc(self, program):
+        """Every natural-loop back edge must be a cyclic pair, and every
+        block inside a natural loop shares a cycle with its header."""
+        proc = program.procedure("main")
+        cyclic = proc.cyclic_edge_pairs()
+        for loop in natural_loops(proc):
+            for src, dst in loop.back_edges:
+                assert (src, dst) in cyclic

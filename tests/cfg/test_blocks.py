@@ -1,0 +1,90 @@
+"""Unit tests for basic blocks, terminator kinds and call sites."""
+
+import pytest
+
+from repro.cfg import BasicBlock, CallSite, TerminatorKind
+from repro.sim.behaviors import CalleeChoice
+
+
+class TestTerminatorKind:
+    def test_branchless_kinds(self):
+        assert not TerminatorKind.FALLTHROUGH.has_branch_instruction
+        for kind in (
+            TerminatorKind.COND,
+            TerminatorKind.UNCOND,
+            TerminatorKind.INDIRECT,
+            TerminatorKind.RETURN,
+        ):
+            assert kind.has_branch_instruction
+
+    def test_alignable_kinds_match_paper(self):
+        # "we ignore indirect branches, procedure returns and subroutine
+        # calls" — only blocks with 1-2 direct out edges are alignable.
+        assert TerminatorKind.FALLTHROUGH.alignable
+        assert TerminatorKind.COND.alignable
+        assert TerminatorKind.UNCOND.alignable
+        assert not TerminatorKind.INDIRECT.alignable
+        assert not TerminatorKind.RETURN.alignable
+
+
+class TestBasicBlock:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            BasicBlock(bid=0, size=0)
+
+    def test_size_must_fit_terminator(self):
+        block = BasicBlock(bid=0, size=1, kind=TerminatorKind.COND)
+        assert block.straightline_size == 0
+
+    def test_size_must_fit_calls_and_terminator(self):
+        with pytest.raises(ValueError):
+            BasicBlock(
+                bid=0,
+                size=1,
+                kind=TerminatorKind.COND,
+                calls=[CallSite(0, "callee")],
+            )
+
+    def test_straightline_size(self):
+        assert BasicBlock(bid=0, size=5, kind=TerminatorKind.COND).straightline_size == 4
+        assert BasicBlock(bid=0, size=5).straightline_size == 5
+
+    def test_call_offset_out_of_range(self):
+        with pytest.raises(ValueError):
+            BasicBlock(
+                bid=0, size=3, kind=TerminatorKind.COND,
+                calls=[CallSite(2, "callee")],  # offset 2 is the branch slot
+            )
+
+    def test_call_offsets_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            BasicBlock(
+                bid=0, size=6,
+                calls=[CallSite(3, "a"), CallSite(1, "b")],
+            )
+
+    def test_duplicate_call_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock(bid=0, size=6, calls=[CallSite(1, "a"), CallSite(1, "b")])
+
+    def test_multiple_calls_in_one_block(self):
+        block = BasicBlock(
+            bid=0, size=6,
+            calls=[CallSite(0, "a"), CallSite(2, "b"), CallSite(4, "c")],
+        )
+        assert [c.callee for c in block.calls] == ["a", "b", "c"]
+
+
+class TestCallSite:
+    def test_direct_call(self):
+        call = CallSite(0, "target")
+        assert not call.is_indirect
+
+    def test_indirect_call_requires_chooser(self):
+        with pytest.raises(ValueError):
+            CallSite(0).validate(block_size=4, has_terminator=False)
+
+    def test_indirect_call_with_chooser(self):
+        call = CallSite(0, chooser=CalleeChoice(["a", "b"]))
+        assert call.is_indirect
+        call.validate(block_size=4, has_terminator=False)

@@ -1,0 +1,106 @@
+"""Unit tests for the fluent procedure/program builders."""
+
+import pytest
+
+from repro.cfg import (
+    CFGError,
+    EdgeKind,
+    ProcedureBuilder,
+    ProgramBuilder,
+    TerminatorKind,
+)
+from repro.sim.behaviors import Bernoulli, IndirectChoice
+
+
+class TestProcedureBuilder:
+    def test_implicit_fallthrough_wiring(self):
+        b = ProcedureBuilder("p")
+        b.fall("a", 2)
+        b.fall("b", 3)
+        b.ret("c", 1)
+        proc = b.build()
+        assert proc.fallthrough_edge(0).dst == 1
+        assert proc.fallthrough_edge(1).dst == 2
+
+    def test_forward_reference_resolution(self):
+        b = ProcedureBuilder("p")
+        b.cond("head", 2, taken="later")  # "later" declared afterwards
+        b.fall("mid", 1)
+        b.fall("later", 1)
+        b.ret("exit", 1)
+        proc = b.build()
+        assert proc.block(proc.taken_edge(0).dst).label == "later"
+
+    def test_unknown_target_rejected(self):
+        b = ProcedureBuilder("p")
+        b.uncond("a", 1, target="nowhere")
+        with pytest.raises(CFGError):
+            b.build()
+
+    def test_duplicate_names_rejected(self):
+        b = ProcedureBuilder("p")
+        b.fall("a", 1)
+        with pytest.raises(CFGError):
+            b.fall("a", 1)
+
+    def test_trailing_fallthrough_rejected(self):
+        b = ProcedureBuilder("p")
+        b.fall("a", 1)
+        with pytest.raises(CFGError):
+            b.build()
+
+    def test_empty_procedure_rejected(self):
+        with pytest.raises(CFGError):
+            ProcedureBuilder("p").build()
+
+    def test_indirect_block(self):
+        b = ProcedureBuilder("p")
+        b.indirect("sw", 2, targets=["c0", "c1"], behavior=IndirectChoice(2))
+        b.fall("c0", 1)
+        b.uncond("j", 1, target="exit")
+        b.fall("c1", 1)
+        b.ret("exit", 1)
+        proc = b.build()
+        dsts = [e.dst for e in proc.out_edges(0)]
+        assert [proc.block(d).label for d in dsts] == ["c0", "c1"]
+        assert all(e.kind is EdgeKind.INDIRECT for e in proc.out_edges(0))
+
+    def test_name_to_id_mapping(self):
+        b = ProcedureBuilder("p")
+        b.fall("a", 1)
+        b.ret("b", 1)
+        b.build()
+        assert b.name_to_id() == {"a": 0, "b": 1}
+
+    def test_behavior_attached(self):
+        behavior = Bernoulli(0.5)
+        b = ProcedureBuilder("p")
+        b.cond("c", 2, taken="exit", behavior=behavior)
+        b.fall("ft", 1)
+        b.ret("exit", 1)
+        proc = b.build()
+        assert proc.block(0).behavior is behavior
+
+
+class TestProgramBuilder:
+    def test_builds_program_with_entry(self):
+        pb = ProgramBuilder(entry="main")
+        main = pb.procedure("main")
+        main.ret("r", 2)
+        helper = pb.procedure("helper")
+        helper.ret("r", 1)
+        program = pb.build()
+        assert program.entry == "main"
+        assert set(program.order) == {"main", "helper"}
+
+    def test_default_entry_is_first(self):
+        pb = ProgramBuilder()
+        pb.procedure("first").ret("r", 1)
+        pb.procedure("second").ret("r", 1)
+        assert pb.build().entry == "first"
+
+    def test_add_prebuilt_procedure(self):
+        b = ProcedureBuilder("solo")
+        b.ret("r", 1)
+        program = ProgramBuilder().add(b.build()).build()
+        assert "solo" in program

@@ -1,0 +1,42 @@
+"""Tests for Graphviz export of procedures (the paper-figure renderer)."""
+
+from repro.cfg import procedure_to_dot
+from repro.profiling import EdgeProfile
+from tests.conftest import diamond_procedure
+
+
+def test_dot_contains_all_nodes_and_edges():
+    proc = diamond_procedure()
+    dot = procedure_to_dot(proc)
+    for block in proc:
+        assert f"n{block.bid}" in dot
+        assert f"({block.size})" in dot
+    assert dot.count("->") == len(proc.edges)
+
+
+def test_fallthrough_edges_bold_taken_dotted():
+    # The paper darkens fall-through edges and dots taken edges.
+    proc = diamond_procedure()
+    dot = procedure_to_dot(proc)
+    assert "style=bold" in dot
+    assert "style=dotted" in dot
+
+
+def test_edge_weight_labels():
+    proc = diamond_procedure()
+    weights = {(0, 1): 70, (1, 2): 49, (1, 4): 21}
+    dot = procedure_to_dot(proc, edge_weights=weights)
+    # 70 of 140 total transitions = 50%
+    assert 'label="50"' in dot
+
+
+def test_sub_one_percent_edges_unlabelled():
+    proc = diamond_procedure()
+    weights = {(0, 1): 1000, (1, 4): 1}
+    dot = procedure_to_dot(proc, edge_weights=weights)
+    assert dot.count(", label=") == 1  # only the hot edge is labelled
+
+
+def test_custom_title():
+    proc = diamond_procedure()
+    assert 'digraph "elim_lowering"' in procedure_to_dot(proc, title="elim_lowering")

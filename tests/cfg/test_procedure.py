@@ -1,0 +1,170 @@
+"""Unit tests for the procedure CFG: validation, queries, analyses."""
+
+import pytest
+
+from repro.cfg import (
+    BasicBlock,
+    CFGError,
+    Edge,
+    EdgeKind,
+    Procedure,
+    ProcedureBuilder,
+    TerminatorKind,
+)
+from tests.conftest import diamond_procedure, loop_procedure, self_loop_procedure
+
+
+def _block(bid, size=2, kind=TerminatorKind.FALLTHROUGH):
+    return BasicBlock(bid=bid, size=size, kind=kind)
+
+
+class TestValidation:
+    def test_empty_procedure_rejected(self):
+        with pytest.raises(CFGError):
+            Procedure("p", [], [])
+
+    def test_duplicate_block_ids_rejected(self):
+        with pytest.raises(CFGError):
+            Procedure("p", [_block(0), _block(0)], [])
+
+    def test_edge_to_unknown_block_rejected(self):
+        blocks = [_block(0, kind=TerminatorKind.RETURN)]
+        with pytest.raises(CFGError):
+            Procedure("p", blocks, [Edge(0, 1, EdgeKind.TAKEN)])
+
+    def test_fallthrough_block_needs_exactly_one_edge(self):
+        blocks = [_block(0), _block(1, kind=TerminatorKind.RETURN)]
+        with pytest.raises(CFGError):
+            Procedure("p", blocks, [])  # no out-edge from block 0
+
+    def test_cond_needs_taken_and_fallthrough(self):
+        blocks = [
+            _block(0, kind=TerminatorKind.COND),
+            _block(1, kind=TerminatorKind.RETURN),
+        ]
+        with pytest.raises(CFGError):
+            Procedure("p", blocks, [Edge(0, 1, EdgeKind.TAKEN)])
+
+    def test_cond_targets_must_differ(self):
+        blocks = [
+            _block(0, kind=TerminatorKind.COND),
+            _block(1, kind=TerminatorKind.RETURN),
+        ]
+        with pytest.raises(CFGError):
+            Procedure(
+                "p",
+                blocks,
+                [Edge(0, 1, EdgeKind.TAKEN), Edge(0, 1, EdgeKind.FALLTHROUGH)],
+            )
+
+    def test_self_fallthrough_rejected(self):
+        blocks = [_block(0)]
+        with pytest.raises(CFGError):
+            Procedure("p", blocks, [Edge(0, 0, EdgeKind.FALLTHROUGH)])
+
+    def test_self_taken_allowed(self):
+        proc = self_loop_procedure()
+        loop_bid = next(b.bid for b in proc if b.label == "loop")
+        assert proc.taken_edge(loop_bid).dst == loop_bid
+
+    def test_nonadjacent_fallthrough_rejected(self):
+        # A fall-through edge must connect adjacent blocks in the
+        # original layout, because no branch instruction exists.
+        blocks = [
+            _block(0),
+            _block(1, kind=TerminatorKind.RETURN),
+            _block(2, kind=TerminatorKind.RETURN),
+        ]
+        with pytest.raises(CFGError):
+            Procedure("p", blocks, [Edge(0, 2, EdgeKind.FALLTHROUGH)])
+
+    def test_return_block_must_have_no_edges(self):
+        blocks = [
+            _block(0, kind=TerminatorKind.RETURN),
+            _block(1, kind=TerminatorKind.RETURN),
+        ]
+        with pytest.raises(CFGError):
+            Procedure("p", blocks, [Edge(0, 1, EdgeKind.TAKEN)])
+
+
+class TestQueries:
+    def test_entry_is_first_block(self):
+        proc = diamond_procedure()
+        assert proc.entry == 0
+        assert proc.original_order[0] == 0
+
+    def test_edge_queries(self):
+        proc = diamond_procedure()
+        test_bid = next(b.bid for b in proc if b.label == "test")
+        taken = proc.taken_edge(test_bid)
+        fall = proc.fallthrough_edge(test_bid)
+        assert taken is not None and fall is not None
+        assert proc.block(taken.dst).label == "else"
+        assert proc.block(fall.dst).label == "then"
+
+    def test_successors_predecessors(self):
+        proc = diamond_procedure()
+        join = next(b.bid for b in proc if b.label == "join")
+        preds = {proc.block(p).label for p in proc.predecessors(join)}
+        assert preds == {"endthen", "else"}
+
+    def test_instruction_count(self):
+        proc = diamond_procedure()
+        assert proc.instruction_count() == sum(b.size for b in proc)
+
+    def test_conditional_sites(self):
+        assert len(diamond_procedure().conditional_sites()) == 1
+        assert len(loop_procedure().conditional_sites()) == 1
+
+    def test_reachable_blocks_full(self):
+        proc = diamond_procedure()
+        assert proc.reachable_blocks() == set(proc.blocks)
+
+
+class TestAnalyses:
+    def test_retreating_edge_in_loop(self):
+        proc = loop_procedure()
+        latch = next(b.bid for b in proc if b.label == "latch")
+        body = next(b.bid for b in proc if b.label == "body")
+        assert (latch, body) in proc.retreating_edges()
+
+    def test_no_retreating_edges_in_dag(self):
+        assert diamond_procedure().retreating_edges() == set()
+
+    def test_cyclic_pairs_cover_loop_edges(self):
+        proc = loop_procedure()
+        latch = next(b.bid for b in proc if b.label == "latch")
+        body = next(b.bid for b in proc if b.label == "body")
+        pairs = proc.cyclic_edge_pairs()
+        assert (latch, body) in pairs
+        assert (body, latch) in pairs  # forward edge inside the same cycle
+
+    def test_cyclic_pairs_exclude_entry_and_exit(self):
+        proc = loop_procedure()
+        entry = proc.entry
+        pairs = proc.cyclic_edge_pairs()
+        assert all(src != entry for src, _dst in pairs)
+
+    def test_self_loop_is_cyclic(self):
+        proc = self_loop_procedure()
+        loop_bid = next(b.bid for b in proc if b.label == "loop")
+        assert (loop_bid, loop_bid) in proc.cyclic_edge_pairs()
+
+    def test_cyclic_pairs_empty_for_dag(self):
+        assert diamond_procedure().cyclic_edge_pairs() == set()
+
+    def test_nested_loop_sccs(self):
+        b = ProcedureBuilder("nested")
+        b.fall("entry", 1)
+        b.fall("outer_head", 2)
+        b.fall("inner_head", 2)
+        b.cond("inner_latch", 2, taken="inner_head")
+        b.cond("outer_latch", 2, taken="outer_head")
+        b.ret("exit", 1)
+        proc = b.build()
+        pairs = proc.cyclic_edge_pairs()
+        ids = {blk.label: blk.bid for blk in proc}
+        assert (ids["inner_latch"], ids["inner_head"]) in pairs
+        assert (ids["outer_latch"], ids["outer_head"]) in pairs
+        # entry -> outer_head is not in any cycle
+        assert (ids["entry"], ids["outer_head"]) not in pairs

@@ -1,0 +1,125 @@
+"""Unit tests for whole programs: call validation, ordering, resets."""
+
+import pytest
+
+from repro.cfg import (
+    BasicBlock,
+    CFGError,
+    CallSite,
+    Procedure,
+    ProcedureBuilder,
+    Program,
+    TerminatorKind,
+)
+from repro.sim.behaviors import Bernoulli
+from tests.conftest import call_procedure, loop_procedure
+
+
+def _ret_proc(name: str, calls=()):
+    b = ProcedureBuilder(name)
+    if calls:
+        b.fall("body", 4, calls=calls)
+    b.ret("exit", 2)
+    return b.build()
+
+
+class TestProgram:
+    def test_empty_program_rejected(self):
+        with pytest.raises(CFGError):
+            Program([])
+
+    def test_duplicate_procedure_names_rejected(self):
+        with pytest.raises(CFGError):
+            Program([_ret_proc("p"), _ret_proc("p")])
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(CFGError):
+            Program([_ret_proc("p")], entry="missing")
+
+    def test_default_entry_is_first_procedure(self):
+        program = Program([_ret_proc("a"), _ret_proc("b")])
+        assert program.entry == "a"
+
+    def test_unknown_callee_rejected(self):
+        with pytest.raises(CFGError):
+            Program([_ret_proc("main", calls=[CallSite(0, "ghost")])])
+
+    def test_procedure_order_preserved(self):
+        names = ["z", "a", "m"]
+        program = Program([_ret_proc(n) for n in names])
+        assert list(program.order) == names
+
+    def test_call_graph(self):
+        leaf = _ret_proc("leaf")
+        mid = _ret_proc("mid", calls=[CallSite(0, "leaf")])
+        main = _ret_proc("main", calls=[CallSite(0, "mid"), CallSite(1, "leaf")])
+        program = Program([main, mid, leaf], entry="main")
+        graph = program.call_graph()
+        assert graph["main"] == {"mid", "leaf"}
+        assert graph["mid"] == {"leaf"}
+        assert graph["leaf"] == set()
+
+    def test_call_sites_iteration(self):
+        program = Program(
+            [call_procedure("leaf", name="main"), loop_procedure("leaf")],
+            entry="main",
+        )
+        sites = list(program.call_sites())
+        assert len(sites) == 1
+        proc, bid, call = sites[0]
+        assert proc.name == "main" and call.callee == "leaf"
+
+    def test_instruction_count(self):
+        program = Program([_ret_proc("a"), _ret_proc("b")])
+        assert program.instruction_count() == 4
+
+    def test_static_conditional_sites(self):
+        program = Program(
+            [call_procedure("leaf", name="main"), loop_procedure("leaf")],
+            entry="main",
+        )
+        assert program.static_conditional_sites() == 2
+
+
+class TestBehaviorReset:
+    def test_reset_is_deterministic(self):
+        behavior = Bernoulli(0.5)
+        b = ProcedureBuilder("main")
+        b.cond("c", 2, taken="exit", behavior=behavior)
+        b.fall("ft", 1)
+        b.ret("exit", 1)
+        program = Program([b.build()])
+
+        program.reset_behaviors(seed=42)
+        first = [behavior.choose() for _ in range(50)]
+        program.reset_behaviors(seed=42)
+        second = [behavior.choose() for _ in range(50)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        behavior = Bernoulli(0.5)
+        b = ProcedureBuilder("main")
+        b.cond("c", 2, taken="exit", behavior=behavior)
+        b.fall("ft", 1)
+        b.ret("exit", 1)
+        program = Program([b.build()])
+
+        program.reset_behaviors(seed=1)
+        first = [behavior.choose() for _ in range(64)]
+        program.reset_behaviors(seed=2)
+        second = [behavior.choose() for _ in range(64)]
+        assert first != second
+
+    def test_distinct_sites_get_distinct_streams(self):
+        b1, b2 = Bernoulli(0.5), Bernoulli(0.5)
+        pb = ProcedureBuilder("main")
+        pb.cond("c1", 2, taken="exit", behavior=b1)
+        pb.fall("f1", 1)
+        pb.cond("c2", 2, taken="exit", behavior=b2)
+        pb.fall("f2", 1)
+        pb.ret("exit", 1)
+        program = Program([pb.build()])
+        program.reset_behaviors(seed=7)
+        s1 = [b1.choose() for _ in range(64)]
+        s2 = [b2.choose() for _ in range(64)]
+        assert s1 != s2

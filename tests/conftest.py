@@ -1,0 +1,106 @@
+"""Shared fixtures: small hand-built programs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg import CallSite, ProcedureBuilder, Program
+from repro.sim.behaviors import Bernoulli, Loop, NeverTaken, Pattern
+
+
+def diamond_procedure(name: str = "diamond", p_then: float = 0.7):
+    """entry -> cond -> (then | else) -> join -> ret.
+
+    The conditional branches to the else side when taken (branch-if-false
+    shape); the then side ends with an unconditional jump over the else.
+    """
+    b = ProcedureBuilder(name)
+    b.fall("entry", 2)
+    b.cond("test", 3, taken="else", behavior=Bernoulli(1.0 - p_then))
+    b.fall("then", 4)
+    b.uncond("endthen", 1, target="join")
+    b.fall("else", 5)
+    b.fall("join", 2)
+    b.ret("exit", 1)
+    return b.build()
+
+
+def loop_procedure(name: str = "loop", trips: int = 10):
+    """entry -> body -> latch(cond, taken back to body) -> ret."""
+    b = ProcedureBuilder(name)
+    b.fall("entry", 2)
+    b.fall("body", 6)
+    b.cond("latch", 2, taken="body", behavior=Loop(trips, continue_taken=True))
+    b.ret("exit", 1)
+    return b.build()
+
+
+def self_loop_procedure(name: str = "selfloop", trips: int = 30):
+    """The ALVINN Figure 2 shape: a block conditionally branching to itself."""
+    b = ProcedureBuilder(name)
+    b.fall("entry", 3)
+    b.cond("loop", 11, taken="loop", behavior=Loop(trips, continue_taken=True))
+    b.ret("exit", 2)
+    return b.build()
+
+
+def call_procedure(callee: str, name: str = "caller", count: int = 3):
+    """A procedure calling ``callee`` from a counted loop."""
+    b = ProcedureBuilder(name)
+    b.fall("entry", 2)
+    b.fall("body", 4, calls=[CallSite(1, callee)])
+    b.cond("latch", 2, taken="body", behavior=Loop(count, continue_taken=True))
+    b.ret("exit", 1)
+    return b.build()
+
+
+def single_block_program():
+    """The smallest legal program: main immediately returns."""
+    b = ProcedureBuilder("main")
+    b.ret("only", 3)
+    return Program([b.build()])
+
+
+@pytest.fixture
+def diamond():
+    return diamond_procedure()
+
+
+@pytest.fixture
+def loop():
+    return loop_procedure()
+
+
+@pytest.fixture
+def diamond_program():
+    return Program([diamond_procedure("main")])
+
+
+@pytest.fixture
+def loop_program():
+    return Program([loop_procedure("main")])
+
+
+@pytest.fixture
+def self_loop_program():
+    return Program([self_loop_procedure("main")])
+
+
+@pytest.fixture
+def call_program():
+    callee = loop_procedure("leaf", trips=4)
+    caller = call_procedure("leaf", name="main")
+    return Program([caller, callee], entry="main")
+
+
+@pytest.fixture
+def pattern_program():
+    """A program whose single conditional follows a strict TTN pattern."""
+    b = ProcedureBuilder("main")
+    b.fall("entry", 2)
+    b.cond("pat", 3, taken="body", behavior=Pattern("TTN"))
+    b.fall("skip", 2)
+    b.fall("body", 2)
+    b.cond("back", 2, taken="pat", behavior=Loop(60, continue_taken=True))
+    b.ret("exit", 1)
+    return Program([b.build()])

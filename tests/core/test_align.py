@@ -1,0 +1,67 @@
+"""Unit tests for alignment orchestration and the OriginalAligner."""
+
+import pytest
+
+from repro.core import (
+    CostAligner,
+    GreedyAligner,
+    OriginalAligner,
+    TryNAligner,
+    align_program,
+    make_model,
+)
+from repro.isa import ProgramLayout
+from repro.profiling import profile_program
+
+
+class TestOriginalAligner:
+    def test_identity_layout(self, diamond_program):
+        profile = profile_program(diamond_program)
+        layout = OriginalAligner().align(diamond_program, profile)
+        identity = ProgramLayout.identity(diamond_program)
+        assert [p.bid for p in layout["main"].placements] == [
+            p.bid for p in identity["main"].placements
+        ]
+
+    def test_build_chains_unsupported(self, diamond_program):
+        with pytest.raises(NotImplementedError):
+            OriginalAligner().build_chains(
+                diamond_program.procedure("main"), profile_program(diamond_program)
+            )
+
+
+class TestAlignProgram:
+    def test_wrapper_equivalent_to_method(self, loop_program):
+        profile = profile_program(loop_program)
+        aligner = GreedyAligner()
+        a = align_program(loop_program, profile, aligner)
+        b = aligner.align(loop_program, profile)
+        assert [p.bid for p in a["main"].placements] == [
+            p.bid for p in b["main"].placements
+        ]
+
+    def test_every_aligner_produces_checked_layouts(self, call_program):
+        profile = profile_program(call_program)
+        aligners = [
+            GreedyAligner(),
+            GreedyAligner(chain_order="btfnt"),
+            CostAligner(make_model("fallthrough")),
+            TryNAligner(make_model("likely")),
+            TryNAligner.for_architecture("btfnt"),
+        ]
+        for aligner in aligners:
+            layout = aligner.align(call_program, profile)
+            for name in call_program.order:
+                layout[name].check()
+
+    def test_procedure_order_never_changes(self, call_program):
+        profile = profile_program(call_program)
+        layout = GreedyAligner().align(call_program, profile)
+        assert [pl.procedure.name for pl in layout] == list(call_program.order)
+
+    def test_alignment_with_empty_profile(self, call_program):
+        from repro.profiling import EdgeProfile
+
+        layout = TryNAligner(make_model("likely")).align(call_program, EdgeProfile())
+        for name in call_program.order:
+            layout[name].check()

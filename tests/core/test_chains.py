@@ -1,0 +1,125 @@
+"""Unit tests for the Pettis–Hansen chain structure."""
+
+import pytest
+
+from repro.core import ChainSet
+from tests.conftest import diamond_procedure, loop_procedure
+
+
+@pytest.fixture
+def chains():
+    return ChainSet(diamond_procedure())
+
+
+class TestLinking:
+    def test_initial_singletons(self, chains):
+        assert all(len(c) == 1 for c in chains.chains())
+
+    def test_link_merges(self, chains):
+        chains.link(0, 1)
+        assert [0, 1] in chains.chains()
+
+    def test_no_double_successor(self, chains):
+        chains.link(1, 2)
+        assert not chains.can_link(1, 4)
+        with pytest.raises(ValueError):
+            chains.link(1, 4)
+
+    def test_no_double_predecessor(self, chains):
+        chains.link(1, 4)   # test -> else
+        # join (5) already has pred? no - else(4) -> join would be else's succ
+        chains.link(4, 5)
+        assert not chains.can_link(3, 5)  # endthen -> join: join has pred
+
+    def test_no_self_link(self, chains):
+        assert not chains.can_link(2, 2)
+
+    def test_entry_never_gets_predecessor(self, chains):
+        # Entry must stay the first block of the procedure.
+        assert not chains.can_link(3, 0)
+
+    def test_cycle_prevented(self, chains):
+        chains.link(0, 1)
+        chains.link(1, 2)
+        assert not chains.can_link(2, 0)
+        assert not chains.can_link(2, 1)
+
+    def test_return_block_cannot_take_successor(self):
+        chains = ChainSet(loop_procedure())
+        exit_bid = 3
+        assert not chains.can_link(exit_bid, 1)
+
+    def test_chain_merge_order(self, chains):
+        chains.link(2, 3)
+        chains.link(1, 2)
+        assert chains.chain_of(3) == [1, 2, 3]
+
+
+class TestUnlink:
+    def test_unlink_splits(self, chains):
+        chains.link(0, 1)
+        chains.link(1, 2)
+        chains.unlink(1)
+        assert chains.chain_of(0) == [0, 1]
+        assert chains.chain_of(2) == [2]
+
+    def test_unlink_then_relink(self, chains):
+        chains.link(1, 2)
+        chains.unlink(1)
+        assert chains.can_link(1, 4)
+        chains.link(1, 4)
+        assert chains.chain_of(1) == [1, 4]
+
+    def test_unlink_restores_cycle_feasibility(self, chains):
+        chains.link(0, 1)
+        chains.link(1, 2)
+        chains.unlink(0)
+        # 2 -> 0 no longer closes a cycle through 0's chain.
+        assert chains.can_link(2, 3)
+
+    def test_unlink_without_link_raises(self, chains):
+        with pytest.raises(ValueError):
+            chains.unlink(0)
+
+    def test_unlink_middle_of_long_chain(self, chains):
+        chains.link(1, 2)
+        chains.link(2, 3)
+        chains.link(3, 4)
+        chains.unlink(2)
+        assert chains.chain_of(1) == [1, 2]
+        assert chains.chain_of(4) == [3, 4]
+        chains.check()
+
+
+class TestSealing:
+    def test_sealed_cannot_link(self, chains):
+        chains.seal(1)
+        assert not chains.can_link(1, 2)
+
+    def test_sealed_can_still_be_target(self, chains):
+        chains.seal(2)
+        assert chains.can_link(1, 2)
+
+    def test_seal_linked_block_raises(self, chains):
+        chains.link(1, 2)
+        with pytest.raises(ValueError):
+            chains.seal(1)
+
+    def test_unseal(self, chains):
+        chains.seal(1)
+        chains.unseal(1)
+        assert chains.can_link(1, 2)
+
+
+class TestInvariants:
+    def test_check_passes_on_valid_state(self, chains):
+        chains.link(0, 1)
+        chains.link(1, 2)
+        chains.link(4, 5)
+        chains.check()
+
+    def test_chains_partition_blocks(self, chains):
+        chains.link(0, 1)
+        chains.link(2, 3)
+        seen = [bid for chain in chains.chains() for bid in chain]
+        assert sorted(seen) == sorted(chains.proc.blocks)

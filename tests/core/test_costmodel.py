@@ -1,0 +1,150 @@
+"""Unit tests for the Table 1 cost model and its per-architecture variants."""
+
+import pytest
+
+from repro.core import (
+    BranchCosts,
+    BTBModel,
+    BTFNTModel,
+    DEFAULT_COSTS,
+    FallthroughModel,
+    LikelyModel,
+    PHTModel,
+    make_model,
+)
+from repro.isa import link_identity
+from repro.profiling import profile_program
+from repro.workloads import FIGURE3_ORIGINAL_COST, figure3_program
+
+
+class TestTable1:
+    """The exact cycle costs of Table 1."""
+
+    def test_unconditional_branch_costs_two(self):
+        assert DEFAULT_COSTS.unconditional == 2
+
+    def test_correct_fallthrough_costs_one(self):
+        assert DEFAULT_COSTS.correct_fallthrough == 1
+
+    def test_correct_taken_costs_two(self):
+        assert DEFAULT_COSTS.correct_taken == 2
+
+    def test_mispredicted_costs_five(self):
+        assert DEFAULT_COSTS.mispredicted == 5
+
+
+class TestFallthroughModel:
+    def test_taken_always_mispredicted(self):
+        model = FallthroughModel()
+        assert model.cond_cost(w_fall=10, w_taken=3, taken_backward=True) == 10 + 15
+        assert model.cond_cost(10, 3, False) == 25
+
+    def test_neither_configuration(self):
+        # The self-loop example from section 4: 5 cycles per iteration
+        # becomes 3 (correct fall-through + unconditional jump).
+        model = FallthroughModel()
+        direct = model.cond_cost(w_fall=0, w_taken=100, taken_backward=True)
+        sealed = model.cond_neither_cost(w_via_jump=100, w_taken=0, taken_backward=False)
+        assert direct == 500
+        assert sealed == 300
+
+
+class TestBTFNTModel:
+    def test_backward_taken_predicted(self):
+        model = BTFNTModel()
+        assert model.cond_cost(w_fall=1, w_taken=10, taken_backward=True) == 10 * 2 + 1 * 5
+
+    def test_forward_taken_mispredicted(self):
+        model = BTFNTModel()
+        assert model.cond_cost(1, 10, False) == 1 * 1 + 10 * 5
+
+    def test_uses_direction_flag(self):
+        assert BTFNTModel.uses_direction
+        assert not LikelyModel.uses_direction
+
+
+class TestLikelyModel:
+    def test_majority_taken(self):
+        model = LikelyModel()
+        assert model.cond_cost(w_fall=2, w_taken=8, taken_backward=False) == 8 * 2 + 2 * 5
+
+    def test_majority_fallthrough(self):
+        model = LikelyModel()
+        assert model.cond_cost(8, 2, False) == 8 * 1 + 2 * 5
+
+    def test_tie_predicts_fallthrough(self):
+        model = LikelyModel()
+        assert model.cond_cost(5, 5, False) == 5 * 1 + 5 * 5
+
+
+class TestDynamicModels:
+    def test_pht_ten_percent_mispredict(self):
+        # Section 6: "our cost model for the PHT architectures assume that
+        # conditional branches are mispredicted only 10% of the time".
+        model = PHTModel()
+        cost = model.cond_cost(w_fall=100, w_taken=0, taken_backward=False)
+        assert cost == pytest.approx(0.9 * 100 + 0.1 * 500)
+
+    def test_pht_taken_pays_misfetch(self):
+        model = PHTModel()
+        cost = model.cond_cost(0, 100, False)
+        assert cost == pytest.approx(0.9 * 200 + 0.1 * 500)
+
+    def test_btb_taken_misfetch_only_on_miss(self):
+        # "taken unconditional and conditional branches will only cause a
+        # misfetch penalty 10% of the time".
+        model = BTBModel()
+        assert model.uncond_cost(100) == pytest.approx(110)
+        pht = PHTModel()
+        assert pht.uncond_cost(100) == 200
+
+    def test_btb_cond_cost(self):
+        model = BTBModel()
+        cost = model.cond_cost(0, 100, False)
+        assert cost == pytest.approx(0.9 * 100 * 1.1 + 0.1 * 100 * 5)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PHTModel(mispredict_rate=1.5)
+        with pytest.raises(ValueError):
+            BTBModel(miss_rate=-0.1)
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in ("fallthrough", "btfnt", "likely", "pht", "btb"):
+            assert make_model(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_model("oracle")
+
+
+class TestLayoutCost:
+    def test_figure3_original_cost_is_exact(self):
+        """Our cost accounting reproduces the paper's 36,002 cycles."""
+        program = figure3_program()
+        profile = profile_program(program)
+        linked = link_identity(program)
+        proc = program.procedure("fig3")
+        for arch in ("likely", "btfnt"):
+            model = make_model(arch)
+            assert model.procedure_cost(linked, proc, profile) == FIGURE3_ORIGINAL_COST
+
+    def test_layout_cost_sums_procedures(self):
+        program = figure3_program(loop_trips=100)
+        profile = profile_program(program)
+        linked = link_identity(program)
+        model = make_model("likely")
+        total = model.layout_cost(linked, profile)
+        per_proc = sum(
+            model.procedure_cost(linked, program.procedure(n), profile)
+            for n in program.order
+        )
+        assert total == per_proc
+
+    def test_custom_costs_propagate(self):
+        costs = BranchCosts(instruction=1, misfetch=2, mispredict=8)
+        model = FallthroughModel(costs)
+        assert model.cond_cost(0, 10, False) == 10 * 9
+        assert model.uncond_cost(10) == 30

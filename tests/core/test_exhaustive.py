@@ -1,0 +1,107 @@
+"""Tests for the exhaustive optimal aligner, and TryN's quality against it."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cfg import Program
+from repro.core import (
+    ExhaustiveAligner,
+    GreedyAligner,
+    TryNAligner,
+    make_model,
+)
+from repro.isa import link
+from repro.profiling import profile_program
+from repro.workloads import figure2_program, figure3_program
+from tests.conftest import diamond_procedure, loop_procedure
+from tests.properties.strategies import programs
+
+
+def _cost(model, program, profile, layout):
+    return model.layout_cost(link(layout), profile)
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("arch", ["fallthrough", "btfnt", "likely", "pht", "btb"])
+    def test_never_worse_than_tryn_on_figure3(self, arch):
+        program = figure3_program(loop_trips=500)
+        profile = profile_program(program)
+        model = make_model(arch)
+        optimal = ExhaustiveAligner(model).align(program, profile)
+        tryn = TryNAligner.for_architecture(arch).align(program, profile)
+        assert _cost(model, program, profile, optimal) <= _cost(
+            model, program, profile, tryn
+        ) + 1e-9
+
+    def test_tryn_matches_optimum_on_figure3(self):
+        """The paper's Figure 3 rotation is optimal; Try15 finds it."""
+        program = figure3_program()
+        profile = profile_program(program)
+        model = make_model("likely")
+        optimal = ExhaustiveAligner(model).align(program, profile)
+        tryn = TryNAligner.for_architecture("likely").align(program, profile)
+        assert _cost(model, program, profile, tryn) == pytest.approx(
+            _cost(model, program, profile, optimal)
+        )
+
+    def test_cost_matches_optimum_on_self_loop(self):
+        program = figure2_program(iters=1, trips=500)
+        profile = profile_program(program)
+        model = make_model("fallthrough")
+        optimal = ExhaustiveAligner(model).align(program, profile)
+        tryn = TryNAligner(model).align(program, profile)
+        assert _cost(model, program, profile, tryn) == pytest.approx(
+            _cost(model, program, profile, optimal)
+        )
+
+    def test_fallback_for_large_procedures(self):
+        program = figure3_program(loop_trips=10)
+        profile = profile_program(program)
+        aligner = ExhaustiveAligner(make_model("likely"), max_blocks=2)
+        layout = aligner.align(program, profile)  # falls back to TryN
+        for name in program.order:
+            layout[name].check()
+
+    def test_entry_stays_first(self, diamond_program):
+        profile = profile_program(diamond_program)
+        layout = ExhaustiveAligner(make_model("likely")).align(diamond_program, profile)
+        assert layout["main"].placements[0].bid == 0
+
+
+class TestHeuristicQuality:
+    """TryN should sit close to the optimum on random small CFGs — the
+    empirical version of the paper's claim that windowed search is a good
+    stand-in for the impossible exhaustive search."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(program=programs())
+    def test_tryn_within_ten_percent_of_optimal(self, program):
+        if len(program.procedure("main")) > 8:
+            return  # exhaustive enumeration too large; skip this example
+        profile = profile_program(program)
+        model = make_model("likely")
+        optimal_cost = _cost(
+            model, program, profile,
+            ExhaustiveAligner(model).align(program, profile),
+        )
+        tryn_cost = _cost(
+            model, program, profile,
+            TryNAligner(model, window=8).align(program, profile),
+        )
+        assert tryn_cost <= optimal_cost * 1.10 + 10.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(program=programs())
+    def test_optimal_never_worse_than_greedy(self, program):
+        if len(program.procedure("main")) > 8:
+            return
+        profile = profile_program(program)
+        model = make_model("fallthrough")
+        optimal_cost = _cost(
+            model, program, profile,
+            ExhaustiveAligner(model).align(program, profile),
+        )
+        greedy_cost = _cost(
+            model, program, profile, GreedyAligner().align(program, profile)
+        )
+        assert optimal_cost <= greedy_cost + 1e-9

@@ -1,0 +1,79 @@
+"""Unit tests for chain ordering strategies."""
+
+import pytest
+
+from repro.core import ChainSet, order_chains
+from repro.profiling import EdgeProfile
+from tests.conftest import diamond_procedure, loop_procedure
+
+
+def _labels(proc):
+    return {b.label: b.bid for b in proc}
+
+
+@pytest.fixture
+def chained_diamond():
+    proc = diamond_procedure()
+    ids = _labels(proc)
+    chains = ChainSet(proc)
+    chains.link(ids["entry"], ids["test"])
+    chains.link(ids["else"], ids["join"])
+    chains.link(ids["then"], ids["endthen"])
+    profile = EdgeProfile()
+    profile.set_weight(proc.name, ids["entry"], ids["test"], 100)
+    profile.set_weight(proc.name, ids["test"], ids["else"], 90)
+    profile.set_weight(proc.name, ids["else"], ids["join"], 90)
+    profile.set_weight(proc.name, ids["join"], ids["exit"], 100)
+    profile.set_weight(proc.name, ids["test"], ids["then"], 10)
+    profile.set_weight(proc.name, ids["then"], ids["endthen"], 10)
+    profile.set_weight(proc.name, ids["endthen"], ids["join"], 10)
+    return proc, ids, chains, profile
+
+
+class TestWeightOrder:
+    def test_entry_chain_first(self, chained_diamond):
+        proc, ids, chains, profile = chained_diamond
+        order = order_chains(chains, profile, "weight")
+        assert order[0] == ids["entry"]
+
+    def test_hot_chain_before_cold_chain(self, chained_diamond):
+        proc, ids, chains, profile = chained_diamond
+        order = order_chains(chains, profile, "weight")
+        assert order.index(ids["else"]) < order.index(ids["then"])
+
+    def test_order_is_permutation(self, chained_diamond):
+        proc, ids, chains, profile = chained_diamond
+        order = order_chains(chains, profile, "weight")
+        assert sorted(order) == sorted(proc.blocks)
+
+    def test_chain_contiguity(self, chained_diamond):
+        proc, ids, chains, profile = chained_diamond
+        order = order_chains(chains, profile, "weight")
+        assert order.index(ids["join"]) == order.index(ids["else"]) + 1
+
+
+class TestBTFNTOrder:
+    def test_predicted_taken_target_placed_before_source(self):
+        """A hot taken branch's target chain should precede the source
+        chain so the branch points backward."""
+        proc = loop_procedure()
+        ids = _labels(proc)
+        chains = ChainSet(proc)
+        # Deliberately leave latch and body in separate chains.
+        chains.link(ids["entry"], ids["exit"])
+        profile = EdgeProfile()
+        profile.set_weight(proc.name, ids["latch"], ids["body"], 90)  # taken, hot
+        profile.set_weight(proc.name, ids["latch"], ids["exit"], 10)
+        profile.set_weight(proc.name, ids["body"], ids["latch"], 100)
+        order = order_chains(chains, profile, "btfnt")
+        assert order.index(ids["body"]) < order.index(ids["latch"])
+
+    def test_entry_still_first(self, chained_diamond):
+        proc, ids, chains, profile = chained_diamond
+        order = order_chains(chains, profile, "btfnt")
+        assert order[0] == ids["entry"]
+
+    def test_unknown_strategy_rejected(self, chained_diamond):
+        proc, ids, chains, profile = chained_diamond
+        with pytest.raises(ValueError):
+            order_chains(chains, profile, "alphabetical")

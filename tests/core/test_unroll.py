@@ -1,0 +1,129 @@
+"""Unit tests for self-loop unrolling (the section-3 ALVINN suggestion)."""
+
+import pytest
+
+from repro.cfg import Program, TerminatorKind
+from repro.core import CostAligner, make_model
+from repro.isa import link, link_identity
+from repro.profiling import profile_program
+from repro.sim.behaviors import Inverted, Loop, Pattern
+from repro.sim.executor import execute
+from repro.sim.metrics import simulate
+from repro.transforms import (
+    UnrollError,
+    find_self_loops,
+    unroll_program_self_loops,
+    unroll_self_loop,
+)
+from repro.workloads import figure2_program
+from tests.conftest import diamond_procedure, self_loop_procedure
+
+
+class TestInvertedBehavior:
+    def test_negates_inner(self):
+        inner = Pattern("TTN")
+        inner.reset(0)
+        wrapped = Inverted(inner)
+        assert [wrapped.choose() for _ in range(3)] == [False, False, True]
+
+    def test_reset_is_noop(self):
+        inner = Pattern("TN")
+        inner.reset(0)
+        inner.choose()
+        Inverted(inner).reset(99)
+        assert inner.choose() is False  # inner state untouched
+
+
+class TestFindSelfLoops:
+    def test_finds_figure2_loop(self):
+        proc = self_loop_procedure()
+        loop_bid = next(b.bid for b in proc if b.label == "loop")
+        assert find_self_loops(proc) == [loop_bid]
+
+    def test_diamond_has_none(self):
+        assert find_self_loops(diamond_procedure()) == []
+
+
+class TestUnrollSelfLoop:
+    def _unrolled(self, factor=2, trips=30):
+        proc = self_loop_procedure(trips=trips)
+        loop_bid = next(b.bid for b in proc if b.label == "loop")
+        return proc, loop_bid, unroll_self_loop(proc, loop_bid, factor)
+
+    def test_copy_count(self):
+        proc, _bid, unrolled = self._unrolled(factor=3)
+        assert len(unrolled) == len(proc) + 2
+
+    def test_copies_share_size(self):
+        proc, bid, unrolled = self._unrolled(factor=4)
+        original = proc.block(bid)
+        copies = [b for b in unrolled if b.size == original.size
+                  and b.kind is TerminatorKind.COND]
+        assert len(copies) == 4
+
+    def test_only_last_copy_branches_back(self):
+        _proc, bid, unrolled = self._unrolled(factor=3)
+        back_edges = [e for e in unrolled.edges if e.dst == bid and e.src != bid]
+        # Exactly one backward taken edge, from the last copy.
+        taken_back = [e for e in back_edges if e.kind.value == "taken"]
+        assert len(taken_back) == 1
+
+    def test_validation(self):
+        proc = diamond_procedure()
+        with pytest.raises(UnrollError):
+            unroll_self_loop(proc, 1, 2)  # "test" is not a self-loop
+        loop_proc = self_loop_procedure()
+        with pytest.raises(UnrollError):
+            unroll_self_loop(loop_proc, find_self_loops(loop_proc)[0], 1)
+
+    def test_semantics_preserved_exactly(self):
+        """Same instructions executed, same iteration count, any factor."""
+        trips = 30
+        base = Program([self_loop_procedure(trips=trips)], entry="selfloop")
+        base_result = execute(link_identity(base), seed=0)
+        for factor in (2, 3, 5):
+            program = Program([self_loop_procedure(trips=trips)], entry="selfloop")
+            unrolled = unroll_program_self_loops(program, factor)
+            result = execute(link_identity(unrolled), seed=0)
+            assert result.instructions == base_result.instructions, factor
+            # One conditional still executes per iteration.
+            assert result.events == base_result.events, factor
+
+    def test_fallthrough_conversion_rate(self):
+        """k-1 of every k iterations become fall-throughs pre-alignment."""
+        program = Program([self_loop_procedure(trips=40)], entry="selfloop")
+        unrolled = unroll_program_self_loops(program, 4)
+        profile = profile_program(unrolled)
+        report = simulate(link_identity(unrolled), profile)
+        # 39 continues + 1 exit: 29-ish continues fall through (3 of 4) + exit.
+        assert report.percent_fallthrough > 70.0
+
+
+class TestUnrollPlusAlignment:
+    def test_alvinn_improves_beyond_alignment_alone(self):
+        """The paper's conjecture: duplication + alignment beats alignment.
+
+        Under FALLTHROUGH, alignment alone reaches 3 cycles/iteration on a
+        self-loop; unroll-by-4 plus alignment approaches 1.5.
+        """
+        model = make_model("fallthrough")
+
+        program = figure2_program(iters=50, trips=30)
+        profile = profile_program(program)
+        aligned_only = model.layout_cost(
+            link(CostAligner(model).align(program, profile)), profile
+        )
+
+        unrolled = unroll_program_self_loops(figure2_program(iters=50, trips=30), 4)
+        unrolled_profile = profile_program(unrolled)
+        unrolled_aligned = model.layout_cost(
+            link(CostAligner(model).align(unrolled, unrolled_profile)),
+            unrolled_profile,
+        )
+        assert unrolled_aligned < 0.75 * aligned_only
+
+    def test_profile_gated_unrolling(self):
+        program = figure2_program(iters=1, trips=5)
+        profile = profile_program(program)
+        untouched = unroll_program_self_loops(program, 2, profile, min_weight=10**9)
+        assert untouched.instruction_count() == program.instruction_count()

@@ -1,0 +1,80 @@
+"""End-to-end CLI workflows: the chained commands a user actually runs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.isa import link, load_layout
+from repro.profiling import load_profile
+from repro.sim.metrics import simulate
+from repro.workloads import generate_benchmark
+
+SCALE = "0.03"
+
+
+class TestTwoPassWorkflow:
+    def test_profile_align_apply(self, tmp_path, capsys):
+        """profile -> align --profile --save-layout -> reload and simulate."""
+        profile_path = tmp_path / "profile.json"
+        layout_path = tmp_path / "alignment.json"
+
+        assert main(["profile", "espresso", str(profile_path),
+                     "--scale", SCALE]) == 0
+        assert main(["align", "espresso", "--scale", SCALE,
+                     "--profile", str(profile_path),
+                     "--save-layout", str(layout_path),
+                     "--arch", "likely", "--window", "8"]) == 0
+        capsys.readouterr()
+
+        # The artifacts reload and reproduce the CLI's own comparison.
+        program = generate_benchmark("espresso", float(SCALE))
+        profile = load_profile(profile_path)
+        layout = load_layout(layout_path, program)
+        report = simulate(link(layout), profile)
+        assert report.instructions > 0
+
+    def test_saved_profile_equals_fresh_profile(self, tmp_path, capsys):
+        from repro.profiling import profile_program
+
+        path = tmp_path / "p.json"
+        assert main(["profile", "sc", str(path), "--scale", SCALE]) == 0
+        capsys.readouterr()
+        fresh = profile_program(generate_benchmark("sc", float(SCALE)), seed=0)
+        assert load_profile(path) == fresh
+
+
+class TestReportingCommands:
+    def test_quality_command(self, capsys):
+        assert main(["quality", "eqntott", "--scale", SCALE, "--window", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "fall-through conds" in out
+        assert "tryn" in out
+
+    def test_align_cost_algorithm(self, capsys):
+        assert main(["align", "compress", "--scale", SCALE,
+                     "--algorithm", "cost", "--arch", "fallthrough"]) == 0
+        out = capsys.readouterr().out
+        assert "cost alignment (fallthrough model)" in out
+
+    def test_output_files_are_written(self, tmp_path):
+        targets = {
+            "table2": tmp_path / "t2.txt",
+            "figure4": tmp_path / "f4.txt",
+        }
+        assert main(["table2", "--benchmarks", "alvinn", "--scale", SCALE,
+                     "-o", str(targets["table2"])]) == 0
+        assert main(["figure4", "--benchmarks", "eqntott", "--scale", SCALE,
+                     "-o", str(targets["figure4"])]) == 0
+        for path in targets.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_alignment_map_is_valid_json(self, tmp_path, capsys):
+        path = tmp_path / "map.json"
+        assert main(["align", "li", "--scale", SCALE,
+                     "--save-layout", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-alignment-map"
+        assert set(data["procedures"]) == set(
+            generate_benchmark("li", float(SCALE)).order
+        )

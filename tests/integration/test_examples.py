@@ -1,0 +1,38 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are the first thing a new user executes; these tests run each
+one as a subprocess (with small workload arguments where the script
+accepts them) and check it exits cleanly and prints its headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["compress", "0.05"], "architecture"),
+    ("espresso_elim_lowering.py", [], "Aligned block order"),
+    ("alvinn_self_loop.py", [], "relative CPI"),
+    ("custom_workload.py", [], "interpreter:"),
+    ("alpha_timing.py", ["0.05"], "Biggest win"),
+    ("hotspot_analysis.py", ["compress", "likely"], "Hottest procedure"),
+    ("future_machines.py", ["compress"], "unroll x4"),
+    ("scaling_study.py", [], "medium"),
+]
+
+
+@pytest.mark.parametrize("script,args,marker", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, args, marker):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)] + args,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout, result.stdout[-2000:]

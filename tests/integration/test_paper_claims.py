@@ -1,0 +1,142 @@
+"""Integration tests asserting the paper's headline qualitative claims.
+
+Each test names the claim from the paper it checks.  These run the real
+experiment driver on a subset of benchmarks at a reduced scale, so they
+validate the reproduction end to end.
+"""
+
+import pytest
+
+from repro.analysis import run_benchmark_experiment, run_suite_experiment
+from repro.sim.metrics import STATIC_ARCHS
+
+SCALE = 0.08
+SUBSET = ["alvinn", "swm256", "eqntott", "compress", "gcc", "cfront", "tex"]
+
+
+@pytest.fixture(scope="module")
+def experiments():
+    return {
+        name: run_benchmark_experiment(name, scale=SCALE, window=12)
+        for name in SUBSET
+    }
+
+
+def _avg(experiments, aligner, arch, names=None):
+    names = names or list(experiments)
+    return sum(
+        experiments[n].cell(aligner, arch).relative_cpi for n in names
+    ) / len(names)
+
+
+class TestStaticArchitectureClaims:
+    def test_alignment_helps_every_static_architecture(self, experiments):
+        """'We show that static and dynamic branch prediction mechanisms we
+        examine benefit from such transformations.'"""
+        for arch in STATIC_ARCHS:
+            assert _avg(experiments, "try15", arch) < _avg(experiments, "orig", arch)
+
+    def test_fallthrough_gains_most_likely_least(self, experiments):
+        """'more opportunities for optimization with the FALLTHROUGH method
+        than the BT/FNT model ... more ... than the LIKELY model.'"""
+        gains = {
+            arch: _avg(experiments, "orig", arch) - _avg(experiments, "try15", arch)
+            for arch in STATIC_ARCHS
+        }
+        assert gains["fallthrough"] > gains["btfnt"] > 0
+        assert gains["fallthrough"] > gains["likely"] > 0
+
+    def test_aligned_fallthrough_close_to_aligned_btfnt(self, experiments):
+        """'the aligned FALLTHROUGH and BT/FNT architectures have almost
+        identical performance.'"""
+        ft = _avg(experiments, "try15", "fallthrough")
+        bt = _avg(experiments, "try15", "btfnt")
+        assert abs(ft - bt) < 0.05
+
+    def test_try15_beats_greedy_on_average(self, experiments):
+        """'The branch alignment heuristics that use the architectural cost
+        model usually perform better than the simpler Greedy algorithm.'"""
+        for arch in STATIC_ARCHS:
+            assert _avg(experiments, "try15", arch) <= _avg(
+                experiments, "greedy", arch
+            ) + 0.005
+
+    def test_fallthrough_percentage_soars(self, experiments):
+        """'the Try15 heuristic converts up to 99% of all conditional
+        branches in some programs to be fall-through in the FALLTHROUGH
+        model.'"""
+        best = max(
+            experiments[n].cell("try15", "fallthrough").percent_fallthrough
+            for n in SUBSET
+        )
+        assert best > 95.0
+
+
+class TestDynamicArchitectureClaims:
+    def test_pht_gains_exist_but_smaller(self, experiments):
+        """'branch alignment offers some improvement for the PHT
+        architectures.'"""
+        gain = _avg(experiments, "orig", "pht-direct") - _avg(
+            experiments, "try15", "pht-direct"
+        )
+        ft_gain = _avg(experiments, "orig", "fallthrough") - _avg(
+            experiments, "try15", "fallthrough"
+        )
+        assert 0 < gain < ft_gain
+
+    def test_btb_gains_small(self, experiments):
+        """'little improvement to the BTB architectures except for small
+        BTBs.'"""
+        gain_large = _avg(experiments, "orig", "btb-256x4") - _avg(
+            experiments, "try15", "btb-256x4"
+        )
+        gain_ft = _avg(experiments, "orig", "fallthrough") - _avg(
+            experiments, "try15", "fallthrough"
+        )
+        assert gain_large < gain_ft / 2
+
+    def test_btb_has_best_overall_performance(self, experiments):
+        """'the BTB architecture has the best overall performance.'"""
+        btb = _avg(experiments, "orig", "btb-256x4")
+        for arch in ("fallthrough", "btfnt", "likely", "pht-direct"):
+            assert btb <= _avg(experiments, "orig", arch)
+
+    def test_alignment_narrows_architecture_gap(self, experiments):
+        """'branch alignment reduces the difference in performance between
+        the various branch architectures.'"""
+        before = [_avg(experiments, "orig", a) for a in
+                  ("fallthrough", "btfnt", "likely", "pht-direct", "pht-correlation")]
+        after = [_avg(experiments, "try15", a) for a in
+                 ("fallthrough", "btfnt", "likely", "pht-direct", "pht-correlation")]
+        assert max(after) - min(after) < max(before) - min(before)
+
+    def test_correlation_gap_to_btfnt_shrinks(self, experiments):
+        """'before alignment the [correlation] PHT performs [better] than
+        the BT/FNT architecture, but after alignment ... only [slightly]
+        better.'"""
+        before = _avg(experiments, "orig", "btfnt") - _avg(
+            experiments, "orig", "pht-correlation"
+        )
+        after = _avg(experiments, "try15", "btfnt") - _avg(
+            experiments, "try15", "pht-correlation"
+        )
+        assert after < before
+
+
+class TestCategoryClaims:
+    def test_int_benefits_more_than_fp(self):
+        """'The SPECint92 and Other programs see more benefit from branch
+        alignment than the SPECfp92 programs.'"""
+        fp = run_suite_experiment(["swm256", "tomcatv"], scale=SCALE,
+                                  archs=("likely",), window=12)
+        intd = run_suite_experiment(["eqntott", "sc"], scale=SCALE,
+                                    archs=("likely",), window=12)
+
+        def gain(exps):
+            return sum(
+                e.cell("orig", "likely").relative_cpi
+                - e.cell("try15", "likely").relative_cpi
+                for e in exps
+            ) / len(exps)
+
+        assert gain(intd) > gain(fp)

@@ -1,0 +1,53 @@
+"""The full matrix: every suite benchmark survives every aligner.
+
+Semantic preservation, layout validity and non-degradation under the
+aligner's own cost model, for all 24 programs.  This is the repository's
+broadest safety net: any alignment bug that touches a construct some
+benchmark uses fails here by name.
+"""
+
+import pytest
+
+from repro.core import GreedyAligner, TryNAligner, make_model
+from repro.isa import link, link_identity
+from repro.profiling import profile_program
+from repro.sim.executor import execute
+from repro.workloads import SUITE, generate_benchmark
+
+SCALE = 0.02
+
+
+def edge_trace(linked, seed=0):
+    edges = []
+    execute(linked, profile_hook=lambda p, s, d: edges.append((p, s, d)), seed=seed)
+    return edges
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_alignment_preserves_semantics_for(name):
+    program = generate_benchmark(name, SCALE)
+    profile = profile_program(program)
+    original = edge_trace(link_identity(program))
+    for aligner in (
+        GreedyAligner(),
+        TryNAligner(make_model("fallthrough"), window=10),
+        TryNAligner.for_architecture("btfnt", window=10),
+    ):
+        layout = aligner.align(program, profile)
+        for proc_name in program.order:
+            layout[proc_name].check()
+        assert edge_trace(link(layout)) == original, aligner.name
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_tryn_never_degrades_model_cost_for(name):
+    """Under its own cost model, Try15 must never be worse than the
+    original layout — the windowed search always has the identity
+    configuration available."""
+    program = generate_benchmark(name, SCALE)
+    profile = profile_program(program)
+    model = make_model("likely")
+    aligner = TryNAligner(model, window=10)
+    aligned_cost = model.layout_cost(link(aligner.align(program, profile)), profile)
+    original_cost = model.layout_cost(link_identity(program), profile)
+    assert aligned_cost <= original_cost * 1.0001, name

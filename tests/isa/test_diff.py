@@ -1,0 +1,93 @@
+"""Tests for the layout-diff audit trail."""
+
+import pytest
+
+from repro.cfg import Program
+from repro.core import GreedyAligner, TryNAligner, make_model
+from repro.isa import (
+    ProgramLayout,
+    diff_layouts,
+    diff_procedure_layouts,
+    render_diff,
+)
+from repro.profiling import profile_program
+from repro.workloads import figure3_program, generate_benchmark
+from tests.conftest import diamond_procedure
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    program = figure3_program(loop_trips=200)
+    profile = profile_program(program)
+    before = ProgramLayout.identity(program)
+    after = TryNAligner(make_model("likely")).align(program, profile)
+    return program, profile, before, after
+
+
+class TestDiff:
+    def test_identical_layouts_empty(self, diamond_program):
+        identity = ProgramLayout.identity(diamond_program)
+        diffs = diff_layouts(identity, identity)
+        assert all(not d.changed for d in diffs)
+        assert render_diff(diffs) == "layouts are identical"
+
+    def test_figure3_diff_contents(self, fig3):
+        program, _profile, before, after = fig3
+        diff = next(d for d in diff_layouts(before, after) if d.name == "fig3")
+        assert diff.changed
+        proc = program.procedure("fig3")
+        ids = {b.label: b.bid for b in proc}
+        # The rotation: B inverted, C's unconditional deleted.
+        assert ids["B"] in diff.inverted
+        assert ids["C"] in diff.branches_removed
+        assert (ids["E"], ids["A"]) in diff.jumps_added
+
+    def test_size_delta_consistent(self, fig3):
+        _program, _profile, before, after = fig3
+        for diff in diff_layouts(before, after):
+            assert diff.size_delta == diff.size_after - diff.size_before
+
+    def test_moved_blocks_detected(self, fig3):
+        _program, _profile, before, after = fig3
+        diff = next(d for d in diff_layouts(before, after) if d.name == "fig3")
+        assert diff.moved_blocks  # the rotation moved blocks
+
+    def test_mismatched_programs_rejected(self, fig3, diamond_program):
+        _program, _profile, before, _after = fig3
+        other = ProgramLayout.identity(diamond_program)
+        with pytest.raises(ValueError):
+            diff_layouts(before, other)
+
+    def test_mismatched_procedures_rejected(self, diamond_program):
+        a = ProgramLayout.identity(diamond_program)["main"]
+        other_proc = diamond_procedure("other")
+        b = ProgramLayout.identity(Program([other_proc], entry="other"))["other"]
+        with pytest.raises(ValueError):
+            diff_procedure_layouts(a, b)
+
+
+class TestRendering:
+    def test_render_includes_weights(self, fig3):
+        _program, profile, before, after = fig3
+        text = render_diff(diff_layouts(before, after), profile)
+        assert "invert conditional" in text
+        assert "execs]" in text
+        assert "delete unconditional branch" in text
+
+    def test_render_without_profile(self, fig3):
+        _program, _profile, before, after = fig3
+        text = render_diff(diff_layouts(before, after))
+        assert "execs]" not in text
+
+    def test_show_unchanged(self, diamond_program):
+        identity = ProgramLayout.identity(diamond_program)
+        text = render_diff(diff_layouts(identity, identity), show_unchanged=True)
+        assert "main" in text
+
+    def test_real_benchmark_diff_renders(self):
+        program = generate_benchmark("compress", 0.03)
+        profile = profile_program(program)
+        before = ProgramLayout.identity(program)
+        after = GreedyAligner().align(program, profile)
+        text = render_diff(diff_layouts(before, after), profile)
+        assert "blocks moved" in text

@@ -1,0 +1,137 @@
+"""Unit tests for address assignment and disassembly."""
+
+import pytest
+
+from repro.isa import (
+    INSTRUCTION_BYTES,
+    Instruction,
+    Opcode,
+    ProcedureLayout,
+    ProgramLayout,
+    TEXT_BASE,
+    link,
+    link_identity,
+)
+from repro.cfg import Program
+from tests.conftest import (
+    call_procedure,
+    diamond_procedure,
+    loop_procedure,
+)
+
+
+def _labels(proc):
+    return {b.label: b.bid for b in proc}
+
+
+class TestAddressing:
+    def test_text_starts_at_base(self, diamond_program):
+        linked = link_identity(diamond_program)
+        assert linked.entry_address("main") == TEXT_BASE
+
+    def test_blocks_are_contiguous(self, diamond_program):
+        linked = link_identity(diamond_program)
+        proc = diamond_program.procedure("main")
+        addr = TEXT_BASE
+        for bid in proc.original_order:
+            block = linked.block("main", bid)
+            assert block.start == addr
+            addr = block.end
+        assert linked.text_end == addr
+
+    def test_total_size_matches_layout(self, call_program):
+        linked = link_identity(call_program)
+        assert linked.total_size() == ProgramLayout.identity(call_program).total_size()
+
+    def test_procedures_in_program_order(self, call_program):
+        linked = link_identity(call_program)
+        starts = [linked.proc_start[name] for name in call_program.order]
+        assert starts == sorted(starts)
+
+    def test_terminator_address_after_straightline(self, diamond_program):
+        linked = link_identity(diamond_program)
+        proc = diamond_program.procedure("main")
+        ids = _labels(proc)
+        block = linked.block("main", ids["test"])
+        expected = block.start + proc.block(ids["test"]).straightline_size * INSTRUCTION_BYTES
+        assert block.term_address == expected
+
+    def test_fallthrough_block_has_no_terminator(self, diamond_program):
+        linked = link_identity(diamond_program)
+        proc = diamond_program.procedure("main")
+        ids = _labels(proc)
+        assert linked.block("main", ids["then"]).term_address is None
+
+    def test_jump_address_follows_terminator(self):
+        proc = diamond_procedure()
+        ids = _labels(proc)
+        order = [ids["entry"], ids["test"], ids["else"], ids["join"],
+                 ids["exit"], ids["then"], ids["endthen"]]
+        linked = link(ProgramLayout(Program([proc], entry="diamond"),
+                                    {"diamond": ProcedureLayout.from_order(proc, order)}))
+        # "then" needed no jump; check a block that did, if any, else
+        # verify sizes reflect the removal/rewrites consistently.
+        total = sum(linked.block("diamond", b.bid).size for b in proc)
+        assert linked.total_size() == total
+
+    def test_call_address(self, call_program):
+        linked = link_identity(call_program)
+        proc = call_program.procedure("main")
+        (p, bid, call), = list(call_program.call_sites())
+        block = linked.block("main", bid)
+        assert block.call_address(call.offset) == block.start + call.offset * INSTRUCTION_BYTES
+
+
+class TestDisassembly:
+    def test_instruction_count_matches(self, diamond_program):
+        linked = link_identity(diamond_program)
+        listing = linked.disassemble()
+        assert len(listing) == linked.total_size()
+
+    def test_addresses_strictly_increase(self, call_program):
+        linked = link_identity(call_program)
+        listing = linked.disassemble()
+        addrs = [ins.address for ins in listing]
+        assert addrs == sorted(addrs)
+        assert len(set(addrs)) == len(addrs)
+
+    def test_call_instruction_targets_callee_entry(self, call_program):
+        linked = link_identity(call_program)
+        calls = [i for i in linked.disassemble() if i.opcode is Opcode.CALL]
+        assert len(calls) == 1
+        assert calls[0].target == linked.entry_address("leaf")
+
+    def test_branch_targets_resolve(self, diamond_program):
+        linked = link_identity(diamond_program)
+        starts = {linked.block("main", b.bid).start
+                  for b in diamond_program.procedure("main")}
+        for ins in linked.disassemble():
+            if ins.opcode in (Opcode.COND_BRANCH, Opcode.UNCOND_BRANCH):
+                assert ins.target in starts
+
+    def test_single_procedure_disassembly(self, call_program):
+        linked = link_identity(call_program)
+        only_leaf = linked.disassemble("leaf")
+        assert all(i.address >= linked.proc_start["leaf"] for i in only_leaf)
+
+
+class TestInstruction:
+    def test_misaligned_address_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(3, Opcode.OP)
+
+    def test_direct_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(0, Opcode.UNCOND_BRANCH)
+
+    def test_indirect_cannot_carry_target(self):
+        with pytest.raises(ValueError):
+            Instruction(0, Opcode.INDIRECT_JUMP, target=4)
+
+    def test_backwardness(self):
+        assert Instruction(100 * 4, Opcode.UNCOND_BRANCH, target=4).is_backward
+        assert not Instruction(4, Opcode.UNCOND_BRANCH, target=400).is_backward
+
+    def test_render(self):
+        text = Instruction(8, Opcode.COND_BRANCH, target=16).render()
+        assert "cbr" in text and "0x10" in text

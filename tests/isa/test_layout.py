@@ -1,0 +1,162 @@
+"""Unit tests for layouts: placements, rewrites, semantic checking."""
+
+import pytest
+
+from repro.isa.layout import (
+    BlockPlacement,
+    LayoutError,
+    ProcedureLayout,
+    ProgramLayout,
+)
+from repro.cfg import Program
+from tests.conftest import (
+    diamond_procedure,
+    loop_procedure,
+    self_loop_procedure,
+)
+
+
+def _labels(proc):
+    return {b.label: b.bid for b in proc}
+
+
+class TestIdentityLayout:
+    def test_identity_preserves_order(self, diamond):
+        layout = ProcedureLayout.identity(diamond)
+        assert [p.bid for p in layout.placements] == list(diamond.original_order)
+
+    def test_identity_inserts_no_jumps(self, diamond):
+        layout = ProcedureLayout.identity(diamond)
+        assert layout.inserted_jumps() == []
+        assert layout.inverted_conditionals() == []
+
+    def test_identity_sizes_match(self, diamond):
+        layout = ProcedureLayout.identity(diamond)
+        assert layout.total_size() == diamond.instruction_count()
+
+
+class TestFromOrder:
+    def test_uncond_branch_removed_when_target_adjacent(self):
+        proc = diamond_procedure()
+        ids = _labels(proc)
+        # Place join right after endthen: the unconditional disappears.
+        order = [ids["entry"], ids["test"], ids["then"], ids["endthen"],
+                 ids["join"], ids["exit"], ids["else"]]
+        layout = ProcedureLayout.from_order(proc, order)
+        assert ids["endthen"] in layout.removed_branches()
+        # else lost its fall-through adjacency: it needs a jump to join.
+        assert (ids["else"], ids["join"]) in layout.inserted_jumps()
+
+    def test_conditional_inverted_when_taken_successor_adjacent(self):
+        proc = diamond_procedure()
+        ids = _labels(proc)
+        order = [ids["entry"], ids["test"], ids["else"], ids["join"],
+                 ids["exit"], ids["then"], ids["endthen"]]
+        layout = ProcedureLayout.from_order(proc, order)
+        assert ids["test"] in layout.inverted_conditionals()
+        placement = layout.placements[layout.position[ids["test"]]]
+        assert placement.taken_target == ids["then"]
+
+    def test_seal_preference_forces_jump_even_when_adjacent(self):
+        proc = self_loop_procedure()
+        ids = _labels(proc)
+        layout = ProcedureLayout.from_order(
+            proc,
+            [ids["entry"], ids["loop"], ids["exit"]],
+            jump_preference={ids["loop"]: ids["loop"]},
+        )
+        placement = layout.placements[layout.position[ids["loop"]]]
+        # Fall-through goes to the appended jump back to the loop; the
+        # conditional now takes the exit.
+        assert placement.jump_target == ids["loop"]
+        assert placement.taken_target == ids["exit"]
+        assert layout.placed_size(ids["loop"]) == 12
+
+    def test_jump_preference_elided_when_target_adjacent(self):
+        proc = diamond_procedure()
+        ids = _labels(proc)
+        order = list(proc.original_order)
+        layout = ProcedureLayout.from_order(
+            proc, order, jump_preference={ids["test"]: ids["then"]}
+        )
+        # "then" is already the fall-through: the jump would land on the
+        # next instruction, so it is elided and the sense stays normal.
+        placement = layout.placements[layout.position[ids["test"]]]
+        assert placement.jump_target is None
+        assert placement.taken_target == ids["else"]
+
+    def test_bad_jump_preference_rejected(self):
+        proc = diamond_procedure()
+        ids = _labels(proc)
+        with pytest.raises(LayoutError):
+            ProcedureLayout.from_order(
+                proc, list(proc.original_order),
+                jump_preference={ids["test"]: ids["exit"]},
+            )
+
+
+class TestChecking:
+    def test_non_permutation_rejected(self, diamond):
+        placements = [BlockPlacement(bid) for bid in diamond.original_order[:-1]]
+        with pytest.raises(LayoutError):
+            ProcedureLayout(diamond, placements)
+
+    def test_entry_must_be_first(self, diamond):
+        order = list(diamond.original_order)
+        order[0], order[1] = order[1], order[0]
+        with pytest.raises(LayoutError):
+            ProcedureLayout.from_order(diamond, order)
+
+    def test_retargeted_branch_rejected(self, diamond):
+        ids = _labels(diamond)
+        placements = []
+        for placement in ProcedureLayout.identity(diamond).placements:
+            if placement.bid == ids["test"]:
+                placement = BlockPlacement(placement.bid, taken_target=ids["exit"])
+            placements.append(placement)
+        with pytest.raises(LayoutError):
+            ProcedureLayout(diamond, placements)
+
+    def test_lost_successor_rejected(self, diamond):
+        ids = _labels(diamond)
+        # endthen's unconditional claims removal but join is not adjacent.
+        placements = []
+        for placement in ProcedureLayout.identity(diamond).placements:
+            if placement.bid == ids["endthen"]:
+                placement = BlockPlacement(placement.bid, branch_removed=True)
+            placements.append(placement)
+        with pytest.raises(LayoutError):
+            ProcedureLayout(diamond, placements)
+
+
+class TestSizes:
+    def test_inserted_jump_grows_block(self):
+        proc = loop_procedure()
+        ids = _labels(proc)
+        order = [ids["entry"], ids["latch"], ids["body"], ids["exit"]]
+        layout = ProcedureLayout.from_order(proc, order)
+        # entry lost adjacency to body: +1 jump instruction.
+        assert layout.placed_size(ids["entry"]) == proc.block(ids["entry"]).size + 1
+
+    def test_removed_branch_shrinks_block(self):
+        proc = diamond_procedure()
+        ids = _labels(proc)
+        order = [ids["entry"], ids["test"], ids["then"], ids["endthen"],
+                 ids["join"], ids["exit"], ids["else"]]
+        layout = ProcedureLayout.from_order(proc, order)
+        assert layout.placed_size(ids["endthen"]) == 0
+
+
+class TestProgramLayout:
+    def test_identity_program_layout(self, call_program):
+        layout = ProgramLayout.identity(call_program)
+        assert layout.total_size() == call_program.instruction_count()
+
+    def test_missing_procedure_rejected(self, call_program):
+        with pytest.raises(LayoutError):
+            ProgramLayout(call_program, {})
+
+    def test_iteration_follows_program_order(self, call_program):
+        layout = ProgramLayout.identity(call_program)
+        names = [pl.procedure.name for pl in layout]
+        assert names == list(call_program.order)

@@ -1,0 +1,103 @@
+"""Unit tests for alignment-map persistence."""
+
+import json
+
+import pytest
+
+from repro.core import GreedyAligner, TryNAligner, make_model
+from repro.isa import (
+    LayoutFormatError,
+    layout_from_dict,
+    layout_to_dict,
+    link,
+    load_layout,
+    save_layout,
+)
+from repro.profiling import profile_program
+from repro.sim.metrics import simulate
+from repro.workloads import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def aligned():
+    program = generate_benchmark("espresso", 0.03)
+    profile = profile_program(program)
+    layout = TryNAligner(make_model("likely"), window=8).align(program, profile)
+    return program, profile, layout
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, aligned):
+        program, _profile, layout = aligned
+        restored = layout_from_dict(layout_to_dict(layout), program)
+        for name in program.order:
+            assert [p for p in restored[name].placements] == [
+                p for p in layout[name].placements
+            ]
+
+    def test_file_round_trip(self, aligned, tmp_path):
+        program, profile, layout = aligned
+        path = tmp_path / "alignment.json"
+        save_layout(layout, path)
+        restored = load_layout(path, program)
+        # The restored layout links and simulates identically.
+        a = simulate(link(layout), profile)
+        b = simulate(link(restored), profile)
+        assert a.instructions == b.instructions
+        assert a.arch["likely"].bep == b.arch["likely"].bep
+
+    def test_reapply_to_fresh_program(self, aligned, tmp_path):
+        """The two-phase workflow: align once, apply to a regenerated
+        (identical) program later."""
+        program, _profile, layout = aligned
+        path = tmp_path / "alignment.json"
+        save_layout(layout, path)
+        fresh = generate_benchmark("espresso", 0.03)
+        restored = load_layout(path, fresh)
+        for name in fresh.order:
+            restored[name].check()
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self, aligned):
+        program, _profile, _layout = aligned
+        with pytest.raises(LayoutFormatError):
+            layout_from_dict({"format": "nope"}, program)
+
+    def test_rejects_future_version(self, aligned):
+        program, _profile, layout = aligned
+        data = layout_to_dict(layout)
+        data["version"] = 99
+        with pytest.raises(LayoutFormatError):
+            layout_from_dict(data, program)
+
+    def test_rejects_missing_procedure(self, aligned):
+        program, _profile, layout = aligned
+        data = layout_to_dict(layout)
+        del data["procedures"][program.order[0]]
+        with pytest.raises(LayoutFormatError):
+            layout_from_dict(data, program)
+
+    def test_rejects_map_for_different_program(self, aligned, tmp_path):
+        """A stale map must not silently miscompile a changed CFG."""
+        _program, profile, layout = aligned
+        path = tmp_path / "alignment.json"
+        save_layout(layout, path)
+        other = generate_benchmark("compress", 0.03)
+        with pytest.raises(LayoutFormatError):
+            load_layout(path, other)
+
+    def test_rejects_tampered_placement(self, aligned):
+        program, _profile, layout = aligned
+        data = layout_to_dict(layout)
+        name = program.order[0]
+        data["procedures"][name][0]["removed"] = True
+        with pytest.raises(LayoutFormatError):
+            layout_from_dict(data, program)
+
+    def test_rejects_invalid_json(self, tmp_path, aligned):
+        program, _profile, _layout = aligned
+        path = tmp_path / "broken.json"
+        path.write_text("not json")
+        with pytest.raises(LayoutFormatError):
+            load_layout(path, program)

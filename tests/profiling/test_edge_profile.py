@@ -1,0 +1,128 @@
+"""Unit tests for edge profiles and the profiling pass."""
+
+import pytest
+
+from repro.cfg import EdgeKind
+from repro.profiling import EdgeProfile, profile_program, profile_program_with_result
+from tests.conftest import diamond_procedure, loop_procedure
+
+
+class TestEdgeProfile:
+    def test_hook_accumulates(self):
+        profile = EdgeProfile()
+        profile.hook("p", 0, 1)
+        profile.hook("p", 0, 1)
+        profile.hook("p", 0, 2)
+        assert profile.weight("p", 0, 1) == 2
+        assert profile.weight("p", 0, 2) == 1
+
+    def test_unknown_edge_weight_zero(self):
+        assert EdgeProfile().weight("p", 0, 1) == 0
+
+    def test_set_weight(self):
+        profile = EdgeProfile()
+        profile.set_weight("p", 3, 4, 100)
+        assert profile.weight("p", 3, 4) == 100
+
+    def test_sorted_edges_heaviest_first(self):
+        proc = diamond_procedure()
+        profile = EdgeProfile()
+        profile.set_weight(proc.name, 0, 1, 10)   # entry -> test
+        profile.set_weight(proc.name, 1, 2, 7)    # test -> then
+        profile.set_weight(proc.name, 1, 4, 3)    # test -> else
+        edges = profile.sorted_edges(proc)
+        weights = [w for _e, w in edges]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_sorted_edges_min_weight_filter(self):
+        proc = diamond_procedure()
+        profile = EdgeProfile()
+        profile.set_weight(proc.name, 0, 1, 1)
+        profile.set_weight(proc.name, 1, 2, 5)
+        assert len(profile.sorted_edges(proc, min_weight=2)) == 1
+
+    def test_sorted_edges_exclude_non_alignable_kinds(self):
+        # Only fall-through and taken edges are returned; the paper gives
+        # indirect/call/return edges weight zero for alignment.
+        proc = diamond_procedure()
+        profile = EdgeProfile()
+        for edge in proc.edges:
+            profile.set_weight(proc.name, edge.src, edge.dst, 5)
+        edges = {e for e, _w in profile.sorted_edges(proc)}
+        kinds = {k for e in proc.edges if (e.src, e.dst) in edges
+                 for k in [e.kind]}
+        assert kinds <= {EdgeKind.FALLTHROUGH, EdgeKind.TAKEN}
+
+    def test_deterministic_tie_break(self):
+        proc = diamond_procedure()
+        profile = EdgeProfile()
+        for edge in proc.edges:
+            profile.set_weight(proc.name, edge.src, edge.dst, 5)
+        once = profile.sorted_edges(proc)
+        again = profile.sorted_edges(proc)
+        assert once == again
+
+    def test_block_weight_from_out_edges(self):
+        proc = loop_procedure()
+        profile = EdgeProfile()
+        latch = next(b.bid for b in proc if b.label == "latch")
+        body = next(b.bid for b in proc if b.label == "body")
+        exit_ = next(b.bid for b in proc if b.label == "exit")
+        profile.set_weight(proc.name, latch, body, 9)
+        profile.set_weight(proc.name, latch, exit_, 1)
+        assert profile.block_weight(proc, latch) == 10
+
+    def test_block_weight_return_block_uses_in_edges(self):
+        proc = loop_procedure()
+        profile = EdgeProfile()
+        latch = next(b.bid for b in proc if b.label == "latch")
+        exit_ = next(b.bid for b in proc if b.label == "exit")
+        profile.set_weight(proc.name, latch, exit_, 1)
+        assert profile.block_weight(proc, exit_) == 1
+
+    def test_merge(self):
+        a, b = EdgeProfile(), EdgeProfile()
+        a.set_weight("p", 0, 1, 5)
+        b.set_weight("p", 0, 1, 3)
+        b.set_weight("p", 1, 2, 2)
+        merged = a.merge(b)
+        assert merged.weight("p", 0, 1) == 8
+        assert merged.weight("p", 1, 2) == 2
+
+    def test_scaled(self):
+        profile = EdgeProfile()
+        profile.set_weight("p", 0, 1, 10)
+        assert profile.scaled(0.5).weight("p", 0, 1) == 5
+
+    def test_equality(self):
+        a, b = EdgeProfile(), EdgeProfile()
+        a.set_weight("p", 0, 1, 5)
+        b.set_weight("p", 0, 1, 5)
+        assert a == b
+
+
+class TestProfilePass:
+    def test_loop_profile_exact(self, loop_program):
+        profile = profile_program(loop_program)
+        proc = loop_program.procedure("main")
+        latch = next(b.bid for b in proc if b.label == "latch")
+        body = next(b.bid for b in proc if b.label == "body")
+        exit_ = next(b.bid for b in proc if b.label == "exit")
+        assert profile.weight("main", latch, body) == 9
+        assert profile.weight("main", latch, exit_) == 1
+        assert profile.weight("main", body, latch) == 10
+
+    def test_profile_with_result(self, loop_program):
+        profile, result = profile_program_with_result(loop_program)
+        assert result.instructions == 2 + 8 * 10 + 1
+        assert profile.total_weight("main") > 0
+
+    def test_profiles_repeatable(self, diamond_program):
+        assert profile_program(diamond_program, seed=4) == profile_program(
+            diamond_program, seed=4
+        )
+
+    def test_entry_edge_always_traversed(self, diamond_program):
+        for seed in (1, 2, 3):
+            profile = profile_program(diamond_program, seed=seed)
+            assert profile.weight("main", 0, 1) == 1

@@ -1,0 +1,94 @@
+"""Unit tests for profile persistence."""
+
+import json
+
+import pytest
+
+from repro.profiling import (
+    EdgeProfile,
+    ProfileFormatError,
+    load_profile,
+    profile_from_dict,
+    profile_program,
+    profile_to_dict,
+    save_profile,
+)
+
+
+@pytest.fixture
+def profile():
+    p = EdgeProfile()
+    p.set_weight("main", 0, 1, 100)
+    p.set_weight("main", 1, 2, 42)
+    p.set_weight("leaf", 0, 0, 7)
+    return p
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, profile):
+        assert profile_from_dict(profile_to_dict(profile)) == profile
+
+    def test_file_round_trip(self, profile, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        assert load_profile(path) == profile
+
+    def test_real_profile_round_trip(self, loop_program, tmp_path):
+        profile = profile_program(loop_program)
+        path = tmp_path / "loop.json"
+        save_profile(profile, path)
+        assert load_profile(path) == profile
+
+    def test_serialisation_is_deterministic(self, profile):
+        assert profile_to_dict(profile) == profile_to_dict(profile)
+
+    def test_json_is_human_readable(self, profile, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-edge-profile"
+        assert data["procedures"]["main"] == [[0, 1, 100], [1, 2, 42]]
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ProfileFormatError):
+            profile_from_dict({"format": "something-else", "version": 1})
+
+    def test_rejects_future_version(self, profile):
+        data = profile_to_dict(profile)
+        data["version"] = 999
+        with pytest.raises(ProfileFormatError):
+            profile_from_dict(data)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ProfileFormatError):
+            profile_from_dict({
+                "format": "repro-edge-profile", "version": 1,
+                "procedures": {"main": [[0, 1, -5]]},
+            })
+
+    def test_rejects_malformed_entries(self):
+        with pytest.raises(ProfileFormatError):
+            profile_from_dict({
+                "format": "repro-edge-profile", "version": 1,
+                "procedures": {"main": [[0, 1]]},
+            })
+
+    def test_rejects_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{ nope")
+        with pytest.raises(ProfileFormatError):
+            load_profile(path)
+
+
+class TestMergedProfiles:
+    def test_combined_inputs_workflow(self, loop_program, tmp_path):
+        """The paper: 'If more profiles are used or combined for a
+        program' — save two runs, merge, feed the aligner."""
+        a = profile_program(loop_program, seed=1)
+        b = profile_program(loop_program, seed=2)
+        save_profile(a, tmp_path / "a.json")
+        save_profile(b, tmp_path / "b.json")
+        merged = load_profile(tmp_path / "a.json").merge(load_profile(tmp_path / "b.json"))
+        assert merged.total_weight("main") == a.total_weight("main") + b.total_weight("main")

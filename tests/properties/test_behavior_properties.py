@@ -1,0 +1,69 @@
+"""Property tests: behaviour determinism and statistical shape."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim.behaviors import Bernoulli, Loop, Pattern
+
+from .strategies import programs
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    p=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.integers(min_value=1, max_value=200),
+)
+def test_bernoulli_replays_exactly(p, seed, n):
+    behavior = Bernoulli(p)
+    behavior.reset(seed)
+    first = [behavior.choose() for _ in range(n)]
+    behavior.reset(seed)
+    assert [behavior.choose() for _ in range(n)] == first
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pattern=st.text(alphabet="TN", min_size=1, max_size=12),
+    n=st.integers(min_value=1, max_value=100),
+)
+def test_pattern_is_periodic(pattern, n):
+    behavior = Pattern(pattern)
+    behavior.reset(0)
+    stream = [behavior.choose() for _ in range(n * len(pattern))]
+    expected = [c == "T" for c in pattern] * n
+    assert stream == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lo=st.integers(min_value=1, max_value=10),
+    span=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+    continue_taken=st.booleans(),
+)
+def test_loop_run_lengths_within_trips(lo, span, seed, continue_taken):
+    behavior = Loop((lo, lo + span), continue_taken=continue_taken)
+    behavior.reset(seed)
+    run = 0
+    runs = []
+    for _ in range(400):
+        if behavior.choose() == continue_taken:
+            run += 1
+        else:
+            runs.append(run + 1)
+            run = 0
+    assert runs
+    assert all(lo <= r <= lo + span for r in runs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs(), seed=st.integers(min_value=0, max_value=1000))
+def test_program_execution_terminates_and_replays(program, seed):
+    from repro.isa import link_identity
+    from repro.sim.executor import execute
+
+    linked = link_identity(program)
+    a = execute(linked, seed=seed, max_events=100_000)
+    b = execute(linked, seed=seed, max_events=100_000)
+    assert (a.instructions, a.events, a.blocks) == (b.instructions, b.events, b.blocks)

@@ -1,0 +1,69 @@
+"""Property tests: the chain structure's invariants under random operations."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import ChainSet
+
+from .strategies import programs
+
+
+@st.composite
+def link_scripts(draw):
+    """A random sequence of (src, dst) link attempts plus unlink points."""
+    n_ops = draw(st.integers(min_value=0, max_value=40))
+    ops = []
+    for _ in range(n_ops):
+        if draw(st.booleans()):
+            ops.append(("link", draw(st.integers(0, 30)), draw(st.integers(0, 30))))
+        else:
+            ops.append(("unlink", draw(st.integers(0, 30)), None))
+    return ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs(), script=link_scripts())
+def test_chains_stay_consistent_under_random_operations(program, script):
+    proc = program.procedure("main")
+    chains = ChainSet(proc)
+    ids = list(proc.blocks)
+    for op, a, b in script:
+        src = ids[a % len(ids)]
+        if op == "link":
+            dst = ids[b % len(ids)]
+            if chains.can_link(src, dst):
+                chains.link(src, dst)
+        else:
+            if chains.succ[src] is not None:
+                chains.unlink(src)
+    chains.check()
+    # A fall-through link always corresponds to a feasibility-approved pair.
+    for src, dst in chains.succ.items():
+        if dst is not None:
+            assert chains.pred[dst] == src
+            assert dst != proc.entry
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs(), script=link_scripts())
+def test_chains_never_contain_cycles(program, script):
+    proc = program.procedure("main")
+    chains = ChainSet(proc)
+    ids = list(proc.blocks)
+    for op, a, b in script:
+        src = ids[a % len(ids)]
+        if op == "link":
+            dst = ids[b % len(ids)]
+            if chains.can_link(src, dst):
+                chains.link(src, dst)
+        elif chains.succ[src] is not None:
+            chains.unlink(src)
+    for chain in chains.chains():
+        assert len(chain) == len(set(chain))
+        # Walking succ from the head terminates at the tail.
+        walked = []
+        cur = chain[0]
+        while cur is not None and len(walked) <= len(chain):
+            walked.append(cur)
+            cur = chains.succ[cur]
+        assert walked == chain

@@ -1,0 +1,39 @@
+"""Property tests: persistence round-trips on random programs."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import GreedyAligner, TryNAligner, make_model
+from repro.isa import layout_from_dict, layout_to_dict, link
+from repro.profiling import profile_from_dict, profile_program, profile_to_dict
+from repro.sim.metrics import simulate
+
+from .strategies import programs
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs(), seed=st.integers(min_value=0, max_value=100))
+def test_profile_round_trip_on_random_programs(program, seed):
+    profile = profile_program(program, seed=seed)
+    assert profile_from_dict(profile_to_dict(profile)) == profile
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs())
+def test_layout_round_trip_preserves_simulation(program):
+    profile = profile_program(program)
+    layout = TryNAligner(make_model("likely"), window=6).align(program, profile)
+    restored = layout_from_dict(layout_to_dict(layout), program)
+    a = simulate(link(layout), profile, seed=0)
+    b = simulate(link(restored), profile, seed=0)
+    assert a.instructions == b.instructions
+    assert a.arch["likely"].bep == b.arch["likely"].bep
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs())
+def test_layout_serialisation_is_stable(program):
+    """Serialising twice yields identical documents (no hidden state)."""
+    profile = profile_program(program)
+    layout = GreedyAligner().align(program, profile)
+    assert layout_to_dict(layout) == layout_to_dict(layout)

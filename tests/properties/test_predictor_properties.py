@@ -1,0 +1,98 @@
+"""Property tests: predictor accounting invariants on arbitrary streams."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim import trace as tr
+from repro.sim.predictors import (
+    BTBSim,
+    BTFNTSim,
+    CorrelationPHT,
+    DirectMappedPHT,
+    FallthroughSim,
+)
+
+from .strategies import event_streams
+
+
+def _sims():
+    return [
+        FallthroughSim(),
+        BTFNTSim({}),  # empty map: sites filled lazily below
+        DirectMappedPHT(entries=64),
+        CorrelationPHT(entries=64, history_bits=6),
+        BTBSim(16, 2),
+    ]
+
+
+def _feed(sim, stream):
+    for event in stream:
+        if event[0] == tr.COND and isinstance(sim, BTFNTSim):
+            sim._taken_targets.setdefault(event[1], event[2] if event[3] else 0)
+        sim.on_event(event)
+
+
+@settings(max_examples=80, deadline=None)
+@given(stream=event_streams)
+def test_bep_identity(stream):
+    for sim in _sims():
+        _feed(sim, stream)
+        assert sim.bep == sim.counts.misfetches + 4 * sim.counts.mispredicts
+
+
+@settings(max_examples=80, deadline=None)
+@given(stream=event_streams)
+def test_penalties_bounded_by_events(stream):
+    for sim in _sims():
+        _feed(sim, stream)
+        assert sim.counts.misfetches + sim.counts.mispredicts <= len(stream)
+        conds = sum(1 for e in stream if e[0] == tr.COND)
+        assert sim.counts.cond_executed == conds
+        assert 0 <= sim.counts.cond_correct <= conds
+
+
+@settings(max_examples=80, deadline=None)
+@given(stream=event_streams)
+def test_fallthrough_exact_penalty_structure(stream):
+    """The FALLTHROUGH simulator's penalties are a closed-form function."""
+    sim = FallthroughSim()
+    _feed(sim, stream)
+    taken_conds = sum(1 for e in stream if e[0] == tr.COND and e[3])
+    unconds = sum(1 for e in stream if e[0] == tr.UNCOND)
+    calls = sum(1 for e in stream if e[0] == tr.CALL)
+    indirects = sum(1 for e in stream if e[0] in (tr.INDIRECT, tr.ICALL))
+    assert sim.counts.misfetches == unconds + calls
+    # Taken conditionals and indirects always mispredict; returns depend
+    # on the RAS state, adding at most the number of returns.
+    rets = sum(1 for e in stream if e[0] == tr.RET)
+    base = taken_conds + indirects
+    assert base <= sim.counts.mispredicts <= base + rets
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=event_streams)
+def test_reset_restores_initial_state(stream):
+    for sim in _sims():
+        _feed(sim, stream)
+        sim.reset()
+        assert sim.bep == 0
+        assert sim.counts.cond_executed == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=event_streams)
+def test_determinism(stream):
+    for make in (lambda: DirectMappedPHT(entries=64), lambda: BTBSim(16, 2)):
+        a, b = make(), make()
+        _feed(a, stream)
+        _feed(b, stream)
+        assert a.bep == b.bep
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=event_streams, depth=st.integers(min_value=1, max_value=8))
+def test_btb_occupancy_bounded(stream, depth):
+    sim = BTBSim(8, depth if 8 % depth == 0 else 1)
+    _feed(sim, stream)
+    for bucket in sim.btb._sets:
+        assert len(bucket) <= sim.btb.assoc

@@ -1,0 +1,161 @@
+"""Unit tests for the deterministic branch behaviours."""
+
+import pytest
+
+from repro.sim.behaviors import (
+    AlwaysTaken,
+    Bernoulli,
+    CalleeChoice,
+    IndirectChoice,
+    Loop,
+    NeverTaken,
+    Pattern,
+)
+
+
+class TestConstantBehaviors:
+    def test_always_taken(self):
+        b = AlwaysTaken()
+        b.reset(0)
+        assert all(b.choose() for _ in range(10))
+
+    def test_never_taken(self):
+        b = NeverTaken()
+        b.reset(0)
+        assert not any(b.choose() for _ in range(10))
+
+
+class TestBernoulli:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            Bernoulli(1.5)
+        with pytest.raises(ValueError):
+            Bernoulli(-0.1)
+
+    def test_deterministic_replay(self):
+        b = Bernoulli(0.5)
+        b.reset(123)
+        first = [b.choose() for _ in range(200)]
+        b.reset(123)
+        assert [b.choose() for _ in range(200)] == first
+
+    def test_empirical_rate(self):
+        b = Bernoulli(0.8)
+        b.reset(7)
+        taken = sum(b.choose() for _ in range(5000))
+        assert 0.75 < taken / 5000 < 0.85
+
+    def test_degenerate_rates(self):
+        b = Bernoulli(0.0)
+        b.reset(1)
+        assert not any(b.choose() for _ in range(20))
+        b = Bernoulli(1.0)
+        b.reset(1)
+        assert all(b.choose() for _ in range(20))
+
+
+class TestPattern:
+    def test_invalid_patterns_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern("")
+        with pytest.raises(ValueError):
+            Pattern("TXT")
+
+    def test_cycles_exactly(self):
+        p = Pattern("TTN")
+        p.reset(0)
+        out = [p.choose() for _ in range(9)]
+        assert out == [True, True, False] * 3
+
+    def test_reset_rewinds(self):
+        p = Pattern("TN")
+        p.reset(0)
+        p.choose()
+        p.reset(0)
+        assert p.choose() is True
+
+
+class TestLoop:
+    def test_trip_validation(self):
+        with pytest.raises(ValueError):
+            Loop(0)
+        with pytest.raises(ValueError):
+            Loop((5, 2))
+
+    def test_fixed_trips_taken_shape(self):
+        # trips=4, continue on taken: T T T N repeating.
+        loop = Loop(4, continue_taken=True)
+        loop.reset(0)
+        out = [loop.choose() for _ in range(8)]
+        assert out == [True, True, True, False] * 2
+
+    def test_continue_on_fallthrough(self):
+        loop = Loop(3, continue_taken=False)
+        loop.reset(0)
+        assert [loop.choose() for _ in range(6)] == [False, False, True] * 2
+
+    def test_trip_of_one_always_exits(self):
+        loop = Loop(1, continue_taken=True)
+        loop.reset(0)
+        assert [loop.choose() for _ in range(4)] == [False] * 4
+
+    def test_ranged_trips_within_bounds(self):
+        loop = Loop((2, 5), continue_taken=True)
+        loop.reset(42)
+        # Count run lengths of True between False exits.
+        run, runs = 0, []
+        for _ in range(500):
+            if loop.choose():
+                run += 1
+            else:
+                runs.append(run + 1)
+                run = 0
+        assert runs and all(2 <= r <= 5 for r in runs)
+
+    def test_ranged_trips_deterministic(self):
+        a, b = Loop((2, 9)), Loop((2, 9))
+        a.reset(5)
+        b.reset(5)
+        assert [a.choose() for _ in range(300)] == [b.choose() for _ in range(300)]
+
+
+class TestIndirectChoice:
+    def test_needs_targets(self):
+        with pytest.raises(ValueError):
+            IndirectChoice(0)
+
+    def test_weight_length_checked(self):
+        with pytest.raises(ValueError):
+            IndirectChoice(3, weights=[1, 2])
+
+    def test_indices_in_range(self):
+        c = IndirectChoice(4)
+        c.reset(0)
+        assert all(0 <= c.choose() < 4 for _ in range(200))
+
+    def test_weights_bias_choice(self):
+        c = IndirectChoice(2, weights=[9, 1])
+        c.reset(3)
+        hits = sum(1 for _ in range(2000) if c.choose() == 0)
+        assert hits > 1600
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            IndirectChoice(2, weights=[0, 0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            IndirectChoice(2, weights=[1, -1])
+
+
+class TestCalleeChoice:
+    def test_needs_callees(self):
+        with pytest.raises(ValueError):
+            CalleeChoice([])
+
+    def test_returns_names(self):
+        c = CalleeChoice(["f", "g"], weights=[1, 3])
+        c.reset(0)
+        seen = {c.choose() for _ in range(100)}
+        assert seen <= {"f", "g"}
+        assert "g" in seen

@@ -1,0 +1,124 @@
+"""Unit tests for the branch target buffer simulators."""
+
+import pytest
+
+from repro.sim import trace as tr
+from repro.sim.predictors import BTB, BTBSim, pentium_btb, small_btb
+
+
+def cond(site, taken, target=None):
+    return (tr.COND, site, target if target is not None else site + 64, taken)
+
+
+class TestBTBStructure:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            BTB(10, 4)  # not divisible
+
+    def test_pentium_configuration(self):
+        sim = pentium_btb()
+        assert sim.btb.entries == 256 and sim.btb.assoc == 4
+        assert sim.name == "btb-256x4"
+
+    def test_small_configuration(self):
+        sim = small_btb()
+        assert sim.btb.entries == 64 and sim.btb.assoc == 2
+
+    def test_lru_within_set(self):
+        btb = BTB(2, 2)  # one set, two ways
+        btb.insert(0x100, 1)
+        btb.insert(0x200, 2)
+        btb.lookup(0x100)          # refresh 0x100
+        btb.insert(0x300, 3)       # evicts 0x200
+        assert btb.lookup(0x100) is not None
+        assert btb.lookup(0x200) is None
+        assert btb.lookup(0x300) is not None
+
+    def test_hit_rate(self):
+        btb = BTB(4, 1)
+        btb.lookup(0x100)
+        btb.insert(0x100, 1)
+        btb.lookup(0x100)
+        assert btb.hit_rate == 0.5
+
+
+class TestConditionalPrediction:
+    def test_only_taken_branches_allocated(self):
+        sim = BTBSim(64, 2)
+        sim.on_event(cond(0x100, False))
+        assert sim.btb.lookup(0x100) is None
+
+    def test_miss_predicts_fallthrough(self):
+        sim = BTBSim(64, 2)
+        sim.on_event(cond(0x100, False))
+        assert sim.bep == 0  # miss + not taken = correct, free
+
+    def test_taken_miss_mispredicts_and_allocates(self):
+        sim = BTBSim(64, 2)
+        sim.on_event(cond(0x100, True))
+        assert sim.counts.mispredicts == 1
+        assert sim.btb.lookup(0x100) is not None
+
+    def test_hit_taken_correct_costs_nothing(self):
+        # "taken branches ... found in the BTB do not necessarily cause
+        # misfetch penalties"
+        sim = BTBSim(64, 2)
+        sim.on_event(cond(0x100, True))   # allocate (counter=2, taken)
+        bep = sim.bep
+        sim.on_event(cond(0x100, True))   # hit, predicted taken, correct
+        assert sim.bep == bep
+
+    def test_counter_hysteresis(self):
+        sim = BTBSim(64, 2)
+        sim.on_event(cond(0x100, True))   # allocate at weakly-taken
+        sim.on_event(cond(0x100, True))   # counter -> 3
+        sim.on_event(cond(0x100, False))  # mispredict, counter -> 2
+        before = sim.counts.mispredicts
+        sim.on_event(cond(0x100, True))   # still predicted taken: correct
+        assert sim.counts.mispredicts == before
+
+
+class TestOtherKinds:
+    def test_uncond_miss_then_hit(self):
+        sim = BTBSim(64, 2)
+        sim.on_event((tr.UNCOND, 0x100, 0x200, True))
+        assert sim.counts.misfetches == 1
+        sim.on_event((tr.UNCOND, 0x100, 0x200, True))
+        assert sim.counts.misfetches == 1  # now a hit: free
+
+    def test_call_miss_then_hit_and_ras(self):
+        sim = BTBSim(64, 2)
+        sim.on_event((tr.CALL, 0x100, 0x400, True))
+        sim.on_event((tr.RET, 0x440, 0x104, True))
+        assert sim.counts.mispredicts == 0  # RAS predicted the return
+        assert sim.counts.misfetches == 1   # first call missed
+
+    def test_indirect_stale_target_mispredicts(self):
+        sim = BTBSim(64, 2)
+        sim.on_event((tr.INDIRECT, 0x100, 0x200, True))  # miss
+        sim.on_event((tr.INDIRECT, 0x100, 0x200, True))  # hit, right target
+        sim.on_event((tr.INDIRECT, 0x100, 0x300, True))  # hit, stale target
+        assert sim.counts.mispredicts == 2
+
+    def test_indirect_call_pushes_ras(self):
+        sim = BTBSim(64, 2)
+        sim.on_event((tr.ICALL, 0x100, 0x400, True))
+        assert sim.counts.mispredicts == 1  # first dispatch misses
+        sim.on_event((tr.RET, 0x440, 0x104, True))
+        assert sim.counts.mispredicts == 1  # return predicted
+
+    def test_capacity_pressure(self):
+        # More hot taken branches than a tiny BTB can hold keeps missing.
+        sim = BTBSim(4, 1)
+        sites = [0x1000 + i * 4 for i in range(8)]  # 8 sites, 4 sets
+        for _ in range(10):
+            for site in sites:
+                sim.on_event((tr.UNCOND, site, site + 512, True))
+        assert sim.counts.misfetches > 8
+
+    def test_reset(self):
+        sim = BTBSim(64, 2)
+        sim.on_event(cond(0x100, True))
+        sim.reset()
+        assert sim.bep == 0
+        assert sim.btb.lookup(0x100) is None

@@ -1,0 +1,132 @@
+"""Unit tests for saturating counters and the return-address stack."""
+
+import pytest
+
+from repro.sim.predictors import CounterTable, ReturnStack, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_initial_prediction(self):
+        assert not SaturatingCounter(value=1).predict_taken
+        assert SaturatingCounter(value=2).predict_taken
+
+    def test_saturation_high(self):
+        c = SaturatingCounter(value=3)
+        c.update(True)
+        assert c.value == 3
+
+    def test_saturation_low(self):
+        c = SaturatingCounter(value=0)
+        c.update(False)
+        assert c.value == 0
+
+    def test_hysteresis(self):
+        # A strongly-taken counter survives one not-taken excursion.
+        c = SaturatingCounter(value=3)
+        c.update(False)
+        assert c.predict_taken
+        c.update(False)
+        assert not c.predict_taken
+
+    def test_bad_init(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(value=4)
+
+
+class TestCounterTable:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            CounterTable(1000)
+
+    def test_storage_bits_match_paper(self):
+        # 4096 two-bit counters = 1 KByte of storage (section 3).
+        assert CounterTable(4096).storage_bits == 8 * 1024
+
+    def test_index_wraps(self):
+        table = CounterTable(4)
+        table.update(0, True)
+        table.update(4, True)  # same slot
+        assert table.predict(0)
+
+    def test_train_and_predict(self):
+        table = CounterTable(16)
+        assert not table.predict(3)
+        table.update(3, True)
+        assert table.predict(3)
+
+    def test_reset(self):
+        table = CounterTable(8)
+        table.update(1, True)
+        table.reset()
+        assert not table.predict(1)
+
+
+class TestReturnStack:
+    def test_push_pop_roundtrip(self):
+        ras = ReturnStack(8)
+        ras.push(0x100)
+        assert ras.pop_predict(0x100)
+
+    def test_wrong_target_mispredicts(self):
+        ras = ReturnStack(8)
+        ras.push(0x100)
+        assert not ras.pop_predict(0x104)
+
+    def test_empty_pop_mispredicts(self):
+        assert not ReturnStack(4).pop_predict(0x100)
+
+    def test_lifo_ordering(self):
+        ras = ReturnStack(8)
+        ras.push(1 * 4)
+        ras.push(2 * 4)
+        assert ras.pop_predict(2 * 4)
+        assert ras.pop_predict(1 * 4)
+
+    def test_overflow_overwrites_oldest(self):
+        ras = ReturnStack(2)
+        ras.push(4)
+        ras.push(8)
+        ras.push(12)  # evicts 4
+        assert ras.pop_predict(12)
+        assert ras.pop_predict(8)
+        assert not ras.pop_predict(4)
+
+    def test_deep_recursion_degrades_not_crashes(self):
+        ras = ReturnStack(32)
+        for addr in range(0, 400, 4):
+            ras.push(addr)
+        correct = sum(ras.pop_predict(addr) for addr in range(396, -4, -4))
+        assert correct == 32
+
+    def test_accuracy_metric(self):
+        ras = ReturnStack(4)
+        ras.push(4)
+        ras.pop_predict(4)
+        ras.pop_predict(8)
+        assert ras.accuracy == 0.5
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            ReturnStack(0)
+
+
+class TestPenaltyReweighting:
+    def test_bep_with_matches_default_weights(self):
+        from repro.sim.predictors import FallthroughSim
+        from repro.sim import trace as tr
+
+        sim = FallthroughSim()
+        sim.on_event((tr.UNCOND, 0, 8, True))
+        sim.on_event((tr.COND, 4, 16, True))
+        assert sim.counts.bep_with(1, 4) == sim.counts.bep
+
+    def test_bep_with_alternative_machine(self):
+        from repro.sim.predictors import FallthroughSim
+        from repro.sim import trace as tr
+
+        sim = FallthroughSim()
+        sim.on_event((tr.UNCOND, 0, 8, True))   # 1 misfetch
+        sim.on_event((tr.COND, 4, 16, True))    # 1 mispredict
+        assert sim.counts.bep_with(2, 10) == 2 + 10

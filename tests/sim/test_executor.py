@@ -1,0 +1,177 @@
+"""Unit tests for the trace executor: event streams, counts, calls."""
+
+import pytest
+
+from repro.cfg import CallSite, ProcedureBuilder, Program
+from repro.isa import link, link_identity, ProcedureLayout, ProgramLayout
+from repro.sim import trace as tr
+from repro.sim.behaviors import Bernoulli, IndirectChoice, Loop, CalleeChoice
+from repro.sim.executor import ExecutionError, execute
+from repro.sim.trace import EventRecorder
+from tests.conftest import (
+    diamond_procedure,
+    loop_procedure,
+    self_loop_procedure,
+    single_block_program,
+)
+
+
+def run(program, **kwargs):
+    rec = EventRecorder()
+    result = execute(link_identity(program), listeners=[rec], **kwargs)
+    return result, rec.events
+
+
+class TestBasics:
+    def test_single_block_program(self):
+        result, events = run(single_block_program())
+        assert result.instructions == 3
+        # One final return with no caller.
+        assert events == [(tr.RET, pytest.approx(events[0][1]), 0, True)]
+
+    def test_instruction_count_loop(self, loop_program):
+        result, _ = run(loop_program)
+        proc = loop_program.procedure("main")
+        # entry once, body+latch ten times, exit once.
+        assert result.instructions == 2 + (6 + 2) * 10 + 1
+
+    def test_loop_event_stream(self, loop_program):
+        _, events = run(loop_program)
+        conds = [e for e in events if e[0] == tr.COND]
+        assert len(conds) == 10
+        assert [e[3] for e in conds] == [True] * 9 + [False]
+
+    def test_max_events_stops_cleanly(self, loop_program):
+        result, events = run(loop_program, max_events=3)
+        assert result.events == 3
+        assert len(events) == 3
+
+    def test_blocks_counted(self, loop_program):
+        result, _ = run(loop_program)
+        assert result.blocks == 1 + 2 * 10 + 1
+
+    def test_missing_cond_behavior_raises(self):
+        b = ProcedureBuilder("main")
+        b.cond("c", 2, taken="x")
+        b.fall("f", 1)
+        b.ret("x", 1)
+        with pytest.raises(ExecutionError):
+            execute(link_identity(Program([b.build()])))
+
+
+class TestEventAddresses:
+    def test_taken_cond_targets_block_start(self, loop_program):
+        linked = link_identity(loop_program)
+        rec = EventRecorder()
+        execute(linked, listeners=[rec])
+        proc = loop_program.procedure("main")
+        body = next(b.bid for b in proc if b.label == "body")
+        taken = [e for e in rec.events if e[0] == tr.COND and e[3]]
+        assert all(e[2] == linked.block_address("main", body) for e in taken)
+
+    def test_not_taken_cond_targets_next_instruction(self, loop_program):
+        linked = link_identity(loop_program)
+        rec = EventRecorder()
+        execute(linked, listeners=[rec])
+        nt = [e for e in rec.events if e[0] == tr.COND and not e[3]]
+        assert all(e[2] == e[1] + 4 for e in nt)
+
+    def test_uncond_event_for_nonadjacent_fallthrough(self):
+        proc = diamond_procedure(p_then=1.0)  # always the then side
+        ids = {b.label: b.bid for b in proc}
+        order = [ids["entry"], ids["test"], ids["then"], ids["endthen"],
+                 ids["join"], ids["exit"], ids["else"]]
+        layout = ProgramLayout(Program([proc], entry="diamond"),
+                               {"diamond": ProcedureLayout.from_order(proc, order)})
+        linked = link(layout)
+        rec = EventRecorder()
+        execute(linked, listeners=[rec])
+        # endthen's unconditional was removed: no UNCOND events at all.
+        assert not [e for e in rec.events if e[0] == tr.UNCOND]
+
+
+class TestCalls:
+    def test_call_and_return_events(self, call_program):
+        result, events = run(call_program)
+        calls = [e for e in events if e[0] == tr.CALL]
+        rets = [e for e in events if e[0] == tr.RET]
+        assert len(calls) == 3          # loop body runs three times
+        assert len(rets) == 3 + 1       # three leaf returns + main's return
+
+    def test_return_targets_call_continuation(self, call_program):
+        linked = link_identity(call_program)
+        rec = EventRecorder()
+        execute(linked, listeners=[rec])
+        calls = [e for e in rec.events if e[0] == tr.CALL]
+        rets = [e for e in rec.events if e[0] == tr.RET]
+        for call, ret in zip(calls, rets):
+            assert ret[2] == call[1] + 4
+
+    def test_call_targets_callee_entry(self, call_program):
+        linked = link_identity(call_program)
+        rec = EventRecorder()
+        execute(linked, listeners=[rec])
+        calls = [e for e in rec.events if e[0] == tr.CALL]
+        assert all(e[2] == linked.entry_address("leaf") for e in calls)
+
+    def test_indirect_call_event_kind(self):
+        leaf_a = ProcedureBuilder("fa")
+        leaf_a.ret("r", 1)
+        leaf_b = ProcedureBuilder("fb")
+        leaf_b.ret("r", 1)
+        main = ProcedureBuilder("main")
+        main.fall("body", 3, calls=[CallSite(0, chooser=CalleeChoice(["fa", "fb"]))])
+        main.ret("exit", 1)
+        program = Program([main.build(), leaf_a.build(), leaf_b.build()], entry="main")
+        _, events = run(program)
+        assert [e[0] for e in events][:1] == [tr.ICALL]
+
+    def test_recursion_via_stack(self):
+        # main calls "rec", which calls itself twice more (Loop behaviour).
+        rec_proc = ProcedureBuilder("rec")
+        rec_proc.cond("test", 2, taken="base",
+                      behavior=Loop(3, continue_taken=False))
+        rec_proc.fall("again", 3, calls=[CallSite(0, "rec")])
+        rec_proc.ret("base", 1)
+        main = ProcedureBuilder("main")
+        main.fall("body", 2, calls=[CallSite(0, "rec")])
+        main.ret("exit", 1)
+        program = Program([main.build(), rec_proc.build()], entry="main")
+        result, events = run(program)
+        calls = [e for e in events if e[0] == tr.CALL]
+        rets = [e for e in events if e[0] == tr.RET]
+        assert len(calls) == len(rets) - 1  # main's own return
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, diamond_program):
+        _, first = run(diamond_program, seed=9)
+        _, second = run(diamond_program, seed=9)
+        assert first == second
+
+    def test_different_layouts_same_block_sequence(self):
+        proc = diamond_procedure(p_then=0.5)
+        program = Program([proc], entry="diamond")
+        ids = {b.label: b.bid for b in proc}
+
+        def edge_trace(linked):
+            edges = []
+            execute(linked, profile_hook=lambda p, s, d: edges.append((s, d)), seed=3)
+            return edges
+
+        original = edge_trace(link_identity(program))
+        order = [ids["entry"], ids["test"], ids["else"], ids["join"],
+                 ids["exit"], ids["then"], ids["endthen"]]
+        layout = ProgramLayout(program,
+                               {"diamond": ProcedureLayout.from_order(proc, order)})
+        realigned = edge_trace(link(layout))
+        assert original == realigned
+
+    def test_profile_hook_sees_all_intraproc_edges(self, loop_program):
+        edges = []
+        execute(link_identity(loop_program),
+                profile_hook=lambda p, s, d: edges.append((p, s, d)))
+        proc = loop_program.procedure("main")
+        body = next(b.bid for b in proc if b.label == "body")
+        latch = next(b.bid for b in proc if b.label == "latch")
+        assert edges.count(("main", latch, body)) == 9

@@ -1,0 +1,137 @@
+"""Additional executor edge cases: caps, listeners, aligned binaries."""
+
+import pytest
+
+from repro.cfg import CallSite, ProcedureBuilder, Program
+from repro.core import TryNAligner, make_model
+from repro.isa import link, link_identity
+from repro.profiling import profile_program
+from repro.sim import trace as tr
+from repro.sim.behaviors import Bernoulli, CalleeChoice, IndirectChoice, Loop
+from repro.sim.executor import execute
+from repro.sim.trace import EventRecorder
+
+
+class _BlockCollector:
+    def __init__(self):
+        self.blocks = []
+
+    def on_block(self, start, size):
+        self.blocks.append((start, size))
+
+
+class TestBlockListeners:
+    def test_block_stream_covers_all_instructions(self, loop_program):
+        collector = _BlockCollector()
+        result = execute(link_identity(loop_program), block_listeners=[collector])
+        assert sum(size for _s, size in collector.blocks) == result.instructions
+
+    def test_block_starts_are_real_addresses(self, loop_program):
+        linked = link_identity(loop_program)
+        collector = _BlockCollector()
+        execute(linked, block_listeners=[collector])
+        valid = {linked.block("main", b.bid).start
+                 for b in loop_program.procedure("main")}
+        assert {start for start, _ in collector.blocks} <= valid
+
+    def test_aligned_binary_reports_aligned_addresses(self, loop_program):
+        profile = profile_program(loop_program)
+        layout = TryNAligner(make_model("fallthrough")).align(loop_program, profile)
+        linked = link(layout)
+        collector = _BlockCollector()
+        execute(linked, block_listeners=[collector])
+        valid = {linked.block("main", b.bid).start
+                 for b in loop_program.procedure("main")}
+        assert {start for start, _ in collector.blocks} <= valid
+
+
+class TestEventCaps:
+    def test_cap_mid_call_chain(self):
+        leaf = ProcedureBuilder("leaf")
+        leaf.ret("r", 1)
+        main = ProcedureBuilder("main")
+        main.fall("body", 4, calls=[CallSite(0, "leaf"), CallSite(1, "leaf")])
+        main.cond("latch", 2, taken="body", behavior=Loop(1000, continue_taken=True))
+        main.ret("exit", 1)
+        program = Program([main.build(), leaf.build()], entry="main")
+        result = execute(link_identity(program), max_events=7)
+        assert result.events == 7
+
+    def test_zero_seed_and_nonzero_seed_both_run(self, diamond_program):
+        for seed in (0, 12345):
+            result = execute(link_identity(diamond_program), seed=seed)
+            assert result.instructions > 0
+
+
+class TestIndirectExecution:
+    def test_single_target_indirect_without_behavior(self):
+        b = ProcedureBuilder("main")
+        b.indirect("sw", 2, targets=["only"])
+        b.fall("only", 2)
+        b.ret("exit", 1)
+        program = Program([b.build()])
+        rec = EventRecorder()
+        execute(link_identity(program), listeners=[rec])
+        kinds = [e[0] for e in rec.events]
+        assert tr.INDIRECT in kinds
+
+    def test_weighted_indirect_targets_all_reachable(self):
+        b = ProcedureBuilder("main")
+        b.fall("entry", 1)
+        b.indirect("sw", 2, targets=["c0", "c1", "c2"],
+                   behavior=IndirectChoice(3, weights=[1, 1, 1]))
+        b.fall("c0", 1)
+        b.uncond("j0", 1, target="join")
+        b.fall("c1", 1)
+        b.uncond("j1", 1, target="join")
+        b.fall("c2", 1)
+        b.fall("join", 1)
+        b.cond("back", 2, taken="sw", behavior=Loop(200, continue_taken=True))
+        b.ret("exit", 1)
+        program = Program([b.build()])
+        linked = link_identity(program)
+        rec = EventRecorder()
+        execute(linked, listeners=[rec])
+        targets = {e[2] for e in rec.events if e[0] == tr.INDIRECT}
+        assert len(targets) == 3  # all cases executed
+
+    def test_indirect_call_to_all_callees(self):
+        impls = []
+        for name in ("fa", "fb", "fc"):
+            pb = ProcedureBuilder(name)
+            pb.ret("r", 1)
+            impls.append(pb.build())
+        main = ProcedureBuilder("main")
+        main.fall("body", 3,
+                  calls=[CallSite(0, chooser=CalleeChoice(["fa", "fb", "fc"]))])
+        main.cond("latch", 2, taken="body", behavior=Loop(100, continue_taken=True))
+        main.ret("exit", 1)
+        program = Program([main.build()] + impls, entry="main")
+        linked = link_identity(program)
+        rec = EventRecorder()
+        execute(linked, listeners=[rec])
+        callee_entries = {e[2] for e in rec.events if e[0] == tr.ICALL}
+        assert callee_entries == {linked.entry_address(n) for n in ("fa", "fb", "fc")}
+
+
+class TestEntryShapes:
+    def test_entry_block_with_call(self):
+        leaf = ProcedureBuilder("leaf")
+        leaf.ret("r", 2)
+        main = ProcedureBuilder("main")
+        main.fall("entry", 3, calls=[CallSite(0, "leaf")])
+        main.ret("exit", 1)
+        program = Program([main.build(), leaf.build()], entry="main")
+        result = execute(link_identity(program))
+        assert result.instructions == 3 + 2 + 1
+
+    def test_conditional_entry_block(self):
+        b = ProcedureBuilder("main")
+        b.cond("entry", 2, taken="other", behavior=Bernoulli(0.5))
+        b.fall("ft", 1)
+        b.fall("other", 1)
+        b.ret("exit", 1)
+        program = Program([b.build()])
+        for seed in range(4):
+            result = execute(link_identity(program), seed=seed)
+            assert result.blocks >= 3

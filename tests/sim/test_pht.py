@@ -1,0 +1,109 @@
+"""Unit tests for the direct-mapped and correlation (gshare) PHTs."""
+
+from repro.sim import trace as tr
+from repro.sim.predictors import CorrelationPHT, DirectMappedPHT, PAPER_PHT_ENTRIES
+
+
+def cond(site, taken):
+    return (tr.COND, site, site + (8 if taken else 4), taken)
+
+
+class TestDirectMappedPHT:
+    def test_paper_geometry(self):
+        pht = DirectMappedPHT()
+        assert pht.table.size == PAPER_PHT_ENTRIES == 4096
+        assert pht.table.storage_bits == 8192  # 1 KByte
+
+    def test_learns_biased_branch(self):
+        pht = DirectMappedPHT()
+        for _ in range(4):
+            pht.on_event(cond(0x1000, True))
+        before = pht.counts.mispredicts
+        for _ in range(100):
+            pht.on_event(cond(0x1000, True))
+        assert pht.counts.mispredicts == before
+
+    def test_correct_taken_still_misfetches(self):
+        # "these methods do nothing for misfetch penalties"
+        pht = DirectMappedPHT()
+        for _ in range(4):
+            pht.on_event(cond(0x1000, True))
+        fetched_before = pht.counts.misfetches
+        pht.on_event(cond(0x1000, True))
+        assert pht.counts.misfetches == fetched_before + 1
+
+    def test_correct_not_taken_free(self):
+        pht = DirectMappedPHT()
+        pht.on_event(cond(0x1000, False))
+        assert pht.bep == 0
+
+    def test_aliasing_between_distant_sites(self):
+        pht = DirectMappedPHT(entries=16)
+        a, b = 0x100, 0x100 + 16 * 4  # same index
+        for _ in range(4):
+            pht.on_event(cond(a, True))
+        pht.on_event(cond(b, False))  # suffers a's training
+        assert pht.counts.mispredicts >= 1
+
+    def test_cannot_learn_pattern(self):
+        # A TTN pattern defeats a two-bit counter one time in three.
+        pht = DirectMappedPHT()
+        pattern = [True, True, False] * 200
+        for taken in pattern:
+            pht.on_event(cond(0x2000, taken))
+        accuracy = pht.counts.cond_correct / pht.counts.cond_executed
+        assert accuracy < 0.75
+
+    def test_reset(self):
+        pht = DirectMappedPHT()
+        pht.on_event(cond(0, True))
+        pht.reset()
+        assert pht.bep == 0
+
+
+class TestCorrelationPHT:
+    def test_learns_pattern_dm_cannot(self):
+        # The degenerate two-level scheme predicts a strict pattern almost
+        # perfectly once the history register has seen it.
+        gshare = CorrelationPHT()
+        dm = DirectMappedPHT()
+        pattern = [True, True, False] * 400
+        for taken in pattern:
+            gshare.on_event(cond(0x2000, taken))
+            dm.on_event(cond(0x2000, taken))
+        g_acc = gshare.counts.cond_correct / gshare.counts.cond_executed
+        d_acc = dm.counts.cond_correct / dm.counts.cond_executed
+        assert g_acc > 0.95
+        assert g_acc > d_acc
+
+    def test_history_updates_on_every_conditional(self):
+        gshare = CorrelationPHT(history_bits=4)
+        gshare.on_event(cond(0, True))
+        gshare.on_event(cond(0, False))
+        gshare.on_event(cond(0, True))
+        assert gshare.history == 0b101
+
+    def test_history_masked(self):
+        gshare = CorrelationPHT(history_bits=2)
+        for _ in range(10):
+            gshare.on_event(cond(0, True))
+        assert gshare.history == 0b11
+
+    def test_learns_short_loop_exits(self):
+        # A counted loop of 4 iterations: gshare separates the exit
+        # context from the in-loop context; a counter mispredicts the exit
+        # (and often the re-entry) every activation.
+        gshare = CorrelationPHT()
+        dm = DirectMappedPHT()
+        sequence = ([True] * 3 + [False]) * 300
+        for taken in sequence:
+            gshare.on_event(cond(0x3000, taken))
+            dm.on_event(cond(0x3000, taken))
+        assert gshare.counts.cond_correct > dm.counts.cond_correct
+
+    def test_reset_clears_history(self):
+        gshare = CorrelationPHT()
+        gshare.on_event(cond(0, True))
+        gshare.reset()
+        assert gshare.history == 0
+        assert gshare.bep == 0

@@ -1,0 +1,140 @@
+"""Unit tests for the static prediction architectures and BEP accounting."""
+
+from repro.isa import link_identity
+from repro.profiling import profile_program
+from repro.sim import trace as tr
+from repro.sim.predictors import (
+    BTFNTSim,
+    FallthroughSim,
+    LikelySim,
+    MISFETCH_CYCLES,
+    MISPREDICT_CYCLES,
+    conditional_taken_targets,
+    likely_bits,
+)
+from tests.conftest import single_block_program
+
+
+class TestPenaltyRules:
+    """Section 6: what misfetches and what mispredicts."""
+
+    def test_uncond_misfetches(self):
+        sim = FallthroughSim()
+        sim.on_event((tr.UNCOND, 100, 200, True))
+        assert sim.counts.misfetches == 1 and sim.counts.mispredicts == 0
+
+    def test_direct_call_misfetches(self):
+        sim = FallthroughSim()
+        sim.on_event((tr.CALL, 100, 200, True))
+        assert sim.counts.misfetches == 1
+
+    def test_indirect_jump_mispredicts(self):
+        sim = FallthroughSim()
+        sim.on_event((tr.INDIRECT, 100, 200, True))
+        assert sim.counts.mispredicts == 1
+
+    def test_indirect_call_mispredicts(self):
+        sim = FallthroughSim()
+        sim.on_event((tr.ICALL, 100, 200, True))
+        assert sim.counts.mispredicts == 1
+
+    def test_predicted_return_is_free(self):
+        sim = FallthroughSim()
+        sim.on_event((tr.CALL, 100, 200, True))
+        sim.on_event((tr.RET, 240, 104, True))
+        assert sim.counts.mispredicts == 0
+        assert sim.counts.misfetches == 1  # only the call
+
+    def test_mispredicted_return(self):
+        sim = FallthroughSim()
+        sim.on_event((tr.RET, 240, 104, True))  # empty RAS
+        assert sim.counts.mispredicts == 1
+
+    def test_bep_formula(self):
+        sim = FallthroughSim()
+        sim.on_event((tr.UNCOND, 0, 8, True))
+        sim.on_event((tr.INDIRECT, 4, 8, True))
+        assert sim.bep == MISFETCH_CYCLES + MISPREDICT_CYCLES
+
+
+class TestFallthrough:
+    def test_taken_cond_mispredicts(self):
+        sim = FallthroughSim()
+        sim.on_event((tr.COND, 100, 200, True))
+        assert sim.counts.mispredicts == 1
+
+    def test_not_taken_cond_free(self):
+        sim = FallthroughSim()
+        sim.on_event((tr.COND, 100, 104, False))
+        assert sim.bep == 0
+        assert sim.counts.cond_correct == 1
+
+
+class TestBTFNT:
+    def _sim(self, taken_target, site=1000):
+        return BTFNTSim({site: taken_target})
+
+    def test_backward_taken_correct_costs_misfetch(self):
+        sim = self._sim(taken_target=500, site=1000)
+        sim.on_event((tr.COND, 1000, 500, True))
+        assert sim.counts.misfetches == 1 and sim.counts.mispredicts == 0
+
+    def test_backward_not_taken_mispredicts(self):
+        sim = self._sim(taken_target=500, site=1000)
+        sim.on_event((tr.COND, 1000, 1004, False))
+        assert sim.counts.mispredicts == 1
+
+    def test_forward_taken_mispredicts(self):
+        sim = self._sim(taken_target=2000, site=1000)
+        sim.on_event((tr.COND, 1000, 2000, True))
+        assert sim.counts.mispredicts == 1
+
+    def test_forward_not_taken_free(self):
+        sim = self._sim(taken_target=2000, site=1000)
+        sim.on_event((tr.COND, 1000, 1004, False))
+        assert sim.bep == 0
+
+    def test_taken_target_map_from_linked_program(self, loop_program):
+        linked = link_identity(loop_program)
+        targets = conditional_taken_targets(linked)
+        proc = loop_program.procedure("main")
+        latch = next(b.bid for b in proc if b.label == "latch")
+        site = linked.block("main", latch).term_address
+        assert targets[site] == linked.block_address("main", 1)  # body
+        assert targets[site] < site  # the back edge is backward
+
+
+class TestLikely:
+    def test_bits_follow_profile_majority(self, loop_program):
+        profile = profile_program(loop_program)
+        linked = link_identity(loop_program)
+        bits = likely_bits(linked, profile)
+        proc = loop_program.procedure("main")
+        latch = next(b.bid for b in proc if b.label == "latch")
+        site = linked.block("main", latch).term_address
+        assert bits[site] is True  # back edge dominates
+
+    def test_likely_prediction_costs(self, loop_program):
+        profile = profile_program(loop_program)
+        linked = link_identity(loop_program)
+        sim = LikelySim(linked, profile)
+        proc = loop_program.procedure("main")
+        latch = next(b.bid for b in proc if b.label == "latch")
+        site = linked.block("main", latch).term_address
+        body_addr = linked.block_address("main", 1)
+        sim.on_event((tr.COND, site, body_addr, True))   # correct taken
+        sim.on_event((tr.COND, site, site + 4, False))   # mispredicted exit
+        assert sim.counts.misfetches == 1
+        assert sim.counts.mispredicts == 1
+
+    def test_cond_accuracy_metric(self):
+        sim = FallthroughSim()
+        sim.on_event((tr.COND, 0, 4, False))
+        sim.on_event((tr.COND, 0, 8, True))
+        assert sim.counts.cond_accuracy == 0.5
+
+    def test_reset_clears_state(self):
+        sim = FallthroughSim()
+        sim.on_event((tr.COND, 0, 8, True))
+        sim.reset()
+        assert sim.bep == 0 and sim.counts.cond_executed == 0

@@ -1,0 +1,74 @@
+"""Unit tests for the McFarling combining predictor (extension)."""
+
+import pytest
+
+from repro.sim import trace as tr
+from repro.sim.predictors import (
+    CorrelationPHT,
+    DirectMappedPHT,
+    TournamentPHT,
+)
+
+
+def cond(site, taken):
+    return (tr.COND, site, site + (8 if taken else 4), taken)
+
+
+def accuracy(sim):
+    return sim.counts.cond_correct / sim.counts.cond_executed
+
+
+def feed(sim, stream, site=0x1000):
+    for taken in stream:
+        sim.on_event(cond(site, taken))
+
+
+class TestTournament:
+    def test_matches_local_on_biased_branch(self):
+        stream = [True] * 900 + [False] * 100
+        tournament, local = TournamentPHT(), DirectMappedPHT()
+        feed(tournament, stream)
+        feed(local, stream)
+        assert accuracy(tournament) >= accuracy(local) - 0.02
+
+    def test_matches_gshare_on_pattern(self):
+        stream = [True, True, False] * 500
+        tournament, gshare = TournamentPHT(), CorrelationPHT()
+        feed(tournament, stream)
+        feed(gshare, stream)
+        assert accuracy(tournament) >= accuracy(gshare) - 0.03
+
+    def test_beats_both_on_mixed_workload(self):
+        """The combining predictor's raison d'etre: one site periodic, one
+        biased random-ish — neither component wins on both."""
+        periodic = [True, True, False] * 600
+        biased = [i % 10 != 0 for i in range(len(periodic))]
+        sims = {"tournament": TournamentPHT(), "local": DirectMappedPHT(),
+                "gshare": CorrelationPHT()}
+        for p_taken, b_taken in zip(periodic, biased):
+            for sim in sims.values():
+                sim.on_event(cond(0x2000, p_taken))
+                sim.on_event(cond(0x3000, b_taken))
+        scores = {name: accuracy(sim) for name, sim in sims.items()}
+        assert scores["tournament"] >= max(scores["local"], scores["gshare"]) - 0.01
+
+    def test_chooser_moves_toward_winner(self):
+        sim = TournamentPHT()
+        # Pure pattern: gshare learns, the chooser should drift toward it.
+        feed(sim, [True, True, False] * 400, site=0x4000)
+        assert sim.chooser.predict(0x4000 >> 2)
+
+    def test_penalty_rules_are_pht_family(self):
+        sim = TournamentPHT()
+        sim.on_event((tr.UNCOND, 0, 8, True))
+        assert sim.counts.misfetches == 1
+        sim.on_event((tr.INDIRECT, 4, 8, True))
+        assert sim.counts.mispredicts == 1
+
+    def test_reset(self):
+        sim = TournamentPHT()
+        feed(sim, [True] * 10)
+        sim.reset()
+        assert sim.history == 0 and sim.bep == 0
+        # The chooser returns to its weakly-local initial state.
+        assert not sim.chooser.predict(0x1000 >> 2)

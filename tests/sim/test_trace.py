@@ -1,0 +1,76 @@
+"""Unit tests for trace statistics (the Table 2 measurements)."""
+
+from repro.sim import trace as tr
+from repro.sim.trace import BranchEvent, TraceStats
+
+
+def feed(stats, events):
+    for event in events:
+        stats.on_event(event)
+
+
+class TestTraceStats:
+    def test_percent_breaks(self):
+        stats = TraceStats()
+        feed(stats, [(tr.COND, 100, 200, True)] * 10)
+        stats.finish(100)
+        assert stats.percent_breaks == 10.0
+
+    def test_percent_taken(self):
+        stats = TraceStats()
+        feed(stats, [(tr.COND, 100, 200, True)] * 3 + [(tr.COND, 100, 104, False)])
+        stats.finish(10)
+        assert stats.percent_taken == 75.0
+
+    def test_taken_counts_only_conditionals(self):
+        stats = TraceStats()
+        feed(stats, [(tr.UNCOND, 0, 8, True), (tr.CALL, 4, 16, True)])
+        stats.finish(10)
+        assert stats.percent_taken == 0.0
+        assert stats.conditional_executions == 0
+
+    def test_quantile_sites(self):
+        stats = TraceStats()
+        # Site A: 90 executions, site B: 9, site C: 1.
+        feed(stats, [(tr.COND, 0xA, 0, True)] * 90)
+        feed(stats, [(tr.COND, 0xB, 0, True)] * 9)
+        feed(stats, [(tr.COND, 0xC, 0, True)] * 1)
+        stats.finish(1000)
+        assert stats.quantile_sites(50) == 1
+        assert stats.quantile_sites(90) == 1
+        assert stats.quantile_sites(99) == 2
+        assert stats.quantile_sites(100) == 3
+
+    def test_quantiles_with_no_branches(self):
+        stats = TraceStats()
+        stats.finish(100)
+        assert stats.quantile_sites(50) == 0
+
+    def test_kind_percentages_fold_icalls_into_ij(self):
+        # "dynamic dispatch calls are implemented as indirect jumps in C++
+        # and are therefore included in the indirect jump metric".
+        stats = TraceStats()
+        feed(stats, [
+            (tr.INDIRECT, 0, 0, True),
+            (tr.ICALL, 4, 0, True),
+            (tr.COND, 8, 0, False),
+            (tr.CALL, 12, 0, True),
+        ])
+        stats.finish(40)
+        kinds = stats.kind_percentages()
+        assert kinds["IJ"] == 50.0
+        assert kinds["CBr"] == 25.0
+        assert kinds["Call"] == 25.0
+
+    def test_empty_percentages(self):
+        stats = TraceStats()
+        stats.finish(0)
+        assert stats.percent_breaks == 0.0
+        assert all(v == 0.0 for v in stats.kind_percentages().values())
+
+
+class TestBranchEvent:
+    def test_of_roundtrip(self):
+        event = BranchEvent.of((tr.RET, 40, 80, True))
+        assert event.kind_name == "return"
+        assert event.site == 40 and event.target == 80

@@ -1,0 +1,95 @@
+"""Unit tests for the wide-issue fetch model."""
+
+import pytest
+
+from repro.core import TryNAligner, make_model
+from repro.isa import link, link_identity
+from repro.profiling import profile_program
+from repro.sim import trace as tr
+from repro.sim.predictors import likely_bits
+from repro.sim.wideissue import WideIssueConfig, WideIssueFrontEnd, wide_issue_cycles
+from repro.workloads import generate_benchmark
+
+
+class TestConfig:
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            WideIssueConfig(issue_width=0)
+
+
+class TestFetchPacketArithmetic:
+    def test_sequential_run_packs_full_width(self):
+        fe = WideIssueFrontEnd(WideIssueConfig(issue_width=4))
+        fe.on_block(0, 8)  # 8 instructions, no transfers
+        assert fe.cycles == 2.0
+
+    def test_taken_transfer_ends_packet(self):
+        fe = WideIssueFrontEnd(WideIssueConfig(issue_width=4))
+        fe.on_block(0, 5)
+        fe.on_event((tr.UNCOND, 16, 256, True))     # run of 5 -> 2 cycles
+        fe.on_block(256, 3)                         # run of 3 -> 1 cycle
+        assert fe.fetch_cycles + (fe._run + 3) // 4 >= 2
+        assert fe.cycles == 2 + 1 + 1.0  # + misfetch penalty for the jump
+
+    def test_not_taken_branch_extends_run(self):
+        fe = WideIssueFrontEnd(WideIssueConfig(issue_width=4))
+        fe.on_block(0, 2)
+        fe.on_event((tr.COND, 4, 8, False))  # not taken: run continues
+        fe.on_block(8, 2)
+        assert fe.cycles == 1.0  # 4 sequential instructions in one packet
+
+    def test_width_one_counts_every_instruction(self):
+        fe = WideIssueFrontEnd(WideIssueConfig(issue_width=1))
+        fe.on_block(0, 7)
+        assert fe.cycles == 7.0
+
+    def test_taken_counter(self):
+        fe = WideIssueFrontEnd()
+        fe.on_block(0, 4)
+        fe.on_event((tr.COND, 12, 64, True))
+        fe.on_event((tr.CALL, 64, 128, True))
+        assert fe.taken_transfers == 2
+
+    def test_likely_bits_charge_mispredicts(self):
+        fe = WideIssueFrontEnd(WideIssueConfig(issue_width=4),
+                               likely_bits={100: True})
+        fe.on_block(0, 4)
+        fe.on_event((tr.COND, 100, 104, False))  # predicted taken, fell through
+        assert fe.penalty_cycles == 4.0
+
+    def test_fetch_efficiency_bounds(self):
+        fe = WideIssueFrontEnd(WideIssueConfig(issue_width=4))
+        fe.on_block(0, 17)
+        assert 0 < fe.fetch_efficiency <= 4.0
+
+
+class TestAlignmentEffect:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        program = generate_benchmark("eqntott", 0.05)
+        profile = profile_program(program)
+        original = link_identity(program)
+        aligned = link(
+            TryNAligner.for_architecture("likely").align(program, profile)
+        )
+        out = {}
+        for width in (1, 2, 4, 8):
+            config = WideIssueConfig(issue_width=width)
+            orig_fe = wide_issue_cycles(original, config,
+                                        likely_bits(original, profile))
+            new_fe = wide_issue_cycles(aligned, config,
+                                       likely_bits(aligned, profile))
+            out[width] = (orig_fe.cycles, new_fe.cycles)
+        return out
+
+    def test_alignment_wins_at_every_width(self, measured):
+        for width, (before, after) in measured.items():
+            assert after < before, width
+
+    def test_relative_gain_grows_with_width(self, measured):
+        """The paper's claim: alignment matters more as issue widens."""
+        gains = {
+            w: (before - after) / before for w, (before, after) in measured.items()
+        }
+        assert gains[4] > gains[1]
+        assert gains[8] >= gains[4] * 0.9  # saturation allowed, no collapse

@@ -1,0 +1,65 @@
+"""Tests for the suite-calibration checker."""
+
+import pytest
+
+from repro.analysis import compute_table2
+from repro.analysis.table2 import Table2Row
+from repro.workloads import (
+    CalibrationIssue,
+    calibration_report,
+    check_calibration,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return compute_table2(scale=0.04)
+
+
+def _row(**overrides):
+    base = dict(
+        name="eqntott", category="SPECint92", instructions=1000,
+        percent_breaks=20.0, q50=2, q90=3, q99=4, q100=5, static_sites=6,
+        percent_taken=85.0, percent_cbr=70.0, percent_ij=0.0,
+        percent_br=10.0, percent_call=10.0, percent_ret=10.0,
+    )
+    base.update(overrides)
+    return Table2Row(**base)
+
+
+class TestCalibration:
+    def test_full_suite_is_calibrated(self, rows):
+        issues = check_calibration(rows)
+        assert not issues, [str(i) for i in issues]
+
+    def test_report_ok_message(self, rows):
+        assert "calibration OK" in calibration_report(rows)
+
+    def test_out_of_band_break_density_flagged(self):
+        issues = check_calibration([_row(percent_breaks=60.0)])
+        assert any(i.statistic == "percent_breaks" for i in issues)
+
+    def test_program_target_flagged(self):
+        # eqntott must stay taken-hot (the paper's 86.6%).
+        issues = check_calibration([_row(percent_taken=30.0)])
+        assert any(i.statistic == "percent_taken" for i in issues)
+
+    def test_cxx_without_indirects_flagged(self):
+        row = _row(name="cfront", category="Other", percent_ij=0.0,
+                   percent_taken=60.0)
+        issues = check_calibration([row])
+        assert any(i.statistic == "percent_ij" for i in issues)
+
+    def test_fortran_with_indirects_flagged(self):
+        row = _row(name="swm256", category="SPECfp92", percent_breaks=5.0,
+                   percent_taken=99.0, percent_ij=4.0)
+        issues = check_calibration([row])
+        assert any(i.statistic == "percent_ij" for i in issues)
+
+    def test_issue_rendering(self):
+        issue = CalibrationIssue("x", "percent_breaks", 50.0, (1.0, 30.0))
+        assert "outside" in str(issue)
+
+    def test_report_lists_failures(self):
+        text = calibration_report([_row(percent_breaks=60.0)])
+        assert "out of band" in text and "percent_breaks" in text

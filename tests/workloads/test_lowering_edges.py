@@ -1,0 +1,109 @@
+"""Lowering edge cases: deeply nested constructs, degenerate shapes."""
+
+import pytest
+
+from repro.cfg import Program, TerminatorKind
+from repro.isa import link_identity
+from repro.sim.executor import execute
+from repro.workloads import (
+    IfElse,
+    ProcedureTemplate,
+    Straight,
+    Switch,
+    WhileLoop,
+)
+from repro.workloads.templates import Construct, _Lowering
+
+
+def lower_main(*constructs):
+    return Program([ProcedureTemplate("main", list(constructs)).lower()])
+
+
+class TestDegenerateShapes:
+    def test_empty_then_and_else(self):
+        program = lower_main(IfElse())
+        result = execute(link_identity(program))
+        assert result.instructions > 0
+
+    def test_empty_loop_body(self):
+        program = lower_main(WhileLoop(trips=5))
+        result = execute(link_identity(program))
+        assert result.instructions > 0
+
+    def test_single_case_switch(self):
+        program = lower_main(Switch(cases=[[Straight(2)]]))
+        result = execute(link_identity(program))
+        assert result.instructions > 0
+
+    def test_unknown_construct_rejected(self):
+        class Bogus(Construct):
+            pass
+
+        with pytest.raises(TypeError):
+            ProcedureTemplate("main", [Bogus()]).lower()
+
+
+class TestDeepNesting:
+    def test_if_in_loop_in_switch_in_loop(self):
+        program = lower_main(
+            WhileLoop(
+                body=[
+                    Switch(
+                        cases=[
+                            [WhileLoop(body=[IfElse(then=[Straight(2)],
+                                                    orelse=[Straight(3)])],
+                                       trips=3)],
+                            [Straight(4)],
+                        ],
+                        weights=[3, 1],
+                    )
+                ],
+                trips=20,
+            )
+        )
+        result = execute(link_identity(program))
+        assert result.instructions > 100
+
+    def test_loop_chain_of_top_and_bottom_tests(self):
+        program = lower_main(
+            WhileLoop(body=[WhileLoop(body=[Straight(2)], trips=3,
+                                      bottom_test=False)],
+                      trips=4),
+            WhileLoop(body=[Straight(2)], trips=4),
+        )
+        result = execute(link_identity(program))
+        assert result.instructions > 0
+
+    def test_every_block_reachable_in_nested_lowering(self):
+        program = lower_main(
+            IfElse(
+                then=[WhileLoop(body=[Straight(2)], trips=2)],
+                orelse=[Switch(cases=[[Straight(1)], [Straight(2)]])],
+                p_then=0.5,
+            )
+        )
+        proc = program.procedure("main")
+        assert proc.reachable_blocks() == set(proc.blocks)
+
+
+class TestLoweringInvariants:
+    def test_fresh_names_unique(self):
+        lowering = _Lowering("p")
+        names = {lowering.fresh("x") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_every_cond_has_behavior(self):
+        program = lower_main(
+            IfElse(then=[Straight(1)], orelse=[Straight(2)]),
+            WhileLoop(body=[Straight(2)], trips=3),
+        )
+        proc = program.procedure("main")
+        for block in proc:
+            if block.kind is TerminatorKind.COND:
+                assert block.behavior is not None
+
+    def test_switch_behavior_attached(self):
+        program = lower_main(Switch(cases=[[Straight(1)], [Straight(2)]]))
+        proc = program.procedure("main")
+        indirect = next(b for b in proc if b.kind is TerminatorKind.INDIRECT)
+        assert indirect.behavior is not None

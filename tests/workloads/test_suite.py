@@ -1,0 +1,130 @@
+"""Tests for the 24-program benchmark suite's shape statistics."""
+
+import pytest
+
+from repro.analysis import measure_program
+from repro.workloads import (
+    CATEGORIES,
+    FIGURE4_PROGRAMS,
+    SUITE,
+    benchmark_names,
+    build_suite,
+    generate_benchmark,
+)
+
+SCALE = 0.05  # tiny but statistically stable for shape checks
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = {}
+    for name, spec in SUITE.items():
+        program = generate_benchmark(name, SCALE)
+        out[name] = measure_program(name, program, spec.category)
+    return out
+
+
+class TestRegistry:
+    def test_twenty_four_benchmarks(self):
+        assert len(SUITE) == 24
+
+    def test_paper_program_names_present(self):
+        for name in ("alvinn", "eqntott", "espresso", "gcc", "tex", "db++"):
+            assert name in SUITE
+
+    def test_category_counts_match_paper(self):
+        assert len(benchmark_names("SPECfp92")) == 13
+        assert len(benchmark_names("SPECint92")) == 6
+        assert len(benchmark_names("Other")) == 5
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            benchmark_names("SPEC2017")
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            generate_benchmark("doom")
+
+    def test_figure4_programs_are_spec_c_programs(self):
+        assert set(FIGURE4_PROGRAMS) <= set(SUITE)
+        assert "gcc" in FIGURE4_PROGRAMS and "tex" not in FIGURE4_PROGRAMS
+
+    def test_build_suite_subset(self):
+        programs = build_suite(["alvinn", "gcc"], scale=0.02)
+        assert set(programs) == {"alvinn", "gcc"}
+
+
+class TestDeterminism:
+    def test_generation_is_deterministic(self):
+        a = generate_benchmark("espresso", 0.05)
+        b = generate_benchmark("espresso", 0.05)
+        assert a.instruction_count() == b.instruction_count()
+        assert [p.name for p in a] == [p.name for p in b]
+
+    def test_scale_changes_dynamic_not_static(self):
+        small = generate_benchmark("compress", 0.02)
+        large = generate_benchmark("compress", 0.1)
+        assert small.instruction_count() == large.instruction_count()
+
+
+class TestShapeStatistics:
+    """The Table 2 shape contrasts the paper's analysis relies on."""
+
+    def test_fp_programs_have_low_break_density(self, rows):
+        for name in benchmark_names("SPECfp92"):
+            assert rows[name].percent_breaks < 15.0, name
+
+    def test_int_programs_are_branchier_than_fp(self, rows):
+        fp = [rows[n].percent_breaks for n in benchmark_names("SPECfp92")]
+        non_fp = [
+            rows[n].percent_breaks
+            for n in benchmark_names("SPECint92") + benchmark_names("Other")
+        ]
+        # "for the SPECfp92 programs 6.5% of the instructions executed
+        # cause a break in control flow ... 16% in SPECint92 and Other".
+        assert sum(non_fp) / len(non_fp) > 1.7 * sum(fp) / len(fp)
+
+    def test_original_programs_are_taken_hot(self, rows):
+        # Table 2's %Taken column runs 54-97%; alignment headroom.
+        taken = [row.percent_taken for row in rows.values()]
+        assert sum(taken) / len(taken) > 55.0
+
+    def test_eqntott_matches_paper_taken_rate(self, rows):
+        # The paper measures 86.6% taken for eqntott.
+        assert 80.0 < rows["eqntott"].percent_taken < 95.0
+
+    def test_fpppp_has_lowest_break_density(self, rows):
+        # fpppp's enormous basic blocks give it the fewest breaks.
+        fp_rows = [rows[n] for n in benchmark_names("SPECfp92")]
+        assert rows["fpppp"].percent_breaks == min(r.percent_breaks for r in fp_rows)
+
+    def test_gcc_has_most_branch_sites(self, rows):
+        assert rows["gcc"].static_sites == max(r.static_sites for r in rows.values())
+
+    def test_cxx_programs_have_indirect_calls(self, rows):
+        for name in ("cfront", "db++", "groff", "idl"):
+            assert rows[name].percent_ij > 2.0, name
+
+    def test_fortran_kernels_have_no_indirects(self, rows):
+        for name in ("swm256", "tomcatv", "alvinn"):
+            assert rows[name].percent_ij == 0.0, name
+
+    def test_quantiles_monotone(self, rows):
+        for row in rows.values():
+            assert row.q50 <= row.q90 <= row.q99 <= row.q100 <= row.static_sites
+
+    def test_hot_sites_dominate(self, rows):
+        # A handful of branch sites carry half the executions everywhere.
+        for row in rows.values():
+            assert row.q50 <= max(6, row.static_sites // 2), row.name
+
+    def test_break_mix_sums_to_one(self, rows):
+        for row in rows.values():
+            total = (row.percent_cbr + row.percent_ij + row.percent_br
+                     + row.percent_call + row.percent_ret)
+            assert total == pytest.approx(100.0, abs=0.1), row.name
+
+    def test_calls_balance_returns(self, rows):
+        for row in rows.values():
+            # Returns also cover indirect-call returns, so Ret >= Call.
+            assert row.percent_ret >= row.percent_call - 0.1, row.name

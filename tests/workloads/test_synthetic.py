@@ -1,0 +1,91 @@
+"""Tests for the parameterised synthetic program generator."""
+
+import pytest
+
+from repro.core import GreedyAligner, TryNAligner, make_model
+from repro.isa import link, link_identity
+from repro.profiling import profile_program
+from repro.sim.executor import execute
+from repro.sim.trace import TraceStats
+from repro.workloads import SyntheticSpec, generate_synthetic
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = generate_synthetic(seed=7)
+        b = generate_synthetic(seed=7)
+        assert a.instruction_count() == b.instruction_count()
+        assert [p.name for p in a] == [p.name for p in b]
+
+    def test_seeds_differ(self):
+        a = generate_synthetic(seed=1)
+        b = generate_synthetic(seed=2)
+        assert a.instruction_count() != b.instruction_count()
+
+    def test_procedure_count(self):
+        program = generate_synthetic(SyntheticSpec(procedures=5), seed=0)
+        assert len(program) == 5
+
+    def test_spec_scales_static_sites(self):
+        small = generate_synthetic(SyntheticSpec(procedures=4,
+                                                 constructs_per_procedure=4), seed=0)
+        large = generate_synthetic(SyntheticSpec(procedures=16,
+                                                 constructs_per_procedure=16), seed=0)
+        assert large.static_conditional_sites() > 3 * small.static_conditional_sites()
+
+    def test_programs_terminate(self):
+        for seed in range(4):
+            program = generate_synthetic(seed=seed)
+            result = execute(link_identity(program), max_events=5_000_000)
+            assert result.events < 5_000_000  # terminated naturally
+
+    def test_else_hot_fraction_raises_taken_rate(self):
+        taken_rates = {}
+        for fraction in (0.0, 0.9):
+            spec = SyntheticSpec(else_hot_fraction=fraction, pattern_fraction=0.0,
+                                 switch_fraction=0.0, call_fraction=0.0)
+            program = generate_synthetic(spec, seed=11)
+            stats = TraceStats()
+            result = execute(link_identity(program), listeners=[stats])
+            stats.finish(result.instructions)
+            taken_rates[fraction] = stats.percent_taken
+        assert taken_rates[0.9] > taken_rates[0.0]
+
+
+class TestAlignmentOnSynthetic:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_semantics_preserved(self, seed):
+        program = generate_synthetic(seed=seed)
+        profile = profile_program(program)
+
+        def edges(linked):
+            out = []
+            execute(linked, profile_hook=lambda p, s, d: out.append((p, s, d)))
+            return out
+
+        original = edges(link_identity(program))
+        for aligner in (GreedyAligner(), TryNAligner(make_model("likely"), window=10)):
+            layout = aligner.align(program, profile)
+            assert edges(link(layout)) == original
+
+    def test_alignment_improves_likely_cost(self):
+        program = generate_synthetic(seed=3)
+        profile = profile_program(program)
+        model = make_model("likely")
+        aligned = model.layout_cost(
+            link(TryNAligner(model, window=10).align(program, profile)), profile
+        )
+        original = model.layout_cost(link_identity(program), profile)
+        assert aligned < original
+
+    def test_large_procedure_windowing(self):
+        """Hundreds of sites per procedure: the regime the paper says
+        makes exhaustive search impossible and windowing necessary."""
+        spec = SyntheticSpec(procedures=3, constructs_per_procedure=60,
+                             driver_iterations=3)
+        program = generate_synthetic(spec, seed=5)
+        assert program.static_conditional_sites() > 100
+        profile = profile_program(program)
+        layout = TryNAligner(make_model("pht"), window=15).align(program, profile)
+        for name in program.order:
+            layout[name].check()

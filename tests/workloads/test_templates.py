@@ -1,0 +1,184 @@
+"""Unit tests for the structured-program templates and their lowering."""
+
+import pytest
+
+from repro.cfg import Program, TerminatorKind
+from repro.isa import link_identity
+from repro.sim.executor import execute
+from repro.sim.trace import EventRecorder, TraceStats
+from repro.sim import trace as tr
+from repro.workloads import (
+    Call,
+    IfElse,
+    ProcedureTemplate,
+    Straight,
+    Switch,
+    VirtualCall,
+    WhileLoop,
+    pattern_if,
+)
+
+
+def lower_main(*constructs):
+    return Program([ProcedureTemplate("main", list(constructs)).lower()])
+
+
+def run(program, seed=0):
+    stats = TraceStats()
+    rec = EventRecorder()
+    result = execute(link_identity(program), listeners=[stats, rec], seed=seed)
+    stats.finish(result.instructions)
+    return result, stats, rec.events
+
+
+class TestStraight:
+    def test_single_block_body(self):
+        program = lower_main(Straight(7))
+        proc = program.procedure("main")
+        assert proc.instruction_count() == 7 + 2  # + epilogue ret
+
+    def test_ends_with_return(self):
+        program = lower_main(Straight(3))
+        proc = program.procedure("main")
+        last = proc.block(proc.original_order[-1])
+        assert last.kind is TerminatorKind.RETURN
+
+
+class TestIfElse:
+    def test_then_is_fallthrough_else_is_taken(self):
+        program = lower_main(IfElse(then=[Straight(4)], orelse=[Straight(5)]))
+        proc = program.procedure("main")
+        cond = next(b for b in proc if b.kind is TerminatorKind.COND)
+        taken_dst = proc.taken_edge(cond.bid).dst
+        fall_dst = proc.fallthrough_edge(cond.bid).dst
+        assert proc.block(fall_dst).size == 4   # then side
+        assert proc.block(taken_dst).size == 5  # else side
+
+    def test_then_side_jumps_over_else(self):
+        program = lower_main(IfElse(then=[Straight(4)], orelse=[Straight(5)]))
+        proc = program.procedure("main")
+        unconds = [b for b in proc if b.kind is TerminatorKind.UNCOND]
+        assert len(unconds) == 1
+
+    def test_empty_else_has_no_jump(self):
+        program = lower_main(IfElse(then=[Straight(4)]))
+        proc = program.procedure("main")
+        assert not [b for b in proc if b.kind is TerminatorKind.UNCOND]
+
+    def test_p_then_statistics(self):
+        program = lower_main(
+            WhileLoop(
+                body=[IfElse(then=[Straight(2)], orelse=[Straight(2)], p_then=0.8)],
+                trips=2000,
+            )
+        )
+        _result, stats, _ = run(program)
+        # Two conditional sites execute ~2000 times each: the loop latch
+        # (~100% taken) and the diamond (p_then=0.8 => ~20% taken), so the
+        # combined taken rate sits near 60%.
+        assert 55.0 < stats.percent_taken < 65.0
+
+    def test_pattern_if_inverts_pattern(self):
+        program = lower_main(
+            WhileLoop(body=[pattern_if("TTN", then=[Straight(2)])], trips=30)
+        )
+        _result, _stats, events = run(program)
+        conds = [e for e in events if e[0] == tr.COND]
+        # Find the pattern site: the one whose taken sequence is N,N,T...
+        by_site = {}
+        for e in conds:
+            by_site.setdefault(e[1], []).append(e[3])
+        pattern_streams = [
+            s for s in by_site.values() if s[:6] == [False, False, True] * 2
+        ]
+        assert pattern_streams
+
+
+class TestWhileLoop:
+    def test_bottom_test_shape(self):
+        program = lower_main(WhileLoop(body=[Straight(5)], trips=10))
+        proc = program.procedure("main")
+        cond = next(b for b in proc if b.kind is TerminatorKind.COND)
+        # Backward taken edge to the body head.
+        assert proc.taken_edge(cond.bid).dst < cond.bid
+        assert not [b for b in proc if b.kind is TerminatorKind.UNCOND]
+
+    def test_bottom_test_executes_body_exactly(self):
+        program = lower_main(WhileLoop(body=[Straight(5)], trips=10))
+        result, stats, _ = run(program)
+        assert stats.conditional_executions == 10
+        assert stats.cond_taken == 9
+
+    def test_top_test_shape(self):
+        program = lower_main(WhileLoop(body=[Straight(5)], trips=10, bottom_test=False))
+        proc = program.procedure("main")
+        unconds = [b for b in proc if b.kind is TerminatorKind.UNCOND]
+        assert len(unconds) == 1  # the latch
+
+    def test_top_test_executes_body_exactly(self):
+        program = lower_main(WhileLoop(body=[Straight(5)], trips=10, bottom_test=False))
+        _result, _stats, events = run(program)
+        unconds = [e for e in events if e[0] == tr.UNCOND]
+        conds = [e for e in events if e[0] == tr.COND]
+        assert len(unconds) == 10       # one latch per body execution
+        assert len(conds) == 11         # header runs trips + 1 times
+        assert sum(e[3] for e in conds) == 1  # single taken exit
+
+    def test_nested_loops(self):
+        program = lower_main(
+            WhileLoop(body=[WhileLoop(body=[Straight(2)], trips=3)], trips=4)
+        )
+        _result, stats, _ = run(program)
+        assert stats.conditional_executions == 4 + 12  # outer + inner latches
+
+
+class TestSwitch:
+    def test_indirect_dispatch(self):
+        program = lower_main(
+            WhileLoop(
+                body=[Switch(cases=[[Straight(2)], [Straight(3)], [Straight(4)]],
+                             weights=[1, 1, 1])],
+                trips=300,
+            )
+        )
+        _result, stats, _ = run(program)
+        kinds = stats.kind_percentages()
+        assert kinds["IJ"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Switch(cases=[])
+        with pytest.raises(ValueError):
+            Switch(cases=[[Straight(1)]], weights=[1, 2])
+
+    def test_cases_rejoin(self):
+        program = lower_main(
+            Switch(cases=[[Straight(2)], [Straight(3)]], weights=[1, 1]),
+            Straight(5),
+        )
+        # Both cases must reach the trailing straight block and return.
+        for seed in range(4):
+            result, _stats, _ = run(program, seed=seed)
+            assert result.instructions > 5
+
+
+class TestCalls:
+    def test_direct_call_lowering(self):
+        callee = ProcedureTemplate("callee", [Straight(4)])
+        main = ProcedureTemplate("main", [Call("callee")])
+        program = Program([main.lower(), callee.lower()], entry="main")
+        _result, stats, _ = run(program)
+        kinds = stats.kind_percentages()
+        assert kinds["Call"] > 0 and kinds["Ret"] > 0
+
+    def test_virtual_call_counts_as_indirect(self):
+        a = ProcedureTemplate("impl_a", [Straight(2)])
+        b = ProcedureTemplate("impl_b", [Straight(2)])
+        main = ProcedureTemplate(
+            "main",
+            [WhileLoop(body=[VirtualCall(["impl_a", "impl_b"])], trips=50)],
+        )
+        program = Program([main.lower(), a.lower(), b.lower()], entry="main")
+        _result, stats, _ = run(program)
+        assert stats.kind_percentages()["IJ"] > 0
+        assert stats.kind_percentages()["Call"] == 0
