@@ -63,6 +63,20 @@ from .isa import (
     link_identity,
 )
 from .profiling import EdgeProfile, profile_program
+from .runner import (
+    BenchmarkFailure,
+    FatalError,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    RunnerConfig,
+    RunnerError,
+    SuiteRunResult,
+    TransientError,
+    ValidationError,
+    run_figure4_resilient,
+    run_suite_resilient,
+)
 from .sim import (
     AlphaConfig,
     AlphaSim,
@@ -93,6 +107,7 @@ __all__ = [
     "ArchModel",
     "BasicBlock",
     "BenchmarkExperiment",
+    "BenchmarkFailure",
     "BranchCosts",
     "CallSite",
     "ChainSet",
@@ -100,6 +115,9 @@ __all__ = [
     "Edge",
     "EdgeKind",
     "EdgeProfile",
+    "FatalError",
+    "FaultPlan",
+    "FaultSpec",
     "GreedyAligner",
     "LinkedProgram",
     "OriginalAligner",
@@ -109,11 +127,17 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "ProgramLayout",
+    "RetryPolicy",
+    "RunnerConfig",
+    "RunnerError",
     "SUITE",
     "SimulationReport",
+    "SuiteRunResult",
     "TerminatorKind",
     "TraceStats",
+    "TransientError",
     "TryNAligner",
+    "ValidationError",
     "align_program",
     "alpha_execution_cycles",
     "benchmark_names",
@@ -137,6 +161,8 @@ __all__ = [
     "render_table4",
     "run_benchmark_experiment",
     "run_figure4",
+    "run_figure4_resilient",
     "run_suite_experiment",
+    "run_suite_resilient",
     "simulate",
 ]

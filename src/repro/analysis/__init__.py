@@ -19,7 +19,7 @@ from .export import (
     table2_records,
     write_csv,
 )
-from .figure4 import Figure4Row, run_figure4
+from .figure4 import Figure4Row, run_figure4, run_figure4_program
 from .hotspots import (
     BranchHotspot,
     ProcedureHotspot,
@@ -73,6 +73,7 @@ __all__ = [
     "render_table4",
     "run_benchmark_experiment",
     "run_figure4",
+    "run_figure4_program",
     "records_to_csv",
     "run_suite_experiment",
     "StabilityCell",

@@ -125,11 +125,19 @@ def run_benchmark_experiment(
     window: int = 15,
     min_weight: int = 2,
     archs: Sequence[str] = ALL_ARCHS,
+    profile: Optional[EdgeProfile] = None,
+    validate: bool = False,
 ) -> BenchmarkExperiment:
     """Run the full Tables 3/4 methodology for one benchmark.
 
     ``program`` overrides the suite workload (used by tests to run the
     methodology on arbitrary programs; the category then reads "custom").
+    ``profile`` reuses an already-collected edge profile instead of
+    re-tracing (the resilient runner collects, fault-checks and validates
+    the profile before handing it in).  ``validate`` runs the invariant
+    checks of :mod:`repro.runner.validate` at every stage boundary:
+    profile flow conservation on entry, layout-permutation and
+    address-coverage checks after each align+link.
     """
     if program is None:
         program = generate_benchmark(name, scale)
@@ -137,7 +145,24 @@ def run_benchmark_experiment(
     else:
         category = SUITE[name].category if name in SUITE else "custom"
     archs = tuple(archs)
-    profile = profile_program(program, seed=seed)
+    if profile is None:
+        profile = profile_program(program, seed=seed)
+
+    if validate:
+        from ..runner.validate import validate_profile
+
+        validate_profile(program, profile)
+
+    def checked_link(layout) -> LinkedProgram:
+        """Link one aligned layout, validating at the stage boundaries."""
+        if not validate:
+            return link(layout)
+        from ..runner.validate import validate_layout, validate_linked
+
+        validate_layout(layout)
+        linked = link(layout)
+        validate_linked(linked)
+        return linked
 
     experiment = BenchmarkExperiment(name=name, category=category, original_instructions=0)
 
@@ -155,7 +180,7 @@ def run_benchmark_experiment(
     experiment.outcomes["greedy"] = {}
     if greedy_archs:
         layout = GreedyAligner(chain_order="weight").align(program, profile)
-        linked = link(layout)
+        linked = checked_link(layout)
         report = simulate(
             linked, profile, archs=make_arch_sims(greedy_archs, linked, profile), seed=seed
         )
@@ -164,7 +189,7 @@ def run_benchmark_experiment(
         )
     if "btfnt" in archs:
         layout = GreedyAligner(chain_order="btfnt").align(program, profile)
-        linked = link(layout)
+        linked = checked_link(layout)
         report = simulate(
             linked, profile, archs=make_arch_sims(("btfnt",), linked, profile), seed=seed
         )
@@ -182,7 +207,7 @@ def run_benchmark_experiment(
             model_name, window=window, min_weight=min_weight
         )
         layout = aligner.align(program, profile)
-        linked = link(layout)
+        linked = checked_link(layout)
         report = simulate(
             linked, profile, archs=make_arch_sims(wanted, linked, profile), seed=seed
         )
@@ -197,13 +222,26 @@ def run_suite_experiment(
     seed: int = 0,
     window: int = 15,
     archs: Sequence[str] = ALL_ARCHS,
+    runner: Optional[object] = None,
 ) -> List[BenchmarkExperiment]:
-    """Run the experiment across several benchmarks (default: all 24)."""
-    selected = list(names) if names is not None else list(SUITE)
-    return [
-        run_benchmark_experiment(name, scale=scale, seed=seed, window=window, archs=archs)
-        for name in selected
-    ]
+    """Run the experiment across several benchmarks (default: all 24).
+
+    The run goes through :mod:`repro.runner`.  Without a ``runner``
+    config it behaves as before — in-process, failing fast on the first
+    error — but with invariant validation at every stage boundary.  Pass
+    a :class:`repro.runner.RunnerConfig` for subprocess isolation,
+    timeouts, retries and checkpoint/resume; lost benchmarks then raise
+    unless the config captures them, in which case use
+    :func:`repro.runner.run_suite_resilient` directly to also see the
+    failure records.
+    """
+    from ..runner import RunnerConfig, run_suite_resilient
+
+    config = runner if runner is not None else RunnerConfig(fail_fast=True)
+    result = run_suite_resilient(
+        names, scale=scale, seed=seed, window=window, archs=archs, config=config
+    )
+    return result.results
 
 
 def category_average(

@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..cfg import Program
 from ..core import GreedyAligner, TryNAligner, make_model
-from ..isa.encoder import link, link_identity
-from ..profiling import profile_program
+from ..isa.encoder import LinkedProgram, link, link_identity
+from ..profiling import EdgeProfile, profile_program
 from ..sim.alpha import AlphaConfig, alpha_execution_cycles
 from ..workloads import FIGURE4_PROGRAMS, generate_benchmark
 
@@ -42,34 +43,73 @@ class Figure4Row:
         return 100.0 * (1.0 - self.try15_relative)
 
 
+def run_figure4_program(
+    name: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    window: int = 15,
+    config: AlphaConfig = AlphaConfig(),
+    program: Optional[Program] = None,
+    profile: Optional[EdgeProfile] = None,
+    validate: bool = False,
+) -> Figure4Row:
+    """Model Figure 4's hardware measurement for one program.
+
+    This is the per-benchmark unit the resilient runner isolates;
+    ``program``/``profile`` let a caller that already traced the
+    workload (and validated the profile) hand both in, and ``validate``
+    runs the layout/address invariant checks after each alignment.
+    """
+    if program is None:
+        program = generate_benchmark(name, scale)
+    if profile is None:
+        profile = profile_program(program, seed=seed)
+
+    def checked_link(layout) -> LinkedProgram:
+        if not validate:
+            return link(layout)
+        from ..runner.validate import validate_layout, validate_linked
+
+        validate_layout(layout)
+        linked = link(layout)
+        validate_linked(linked)
+        return linked
+
+    original = alpha_execution_cycles(link_identity(program), seed=seed, config=config)
+
+    greedy_layout = GreedyAligner(chain_order="weight").align(program, profile)
+    greedy = alpha_execution_cycles(checked_link(greedy_layout), seed=seed, config=config)
+
+    try_aligner = TryNAligner(make_model("btb"), window=window)
+    try_layout = try_aligner.align(program, profile)
+    try15 = alpha_execution_cycles(checked_link(try_layout), seed=seed, config=config)
+
+    return Figure4Row(
+        name=name,
+        original_cycles=original.cycles,
+        greedy_cycles=greedy.cycles,
+        try15_cycles=try15.cycles,
+    )
+
+
 def run_figure4(
     names: Sequence[str] = FIGURE4_PROGRAMS,
     scale: float = 1.0,
     seed: int = 0,
     window: int = 15,
     config: AlphaConfig = AlphaConfig(),
+    runner: Optional[object] = None,
 ) -> List[Figure4Row]:
-    """Model Figure 4's hardware measurement for the given programs."""
-    rows: List[Figure4Row] = []
-    for name in names:
-        program = generate_benchmark(name, scale)
-        profile = profile_program(program, seed=seed)
+    """Model Figure 4's hardware measurement for the given programs.
 
-        original = alpha_execution_cycles(link_identity(program), seed=seed, config=config)
+    Runs through :mod:`repro.runner`; the default config matches the old
+    in-process fail-fast behaviour (see :func:`run_suite_experiment`).
+    """
+    from ..runner import RunnerConfig, run_figure4_resilient
 
-        greedy_layout = GreedyAligner(chain_order="weight").align(program, profile)
-        greedy = alpha_execution_cycles(link(greedy_layout), seed=seed, config=config)
-
-        try_aligner = TryNAligner(make_model("btb"), window=window)
-        try_layout = try_aligner.align(program, profile)
-        try15 = alpha_execution_cycles(link(try_layout), seed=seed, config=config)
-
-        rows.append(
-            Figure4Row(
-                name=name,
-                original_cycles=original.cycles,
-                greedy_cycles=greedy.cycles,
-                try15_cycles=try15.cycles,
-            )
-        )
-    return rows
+    runner_config = runner if runner is not None else RunnerConfig(fail_fast=True)
+    result = run_figure4_resilient(
+        names, scale=scale, seed=seed, window=window,
+        alpha_config=config, config=runner_config,
+    )
+    return result.results

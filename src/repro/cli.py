@@ -7,8 +7,13 @@ Gives the library's main workflows a shell entry point:
 * ``align`` — align a benchmark and report per-architecture relative CPI
   (optionally reusing a saved profile, the paper's two-pass workflow);
 * ``table2`` / ``table3`` / ``table4`` / ``figure4`` — regenerate the
-  paper's evaluation artifacts;
+  paper's evaluation artifacts (through the resilient runner: per-
+  benchmark isolation, timeouts, retries, checkpoint/resume);
+* ``doctor`` — run the pipeline invariant checks standalone;
 * ``dot`` — emit a procedure's control-flow graph in Graphviz format.
+
+Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 partial
+suite results (some benchmarks failed; see the failure table).
 """
 
 from __future__ import annotations
@@ -16,6 +21,15 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional, Sequence
+
+EXIT_OK = 0
+EXIT_RUNTIME = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+
+
+class UsageError(Exception):
+    """A caller mistake (unknown benchmark, malformed flag value)."""
 
 from .analysis import (
     branch_hotspots,
@@ -39,13 +53,30 @@ from .analysis import (
     render_table2,
     render_table3,
     render_table4,
-    run_figure4,
-    run_suite_experiment,
 )
-from .cfg import procedure_to_dot
+from .cfg import CFGError, procedure_to_dot
 from .core import CostAligner, GreedyAligner, TryNAligner, make_model
-from .isa import ProgramLayout, diff_layouts, link, link_identity, render_diff, save_layout
-from .profiling import load_profile, profile_program, save_profile
+from .isa import LayoutError, ProgramLayout, diff_layouts, link, link_identity, render_diff, save_layout
+from .profiling import ProfileFormatError, load_profile, profile_program, save_profile
+from .runner import (
+    FaultPlan,
+    InvariantResult,
+    RetryPolicy,
+    RunnerConfig,
+    RunnerError,
+    SuiteRunResult,
+    check_address_coverage,
+    check_cfg,
+    check_flow_conservation,
+    check_layout_permutation,
+    check_profile_consistency,
+    parse_fault_spec,
+    render_failure_table,
+    render_invariant_report,
+    render_partial_banner,
+    run_figure4_resilient,
+    run_suite_resilient,
+)
 from .sim.metrics import ALL_ARCHS, DYNAMIC_ARCHS, STATIC_ARCHS, simulate
 from .workloads import SUITE, generate_benchmark
 
@@ -58,14 +89,77 @@ def _write(text: str, output: Optional[str]) -> None:
         print(text)
 
 
+def _require_benchmark(name: str) -> str:
+    if name not in SUITE:
+        raise UsageError(
+            f"unknown benchmark {name!r}; run `python -m repro list` for the suite"
+        )
+    return name
+
+
+def _workload(args: argparse.Namespace):
+    return generate_benchmark(_require_benchmark(args.benchmark), args.scale)
+
+
 def _benchmark_list(value: Optional[str]) -> Optional[List[str]]:
     if value is None:
         return None
     names = [name.strip() for name in value.split(",") if name.strip()]
     unknown = [name for name in names if name not in SUITE]
     if unknown:
-        raise SystemExit(f"unknown benchmarks: {', '.join(unknown)}")
+        raise UsageError(f"unknown benchmarks: {', '.join(unknown)}")
     return names
+
+
+def _runner_config(args: argparse.Namespace) -> RunnerConfig:
+    """Build the resilient-runner configuration from table/figure flags."""
+    faults = None
+    if getattr(args, "inject", None):
+        try:
+            specs = tuple(parse_fault_spec(spec) for spec in args.inject)
+        except ValueError as exc:
+            raise UsageError(str(exc))
+        faults = FaultPlan(specs=specs, seed=args.seed)
+    if args.retries < 1:
+        raise UsageError("--retries must be >= 1")
+    if args.workers < 1:
+        raise UsageError("--workers must be >= 1")
+    if args.timeout is not None and args.timeout <= 0:
+        raise UsageError("--timeout must be positive")
+    if args.resume and args.checkpoint is None:
+        raise UsageError("--resume requires --checkpoint FILE")
+    return RunnerConfig(
+        isolate=args.isolate or args.timeout is not None or args.workers > 1,
+        max_workers=args.workers,
+        timeout=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        faults=faults,
+    )
+
+
+def _finish_suite(
+    result: SuiteRunResult, total: int, args: argparse.Namespace, text: str
+) -> int:
+    """Write a suite report, surfacing degradation explicitly."""
+    if result.partial and not args.csv:
+        text += (
+            "\n\n" + render_partial_banner(result, total)
+            + "\n" + render_failure_table(result.failures)
+        )
+    _write(text, args.output)
+    if result.skipped:
+        print(
+            f"resumed: {len(result.skipped)} benchmark(s) restored from "
+            f"checkpoint {result.checkpoint}",
+            file=sys.stderr,
+        )
+    if result.partial:
+        print(render_partial_banner(result, total), file=sys.stderr)
+        print(render_failure_table(result.failures), file=sys.stderr)
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -76,7 +170,7 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    program = generate_benchmark(args.benchmark, args.scale)
+    program = _workload(args)
     profile = profile_program(program, seed=args.seed)
     save_profile(profile, args.output)
     total = sum(profile.total_weight(name) for name in profile.procedures())
@@ -92,11 +186,11 @@ def _make_aligner(algorithm: str, arch: str, window: int):
         return CostAligner(make_model(arch))
     if algorithm == "tryn":
         return TryNAligner.for_architecture(arch, window=window)
-    raise SystemExit(f"unknown algorithm {algorithm!r}")
+    raise UsageError(f"unknown algorithm {algorithm!r}")
 
 
 def cmd_align(args: argparse.Namespace) -> int:
-    program = generate_benchmark(args.benchmark, args.scale)
+    program = _workload(args)
     if args.profile:
         profile = load_profile(args.profile)
     else:
@@ -143,43 +237,81 @@ def cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_table3(args: argparse.Namespace) -> int:
-    experiments = run_suite_experiment(
-        _benchmark_list(args.benchmarks), scale=args.scale, seed=args.seed,
-        window=args.window, archs=STATIC_ARCHS,
+def _suite_table(args: argparse.Namespace, archs: Sequence[str], render) -> int:
+    names = _benchmark_list(args.benchmarks) or list(SUITE)
+    result = run_suite_resilient(
+        names, scale=args.scale, seed=args.seed, window=args.window,
+        archs=archs, config=_runner_config(args),
     )
     if args.csv:
-        _write(records_to_csv(experiment_records(experiments)).rstrip(), args.output)
+        text = records_to_csv(experiment_records(result.results)).rstrip()
     else:
-        _write(render_table3(experiments), args.output)
-    return 0
+        text = render(result.results)
+    return _finish_suite(result, len(names), args, text)
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    return _suite_table(args, STATIC_ARCHS, render_table3)
 
 
 def cmd_table4(args: argparse.Namespace) -> int:
-    experiments = run_suite_experiment(
-        _benchmark_list(args.benchmarks), scale=args.scale, seed=args.seed,
-        window=args.window, archs=DYNAMIC_ARCHS,
-    )
-    if args.csv:
-        _write(records_to_csv(experiment_records(experiments)).rstrip(), args.output)
-    else:
-        _write(render_table4(experiments), args.output)
-    return 0
+    return _suite_table(args, DYNAMIC_ARCHS, render_table4)
 
 
 def cmd_figure4(args: argparse.Namespace) -> int:
     names = _benchmark_list(args.benchmarks)
-    kwargs = {"scale": args.scale, "seed": args.seed, "window": args.window}
-    rows = run_figure4(names, **kwargs) if names else run_figure4(**kwargs)
+    from .workloads import FIGURE4_PROGRAMS
+    selected = names if names is not None else list(FIGURE4_PROGRAMS)
+    result = run_figure4_resilient(
+        selected, scale=args.scale, seed=args.seed, window=args.window,
+        config=_runner_config(args),
+    )
     if args.csv:
-        _write(records_to_csv(figure4_records(rows)).rstrip(), args.output)
+        text = records_to_csv(figure4_records(result.results)).rstrip()
     else:
-        _write(render_figure4(rows), args.output)
-    return 0
+        text = render_figure4(result.results)
+    return _finish_suite(result, len(selected), args, text)
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Run the invariant-validation layer standalone, PASS/FAIL per check."""
+    program = _workload(args)
+    if args.profile:
+        profile = load_profile(args.profile)
+    else:
+        profile = profile_program(program, seed=args.seed)
+    results = [
+        check_cfg(program),
+        check_profile_consistency(program, profile),
+        check_flow_conservation(program, profile),
+    ]
+    aligners = [
+        ("greedy", GreedyAligner()),
+        (f"try{args.window}-{args.arch}",
+         TryNAligner.for_architecture(args.arch, window=args.window)),
+    ]
+    for label, aligner in aligners:
+        try:
+            layout = aligner.align(program, profile)
+        except LayoutError as exc:
+            results.append(InvariantResult(
+                f"layout-permutation:{label}",
+                "layout is a flow-preserving permutation",
+                False, [str(exc)],
+            ))
+            continue
+        permutation = check_layout_permutation(layout)
+        permutation.name += f":{label}"
+        results.append(permutation)
+        coverage = check_address_coverage(link(layout))
+        coverage.name += f":{label}"
+        results.append(coverage)
+    _write(render_invariant_report(results), args.output)
+    return EXIT_OK if all(r.passed for r in results) else EXIT_RUNTIME
 
 
 def cmd_breakdown(args: argparse.Namespace) -> int:
-    program = generate_benchmark(args.benchmark, args.scale)
+    program = _workload(args)
     archs = tuple(a.strip() for a in args.archs.split(",")) if args.archs else ALL_ARCHS
     rows = penalty_breakdown(program, archs=archs, seed=args.seed)
     _write(render_breakdown(rows), args.output)
@@ -187,7 +319,7 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    program = generate_benchmark(args.benchmark, args.scale)
+    program = _workload(args)
     if args.kind == "penalty":
         raw = args.points or "2,4,8,16"
         points = mispredict_penalty_sweep(
@@ -212,7 +344,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_quality(args: argparse.Namespace) -> int:
-    program = generate_benchmark(args.benchmark, args.scale)
+    program = _workload(args)
     profile = profile_program(program, seed=args.seed)
     qualities = {"orig": layout_quality(link_identity(program), profile)}
     for algorithm in ("greedy", "cost", "tryn"):
@@ -224,7 +356,7 @@ def cmd_quality(args: argparse.Namespace) -> int:
 
 
 def cmd_hotspots(args: argparse.Namespace) -> int:
-    program = generate_benchmark(args.benchmark, args.scale)
+    program = _workload(args)
     from .profiling import profile_program as _pp
     profile = _pp(program, seed=args.seed)
     model = make_model(args.arch)
@@ -243,9 +375,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
-    program = generate_benchmark(args.benchmark, args.scale)
+    program = _workload(args)
     if args.procedure not in program:
-        raise SystemExit(
+        raise UsageError(
             f"unknown procedure {args.procedure!r}; "
             f"available: {', '.join(program.order)}"
         )
@@ -310,6 +442,27 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(func=cmd_sweep)
 
+    def runner_flags(p):
+        g = p.add_argument_group("resilient runner")
+        g.add_argument("--checkpoint", metavar="PATH",
+                       help="journal completed benchmarks to a JSONL checkpoint")
+        g.add_argument("--resume", action="store_true",
+                       help="resume from the checkpoint, re-running only "
+                            "unfinished/failed benchmarks")
+        g.add_argument("--isolate", action="store_true",
+                       help="run each benchmark in a worker subprocess "
+                            "(crashes become per-benchmark failures)")
+        g.add_argument("--timeout", type=float, metavar="SECONDS",
+                       help="per-benchmark wall-clock budget (implies --isolate)")
+        g.add_argument("--retries", type=int, default=3, metavar="N",
+                       help="max attempts for retryable failures (default 3)")
+        g.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="parallel worker processes (implies --isolate)")
+        g.add_argument("--inject", action="append", default=[],
+                       metavar="BENCH:STAGE:KIND[:TIMES]",
+                       help="inject a deterministic fault (fault-injection "
+                            "harness; e.g. gcc:align:crash)")
+
     for name, func, window in (
         ("table2", cmd_table2, False),
         ("table3", cmd_table3, True),
@@ -321,7 +474,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--csv", action="store_true",
                        help="emit machine-readable CSV instead of a table")
         common(p, window=window)
+        if name != "table2":
+            runner_flags(p)
         p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "doctor",
+        help="validate pipeline invariants for a benchmark (PASS/FAIL report)",
+    )
+    p.add_argument("benchmark")
+    p.add_argument("--profile", help="validate a saved profile instead of tracing")
+    p.add_argument("--arch", choices=("fallthrough", "btfnt", "likely", "pht", "btb"),
+                   default="btb", help="cost-model architecture for the aligned checks")
+    common(p, window=True)
+    p.set_defaults(func=cmd_doctor)
 
     p = sub.add_parser("quality", help="layout-quality internals per algorithm")
     p.add_argument("benchmark")
@@ -355,7 +521,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except (RunnerError, ProfileFormatError, LayoutError, CFGError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

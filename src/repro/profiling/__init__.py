@@ -3,7 +3,9 @@
 from .edge_profile import EdgeProfile
 from .profiler import profile_program, profile_program_with_result
 from .storage import (
+    FORMAT_VERSION,
     ProfileFormatError,
+    ProfileVersionWarning,
     load_profile,
     profile_from_dict,
     profile_to_dict,
@@ -12,7 +14,9 @@ from .storage import (
 
 __all__ = [
     "EdgeProfile",
+    "FORMAT_VERSION",
     "ProfileFormatError",
+    "ProfileVersionWarning",
     "load_profile",
     "profile_from_dict",
     "profile_program",

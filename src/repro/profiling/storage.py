@@ -10,17 +10,30 @@ name and stable block ids.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Union
 
 from .edge_profile import EdgeProfile
 
-#: Format version written into every file; bumped on incompatible change.
-FORMAT_VERSION = 1
+#: Schema version written into every file; bumped on incompatible change.
+#: Version history:
+#:   1 — procedures mapping only.
+#:   2 — adds the ``integrity`` summary (procedure/edge counts and total
+#:       weight), letting loaders reject truncated or tampered files
+#:       before the numbers reach the aligner or simulator.
+FORMAT_VERSION = 2
+
+#: Versions this loader still understands.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class ProfileFormatError(ValueError):
     """Raised when a profile file is malformed or from a newer version."""
+
+
+class ProfileVersionWarning(UserWarning):
+    """Issued when loading a profile written by an older schema version."""
 
 
 def profile_to_dict(profile: EdgeProfile) -> dict:
@@ -31,18 +44,63 @@ def profile_to_dict(profile: EdgeProfile) -> dict:
             [src, dst, count]
             for (src, dst), count in sorted(profile.proc_edges(name).items())
         ]
-    return {"format": "repro-edge-profile", "version": FORMAT_VERSION,
-            "procedures": procedures}
+    edges = sum(len(entries) for entries in procedures.values())
+    total = sum(count for entries in procedures.values() for _, _, count in entries)
+    return {
+        "format": "repro-edge-profile",
+        "version": FORMAT_VERSION,
+        "integrity": {
+            "procedures": len(procedures),
+            "edges": edges,
+            "total_weight": total,
+        },
+        "procedures": procedures,
+    }
+
+
+def _check_integrity(data: dict, profile: EdgeProfile) -> None:
+    integrity = data.get("integrity")
+    if integrity is None:
+        return
+    if not isinstance(integrity, dict):
+        raise ProfileFormatError("malformed integrity summary")
+    actual = {
+        "procedures": len(profile.procedures()),
+        "edges": sum(len(profile.proc_edges(n)) for n in profile.procedures()),
+        "total_weight": sum(profile.total_weight(n) for n in profile.procedures()),
+    }
+    for key, value in actual.items():
+        expected = integrity.get(key)
+        if expected is not None and expected != value:
+            raise ProfileFormatError(
+                f"profile integrity check failed: {key} is {value}, "
+                f"file claims {expected} (truncated or corrupted file?)"
+            )
 
 
 def profile_from_dict(data: dict) -> EdgeProfile:
-    """Rebuild a profile from :func:`profile_to_dict` data."""
+    """Rebuild a profile from :func:`profile_to_dict` data.
+
+    Files written by an older (still-supported) schema version load with
+    a :class:`ProfileVersionWarning`; newer or unknown versions are
+    rejected here, at the boundary, rather than failing deep inside
+    alignment or simulation.
+    """
     if not isinstance(data, dict) or data.get("format") != "repro-edge-profile":
         raise ProfileFormatError("not a repro edge-profile document")
     version = data.get("version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProfileFormatError(
-            f"unsupported profile version {version!r} (expected {FORMAT_VERSION})"
+            f"unsupported profile schema version {version!r} "
+            f"(this reader supports {SUPPORTED_VERSIONS})"
+        )
+    if version < FORMAT_VERSION:
+        warnings.warn(
+            f"loading profile with old schema version {version} "
+            f"(current {FORMAT_VERSION}); integrity checks unavailable — "
+            f"re-save to upgrade",
+            ProfileVersionWarning,
+            stacklevel=2,
         )
     profile = EdgeProfile()
     procedures = data.get("procedures")
@@ -57,6 +115,8 @@ def profile_from_dict(data: dict) -> EdgeProfile:
             if not all(isinstance(v, int) for v in (src, dst, count)) or count < 0:
                 raise ProfileFormatError(f"bad edge entry {entry!r} in {name!r}")
             profile.set_weight(name, src, dst, count)
+    if version >= 2:
+        _check_integrity(data, profile)
     return profile
 
 

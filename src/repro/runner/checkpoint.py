@@ -1,0 +1,179 @@
+"""JSON-lines checkpoint journal: crash-safe progress for suite runs.
+
+A suite run appends one record per finished benchmark unit to a journal
+file, so an interrupted ``table3``/``table4``/``figure4`` run resumes
+exactly where it stopped.  The format is append-only JSONL:
+
+* line 1 — a header with the journal schema version and a fingerprint
+  of the run configuration (benchmarks, scale, seed, window,
+  architectures, unit kind).  Resuming against a journal whose
+  fingerprint differs raises :class:`CheckpointMismatch` — results
+  computed under one configuration must never silently leak into
+  another (the stale-profile failure mode of PGO tooling).
+* ``{"kind": "result", "benchmark": ..., "payload": {...}}`` — one
+  completed unit (the payload is the serialised experiment row);
+* ``{"kind": "failure", "benchmark": ..., "failure": {...}}`` — one
+  permanently failed unit.  Failures are journaled for reporting but
+  are *re-executed* on resume; only successes are skipped.
+
+The journal tolerates a truncated final line (the writer died
+mid-record); anything else malformed is a :class:`CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from .errors import CheckpointError, CheckpointMismatch
+
+#: Journal schema version; bumped on incompatible record changes.
+SCHEMA_VERSION = 1
+
+_FORMAT = "repro-runner-checkpoint"
+
+
+def config_fingerprint(config: Dict[str, object]) -> str:
+    """A short stable digest of the run configuration."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class CheckpointJournal:
+    """An append-only JSONL journal of completed benchmark units."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fingerprint: str,
+        handle: "io.TextIOWrapper",
+        completed: Dict[str, dict],
+        failed: Dict[str, dict],
+    ):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._handle = handle
+        #: benchmark -> payload dict of every journaled success.
+        self.completed = completed
+        #: benchmark -> failure dict of every journaled (un-superseded) failure.
+        self.failed = failed
+
+    # ------------------------------------------------------------------
+    # Opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, path: Union[str, Path], fingerprint: str, config: Dict[str, object]
+    ) -> "CheckpointJournal":
+        """Start a fresh journal, truncating any existing file."""
+        handle = open(path, "w")
+        header = {
+            "kind": "header",
+            "format": _FORMAT,
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "config": config,
+        }
+        handle.write(json.dumps(header) + "\n")
+        handle.flush()
+        return cls(path, fingerprint, handle, {}, {})
+
+    @classmethod
+    def resume(
+        cls, path: Union[str, Path], fingerprint: str, config: Dict[str, object]
+    ) -> "CheckpointJournal":
+        """Open an existing journal for appending, loading its progress.
+
+        A missing or empty file starts fresh; a mismatched fingerprint
+        refuses to resume.
+        """
+        path = Path(path)
+        if not path.exists() or path.stat().st_size == 0:
+            return cls.create(path, fingerprint, config)
+        completed, failed = cls._load(path, fingerprint)
+        handle = open(path, "a")
+        return cls(path, fingerprint, handle, completed, failed)
+
+    @staticmethod
+    def _load(
+        path: Path, fingerprint: str
+    ) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+        lines = path.read_text().split("\n")
+        records = []
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append((number, json.loads(line)))
+            except json.JSONDecodeError:
+                if number >= len(lines) - 1:
+                    # Truncated trailing record from an interrupted writer.
+                    continue
+                raise CheckpointError(
+                    f"{path}: malformed journal record on line {number}"
+                )
+        if not records:
+            raise CheckpointError(f"{path}: checkpoint has no header record")
+        _, header = records[0]
+        if not isinstance(header, dict) or header.get("format") != _FORMAT:
+            raise CheckpointError(f"{path}: not a runner checkpoint journal")
+        if header.get("schema") != SCHEMA_VERSION:
+            raise CheckpointError(
+                f"{path}: unsupported checkpoint schema {header.get('schema')!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise CheckpointMismatch(
+                f"{path}: checkpoint was written by a different run configuration "
+                f"(fingerprint {header.get('fingerprint')!r}, this run "
+                f"{fingerprint!r}); refusing to resume"
+            )
+        completed: Dict[str, dict] = {}
+        failed: Dict[str, dict] = {}
+        for number, record in records[1:]:
+            kind = record.get("kind") if isinstance(record, dict) else None
+            name = record.get("benchmark") if isinstance(record, dict) else None
+            if kind == "result" and isinstance(name, str):
+                completed[name] = record.get("payload", {})
+                failed.pop(name, None)
+            elif kind == "failure" and isinstance(name, str):
+                failed[name] = record.get("failure", {})
+                completed.pop(name, None)
+            else:
+                raise CheckpointError(
+                    f"{path}: unrecognised journal record on line {number}"
+                )
+        return completed, failed
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_result(self, benchmark: str, payload: dict) -> None:
+        """Journal one completed unit."""
+        self._append({"kind": "result", "benchmark": benchmark, "payload": payload})
+        self.completed[benchmark] = payload
+        self.failed.pop(benchmark, None)
+
+    def record_failure(self, benchmark: str, failure: dict) -> None:
+        """Journal one permanently failed unit (re-run on resume)."""
+        self._append({"kind": "failure", "benchmark": benchmark, "failure": failure})
+        self.failed[benchmark] = failure
+        self.completed.pop(benchmark, None)
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,92 @@
+"""The runner's structured exception taxonomy.
+
+Every failure the resilient runner handles is classified into one of
+three families, because the *response* differs per family:
+
+* :class:`TransientError` — the unit may succeed if simply re-run
+  (injected flakiness, resource contention); the runner retries it with
+  exponential backoff.
+* :class:`ValidationError` — an invariant of the pipeline's data was
+  violated (non-conserved profile flow, a layout that is not a
+  permutation, an address map with holes).  Retrying cannot help; the
+  unit is failed immediately and reported.
+* :class:`FatalError` — everything else that ends a unit for good:
+  worker crashes, wall-clock timeouts, corrupt checkpoints.
+
+Exceptions raised inside a benchmark unit carry a best-effort
+``stage`` attribute (set via :func:`annotate_stage`) naming the pipeline
+stage — ``generate``, ``profile``, ``align``, ``simulate`` — that was
+running when they were raised.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RunnerError(Exception):
+    """Base class of all runner-raised errors."""
+
+    #: Pipeline stage active when the error was raised (best effort).
+    stage: Optional[str] = None
+
+
+class TransientError(RunnerError):
+    """A failure that may clear on retry (the only retryable class)."""
+
+
+class FatalError(RunnerError):
+    """A failure that ends the unit for good; never retried."""
+
+
+class ValidationError(RunnerError):
+    """A pipeline invariant was violated; retrying cannot help."""
+
+
+class BenchmarkTimeout(FatalError):
+    """A benchmark unit exceeded its wall-clock budget and was killed."""
+
+
+class WorkerCrash(FatalError):
+    """The worker process executing a unit died without reporting back."""
+
+
+class CheckpointError(FatalError):
+    """A checkpoint journal is unreadable or structurally invalid."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """A checkpoint journal was written under a different configuration."""
+
+
+def annotate_stage(exc: BaseException, stage: str) -> BaseException:
+    """Record the pipeline stage on an exception (survives pickling)."""
+    if getattr(exc, "stage", None) is None:
+        try:
+            exc.stage = stage  # type: ignore[attr-defined]
+        except AttributeError:  # exceptions with __slots__
+            pass
+    return exc
+
+
+def stage_of(exc: BaseException, default: str = "unknown") -> str:
+    """The pipeline stage an exception was annotated with."""
+    stage = getattr(exc, "stage", None)
+    return stage if isinstance(stage, str) else default
+
+
+def classify(exc: BaseException) -> str:
+    """Map an exception to a failure-kind label used in reports."""
+    if isinstance(exc, TransientError):
+        return "transient"
+    if isinstance(exc, ValidationError):
+        return "validation"
+    if isinstance(exc, BenchmarkTimeout):
+        return "timeout"
+    if isinstance(exc, WorkerCrash):
+        return "crash"
+    if isinstance(exc, CheckpointError):
+        return "checkpoint"
+    if isinstance(exc, FatalError):
+        return "fatal"
+    return "error"

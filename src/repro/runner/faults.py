@@ -1,0 +1,151 @@
+"""Deterministic fault injection for the resilient runner.
+
+The runner's robustness claims — isolation, retry, checkpoint/resume,
+corrupted-input rejection — are only credible if they can be *demonstrated*.
+This module injects failures at named pipeline stages of named benchmarks,
+fully seeded so every injected failure reproduces exactly:
+
+* ``crash`` — raise an unannounced ``RuntimeError`` (a bug in the unit);
+* ``hard-crash`` — kill the worker process outright (``os._exit``),
+  modelling a segfault/OOM kill;
+* ``hang`` — sleep past any reasonable deadline, modelling a livelock;
+* ``transient`` — raise :class:`TransientError`, which heals after the
+  spec's ``times`` failed attempts (exercises retry);
+* ``corrupt-profile`` — mutate the collected edge profile so it violates
+  flow conservation and CFG consistency (exercises validation).
+
+A plan is a picklable value, so it travels into worker subprocesses
+unchanged, and the CLI accepts specs as ``benchmark:stage:kind[:times]``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..profiling.edge_profile import EdgeProfile
+from .errors import TransientError, annotate_stage
+
+#: Stage names at which faults can fire, in pipeline order.
+STAGES = ("generate", "profile", "align", "simulate")
+KINDS = ("crash", "hard-crash", "hang", "transient", "corrupt-profile")
+
+#: Exit status used by ``hard-crash`` so tests can recognise it.
+HARD_CRASH_EXIT = 23
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: where it fires, what it does, how often."""
+
+    benchmark: str  # benchmark name, or "*" for every benchmark
+    stage: str
+    kind: str
+    #: Number of attempts that fail before the fault heals.
+    times: int = 1
+    #: Sleep duration of a ``hang`` fault (killed by the runner timeout).
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.stage not in STAGES:
+            raise ValueError(f"unknown fault stage {self.stage!r}; pick from {STAGES}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; pick from {KINDS}")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+    def matches(self, stage: str, benchmark: str) -> bool:
+        """Whether this fault applies to ``benchmark`` at ``stage``."""
+        return self.stage == stage and self.benchmark in ("*", benchmark)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of fault specs plus the seed making injections reproducible."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse a CLI fault spec ``benchmark:stage:kind[:times]``."""
+    parts = text.split(":")
+    if len(parts) not in (3, 4):
+        raise ValueError(
+            f"bad fault spec {text!r}; expected benchmark:stage:kind[:times]"
+        )
+    times = 1
+    if len(parts) == 4:
+        try:
+            times = int(parts[3])
+        except ValueError:
+            raise ValueError(f"bad fault repeat count in {text!r}")
+    return FaultSpec(benchmark=parts[0], stage=parts[1], kind=parts[2], times=times)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` at stage boundaries of one unit run."""
+
+    def __init__(self, plan: Optional[FaultPlan]):
+        self.plan = plan or FaultPlan()
+
+    def _active(self, stage: str, benchmark: str, attempt: int) -> Optional[FaultSpec]:
+        for spec in self.plan.specs:
+            if spec.matches(stage, benchmark) and attempt <= spec.times:
+                return spec
+        return None
+
+    def fire(self, stage: str, benchmark: str, attempt: int) -> None:
+        """Raise/kill/hang if a fault is scheduled for this stage."""
+        spec = self._active(stage, benchmark, attempt)
+        if spec is None or spec.kind == "corrupt-profile":
+            return
+        if spec.kind == "transient":
+            raise annotate_stage(
+                TransientError(
+                    f"injected transient fault at {stage} "
+                    f"(attempt {attempt}/{spec.times})"
+                ),
+                stage,
+            )
+        if spec.kind == "crash":
+            raise annotate_stage(
+                RuntimeError(f"injected crash at {stage} of {benchmark}"), stage
+            )
+        if spec.kind == "hard-crash":
+            os._exit(HARD_CRASH_EXIT)
+        if spec.kind == "hang":
+            time.sleep(spec.hang_seconds)
+
+    def corrupt_profile(
+        self, benchmark: str, attempt: int, profile: EdgeProfile
+    ) -> EdgeProfile:
+        """Apply any scheduled ``corrupt-profile`` fault to ``profile``.
+
+        The corruption both invents an edge between non-existent blocks
+        (breaking profile/CFG consistency) and inflates one real edge
+        (breaking flow conservation), deterministically per seed.
+        """
+        spec = self._active("profile", benchmark, attempt)
+        if spec is None or spec.kind != "corrupt-profile":
+            return profile
+        rng = random.Random(f"repro-fault:{self.plan.seed}:{benchmark}:profile")
+        procedures = sorted(profile.procedures())
+        if not procedures:
+            profile.set_weight("__corrupt__", 10**6, 10**6 + 1, 42)
+            return profile
+        victim = procedures[rng.randrange(len(procedures))]
+        profile.set_weight(victim, 10**6, 10**6 + 1, 42)
+        edges = sorted(profile.proc_edges(victim))
+        if edges:
+            src, dst = edges[rng.randrange(len(edges))]
+            profile.set_weight(
+                victim, src, dst, profile.weight(victim, src, dst) + 1_000_001
+            )
+        return profile

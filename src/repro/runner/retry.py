@@ -1,0 +1,79 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+Only :class:`~repro.runner.errors.TransientError` (and, configurably,
+worker crashes and timeouts) is worth retrying; the policy here decides
+*how*: attempt ``n`` sleeps ``base_delay * multiplier**(n-1)`` seconds,
+capped at ``max_delay``, plus a jitter fraction drawn from a seeded RNG
+so reruns of the same suite back off identically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .errors import TransientError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to attempt a unit and how long to wait in between."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    #: Fraction of the delay added as random jitter (0 disables it).
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before re-running after failed attempt number ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter and rng is not None:
+            delay += delay * self.jitter * rng.random()
+        return delay
+
+
+def retry_rng(seed: int, label: str) -> random.Random:
+    """A jitter RNG that is stable across processes and reruns.
+
+    Seeding :class:`random.Random` with a string hashes it with SHA-512
+    (``version=2`` seeding), so this does not depend on ``PYTHONHASHSEED``.
+    """
+    return random.Random(f"repro-runner:{seed}:{label}")
+
+
+def call_with_retry(
+    fn: Callable[[int], object],
+    policy: RetryPolicy,
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> object:
+    """Call ``fn(attempt)`` until it succeeds or attempts are exhausted.
+
+    Only :class:`TransientError` triggers a retry; any other exception
+    propagates immediately, as does the transient error of the final
+    attempt.
+    """
+    attempt = 1
+    while True:
+        try:
+            return fn(attempt)
+        except TransientError as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt, rng))
+            attempt += 1

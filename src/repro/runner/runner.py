@@ -1,0 +1,634 @@
+"""The resilient experiment runner.
+
+Wraps the per-benchmark experiment units of ``analysis.experiment`` and
+``analysis.figure4`` with the reliability properties of a batch service:
+
+* **fault isolation** — with ``isolate=True`` (implied by a timeout)
+  each unit runs in a worker subprocess via
+  :class:`concurrent.futures.ProcessPoolExecutor`; a crash, hang or
+  OOM-kill in one benchmark becomes a structured
+  :class:`BenchmarkFailure` record instead of killing the suite;
+* **wall-clock timeouts** — hung units are detected and their worker
+  processes terminated;
+* **retry with exponential backoff + jitter** — transient failures
+  (and, configurably, worker crashes) re-run up to
+  ``RetryPolicy.max_attempts`` times;
+* **checkpoint/resume** — finished units are journaled to a JSONL
+  checkpoint keyed by a config fingerprint, so interrupted suite runs
+  resume where they stopped and only failed benchmarks re-execute;
+* **invariant validation** — profile, layout and address-map checks run
+  at stage boundaries (see :mod:`repro.runner.validate`);
+* **explicit degradation** — a run that lost benchmarks returns
+  ``partial`` results plus a per-benchmark failure table; it is never
+  silent.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.experiment import BenchmarkExperiment, ArchOutcome, run_benchmark_experiment
+from ..analysis.figure4 import Figure4Row, run_figure4_program
+from ..profiling import profile_program
+from ..sim.alpha import AlphaConfig
+from ..sim.metrics import ALL_ARCHS
+from ..workloads import SUITE, FIGURE4_PROGRAMS, generate_benchmark
+from .checkpoint import CheckpointJournal, config_fingerprint
+from .errors import (
+    BenchmarkTimeout,
+    CheckpointError,
+    FatalError,
+    TransientError,
+    ValidationError,
+    WorkerCrash,
+    annotate_stage,
+    classify,
+    stage_of,
+)
+from .faults import FaultInjector, FaultPlan
+from .retry import RetryPolicy, retry_rng
+from .validate import validate_profile
+
+
+# ----------------------------------------------------------------------
+# Configuration and result types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How resilient a suite run should be.
+
+    The default configuration runs units inline (no subprocess), with
+    validation on and no checkpointing — the cheapest mode, used by the
+    library-level drivers.  The CLI enables isolation, timeouts and
+    checkpointing on top.
+    """
+
+    #: Run each unit in a worker subprocess (implied by ``timeout``).
+    isolate: bool = False
+    #: Concurrent worker processes when isolated.
+    max_workers: int = 1
+    #: Per-benchmark wall-clock budget in seconds (None = unlimited).
+    timeout: Optional[float] = None
+    retry: RetryPolicy = RetryPolicy()
+    #: JSONL checkpoint journal path (None disables checkpointing).
+    checkpoint: Optional[Union[str, Path]] = None
+    #: Resume from an existing checkpoint instead of starting fresh.
+    resume: bool = False
+    #: Run invariant validation at stage boundaries.
+    validate: bool = True
+    #: Deterministic fault-injection plan (tests/demos only).
+    faults: Optional[FaultPlan] = None
+    #: Whether timeouts / worker crashes count as retryable.
+    retry_timeouts: bool = False
+    retry_crashes: bool = True
+    #: Re-raise the first failure instead of recording it (legacy mode).
+    fail_fast: bool = False
+
+
+@dataclass
+class BenchmarkFailure:
+    """One benchmark the suite permanently lost, with why and where."""
+
+    benchmark: str
+    stage: str
+    kind: str  # transient | validation | timeout | crash | fatal | error
+    message: str
+    attempts: int
+    retryable: bool
+    #: The underlying exception when available (not serialised).
+    error: Optional[BaseException] = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        """Serialise for checkpoint journaling (drops the live exception)."""
+        return {
+            "benchmark": self.benchmark,
+            "stage": self.stage,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+            "retryable": self.retryable,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchmarkFailure":
+        return cls(
+            benchmark=str(data.get("benchmark", "?")),
+            stage=str(data.get("stage", "unknown")),
+            kind=str(data.get("kind", "error")),
+            message=str(data.get("message", "")),
+            attempts=int(data.get("attempts", 1)),
+            retryable=bool(data.get("retryable", False)),
+        )
+
+
+@dataclass
+class SuiteRunResult:
+    """Everything a resilient suite run produced, losses included."""
+
+    #: Completed unit results (``BenchmarkExperiment`` or ``Figure4Row``),
+    #: in requested benchmark order.
+    results: List[object]
+    failures: List[BenchmarkFailure]
+    #: Benchmarks restored from the checkpoint instead of re-run.
+    skipped: List[str]
+    #: Benchmarks actually executed this run.
+    executed: List[str]
+    checkpoint: Optional[Path] = None
+
+    @property
+    def partial(self) -> bool:
+        """True when at least one benchmark was lost."""
+        return bool(self.failures)
+
+
+# ----------------------------------------------------------------------
+# The unit of work (picklable — it crosses the process boundary)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UnitTask:
+    """One benchmark's profile+align+simulate unit."""
+
+    kind: str  # "experiment" | "figure4"
+    benchmark: str
+    scale: float = 1.0
+    seed: int = 0
+    window: int = 15
+    archs: Tuple[str, ...] = ALL_ARCHS
+    min_weight: int = 2
+    validate: bool = True
+    attempt: int = 1
+    faults: Optional[FaultPlan] = None
+    alpha_config: Optional[AlphaConfig] = None
+
+
+@contextmanager
+def _stage(name: str):
+    """Annotate any escaping exception with the active pipeline stage."""
+    try:
+        yield
+    except BaseException as exc:
+        annotate_stage(exc, name)
+        raise
+
+
+def execute_unit(task: UnitTask) -> dict:
+    """Run one benchmark unit and return its serialised payload.
+
+    This is the function worker subprocesses execute; it regenerates the
+    workload from the benchmark name (programs never cross the process
+    boundary), applies any injected faults at stage boundaries, and
+    validates invariants between stages.
+    """
+    injector = FaultInjector(task.faults)
+    name, attempt = task.benchmark, task.attempt
+
+    with _stage("generate"):
+        injector.fire("generate", name, attempt)
+        program = generate_benchmark(name, task.scale)
+
+    with _stage("profile"):
+        profile = profile_program(program, seed=task.seed)
+        profile = injector.corrupt_profile(name, attempt, profile)
+        injector.fire("profile", name, attempt)
+        if task.validate:
+            validate_profile(program, profile)
+
+    with _stage("align"):
+        injector.fire("align", name, attempt)
+
+    with _stage("simulate"):
+        if task.kind == "experiment":
+            experiment = run_benchmark_experiment(
+                name,
+                program=program,
+                profile=profile,
+                scale=task.scale,
+                seed=task.seed,
+                window=task.window,
+                min_weight=task.min_weight,
+                archs=task.archs,
+                validate=task.validate,
+            )
+            injector.fire("simulate", name, attempt)
+            return {"unit": "experiment", "data": experiment_to_dict(experiment)}
+        if task.kind == "figure4":
+            row = run_figure4_program(
+                name,
+                scale=task.scale,
+                seed=task.seed,
+                window=task.window,
+                config=task.alpha_config or AlphaConfig(),
+                program=program,
+                profile=profile,
+                validate=task.validate,
+            )
+            injector.fire("simulate", name, attempt)
+            return {"unit": "figure4", "data": figure4_row_to_dict(row)}
+    raise FatalError(f"unknown unit kind {task.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Payload (de)serialisation — checkpoint records and subprocess returns
+# ----------------------------------------------------------------------
+def experiment_to_dict(experiment: BenchmarkExperiment) -> dict:
+    return {
+        "name": experiment.name,
+        "category": experiment.category,
+        "original_instructions": experiment.original_instructions,
+        "outcomes": {
+            aligner: {
+                arch: {
+                    "relative_cpi": cell.relative_cpi,
+                    "percent_fallthrough": cell.percent_fallthrough,
+                    "bep": cell.bep,
+                    "instructions": cell.instructions,
+                    "cond_accuracy": cell.cond_accuracy,
+                }
+                for arch, cell in cells.items()
+            }
+            for aligner, cells in experiment.outcomes.items()
+        },
+    }
+
+
+def experiment_from_dict(data: dict) -> BenchmarkExperiment:
+    try:
+        return BenchmarkExperiment(
+            name=data["name"],
+            category=data["category"],
+            original_instructions=data["original_instructions"],
+            outcomes={
+                aligner: {
+                    arch: ArchOutcome(**cell) for arch, cell in cells.items()
+                }
+                for aligner, cells in data["outcomes"].items()
+            },
+        )
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed experiment payload: {exc}") from exc
+
+
+def figure4_row_to_dict(row: Figure4Row) -> dict:
+    return {
+        "name": row.name,
+        "original_cycles": row.original_cycles,
+        "greedy_cycles": row.greedy_cycles,
+        "try15_cycles": row.try15_cycles,
+    }
+
+
+def figure4_row_from_dict(data: dict) -> Figure4Row:
+    try:
+        return Figure4Row(
+            name=data["name"],
+            original_cycles=data["original_cycles"],
+            greedy_cycles=data["greedy_cycles"],
+            try15_cycles=data["try15_cycles"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed figure4 payload: {exc}") from exc
+
+
+def payload_to_result(payload: dict) -> object:
+    """Rebuild the unit result object a payload dict describes."""
+    unit = payload.get("unit") if isinstance(payload, dict) else None
+    if unit == "experiment":
+        return experiment_from_dict(payload.get("data", {}))
+    if unit == "figure4":
+        return figure4_row_from_dict(payload.get("data", {}))
+    raise CheckpointError(f"unrecognised checkpoint payload kind {unit!r}")
+
+
+# ----------------------------------------------------------------------
+# Failure handling
+# ----------------------------------------------------------------------
+def _is_retryable(exc: BaseException, config: RunnerConfig) -> bool:
+    if isinstance(exc, TransientError):
+        return True
+    if isinstance(exc, BenchmarkTimeout):
+        return config.retry_timeouts
+    if isinstance(exc, WorkerCrash):
+        return config.retry_crashes
+    return False
+
+
+def _failure_from_exception(
+    task: UnitTask, exc: BaseException, attempts: int, config: RunnerConfig
+) -> BenchmarkFailure:
+    return BenchmarkFailure(
+        benchmark=task.benchmark,
+        stage=stage_of(exc, "subprocess" if isinstance(exc, (WorkerCrash, BenchmarkTimeout)) else "unknown"),
+        kind=classify(exc),
+        message=f"{type(exc).__name__}: {exc}",
+        attempts=attempts,
+        retryable=_is_retryable(exc, config),
+        error=exc,
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution loops
+# ----------------------------------------------------------------------
+def _run_inline(
+    pending: Sequence[UnitTask],
+    config: RunnerConfig,
+    on_success: Callable[[str, dict], None],
+    on_failure: Callable[[BenchmarkFailure], None],
+) -> None:
+    """Execute units in this process (no isolation, no timeouts)."""
+    for task in pending:
+        attempt = 1
+        while True:
+            try:
+                payload = execute_unit(replace(task, attempt=attempt))
+            except Exception as exc:
+                if config.fail_fast:
+                    raise
+                if _is_retryable(exc, config) and attempt < config.retry.max_attempts:
+                    rng = retry_rng(task.seed, f"{task.benchmark}:{attempt}")
+                    time.sleep(config.retry.delay(attempt, rng))
+                    attempt += 1
+                    continue
+                on_failure(_failure_from_exception(task, exc, attempt, config))
+                break
+            else:
+                on_success(task.benchmark, payload)
+                break
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's worker processes (hung or poisoned pool)."""
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - process already gone
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_isolated(
+    pending: Sequence[UnitTask],
+    config: RunnerConfig,
+    on_success: Callable[[str, dict], None],
+    on_failure: Callable[[BenchmarkFailure], None],
+) -> None:
+    """Execute units in worker subprocesses with timeout enforcement.
+
+    A hang (unit exceeding ``config.timeout``) terminates the worker
+    pool: the hung unit fails with :class:`BenchmarkTimeout`, innocent
+    in-flight units are re-queued without being charged an attempt, and
+    a fresh pool takes over.  A worker that dies (hard crash, OOM kill)
+    breaks the pool; every in-flight unit is charged a
+    :class:`WorkerCrash` attempt — the crasher exhausts its retries
+    while innocent victims succeed on re-run.
+    """
+    queue = deque((task, 1) for task in pending)
+    inflight: Dict[object, Tuple[UnitTask, int, float]] = {}
+    pool: Optional[ProcessPoolExecutor] = None
+    poll = 0.05
+
+    def settle(task: UnitTask, attempt: int, exc: BaseException) -> None:
+        if config.fail_fast:
+            raise exc
+        if _is_retryable(exc, config) and attempt < config.retry.max_attempts:
+            rng = retry_rng(task.seed, f"{task.benchmark}:{attempt}")
+            time.sleep(config.retry.delay(attempt, rng))
+            queue.append((task, attempt + 1))
+        else:
+            on_failure(_failure_from_exception(task, exc, attempt, config))
+
+    def collect(future: object, task: UnitTask, attempt: int) -> bool:
+        """Absorb one finished future; True when it broke the pool."""
+        try:
+            payload = future.result()
+        except (BrokenProcessPool, CancelledError, EOFError, OSError) as exc:
+            settle(
+                task,
+                attempt,
+                WorkerCrash(
+                    f"worker process died while {task.benchmark} was in flight "
+                    f"({type(exc).__name__})"
+                ),
+            )
+            return True
+        except Exception as exc:
+            settle(task, attempt, exc)
+            return False
+        else:
+            on_success(task.benchmark, payload)
+            return False
+
+    try:
+        while queue or inflight:
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=config.max_workers)
+            while queue and len(inflight) < config.max_workers:
+                task, attempt = queue.popleft()
+                future = pool.submit(execute_unit, replace(task, attempt=attempt))
+                inflight[future] = (task, attempt, time.monotonic())
+
+            done, _ = wait(set(inflight), timeout=poll, return_when=FIRST_COMPLETED)
+            pool_broken = False
+            for future in done:
+                task, attempt, _started = inflight.pop(future)
+                pool_broken |= collect(future, task, attempt)
+            if pool_broken:
+                _kill_pool(pool)
+                pool = None
+
+            if config.timeout is not None and inflight:
+                now = time.monotonic()
+                hung = {
+                    future
+                    for future, (_t, _a, started) in inflight.items()
+                    if now - started > config.timeout
+                }
+                if hung:
+                    victims = dict(inflight)
+                    inflight.clear()
+                    finished = {f: f.done() for f in victims}
+                    if pool is not None:
+                        _kill_pool(pool)
+                        pool = None
+                    for future, (task, attempt, _started) in victims.items():
+                        if future in hung:
+                            settle(
+                                task,
+                                attempt,
+                                BenchmarkTimeout(
+                                    f"{task.benchmark} exceeded the "
+                                    f"{config.timeout:g}s wall-clock budget and "
+                                    f"its worker was killed"
+                                ),
+                            )
+                        elif finished[future]:
+                            collect(future, task, attempt)
+                        else:
+                            # Killed alongside the hung unit through no
+                            # fault of its own: re-queue, attempt unchanged.
+                            queue.appendleft((task, attempt))
+    finally:
+        if pool is not None:
+            _kill_pool(pool)
+
+
+# ----------------------------------------------------------------------
+# Suite orchestration
+# ----------------------------------------------------------------------
+def _fingerprint(tasks: Sequence[UnitTask]) -> Tuple[str, dict]:
+    head = tasks[0]
+    summary = {
+        "unit": head.kind,
+        "benchmarks": [t.benchmark for t in tasks],
+        "scale": head.scale,
+        "seed": head.seed,
+        "window": head.window,
+        "archs": list(head.archs),
+        "min_weight": head.min_weight,
+    }
+    return config_fingerprint(summary), summary
+
+
+def run_units(tasks: Sequence[UnitTask], config: Optional[RunnerConfig] = None) -> SuiteRunResult:
+    """Run a list of benchmark units under a :class:`RunnerConfig`."""
+    config = config or RunnerConfig()
+    if not tasks:
+        return SuiteRunResult([], [], [], [])
+    order = [t.benchmark for t in tasks]
+    payloads: Dict[str, dict] = {}
+    failures: Dict[str, BenchmarkFailure] = {}
+    skipped: List[str] = []
+    executed: List[str] = []
+    journal: Optional[CheckpointJournal] = None
+
+    if config.checkpoint is not None:
+        fingerprint, summary = _fingerprint(tasks)
+        if config.resume:
+            journal = CheckpointJournal.resume(config.checkpoint, fingerprint, summary)
+            for name, payload in journal.completed.items():
+                if name in order:
+                    payloads[name] = payload
+                    skipped.append(name)
+        else:
+            journal = CheckpointJournal.create(config.checkpoint, fingerprint, summary)
+
+    def on_success(name: str, payload: dict) -> None:
+        payloads[name] = payload
+        executed.append(name)
+        if journal is not None:
+            journal.record_result(name, payload)
+
+    def on_failure(failure: BenchmarkFailure) -> None:
+        failures[failure.benchmark] = failure
+        if journal is not None:
+            journal.record_failure(failure.benchmark, failure.to_dict())
+
+    pending = [
+        replace(task, validate=config.validate, faults=config.faults)
+        for task in tasks
+        if task.benchmark not in payloads
+    ]
+    try:
+        if config.isolate or config.timeout is not None:
+            _run_isolated(pending, config, on_success, on_failure)
+        else:
+            _run_inline(pending, config, on_success, on_failure)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    return SuiteRunResult(
+        results=[payload_to_result(payloads[n]) for n in order if n in payloads],
+        failures=[failures[n] for n in order if n in failures],
+        skipped=[n for n in order if n in skipped],
+        executed=executed,
+        checkpoint=Path(config.checkpoint) if config.checkpoint is not None else None,
+    )
+
+
+def run_suite_resilient(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    window: int = 15,
+    archs: Sequence[str] = ALL_ARCHS,
+    min_weight: int = 2,
+    config: Optional[RunnerConfig] = None,
+) -> SuiteRunResult:
+    """The Tables 3/4 suite experiment under the resilient runner."""
+    selected = list(names) if names is not None else list(SUITE)
+    tasks = [
+        UnitTask(
+            kind="experiment",
+            benchmark=name,
+            scale=scale,
+            seed=seed,
+            window=window,
+            archs=tuple(archs),
+            min_weight=min_weight,
+        )
+        for name in selected
+    ]
+    return run_units(tasks, config)
+
+
+def run_figure4_resilient(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    window: int = 15,
+    alpha_config: Optional[AlphaConfig] = None,
+    config: Optional[RunnerConfig] = None,
+) -> SuiteRunResult:
+    """The Figure 4 timing experiment under the resilient runner."""
+    selected = list(names) if names is not None else list(FIGURE4_PROGRAMS)
+    tasks = [
+        UnitTask(
+            kind="figure4",
+            benchmark=name,
+            scale=scale,
+            seed=seed,
+            window=window,
+            alpha_config=alpha_config,
+        )
+        for name in selected
+    ]
+    return run_units(tasks, config)
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def render_failure_table(failures: Sequence[BenchmarkFailure]) -> str:
+    """The per-benchmark failure table printed for degraded runs."""
+    from ..analysis.reporting import format_table
+
+    rows = []
+    for failure in failures:
+        message = failure.message
+        if len(message) > 72:
+            message = message[:69] + "..."
+        rows.append([
+            failure.benchmark,
+            failure.stage,
+            failure.kind,
+            str(failure.attempts),
+            message,
+        ])
+    return format_table(["Benchmark", "Stage", "Kind", "Attempts", "Error"], rows)
+
+
+def render_partial_banner(result: SuiteRunResult, total: int) -> str:
+    """The explicit degradation marker for a lossy suite run."""
+    lost = len(result.failures)
+    return (
+        f"partial: true — {lost} of {total} benchmark(s) failed; "
+        f"{total - lost} completed"
+    )

@@ -65,9 +65,59 @@ class TestTables:
         assert main(["figure4", "--benchmarks", "eqntott", "--scale", "0.02"]) == 0
         assert "Pettis&Hansen" in capsys.readouterr().out
 
-    def test_unknown_benchmark_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["table2", "--benchmarks", "doom"])
+    def test_unknown_benchmark_rejected(self, capsys):
+        assert main(["table2", "--benchmarks", "doom"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestDoctor:
+    def test_doctor_reports_pass(self, capsys):
+        assert main(["doctor", "alvinn", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "invariants hold" in out
+
+    def test_doctor_unknown_benchmark_is_usage_error(self, capsys):
+        assert main(["doctor", "nosuch"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_injected_crash_gives_partial_exit(self, capsys):
+        assert main(["table3", "--benchmarks", "alvinn,compress",
+                     "--scale", "0.02", "--inject", "alvinn:align:crash:99"]) == 3
+        captured = capsys.readouterr()
+        assert "partial: true" in captured.out
+        assert "alvinn" in captured.err
+
+    def test_bad_inject_spec_is_usage_error(self, capsys):
+        assert main(["table3", "--benchmarks", "alvinn",
+                     "--inject", "nope"]) == 2
+        assert "fault spec" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["table3", "--benchmarks", "alvinn", "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_resume_via_cli(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "c.jsonl")
+        assert main(["table3", "--benchmarks", "alvinn,compress",
+                     "--scale", "0.02", "--checkpoint", ckpt,
+                     "--inject", "alvinn:align:crash:99"]) == 3
+        capsys.readouterr()
+        assert main(["table3", "--benchmarks", "alvinn,compress",
+                     "--scale", "0.02", "--checkpoint", ckpt, "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "resumed" in captured.err
+        assert "alvinn" in captured.out and "compress" in captured.out
+
+    def test_mismatched_resume_is_runtime_error(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "c.jsonl")
+        assert main(["table3", "--benchmarks", "compress", "--scale", "0.02",
+                     "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        assert main(["table3", "--benchmarks", "compress", "--scale", "0.05",
+                     "--checkpoint", ckpt, "--resume"]) == 1
+        assert "different run configuration" in capsys.readouterr().err
 
 
 class TestDot:
@@ -81,9 +131,9 @@ class TestDot:
         assert main(["dot", "eqntott", "cmppt", "--weights", "--scale", "0.02"]) == 0
         assert "label=" in capsys.readouterr().out
 
-    def test_unknown_procedure_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["dot", "eqntott", "nosuchproc"])
+    def test_unknown_procedure_rejected(self, capsys):
+        assert main(["dot", "eqntott", "nosuchproc"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestBreakdownCommand:

@@ -6,7 +6,9 @@ import pytest
 
 from repro.profiling import (
     EdgeProfile,
+    FORMAT_VERSION,
     ProfileFormatError,
+    ProfileVersionWarning,
     load_profile,
     profile_from_dict,
     profile_program,
@@ -64,14 +66,14 @@ class TestValidation:
     def test_rejects_negative_counts(self):
         with pytest.raises(ProfileFormatError):
             profile_from_dict({
-                "format": "repro-edge-profile", "version": 1,
+                "format": "repro-edge-profile", "version": FORMAT_VERSION,
                 "procedures": {"main": [[0, 1, -5]]},
             })
 
     def test_rejects_malformed_entries(self):
         with pytest.raises(ProfileFormatError):
             profile_from_dict({
-                "format": "repro-edge-profile", "version": 1,
+                "format": "repro-edge-profile", "version": FORMAT_VERSION,
                 "procedures": {"main": [[0, 1]]},
             })
 
@@ -80,6 +82,38 @@ class TestValidation:
         path.write_text("{ nope")
         with pytest.raises(ProfileFormatError):
             load_profile(path)
+
+
+class TestSchemaVersion:
+    def test_current_version_written(self, profile):
+        data = profile_to_dict(profile)
+        assert data["version"] == FORMAT_VERSION == 2
+
+    def test_old_version_loads_with_warning(self, profile):
+        data = profile_to_dict(profile)
+        data["version"] = 1
+        del data["integrity"]
+        with pytest.warns(ProfileVersionWarning):
+            assert profile_from_dict(data) == profile
+
+    def test_integrity_summary_matches_contents(self, profile):
+        data = profile_to_dict(profile)
+        assert data["integrity"] == {
+            "procedures": 2, "edges": 3, "total_weight": 149,
+        }
+
+    def test_rejects_integrity_mismatch(self, profile):
+        data = profile_to_dict(profile)
+        data["integrity"]["total_weight"] += 1
+        with pytest.raises(ProfileFormatError, match="integrity"):
+            profile_from_dict(data)
+
+    def test_rejects_truncated_file(self, profile):
+        """A file missing a procedure but keeping the old summary."""
+        data = profile_to_dict(profile)
+        del data["procedures"]["leaf"]
+        with pytest.raises(ProfileFormatError, match="integrity"):
+            profile_from_dict(data)
 
 
 class TestMergedProfiles:

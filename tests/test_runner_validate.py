@@ -1,0 +1,127 @@
+"""Invariant validation: real pipelines pass, corrupted data fails."""
+
+import copy
+
+import pytest
+
+from repro.core import GreedyAligner
+from repro.isa.encoder import link
+from repro.profiling import profile_program
+from repro.runner import (
+    ValidationError,
+    check_address_coverage,
+    check_cfg,
+    check_flow_conservation,
+    check_layout_permutation,
+    check_profile_consistency,
+    render_invariant_report,
+)
+from repro.runner.validate import require, validate_linked, validate_profile
+from repro.workloads import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    program = generate_benchmark("eqntott", 0.02)
+    profile = profile_program(program, seed=0)
+    layout = GreedyAligner(chain_order="weight").align(program, profile)
+    return program, profile, layout, link(layout)
+
+
+def _fresh_profile(program):
+    return profile_program(program, seed=0)
+
+
+def _holed(linked):
+    """A linked image whose text segment claims 8 extra bytes."""
+    bad = copy.copy(linked)
+    bad.text_end = linked.text_end + 8
+    return bad
+
+
+class TestHealthyPipeline:
+    def test_all_invariants_hold(self, pipeline):
+        program, profile, layout, linked = pipeline
+        results = [
+            check_cfg(program),
+            check_profile_consistency(program, profile),
+            check_flow_conservation(program, profile),
+            check_layout_permutation(layout),
+            check_address_coverage(linked),
+        ]
+        assert all(r.passed for r in results), render_invariant_report(results)
+
+    def test_require_passes_silently(self, pipeline):
+        program, profile, _, _ = pipeline
+        validate_profile(program, profile)
+
+
+class TestProfileViolations:
+    def test_phantom_edge_breaks_consistency(self, pipeline):
+        program, _, _, _ = pipeline
+        bad = _fresh_profile(program)
+        bad.set_weight(next(iter(bad.procedures())), 10**6, 10**6 + 1, 5)
+        result = check_profile_consistency(program, bad)
+        assert not result.passed
+        assert any("not in CFG" in d for d in result.details)
+
+    def test_inflated_edge_breaks_conservation(self, pipeline):
+        program, _, _, _ = pipeline
+        bad = _fresh_profile(program)
+        name = next(n for n in bad.procedures() if bad.proc_edges(n))
+        (src, dst), _count = sorted(bad.proc_edges(name).items())[0]
+        bad.set_weight(name, src, dst, bad.weight(name, src, dst) + 999_999)
+        assert not check_flow_conservation(program, bad).passed
+
+    def test_validate_profile_raises_with_stage(self, pipeline):
+        program, _, _, _ = pipeline
+        bad = _fresh_profile(program)
+        bad.set_weight(next(iter(bad.procedures())), 10**6, 10**6 + 1, 5)
+        with pytest.raises(ValidationError) as info:
+            validate_profile(program, bad)
+        assert info.value.stage == "profile"
+
+
+class TestLayoutViolations:
+    def test_dropped_block_is_not_a_permutation(self, pipeline):
+        _, _, layout, _ = pipeline
+        name, proc_layout = next(
+            (n, pl) for n, pl in layout.layouts.items() if len(pl.placements) > 1
+        )
+        truncated = copy.copy(proc_layout)
+        truncated.placements = proc_layout.placements[:-1]
+        truncated.position = {p.bid: i for i, p in enumerate(truncated.placements)}
+        bad = copy.copy(layout)
+        bad.layouts = {**layout.layouts, name: truncated}
+        result = check_layout_permutation(bad)
+        assert not result.passed
+        assert any("permutation" in d for d in result.details)
+
+
+class TestAddressViolations:
+    def test_shifted_text_end_fails_coverage(self, pipeline):
+        _, _, _, linked = pipeline
+        result = check_address_coverage(_holed(linked))
+        assert not result.passed
+        assert any("text segment ends" in d for d in result.details)
+
+    def test_validate_linked_raises(self, pipeline):
+        _, _, _, linked = pipeline
+        with pytest.raises(ValidationError):
+            validate_linked(_holed(linked))
+
+
+class TestReporting:
+    def test_report_shows_pass_and_fail(self, pipeline):
+        program, _, _, linked = pipeline
+        report = render_invariant_report([
+            check_cfg(program),
+            check_address_coverage(_holed(linked)),
+        ])
+        assert "PASS" in report and "FAIL" in report
+        assert "1/2 invariants hold" in report
+
+    def test_require_aggregates_failures(self, pipeline):
+        _, _, _, linked = pipeline
+        with pytest.raises(ValidationError, match="address-coverage"):
+            require([check_address_coverage(_holed(linked))], stage="link")
