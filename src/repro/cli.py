@@ -9,7 +9,8 @@ Gives the library's main workflows a shell entry point:
 * ``table2`` / ``table3`` / ``table4`` / ``figure4`` — regenerate the
   paper's evaluation artifacts (through the resilient runner: per-
   benchmark isolation, timeouts, retries, checkpoint/resume);
-* ``doctor`` — run the pipeline invariant checks standalone;
+* ``doctor`` — run the pipeline invariant checks standalone, or audit /
+  repair an artifact store (``--store DIR [--repair]``);
 * ``dot`` — emit a procedure's control-flow graph in Graphviz format.
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 partial
@@ -59,6 +60,7 @@ from .core import CostAligner, GreedyAligner, TryNAligner, make_model
 from .isa import LayoutError, ProgramLayout, diff_layouts, link, link_identity, render_diff, save_layout
 from .profiling import ProfileFormatError, load_profile, profile_program, save_profile
 from .runner import (
+    ArtifactStore,
     FaultPlan,
     InvariantResult,
     RetryPolicy,
@@ -120,6 +122,14 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
         except ValueError as exc:
             raise UsageError(str(exc))
         faults = FaultPlan(specs=specs, seed=args.seed)
+        if any(s.kind == "corrupt-artifact" for s in specs) and not args.store:
+            raise UsageError(
+                "corrupt-artifact faults need an artifact store; add --store DIR"
+            )
+        if any(s.stage == "layout" for s in specs) and not args.oracle:
+            raise UsageError(
+                "layout faults are only observable by the oracle; add --oracle"
+            )
     if args.retries < 1:
         raise UsageError("--retries must be >= 1")
     if args.workers < 1:
@@ -136,6 +146,8 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
         checkpoint=args.checkpoint,
         resume=args.resume,
         faults=faults,
+        oracle=args.oracle,
+        store=args.store,
     )
 
 
@@ -273,8 +285,35 @@ def cmd_figure4(args: argparse.Namespace) -> int:
     return _finish_suite(result, len(selected), args, text)
 
 
+def _doctor_store(args: argparse.Namespace) -> int:
+    """Audit (and with ``--repair`` fix) an artifact store's integrity."""
+    store = ArtifactStore(args.store)
+    if args.repair:
+        report = store.repair()
+        _write(report.render(), args.output)
+        return EXIT_OK
+    verdicts = store.verify_all()
+    lines = []
+    for key, error in verdicts.items():
+        status = "PASS" if error is None else f"FAIL ({error.reason})"
+        lines.append(f"{status:<24}  {key}")
+    corrupt = sum(1 for e in verdicts.values() if e is not None)
+    lines.append(
+        f"{len(verdicts) - corrupt}/{len(verdicts)} artifacts intact"
+        + (f" — rerun with --repair to quarantine {corrupt}" if corrupt else "")
+    )
+    _write("\n".join(lines), args.output)
+    return EXIT_OK if not corrupt else EXIT_RUNTIME
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     """Run the invariant-validation layer standalone, PASS/FAIL per check."""
+    if args.repair and not args.store:
+        raise UsageError("--repair needs --store DIR")
+    if args.store:
+        return _doctor_store(args)
+    if args.benchmark is None:
+        raise UsageError("doctor needs a benchmark (or --store DIR)")
     program = _workload(args)
     if args.profile:
         profile = load_profile(args.profile)
@@ -371,7 +410,13 @@ def cmd_hotspots(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     results = verify_claims(scale=args.scale, seed=args.seed, window=args.window)
     _write(render_claims(results), args.output)
-    return 0 if all(r.passed for r in results) else 1
+    failed = [r for r in results if not r.passed]
+    if failed and args.strict:
+        print(
+            f"strict mode: {len(failed)} claim(s) failed", file=sys.stderr
+        )
+        return EXIT_RUNTIME
+    return EXIT_OK
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
@@ -461,7 +506,16 @@ def build_parser() -> argparse.ArgumentParser:
         g.add_argument("--inject", action="append", default=[],
                        metavar="BENCH:STAGE:KIND[:TIMES]",
                        help="inject a deterministic fault (fault-injection "
-                            "harness; e.g. gcc:align:crash)")
+                            "harness; e.g. gcc:align:crash or "
+                            "eqntott:layout:mutate-layout)")
+        g.add_argument("--oracle", action="store_true",
+                       help="differentially verify every aligned layout "
+                            "replays the original trace (divergences fail "
+                            "the benchmark, never retried)")
+        g.add_argument("--store", metavar="DIR",
+                       help="persist results to a crash-safe checksummed "
+                            "artifact store (corrupt artifacts are "
+                            "quarantined and re-run on --resume)")
 
     for name, func, window in (
         ("table2", cmd_table2, False),
@@ -480,10 +534,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "doctor",
-        help="validate pipeline invariants for a benchmark (PASS/FAIL report)",
+        help="validate pipeline invariants for a benchmark (PASS/FAIL "
+             "report), or audit/repair an artifact store",
     )
-    p.add_argument("benchmark")
+    p.add_argument("benchmark", nargs="?",
+                   help="benchmark to validate (omit with --store)")
     p.add_argument("--profile", help="validate a saved profile instead of tracing")
+    p.add_argument("--store", metavar="DIR",
+                   help="audit an artifact store's checksums instead")
+    p.add_argument("--repair", action="store_true",
+                   help="quarantine corrupt artifacts and clear orphaned "
+                        "temp files (needs --store)")
     p.add_argument("--arch", choices=("fallthrough", "btfnt", "likely", "pht", "btb"),
                    default="btb", help="cost-model architecture for the aligned checks")
     common(p, window=True)
@@ -505,6 +566,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_hotspots)
 
     p = sub.add_parser("verify", help="check every paper claim (reproduction certificate)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero when any claim fails")
     common(p, window=True)
     p.set_defaults(func=cmd_verify)
 

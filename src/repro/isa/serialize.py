@@ -16,6 +16,7 @@ import json
 from pathlib import Path
 from typing import Union
 
+from ..atomicio import atomic_write_text
 from ..cfg import Program
 from .layout import BlockPlacement, LayoutError, ProcedureLayout, ProgramLayout
 
@@ -84,8 +85,8 @@ def layout_from_dict(data: dict, program: Program) -> ProgramLayout:
 
 
 def save_layout(layout: ProgramLayout, path: Union[str, Path]) -> None:
-    """Write an alignment map to ``path``."""
-    Path(path).write_text(json.dumps(layout_to_dict(layout), indent=1))
+    """Write an alignment map to ``path`` (atomically — see atomicio)."""
+    atomic_write_text(path, json.dumps(layout_to_dict(layout), indent=1))
 
 
 def load_layout(path: Union[str, Path], program: Program) -> ProgramLayout:

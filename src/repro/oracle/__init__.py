@@ -1,0 +1,27 @@
+"""Differential layout oracle: prove aligned binaries replay the
+original dynamic instruction stream (see :mod:`repro.oracle.oracle`)."""
+
+from .capture import BlockRef, TraceCapture, capture_trace
+from .oracle import (
+    MAX_DIVERGENCES,
+    Divergence,
+    OracleReport,
+    alignment_layouts,
+    verify_alignments,
+    verify_layout,
+)
+from .report import render_oracle_reports, summarize_failures
+
+__all__ = [
+    "BlockRef",
+    "Divergence",
+    "MAX_DIVERGENCES",
+    "OracleReport",
+    "TraceCapture",
+    "alignment_layouts",
+    "capture_trace",
+    "render_oracle_reports",
+    "summarize_failures",
+    "verify_alignments",
+    "verify_layout",
+]

@@ -1,0 +1,463 @@
+"""The differential layout oracle: prove a rewrite is semantics-preserving.
+
+The paper's credibility rests on OM's rewrite changing *where* code
+lives, never *what* it does: an aligned binary must execute the same
+dynamic instruction stream as the original, only at different addresses.
+This module proves that property for every layout the aligners produce,
+by replaying each benchmark's trace on the original and the aligned
+binary and checking **trace isomorphism**:
+
+* **block-sequence** — both executions visit the identical sequence of
+  ``(procedure, block)`` pairs;
+* **branch-sense** — every emitted conditional outcome in the aligned
+  run equals the original outcome XOR the layout's registered sense
+  inversion for that branch;
+* **flow-conservation** — the edge traversal counts observed on the
+  aligned binary equal the :class:`EdgeProfile` collected on the
+  original (the profile the aligner consumed);
+* **address-replay** — the original trace's semantic decisions are
+  replayed through the aligned *lowered instruction stream* (branch
+  target addresses, fall-through adjacency, inserted jumps), verifying
+  each transfer lands at the expected block's address.  This is the
+  check that catches rewriter bugs the structural layout checks missed:
+  a mutated placement, a wrong-sense branch, a retargeted jump;
+* **edit-agreement** — the edits :mod:`repro.isa.diff` *reports*
+  (inversions, inserted jumps, deleted branches) match the edits
+  actually observed in the lowered code, and blocks it does not report
+  are lowered identically.
+
+Divergences carry the first diverging trace index plus the expected and
+actual block, so a failure reads like a debugger backtrace, not a flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cfg import BlockId, Program, TerminatorKind
+from ..core import GreedyAligner, TryNAligner
+from ..isa.diff import diff_layouts
+from ..isa.encoder import INSTRUCTION_BYTES, LinkedProgram, link, link_identity
+from ..isa.instructions import Opcode
+from ..isa.layout import ProgramLayout
+from ..profiling.edge_profile import EdgeProfile
+from .capture import BlockRef, TraceCapture, capture_trace
+
+#: Cap on divergences recorded per check — the first one is the story,
+#: the rest confirm it is systematic.
+MAX_DIVERGENCES = 5
+
+
+@dataclass
+class Divergence:
+    """One observed difference between original and aligned behaviour."""
+
+    check: str
+    #: Index into the dynamic trace (block sequence or edge trail), or
+    #: ``None`` for static (edit-agreement / flow) findings.
+    index: Optional[int]
+    expected: str
+    actual: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = f"trace index {self.index}" if self.index is not None else "static"
+        text = (
+            f"[{self.check}] {where}: expected {self.expected}, "
+            f"actual {self.actual}"
+        )
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+@dataclass
+class OracleReport:
+    """The verdict for one aligned layout of one program."""
+
+    label: str
+    blocks_compared: int
+    edges_replayed: int
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    @property
+    def status(self) -> str:
+        return "PASS" if self.passed else "FAIL"
+
+
+def _fmt_block(ref: BlockRef) -> str:
+    return f"{ref[0]}:{ref[1]}"
+
+
+# ----------------------------------------------------------------------
+# Lowered-code view: terminator / jump targets read from the disassembly
+# ----------------------------------------------------------------------
+class _LoweredView:
+    """Branch targets of a linked image, read from its instruction stream."""
+
+    def __init__(self, linked: LinkedProgram):
+        self.linked = linked
+        #: (proc, bid) -> terminator branch target address (COND/UNCOND).
+        self.term_target: Dict[BlockRef, int] = {}
+        #: (proc, bid) -> appended-jump target address.
+        self.jump_target: Dict[BlockRef, int] = {}
+        #: (proc, bid) -> block has a terminator instruction at all.
+        self.has_terminator: Dict[BlockRef, bool] = {}
+        self.start_of: Dict[BlockRef, int] = {}
+        self.block_at: Dict[int, BlockRef] = {}
+        for proc_name, placed in linked.blocks.items():
+            for bid, lb in placed.items():
+                ref = (proc_name, bid)
+                self.start_of[ref] = lb.start
+                self.block_at[lb.start] = ref
+        for proc_name in linked.program.order:
+            branch_at = {
+                instr.address: instr
+                for instr in linked.disassemble(proc_name)
+                if instr.opcode in (
+                    Opcode.COND_BRANCH, Opcode.UNCOND_BRANCH,
+                    Opcode.INDIRECT_JUMP, Opcode.RETURN,
+                )
+            }
+            for bid, lb in linked.blocks[proc_name].items():
+                ref = (proc_name, bid)
+                term = branch_at.get(lb.term_address)
+                if term is not None:
+                    self.has_terminator[ref] = True
+                    if term.target is not None:
+                        self.term_target[ref] = term.target
+                jump = branch_at.get(lb.jump_address)
+                if jump is not None and lb.jump_address is not None:
+                    self.jump_target[ref] = jump.target
+
+    def resolve(self, address: int) -> str:
+        """Best-effort name of whatever lives at ``address``."""
+        ref = self.block_at.get(address)
+        return _fmt_block(ref) if ref is not None else f"{address:#x}"
+
+
+# ----------------------------------------------------------------------
+# Individual checks
+# ----------------------------------------------------------------------
+def _check_block_sequence(
+    baseline: TraceCapture, aligned: TraceCapture
+) -> List[Divergence]:
+    out: List[Divergence] = []
+    for index, (expected, actual) in enumerate(zip(baseline.blocks, aligned.blocks)):
+        if expected != actual:
+            out.append(Divergence(
+                "block-sequence", index, _fmt_block(expected), _fmt_block(actual),
+            ))
+            if len(out) >= MAX_DIVERGENCES:
+                return out
+    if len(baseline.blocks) != len(aligned.blocks):
+        out.append(Divergence(
+            "block-sequence",
+            min(len(baseline.blocks), len(aligned.blocks)),
+            f"{len(baseline.blocks)} blocks",
+            f"{len(aligned.blocks)} blocks",
+            "trace lengths differ",
+        ))
+    return out
+
+
+def _check_branch_sense(
+    baseline: TraceCapture, aligned: TraceCapture, layout: ProgramLayout
+) -> List[Divergence]:
+    inverted = {
+        (name, bid)
+        for name in layout.program.order
+        for bid in layout[name].inverted_conditionals()
+    }
+    out: List[Divergence] = []
+    for index, ((ref0, taken0), (ref1, taken1)) in enumerate(
+        zip(baseline.cond_outcomes, aligned.cond_outcomes)
+    ):
+        if ref0 != ref1:
+            out.append(Divergence(
+                "branch-sense", index, _fmt_block(ref0), _fmt_block(ref1),
+                "conditional executed out of order",
+            ))
+        else:
+            expected = taken0 != (ref0 in inverted)
+            if taken1 != expected:
+                out.append(Divergence(
+                    "branch-sense", index,
+                    f"{_fmt_block(ref0)} taken={expected}",
+                    f"{_fmt_block(ref1)} taken={taken1}",
+                    "outcome disagrees with registered sense inversion",
+                ))
+        if len(out) >= MAX_DIVERGENCES:
+            return out
+    if len(baseline.cond_outcomes) != len(aligned.cond_outcomes):
+        out.append(Divergence(
+            "branch-sense", None,
+            f"{len(baseline.cond_outcomes)} conditional executions",
+            f"{len(aligned.cond_outcomes)} conditional executions",
+        ))
+    return out
+
+
+def _check_flow_conservation(
+    profile: EdgeProfile, aligned: TraceCapture
+) -> List[Divergence]:
+    expected: Dict[Tuple[str, BlockId, BlockId], int] = {}
+    for name in profile.procedures():
+        for (src, dst), count in profile.proc_edges(name).items():
+            if count:
+                expected[(name, src, dst)] = count
+    out: List[Divergence] = []
+    for key in sorted(set(expected) | set(aligned.edge_counts)):
+        want, got = expected.get(key, 0), aligned.edge_counts.get(key, 0)
+        if want != got:
+            proc, src, dst = key
+            out.append(Divergence(
+                "flow-conservation", None,
+                f"{proc}:{src}->{dst} x{want}",
+                f"{proc}:{src}->{dst} x{got}",
+                "aligned edge counts disagree with the consumed profile",
+            ))
+            if len(out) >= MAX_DIVERGENCES:
+                break
+    return out
+
+
+def _check_address_replay(
+    program: Program, baseline: TraceCapture, lowered: _LoweredView
+) -> List[Divergence]:
+    """Replay the original trace's decisions through the aligned code.
+
+    For every intra-procedural transition ``src -> dst`` the original
+    binary performed, derive from the aligned *instruction stream* (not
+    the layout data structure) the address control actually transfers
+    to, and require it to be ``dst``'s address.
+    """
+    out: List[Divergence] = []
+    kinds = {
+        (proc.name, bid): proc.block(bid).kind
+        for proc in program
+        for bid in proc.blocks
+    }
+    linked = lowered.linked
+    for index, (proc_name, src, dst) in enumerate(baseline.edge_trail):
+        ref = (proc_name, src)
+        kind = kinds[ref]
+        if kind in (TerminatorKind.INDIRECT, TerminatorKind.RETURN):
+            continue  # targets are runtime values, not lowered addresses
+        lb = linked.block(proc_name, src)
+        dst_addr = lowered.start_of[(proc_name, dst)]
+        if kind is TerminatorKind.COND:
+            branch_target = lowered.term_target.get(ref)
+            if branch_target == dst_addr:
+                continue  # taken path lands correctly
+            reached = lowered.jump_target.get(ref, lb.end)
+        elif kind is TerminatorKind.UNCOND:
+            if ref in lowered.term_target:
+                reached = lowered.term_target[ref]
+            else:  # branch deleted by alignment: must fall through
+                reached = lowered.jump_target.get(ref, lb.end)
+        else:  # FALLTHROUGH
+            reached = lowered.jump_target.get(ref, lb.end)
+        if reached != dst_addr:
+            out.append(Divergence(
+                "address-replay", index,
+                _fmt_block((proc_name, dst)),
+                lowered.resolve(reached),
+                f"lowered code for block {_fmt_block(ref)} transfers to "
+                f"{reached:#x}, {_fmt_block((proc_name, dst))} lives at "
+                f"{dst_addr:#x}",
+            ))
+            if len(out) >= MAX_DIVERGENCES:
+                break
+    return out
+
+
+def _observed_edits(program: Program, lowered: _LoweredView):
+    """Edits visible in a lowered image, per procedure.
+
+    Returns ``(cond_target, jumps, missing_terminator)`` where
+    ``cond_target[(proc, bid)]`` is the block a conditional's lowered
+    branch targets, ``jumps[(proc, bid)]`` the block an appended jump
+    targets, and ``missing_terminator`` the unconditional blocks lowered
+    without their branch instruction.
+    """
+    cond_target: Dict[BlockRef, BlockRef] = {}
+    jumps: Dict[BlockRef, BlockRef] = {}
+    missing: set = set()
+    for proc in program:
+        for bid in proc.blocks:
+            ref = (proc.name, bid)
+            kind = proc.block(bid).kind
+            if ref in lowered.jump_target:
+                jumps[ref] = lowered.block_at.get(lowered.jump_target[ref])
+            if kind is TerminatorKind.COND:
+                target = lowered.term_target.get(ref)
+                if target is not None:
+                    cond_target[ref] = lowered.block_at.get(target)
+            elif kind is TerminatorKind.UNCOND and ref not in lowered.term_target:
+                missing.add(ref)
+    return cond_target, jumps, missing
+
+
+def _check_edit_agreement(
+    program: Program, layout: ProgramLayout, lowered: _LoweredView
+) -> List[Divergence]:
+    """``isa.diff``'s reported edits must match the lowered code."""
+    identity = ProgramLayout.identity(program)
+    diffs = {d.name: d for d in diff_layouts(identity, layout)}
+    id_view = _LoweredView(link_identity(program))
+    id_cond, id_jumps, id_missing = _observed_edits(program, id_view)
+    al_cond, al_jumps, al_missing = _observed_edits(program, lowered)
+
+    out: List[Divergence] = []
+
+    def report(expected: str, actual: str, detail: str) -> bool:
+        out.append(Divergence("edit-agreement", None, expected, actual, detail))
+        return len(out) >= MAX_DIVERGENCES
+
+    for proc in program:
+        diff = diffs[proc.name]
+        reported_inverted = {(proc.name, bid) for bid in diff.inverted}
+        observed_inverted = {
+            ref for ref, target in al_cond.items()
+            if ref[0] == proc.name and target != id_cond.get(ref)
+        }
+        for ref in sorted(reported_inverted ^ observed_inverted):
+            where = "reported" if ref in reported_inverted else "observed"
+            if report(
+                f"{_fmt_block(ref)} inverted in report and code",
+                f"inversion only {where}",
+                "diff report and lowered branch sense disagree",
+            ):
+                return out
+
+        reported_jumps = {
+            (proc.name, bid): (proc.name, target)
+            for bid, target in id_jumps_of(diff, identity[proc.name]).items()
+        }
+        observed_jumps = {
+            ref: target for ref, target in al_jumps.items() if ref[0] == proc.name
+        }
+        for ref in sorted(set(reported_jumps) | set(observed_jumps)):
+            want, got = reported_jumps.get(ref), observed_jumps.get(ref)
+            if want != got:
+                if report(
+                    f"jump {_fmt_block(ref)} -> "
+                    + (_fmt_block(want) if want else "absent"),
+                    f"jump -> " + (_fmt_block(got) if got else "absent"),
+                    "reported jump edits disagree with lowered jumps",
+                ):
+                    return out
+
+        reported_missing = (
+            {(proc.name, bid) for bid in identity[proc.name].removed_branches()}
+            - {(proc.name, bid) for bid in diff.branches_restored}
+        ) | {(proc.name, bid) for bid in diff.branches_removed}
+        observed_missing = {ref for ref in al_missing if ref[0] == proc.name}
+        for ref in sorted(reported_missing ^ observed_missing):
+            where = "reported" if ref in reported_missing else "observed"
+            if report(
+                f"{_fmt_block(ref)} branch deleted in report and code",
+                f"deletion only {where}",
+                "reported branch deletions disagree with lowered code",
+            ):
+                return out
+    return out
+
+
+def id_jumps_of(diff, identity_layout) -> Dict[BlockId, BlockId]:
+    """The jump set the diff report claims the aligned layout has."""
+    jumps = dict(identity_layout.inserted_jumps())
+    for bid, _target in diff.jumps_removed:
+        jumps.pop(bid, None)
+    for bid, target in diff.jumps_added:
+        jumps[bid] = target
+    return jumps
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def verify_layout(
+    program: Program,
+    profile: EdgeProfile,
+    layout: ProgramLayout,
+    seed: int = 0,
+    label: str = "aligned",
+    baseline: Optional[TraceCapture] = None,
+    max_events: Optional[int] = None,
+) -> OracleReport:
+    """Differentially verify one aligned layout against the original.
+
+    ``baseline`` lets callers capture the original trace once and verify
+    many layouts against it; ``profile`` must be the edge profile the
+    aligner consumed (collected on the original binary with ``seed``).
+    """
+    if baseline is None:
+        baseline = capture_trace(
+            link_identity(program), seed=seed, max_events=max_events
+        )
+    aligned_linked = link(layout)
+    aligned = capture_trace(
+        aligned_linked, seed=seed, max_events=max_events, trail=False
+    )
+    lowered = _LoweredView(aligned_linked)
+
+    divergences: List[Divergence] = []
+    divergences += _check_block_sequence(baseline, aligned)
+    divergences += _check_branch_sense(baseline, aligned, layout)
+    divergences += _check_flow_conservation(profile, aligned)
+    divergences += _check_address_replay(program, baseline, lowered)
+    divergences += _check_edit_agreement(program, layout, lowered)
+    return OracleReport(
+        label=label,
+        blocks_compared=len(baseline.blocks),
+        edges_replayed=len(baseline.edge_trail),
+        divergences=divergences,
+    )
+
+
+def alignment_layouts(
+    program: Program,
+    profile: EdgeProfile,
+    window: int = 15,
+    models: Sequence[str] = ("fallthrough", "btfnt", "likely", "pht", "btb"),
+    include_greedy: bool = True,
+    include_greedy_btfnt: bool = True,
+    min_weight: int = 2,
+) -> Dict[str, ProgramLayout]:
+    """The labelled layouts a Tables-3/4 style run produces."""
+    layouts: Dict[str, ProgramLayout] = {}
+    if include_greedy:
+        layouts["greedy"] = GreedyAligner(chain_order="weight").align(program, profile)
+    if include_greedy_btfnt:
+        layouts["greedy-btfnt"] = GreedyAligner(chain_order="btfnt").align(
+            program, profile
+        )
+    for model in models:
+        aligner = TryNAligner.for_architecture(
+            model, window=window, min_weight=min_weight
+        )
+        layouts[f"try{window}-{model}"] = aligner.align(program, profile)
+    return layouts
+
+
+def verify_alignments(
+    program: Program,
+    profile: EdgeProfile,
+    layouts: Dict[str, ProgramLayout],
+    seed: int = 0,
+    max_events: Optional[int] = None,
+) -> List[OracleReport]:
+    """Verify several labelled layouts against one shared baseline."""
+    baseline = capture_trace(link_identity(program), seed=seed, max_events=max_events)
+    return [
+        verify_layout(
+            program, profile, layout,
+            seed=seed, label=label, baseline=baseline, max_events=max_events,
+        )
+        for label, layout in layouts.items()
+    ]

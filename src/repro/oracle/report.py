@@ -1,0 +1,43 @@
+"""Rendering for oracle verdicts: human report and failure summaries."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .oracle import OracleReport
+
+
+def render_oracle_reports(reports: Sequence[OracleReport]) -> str:
+    """A PASS/FAIL line per verified layout, with divergence details."""
+    lines: List[str] = []
+    width = max((len(r.label) for r in reports), default=0)
+    for report in reports:
+        lines.append(
+            f"{report.status:<4}  {report.label:<{width}}  "
+            f"{report.blocks_compared:,} blocks, "
+            f"{report.edges_replayed:,} transfers replayed, "
+            f"{len(report.divergences)} divergence(s)"
+        )
+        for divergence in report.divergences:
+            lines.append(f"      - {divergence}")
+    failed = sum(1 for r in reports if not r.passed)
+    lines.append(
+        f"{len(reports) - failed}/{len(reports)} layouts trace-isomorphic"
+        + (f" — {failed} FAILED" if failed else "")
+    )
+    return "\n".join(lines)
+
+
+def summarize_failures(reports: Sequence[OracleReport]) -> str:
+    """One-line-per-layout summary used in ValidationError messages."""
+    parts: List[str] = []
+    for report in reports:
+        if report.passed:
+            continue
+        first = report.divergences[0]
+        extra = len(report.divergences) - 1
+        parts.append(
+            f"layout {report.label!r} diverges: {first}"
+            + (f" (+{extra} more)" if extra else "")
+        )
+    return "; ".join(parts)

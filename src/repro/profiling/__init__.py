@@ -4,6 +4,7 @@ from .edge_profile import EdgeProfile
 from .profiler import profile_program, profile_program_with_result
 from .storage import (
     FORMAT_VERSION,
+    ProfileCorruptError,
     ProfileFormatError,
     ProfileVersionWarning,
     load_profile,
@@ -15,6 +16,7 @@ from .storage import (
 __all__ = [
     "EdgeProfile",
     "FORMAT_VERSION",
+    "ProfileCorruptError",
     "ProfileFormatError",
     "ProfileVersionWarning",
     "load_profile",

@@ -12,8 +12,9 @@ from __future__ import annotations
 import json
 import warnings
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
+from ..atomicio import atomic_write_text
 from .edge_profile import EdgeProfile
 
 #: Schema version written into every file; bumped on incompatible change.
@@ -30,6 +31,33 @@ SUPPORTED_VERSIONS = (1, 2)
 
 class ProfileFormatError(ValueError):
     """Raised when a profile file is malformed or from a newer version."""
+
+
+class ProfileCorruptError(ProfileFormatError):
+    """A profile file is damaged on disk — truncated, torn, or tampered.
+
+    Distinguishes *corruption* (bytes the writer never produced) from
+    mere format drift, and pinpoints it: ``path`` names the file and
+    ``offset`` the byte position where decoding failed (``None`` when
+    the damage is semantic, e.g. an integrity-count mismatch).  The
+    resilient runner classifies this as a validation failure — the unit
+    is failed immediately, never retried.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: Optional[Union[str, Path]] = None,
+        offset: Optional[int] = None,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.offset = offset
+        where = ""
+        if self.path is not None:
+            where = f" [{self.path}" + (
+                f" @ byte {offset}]" if offset is not None else "]"
+            )
+        super().__init__(message + where)
 
 
 class ProfileVersionWarning(UserWarning):
@@ -58,7 +86,9 @@ def profile_to_dict(profile: EdgeProfile) -> dict:
     }
 
 
-def _check_integrity(data: dict, profile: EdgeProfile) -> None:
+def _check_integrity(
+    data: dict, profile: EdgeProfile, source: Optional[Union[str, Path]] = None
+) -> None:
     integrity = data.get("integrity")
     if integrity is None:
         return
@@ -72,13 +102,16 @@ def _check_integrity(data: dict, profile: EdgeProfile) -> None:
     for key, value in actual.items():
         expected = integrity.get(key)
         if expected is not None and expected != value:
-            raise ProfileFormatError(
+            raise ProfileCorruptError(
                 f"profile integrity check failed: {key} is {value}, "
-                f"file claims {expected} (truncated or corrupted file?)"
+                f"file claims {expected} (truncated or corrupted file?)",
+                path=source,
             )
 
 
-def profile_from_dict(data: dict) -> EdgeProfile:
+def profile_from_dict(
+    data: dict, source: Optional[Union[str, Path]] = None
+) -> EdgeProfile:
     """Rebuild a profile from :func:`profile_to_dict` data.
 
     Files written by an older (still-supported) schema version load with
@@ -116,19 +149,33 @@ def profile_from_dict(data: dict) -> EdgeProfile:
                 raise ProfileFormatError(f"bad edge entry {entry!r} in {name!r}")
             profile.set_weight(name, src, dst, count)
     if version >= 2:
-        _check_integrity(data, profile)
+        _check_integrity(data, profile, source=source)
     return profile
 
 
 def save_profile(profile: EdgeProfile, path: Union[str, Path]) -> None:
-    """Write a profile to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(profile_to_dict(profile), indent=1))
+    """Write a profile to ``path`` as JSON (atomically — see atomicio)."""
+    atomic_write_text(path, json.dumps(profile_to_dict(profile), indent=1))
 
 
 def load_profile(path: Union[str, Path]) -> EdgeProfile:
-    """Read a profile previously written by :func:`save_profile`."""
+    """Read a profile previously written by :func:`save_profile`.
+
+    Damage on disk raises :class:`ProfileCorruptError` naming the file
+    and, where decoding pinpointed it, the byte offset of the damage:
+    an empty file reports offset 0, undecodable JSON the decoder's
+    failure position, and integrity-count mismatches the file alone.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if not text.strip():
+        raise ProfileCorruptError(
+            "profile file is empty (interrupted write?)", path=path, offset=0
+        )
     try:
-        data = json.loads(Path(path).read_text())
+        data = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise ProfileFormatError(f"invalid JSON in {path}: {exc}") from exc
-    return profile_from_dict(data)
+        raise ProfileCorruptError(
+            f"invalid JSON: {exc.msg}", path=path, offset=exc.pos
+        ) from exc
+    return profile_from_dict(data, source=path)

@@ -81,6 +81,14 @@ def classify(exc: BaseException) -> str:
         return "transient"
     if isinstance(exc, ValidationError):
         return "validation"
+    # Damaged profile bytes are a data-integrity violation, not a code
+    # bug: classified with the validation family so the runner fails the
+    # unit immediately instead of retrying.  Imported lazily to keep
+    # ``runner.errors`` free of package dependencies.
+    from ..profiling.storage import ProfileCorruptError
+
+    if isinstance(exc, ProfileCorruptError):
+        return "validation"
     if isinstance(exc, BenchmarkTimeout):
         return "timeout"
     if isinstance(exc, WorkerCrash):

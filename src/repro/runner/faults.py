@@ -12,7 +12,16 @@ fully seeded so every injected failure reproduces exactly:
 * ``transient`` — raise :class:`TransientError`, which heals after the
   spec's ``times`` failed attempts (exercises retry);
 * ``corrupt-profile`` — mutate the collected edge profile so it violates
-  flow conservation and CFG consistency (exercises validation).
+  flow conservation and CFG consistency (exercises validation);
+* ``flip-sense`` (stage ``layout``) — flip the hottest conditional's
+  taken target in an aligned layout, modelling a rewriter that inverted
+  a branch without preserving semantics (the oracle must catch it);
+* ``mutate-layout`` (stage ``layout``) — retarget the hottest inserted
+  jump or unconditional branch at the wrong block, modelling a broken
+  relocation (the oracle must catch it);
+* ``corrupt-artifact`` (stage ``store``) — garble a persisted result
+  file after it was written, modelling bit rot / torn writes (the
+  artifact store's checksums must catch it).
 
 A plan is a picklable value, so it travels into worker subprocesses
 unchanged, and the CLI accepts specs as ``benchmark:stage:kind[:times]``.
@@ -23,15 +32,33 @@ from __future__ import annotations
 import os
 import random
 import time
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
 
+from ..cfg import TerminatorKind
+from ..isa.layout import ProcedureLayout, ProgramLayout
 from ..profiling.edge_profile import EdgeProfile
-from .errors import TransientError, annotate_stage
+from .errors import FatalError, TransientError, annotate_stage
 
-#: Stage names at which faults can fire, in pipeline order.
-STAGES = ("generate", "profile", "align", "simulate")
-KINDS = ("crash", "hard-crash", "hang", "transient", "corrupt-profile")
+#: Stage names at which faults can fire, in pipeline order.  ``layout``
+#: fires between alignment and the oracle; ``store`` fires after a
+#: unit's artifact is persisted.
+STAGES = ("generate", "profile", "align", "simulate", "layout", "store")
+KINDS = (
+    "crash",
+    "hard-crash",
+    "hang",
+    "transient",
+    "corrupt-profile",
+    "flip-sense",
+    "mutate-layout",
+    "corrupt-artifact",
+)
+
+#: Kinds that corrupt data in-flight instead of raising at a stage
+#: boundary; :meth:`FaultInjector.fire` ignores them.
+DATA_FAULT_KINDS = ("corrupt-profile", "flip-sense", "mutate-layout", "corrupt-artifact")
 
 #: Exit status used by ``hard-crash`` so tests can recognise it.
 HARD_CRASH_EXIT = 23
@@ -104,7 +131,7 @@ class FaultInjector:
     def fire(self, stage: str, benchmark: str, attempt: int) -> None:
         """Raise/kill/hang if a fault is scheduled for this stage."""
         spec = self._active(stage, benchmark, attempt)
-        if spec is None or spec.kind == "corrupt-profile":
+        if spec is None or spec.kind in DATA_FAULT_KINDS:
             return
         if spec.kind == "transient":
             raise annotate_stage(
@@ -149,3 +176,144 @@ class FaultInjector:
                 victim, src, dst, profile.weight(victim, src, dst) + 1_000_001
             )
         return profile
+
+    def mutate_layout(
+        self,
+        benchmark: str,
+        attempt: int,
+        label: str,
+        layout: ProgramLayout,
+        profile: EdgeProfile,
+    ) -> ProgramLayout:
+        """Apply any scheduled ``flip-sense``/``mutate-layout`` fault.
+
+        The victim is chosen by profile weight (hottest first) so the
+        corruption is guaranteed to execute — an injected rewriter bug
+        the oracle *must* observe, not one hiding in cold code.  Returns
+        ``layout`` unchanged when no layout fault is scheduled.
+        """
+        spec = self._active("layout", benchmark, attempt)
+        if spec is None or spec.kind not in ("flip-sense", "mutate-layout"):
+            return layout
+        rng = random.Random(
+            f"repro-fault:{self.plan.seed}:{benchmark}:{label}:{spec.kind}"
+        )
+        if spec.kind == "flip-sense":
+            mutated = _flip_sense(layout, profile)
+        else:
+            mutated = _retarget_transfer(layout, profile, rng)
+        if mutated is None:
+            raise annotate_stage(
+                FatalError(
+                    f"injected {spec.kind} fault found no hot victim "
+                    f"in {benchmark} layout {label!r}"
+                ),
+                "layout",
+            )
+        return mutated
+
+    def corrupt_artifact(
+        self, benchmark: str, attempt: int, path: Union[str, Path]
+    ) -> bool:
+        """Apply any scheduled ``corrupt-artifact`` fault to a stored file.
+
+        Truncates the artifact to half its length and appends garbage —
+        a torn write plus bit rot — *after* the store registered its
+        checksum, so the next read must fail integrity verification.
+        Returns whether the fault fired.
+        """
+        spec = self._active("store", benchmark, attempt)
+        if spec is None or spec.kind != "corrupt-artifact":
+            return False
+        path = Path(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2] + b"\x00<injected-corruption>")
+        return True
+
+
+def _unchecked_layout(procedure, placements) -> ProcedureLayout:
+    """Assemble a ProcedureLayout *without* its structural self-check.
+
+    ``ProcedureLayout.__init__`` validates its own consistency, so a
+    corrupted layout must be built behind its back — exactly like a real
+    rewriter bug would manifest: internally plausible, semantically wrong.
+    """
+    layout = ProcedureLayout.__new__(ProcedureLayout)
+    layout.procedure = procedure
+    layout.placements = list(placements)
+    layout.position = {p.bid: i for i, p in enumerate(placements)}
+    return layout
+
+
+def _swap_placement(layout: ProgramLayout, name: str, victim, mutated_placement):
+    proc_layout = layout.layouts[name]
+    placements = [
+        mutated_placement if p is victim else p for p in proc_layout.placements
+    ]
+    layouts = dict(layout.layouts)
+    layouts[name] = _unchecked_layout(proc_layout.procedure, placements)
+    return ProgramLayout(layout.program, layouts)
+
+
+def _flip_sense(
+    layout: ProgramLayout, profile: EdgeProfile
+) -> Optional[ProgramLayout]:
+    """Flip the hottest conditional's taken target to its other successor."""
+    best = None
+    for name, proc_layout in layout.layouts.items():
+        proc = proc_layout.procedure
+        for placement in proc_layout.placements:
+            if proc.block(placement.bid).kind is not TerminatorKind.COND:
+                continue
+            others = [
+                e.dst
+                for e in proc.out_edges(placement.bid)
+                if e.dst != placement.taken_target
+            ]
+            if not others:
+                continue
+            weight = sum(
+                profile.weight(name, placement.bid, e.dst)
+                for e in proc.out_edges(placement.bid)
+            )
+            if weight and (best is None or weight > best[0]):
+                best = (weight, name, placement, others[0])
+    if best is None:
+        return None
+    _, name, victim, other = best
+    return _swap_placement(layout, name, victim, replace(victim, taken_target=other))
+
+
+def _retarget_transfer(
+    layout: ProgramLayout, profile: EdgeProfile, rng: random.Random
+) -> Optional[ProgramLayout]:
+    """Point the hottest inserted jump (or unconditional) at a wrong block."""
+    best = None
+    for name, proc_layout in layout.layouts.items():
+        proc = proc_layout.procedure
+        bids = sorted(proc.blocks)
+        for placement in proc_layout.placements:
+            if placement.jump_target is not None:
+                weight = profile.weight(name, placement.bid, placement.jump_target)
+                wrong = [b for b in bids if b != placement.jump_target]
+                if weight and wrong and (best is None or weight > best[0]):
+                    best = (weight, name, placement, "jump_target", wrong)
+    if best is None:
+        # No hot inserted jump anywhere: retarget a hot unconditional.
+        for name, proc_layout in layout.layouts.items():
+            proc = proc_layout.procedure
+            bids = sorted(proc.blocks)
+            for placement in proc_layout.placements:
+                if proc.block(placement.bid).kind is not TerminatorKind.UNCOND:
+                    continue
+                if placement.branch_removed:
+                    continue
+                weight = profile.weight(name, placement.bid, placement.taken_target)
+                wrong = [b for b in bids if b != placement.taken_target]
+                if weight and wrong and (best is None or weight > best[0]):
+                    best = (weight, name, placement, "taken_target", wrong)
+    if best is None:
+        return None
+    _, name, victim, field_name, wrong = best
+    target = wrong[rng.randrange(len(wrong))]
+    return _swap_placement(layout, name, victim, replace(victim, **{field_name: target}))

@@ -18,6 +18,14 @@ Wraps the per-benchmark experiment units of ``analysis.experiment`` and
   resume where they stopped and only failed benchmarks re-execute;
 * **invariant validation** — profile, layout and address-map checks run
   at stage boundaries (see :mod:`repro.runner.validate`);
+* **differential verification** — with ``oracle=True`` every unit
+  additionally replays its trace on each aligned layout and requires
+  trace isomorphism (see :mod:`repro.oracle`); a divergence is a
+  :class:`ValidationError`, failed immediately and never retried;
+* **artifact custody** — with ``store`` set, unit results are persisted
+  through the crash-safe checksummed :class:`~repro.runner.store.ArtifactStore`
+  and re-verified on write and on resume; corrupt artifacts are
+  quarantined and their benchmarks re-run;
 * **explicit degradation** — a run that lost benchmarks returns
   ``partial`` results plus a per-benchmark failure table; it is never
   silent.
@@ -34,7 +42,12 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..analysis.experiment import BenchmarkExperiment, ArchOutcome, run_benchmark_experiment
+from ..analysis.experiment import (
+    TRY_MODEL_ARCHS,
+    ArchOutcome,
+    BenchmarkExperiment,
+    run_benchmark_experiment,
+)
 from ..analysis.figure4 import Figure4Row, run_figure4_program
 from ..profiling import profile_program
 from ..sim.alpha import AlphaConfig
@@ -54,6 +67,7 @@ from .errors import (
 )
 from .faults import FaultInjector, FaultPlan
 from .retry import RetryPolicy, retry_rng
+from .store import ArtifactCorruptError, ArtifactStore
 from .validate import validate_profile
 
 
@@ -90,6 +104,10 @@ class RunnerConfig:
     retry_crashes: bool = True
     #: Re-raise the first failure instead of recording it (legacy mode).
     fail_fast: bool = False
+    #: Differentially verify every aligned layout (see ``repro.oracle``).
+    oracle: bool = False
+    #: Directory of the crash-safe artifact store (None disables it).
+    store: Optional[Union[str, Path]] = None
 
 
 @dataclass
@@ -166,6 +184,7 @@ class UnitTask:
     attempt: int = 1
     faults: Optional[FaultPlan] = None
     alpha_config: Optional[AlphaConfig] = None
+    oracle: bool = False
 
 
 @contextmanager
@@ -217,8 +236,8 @@ def execute_unit(task: UnitTask) -> dict:
                 validate=task.validate,
             )
             injector.fire("simulate", name, attempt)
-            return {"unit": "experiment", "data": experiment_to_dict(experiment)}
-        if task.kind == "figure4":
+            payload = {"unit": "experiment", "data": experiment_to_dict(experiment)}
+        elif task.kind == "figure4":
             row = run_figure4_program(
                 name,
                 scale=task.scale,
@@ -230,8 +249,67 @@ def execute_unit(task: UnitTask) -> dict:
                 validate=task.validate,
             )
             injector.fire("simulate", name, attempt)
-            return {"unit": "figure4", "data": figure4_row_to_dict(row)}
-    raise FatalError(f"unknown unit kind {task.kind!r}")
+            payload = {"unit": "figure4", "data": figure4_row_to_dict(row)}
+        else:
+            raise FatalError(f"unknown unit kind {task.kind!r}")
+
+    if task.oracle:
+        with _stage("oracle"):
+            _run_oracle(task, program, profile, injector)
+    return payload
+
+
+def _oracle_layouts(task: UnitTask, program, profile) -> dict:
+    """The aligned layouts the unit's experiment actually exercises."""
+    from ..oracle import alignment_layouts
+
+    if task.kind == "figure4":
+        return alignment_layouts(
+            program,
+            profile,
+            window=task.window,
+            models=("btb",),
+            include_greedy=True,
+            include_greedy_btfnt=False,
+            min_weight=task.min_weight,
+        )
+    models = tuple(
+        model
+        for model, served in TRY_MODEL_ARCHS.items()
+        if any(arch in task.archs for arch in served)
+    )
+    return alignment_layouts(
+        program,
+        profile,
+        window=task.window,
+        models=models,
+        include_greedy=any(arch != "btfnt" for arch in task.archs),
+        include_greedy_btfnt="btfnt" in task.archs,
+        min_weight=task.min_weight,
+    )
+
+
+def _run_oracle(task: UnitTask, program, profile, injector: FaultInjector) -> None:
+    """Differentially verify every aligned layout of one unit.
+
+    Any scheduled layout fault is applied first, so an injected rewriter
+    bug must flow through the oracle and surface as a ValidationError.
+    """
+    from ..oracle import summarize_failures, verify_alignments
+
+    name, attempt = task.benchmark, task.attempt
+    injector.fire("layout", name, attempt)
+    layouts = {
+        label: injector.mutate_layout(name, attempt, label, layout, profile)
+        for label, layout in _oracle_layouts(task, program, profile).items()
+    }
+    reports = verify_alignments(program, profile, layouts, seed=task.seed)
+    failed = [report for report in reports if not report.passed]
+    if failed:
+        raise ValidationError(
+            f"differential oracle: {len(failed)}/{len(reports)} layout(s) "
+            f"not trace-isomorphic — {summarize_failures(reports)}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -502,26 +580,71 @@ def run_units(tasks: Sequence[UnitTask], config: Optional[RunnerConfig] = None) 
     if not tasks:
         return SuiteRunResult([], [], [], [])
     order = [t.benchmark for t in tasks]
+    kinds = {t.benchmark: t.kind for t in tasks}
     payloads: Dict[str, dict] = {}
     failures: Dict[str, BenchmarkFailure] = {}
     skipped: List[str] = []
     executed: List[str] = []
     journal: Optional[CheckpointJournal] = None
+    store = ArtifactStore(config.store) if config.store is not None else None
+    store_injector = FaultInjector(config.faults)
+
+    def artifact_key(name: str) -> str:
+        return f"{kinds[name]}/{name}"
+
+    def artifact_intact(name: str) -> bool:
+        """Whether a checkpointed benchmark's stored artifact verifies.
+
+        A missing or corrupt artifact disqualifies the checkpoint entry:
+        the corrupt bytes are quarantined and the benchmark re-runs.
+        """
+        if store is None:
+            return True
+        key = artifact_key(name)
+        if key not in store:
+            return False
+        try:
+            store.verify(key)
+            return True
+        except ArtifactCorruptError:
+            store.quarantine(key)
+            return False
 
     if config.checkpoint is not None:
         fingerprint, summary = _fingerprint(tasks)
         if config.resume:
             journal = CheckpointJournal.resume(config.checkpoint, fingerprint, summary)
             for name, payload in journal.completed.items():
-                if name in order:
+                if name in order and artifact_intact(name):
                     payloads[name] = payload
                     skipped.append(name)
         else:
             journal = CheckpointJournal.create(config.checkpoint, fingerprint, summary)
 
     def on_success(name: str, payload: dict) -> None:
-        payloads[name] = payload
         executed.append(name)
+        if store is not None:
+            key = artifact_key(name)
+            path = store.put(key, payload)
+            store_injector.corrupt_artifact(name, 1, path)
+            try:
+                store.verify(key)
+            except ArtifactCorruptError as exc:
+                annotate_stage(exc, "store")
+                store.quarantine(key)
+                on_failure(
+                    BenchmarkFailure(
+                        benchmark=name,
+                        stage="store",
+                        kind=classify(exc),
+                        message=f"{type(exc).__name__}: {exc}",
+                        attempts=1,
+                        retryable=False,
+                        error=exc,
+                    )
+                )
+                return
+        payloads[name] = payload
         if journal is not None:
             journal.record_result(name, payload)
 
@@ -531,7 +654,12 @@ def run_units(tasks: Sequence[UnitTask], config: Optional[RunnerConfig] = None) 
             journal.record_failure(failure.benchmark, failure.to_dict())
 
     pending = [
-        replace(task, validate=config.validate, faults=config.faults)
+        replace(
+            task,
+            validate=config.validate,
+            faults=config.faults,
+            oracle=config.oracle or task.oracle,
+        )
         for task in tasks
         if task.benchmark not in payloads
     ]

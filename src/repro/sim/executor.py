@@ -108,6 +108,7 @@ def execute(
     listeners: Sequence[object] = (),
     block_listeners: Sequence[object] = (),
     profile_hook: Optional[Callable[[str, BlockId, BlockId], None]] = None,
+    block_hook: Optional[Callable[[str, BlockId], None]] = None,
     seed: int = 0,
     reset: bool = True,
     max_events: Optional[int] = None,
@@ -122,6 +123,10 @@ def execute(
             the Alpha I-cache model.
         profile_hook: Called as ``hook(proc_name, src_bid, dst_bid)`` for
             every intra-procedural edge traversal (ATOM-style profiling).
+        block_hook: Called as ``hook(proc_name, bid)`` for every block
+            execution, in order — the layout-independent block-visit
+            sequence the differential oracle compares (addresses are
+            ambiguous for zero-size blocks; ids are not).
         seed: Behaviour seed; identical seeds replay identical inputs.
         reset: Reset all behaviours before running (disable only if the
             caller already reset them).
@@ -161,6 +166,8 @@ def execute(
             if on_block:
                 for cb in on_block:
                     cb(node.start, node.size)
+            if block_hook is not None:
+                block_hook(proc_name, node.bid)
             fresh = False
 
         if call_idx < len(node.calls):

@@ -29,6 +29,63 @@ class TestVerifyClaims:
         assert len(set(ids)) == len(ids)
 
 
+class TestOracleClaim:
+    def test_semantics_claim_present_and_passing(self, results):
+        claim = next(r for r in results if r.claim_id == "rewrite-preserves-semantics")
+        assert claim.passed
+        assert "trace-isomorphic" in claim.detail
+        assert "transfers replayed" in claim.detail
+
+    def test_divergence_fails_the_claim(self):
+        from repro.analysis.claims import _Context, _check_oracle_isomorphism
+        from repro.oracle import Divergence, OracleReport
+
+        bad = OracleReport(
+            label="greedy", blocks_compared=10, edges_replayed=9,
+            divergences=[Divergence("block-sequence", 3, "p:1", "p:2")],
+        )
+        ctx = _Context(experiments=[], figure4_rows=[],
+                       oracle_reports={"eqntott": [bad]})
+        claim = _check_oracle_isomorphism(ctx)
+        assert not claim.passed
+        assert "greedy" in claim.detail and "trace index 3" in claim.detail
+
+    def test_no_reports_fails_rather_than_vacuously_passes(self):
+        from repro.analysis.claims import _Context, _check_oracle_isomorphism
+
+        claim = _check_oracle_isomorphism(
+            _Context(experiments=[], figure4_rows=[])
+        )
+        assert not claim.passed
+
+
+class TestStrictFlag:
+    def _fake_results(self, passed):
+        return [ClaimResult("c", "a quote long enough to satisfy checks", passed, "d")]
+
+    def test_default_exit_zero_even_on_failure(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "verify_claims",
+                            lambda **kw: self._fake_results(False))
+        assert cli.main(["verify"]) == 0
+
+    def test_strict_exits_nonzero_on_failure(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "verify_claims",
+                            lambda **kw: self._fake_results(False))
+        assert cli.main(["verify", "--strict"]) == 1
+        assert "strict mode" in capsys.readouterr().err
+
+    def test_strict_exits_zero_when_all_pass(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "verify_claims",
+                            lambda **kw: self._fake_results(True))
+        assert cli.main(["verify", "--strict"]) == 0
+
+
 class TestRenderClaims:
     def test_report_shape(self, results):
         text = render_claims(results)

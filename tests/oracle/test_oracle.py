@@ -1,0 +1,184 @@
+"""Tests for the differential layout oracle (repro.oracle.oracle)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cfg import TerminatorKind
+from repro.isa.layout import ProcedureLayout, ProgramLayout
+from repro.oracle import (
+    MAX_DIVERGENCES,
+    alignment_layouts,
+    render_oracle_reports,
+    summarize_failures,
+    verify_alignments,
+    verify_layout,
+)
+from repro.profiling import profile_program
+from repro.workloads import generate_benchmark
+
+SCALE = 0.02
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_benchmark("compress", SCALE)
+
+
+@pytest.fixture(scope="module")
+def profile(program):
+    return profile_program(program, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def layouts(program, profile):
+    return alignment_layouts(program, profile, window=6)
+
+
+def _unchecked(procedure, placements):
+    """Build a ProcedureLayout bypassing its structural self-check."""
+    layout = ProcedureLayout.__new__(ProcedureLayout)
+    layout.procedure = procedure
+    layout.placements = list(placements)
+    layout.position = {p.bid: i for i, p in enumerate(placements)}
+    return layout
+
+
+def _flip_hottest_cond(layout, profile):
+    """Flip the hottest conditional's taken target to its other successor."""
+    best = None
+    for name, proc_layout in layout.layouts.items():
+        proc = proc_layout.procedure
+        for placement in proc_layout.placements:
+            if proc.block(placement.bid).kind is not TerminatorKind.COND:
+                continue
+            weight = sum(
+                profile.weight(name, placement.bid, e.dst)
+                for e in proc.out_edges(placement.bid)
+            )
+            others = [
+                e.dst
+                for e in proc.out_edges(placement.bid)
+                if e.dst != placement.taken_target
+            ]
+            if others and (best is None or weight > best[0]):
+                best = (weight, name, placement, others[0])
+    assert best is not None, "no flippable conditional found"
+    _, name, victim, other = best
+    proc_layout = layout.layouts[name]
+    placements = [
+        replace(p, taken_target=other) if p is victim else p
+        for p in proc_layout.placements
+    ]
+    mutated = dict(layout.layouts)
+    mutated[name] = _unchecked(proc_layout.procedure, placements)
+    return ProgramLayout(layout.program, mutated), (name, victim.bid)
+
+
+def _retarget_hot_jump(layout, profile):
+    """Point the hottest layout-inserted jump at the wrong block."""
+    best = None
+    for name, proc_layout in layout.layouts.items():
+        proc = proc_layout.procedure
+        for placement in proc_layout.placements:
+            if placement.jump_target is None:
+                continue
+            weight = profile.weight(name, placement.bid, placement.jump_target)
+            wrong = [
+                bid for bid in proc.blocks if bid != placement.jump_target
+            ]
+            if weight and wrong and (best is None or weight > best[0]):
+                best = (weight, name, placement, wrong[0])
+    if best is None:
+        pytest.skip("layout inserted no hot jumps to corrupt")
+    _, name, victim, wrong = best
+    proc_layout = layout.layouts[name]
+    placements = [
+        replace(p, jump_target=wrong) if p is victim else p
+        for p in proc_layout.placements
+    ]
+    mutated = dict(layout.layouts)
+    mutated[name] = _unchecked(proc_layout.procedure, placements)
+    return ProgramLayout(layout.program, mutated), (name, victim.bid)
+
+
+class TestCleanLayouts:
+    def test_all_aligners_trace_isomorphic(self, program, profile, layouts):
+        reports = verify_alignments(program, profile, layouts, seed=SEED)
+        assert len(reports) == len(layouts)
+        for report in reports:
+            assert report.passed, (
+                f"{report.label}: " + "; ".join(str(d) for d in report.divergences)
+            )
+            assert report.blocks_compared > 0
+            assert report.edges_replayed > 0
+
+    def test_report_rendering_mentions_every_layout(self, program, profile, layouts):
+        reports = verify_alignments(program, profile, layouts, seed=SEED)
+        text = render_oracle_reports(reports)
+        for label in layouts:
+            assert label in text
+        assert f"{len(layouts)}/{len(layouts)} layouts trace-isomorphic" in text
+        assert summarize_failures(reports) == ""
+
+
+class TestCorruptedLayouts:
+    def test_flipped_sense_is_caught(self, program, profile, layouts):
+        clean = layouts["greedy"]
+        bad, (proc_name, bid) = _flip_hottest_cond(clean, profile)
+        report = verify_layout(
+            program, profile, bad, seed=SEED, label="flipped"
+        )
+        assert not report.passed
+        replay = [d for d in report.divergences if d.check == "address-replay"]
+        assert replay, "flip must fail the address-replay check"
+        first = replay[0]
+        assert first.index is not None
+        assert f"{proc_name}:{bid}" in first.detail
+        assert len(replay) <= MAX_DIVERGENCES
+
+    def test_retargeted_jump_is_caught(self, program, profile, layouts):
+        clean = layouts["greedy"]
+        bad, (proc_name, bid) = _retarget_hot_jump(clean, profile)
+        report = verify_layout(
+            program, profile, bad, seed=SEED, label="retargeted"
+        )
+        assert not report.passed
+        replay = [d for d in report.divergences if d.check == "address-replay"]
+        assert replay, "jump retarget must fail the address-replay check"
+        assert f"{proc_name}:{bid}" in replay[0].detail
+
+    def test_divergence_reports_expected_and_actual_blocks(
+        self, program, profile, layouts
+    ):
+        bad, _ = _flip_hottest_cond(layouts["greedy"], profile)
+        report = verify_layout(program, profile, bad, seed=SEED, label="bad")
+        first = report.divergences[0]
+        text = str(first)
+        assert "trace index" in text
+        assert "expected" in text and "actual" in text
+
+    def test_failure_summary_names_layout_and_divergence(
+        self, program, profile, layouts
+    ):
+        bad, _ = _flip_hottest_cond(layouts["greedy"], profile)
+        good = layouts["greedy-btfnt"]
+        reports = verify_alignments(
+            program, profile, {"bad": bad, "good": good}, seed=SEED
+        )
+        summary = summarize_failures(reports)
+        assert "layout 'bad' diverges" in summary
+        assert "good" not in summary
+        rendered = render_oracle_reports(reports)
+        assert "FAIL" in rendered and "1 FAILED" in rendered
+
+
+class TestFlowConservation:
+    def test_wrong_profile_fails_flow_conservation(self, program, profile, layouts):
+        other = profile_program(program, seed=SEED + 1)
+        report = verify_layout(
+            program, other, layouts["greedy"], seed=SEED, label="wrong-profile"
+        )
+        flow = [d for d in report.divergences if d.check == "flow-conservation"]
+        assert flow, "a profile from another run must break flow conservation"

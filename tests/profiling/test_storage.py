@@ -7,6 +7,7 @@ import pytest
 from repro.profiling import (
     EdgeProfile,
     FORMAT_VERSION,
+    ProfileCorruptError,
     ProfileFormatError,
     ProfileVersionWarning,
     load_profile,
@@ -114,6 +115,70 @@ class TestSchemaVersion:
         del data["procedures"]["leaf"]
         with pytest.raises(ProfileFormatError, match="integrity"):
             profile_from_dict(data)
+
+
+class TestCorruptFiles:
+    """Damage on disk raises ProfileCorruptError with file and offset."""
+
+    def test_truncated_file_reports_path_and_offset(self, profile, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        path.write_text(path.read_text()[:25])
+        with pytest.raises(ProfileCorruptError) as err:
+            load_profile(path)
+        assert err.value.path == path
+        assert isinstance(err.value.offset, int)
+        assert str(path) in str(err.value)
+
+    def test_empty_file_reports_offset_zero(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        with pytest.raises(ProfileCorruptError) as err:
+            load_profile(path)
+        assert err.value.offset == 0
+        assert "empty" in str(err.value)
+
+    def test_integrity_mismatch_on_disk_names_file(self, profile, tmp_path):
+        path = tmp_path / "tampered.json"
+        save_profile(profile, path)
+        data = json.loads(path.read_text())
+        data["procedures"]["main"][0][2] += 5  # inflate one count
+        path.write_text(json.dumps(data))
+        with pytest.raises(ProfileCorruptError) as err:
+            load_profile(path)
+        assert err.value.path == path
+        assert "integrity" in str(err.value)
+
+    def test_corrupt_is_a_format_error(self):
+        """Existing except ProfileFormatError handlers keep working."""
+        assert issubclass(ProfileCorruptError, ProfileFormatError)
+
+    def test_runner_classifies_corruption_as_validation(self, tmp_path):
+        from repro.runner import classify
+
+        path = tmp_path / "bad.json"
+        path.write_text("{ nope")
+        with pytest.raises(ProfileCorruptError) as err:
+            load_profile(path)
+        assert classify(err.value) == "validation"
+
+    def test_save_is_atomic_under_failure(self, profile, tmp_path, monkeypatch):
+        from repro import atomicio
+
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(atomicio.os, "replace", exploding_replace)
+        bigger = EdgeProfile()
+        bigger.set_weight("main", 0, 1, 999)
+        with pytest.raises(OSError):
+            save_profile(bigger, path)
+        monkeypatch.undo()
+        # The original profile is untouched and still loads cleanly.
+        assert load_profile(path) == profile
 
 
 class TestMergedProfiles:

@@ -1,0 +1,217 @@
+"""Property tests: ``diff_layouts`` is a faithful audit of the rewrite.
+
+The diff module is the reproduction's rewrite log — the artefact a user
+reads to trust the binary rewriter.  These properties pin down what
+"faithful" means against the *lowered instruction stream*: every edit
+the diff reports must be visible in the linked image, and every block it
+does not mention must lower to the same instructions (same opcodes, same
+resolved targets — only addresses may differ).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cfg import TerminatorKind
+from repro.isa import (
+    INSTRUCTION_BYTES,
+    Opcode,
+    ProcedureLayout,
+    ProgramLayout,
+    diff_layouts,
+    link,
+    link_identity,
+    render_diff,
+)
+
+from .strategies import programs
+
+
+@st.composite
+def shuffled_layouts(draw):
+    """A random program plus a random valid re-layout of it."""
+    program = draw(programs())
+    proc = program.procedure("main")
+    rest = [bid for bid in proc.blocks if bid != proc.entry]
+    order = [proc.entry] + draw(st.permutations(rest))
+    layout = ProgramLayout(
+        program, {"main": ProcedureLayout.from_order(proc, order)}
+    )
+    return program, layout
+
+
+def _block_signatures(linked, proc_name):
+    """Map each block to its lowered (opcode, resolved target) sequence.
+
+    Branch targets are resolved from addresses back to block ids (and
+    call targets back to procedure names) so signatures are comparable
+    across layouts that place the same block at different addresses.
+    """
+    layout = linked.layout[proc_name]
+    entry_to_proc = {linked.entry_address(n): n for n in linked.program.order}
+    listing = {ins.address: ins for ins in linked.disassemble(proc_name)}
+    signatures = {}
+    for placement in layout.placements:
+        lb = linked.block(proc_name, placement.bid)
+        signature = []
+        for addr in range(lb.start, lb.end, INSTRUCTION_BYTES):
+            ins = listing[addr]
+            if addr in (lb.term_address, lb.jump_address):
+                target_bid = (
+                    placement.jump_target
+                    if addr == lb.jump_address
+                    else placement.taken_target
+                )
+                if ins.target is not None:
+                    # The stream must agree with the structural placement.
+                    assert ins.target == linked.block_address(proc_name, target_bid)
+                signature.append((ins.opcode, target_bid))
+            elif ins.opcode is Opcode.CALL:
+                signature.append((ins.opcode, entry_to_proc[ins.target]))
+            else:
+                signature.append((ins.opcode, None))
+        signatures[placement.bid] = signature
+    return signatures
+
+
+def _edited_blocks(diff):
+    """Blocks whose lowered *content* the diff claims changed."""
+    return (
+        set(diff.inverted)
+        | {bid for bid, _ in diff.jumps_added}
+        | {bid for bid, _ in diff.jumps_removed}
+        | set(diff.branches_removed)
+        | set(diff.branches_restored)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair=shuffled_layouts())
+def test_self_diff_is_empty(pair):
+    _, layout = pair
+    diffs = diff_layouts(layout, layout)
+    assert all(not d.changed for d in diffs)
+    assert all(not d.moved_blocks for d in diffs)
+    assert render_diff(diffs) == "layouts are identical"
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair=shuffled_layouts())
+def test_unreported_blocks_lower_identically(pair):
+    """A block the diff does not mention is byte-identical after linking,
+    modulo relocation: same opcodes, same resolved target blocks."""
+    program, after = pair
+    before = ProgramLayout.identity(program)
+    (diff,) = diff_layouts(before, after)
+    sig_before = _block_signatures(link(before), "main")
+    sig_after = _block_signatures(link(after), "main")
+    for bid in program.procedure("main").blocks:
+        if bid not in _edited_blocks(diff):
+            assert sig_before[bid] == sig_after[bid], f"block {bid} silently edited"
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair=shuffled_layouts())
+def test_reported_edits_visible_in_stream(pair):
+    """Every edit the diff reports shows up in the lowered instructions."""
+    program, after = pair
+    proc = program.procedure("main")
+    before = ProgramLayout.identity(program)
+    (diff,) = diff_layouts(before, after)
+    sig_before = _block_signatures(link(before), "main")
+    sig_after = _block_signatures(link(after), "main")
+
+    for bid in diff.inverted:
+        assert proc.block(bid).kind is TerminatorKind.COND
+        old = [t for op, t in sig_before[bid] if op is Opcode.COND_BRANCH]
+        new = [t for op, t in sig_after[bid] if op is Opcode.COND_BRANCH]
+        assert old != new, f"inverted block {bid} branches to the same successor"
+
+    for bid, target in diff.jumps_added:
+        jumps = [t for op, t in sig_after[bid] if op is Opcode.UNCOND_BRANCH]
+        assert target in jumps, f"reported jump {bid}->{target} not lowered"
+        assert (Opcode.UNCOND_BRANCH, target) not in sig_before[bid]
+
+    for bid, target in diff.jumps_removed:
+        jumps = [t for op, t in sig_before[bid] if op is Opcode.UNCOND_BRANCH]
+        assert target in jumps
+        assert (Opcode.UNCOND_BRANCH, target) not in sig_after[bid]
+
+    for bid in diff.branches_removed:
+        assert proc.block(bid).kind is TerminatorKind.UNCOND
+        assert len(sig_after[bid]) == len(sig_before[bid]) - 1
+        assert all(op is not Opcode.UNCOND_BRANCH for op, _ in sig_after[bid])
+
+    for bid in diff.branches_restored:
+        assert proc.block(bid).kind is TerminatorKind.UNCOND
+        assert len(sig_after[bid]) == len(sig_before[bid]) + 1
+        assert any(op is Opcode.UNCOND_BRANCH for op, _ in sig_after[bid])
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair=shuffled_layouts())
+def test_moved_blocks_complete(pair):
+    """A block not reported as moved keeps its in-order predecessor, so a
+    diff with no edits at all means an address-identical image."""
+    program, after = pair
+    before = ProgramLayout.identity(program)
+    (diff,) = diff_layouts(before, after)
+    order_before = [p.bid for p in before["main"].placements]
+    order_after = [p.bid for p in after["main"].placements]
+    prev_before = {bid: order_before[i - 1] if i else None
+                   for i, bid in enumerate(order_before)}
+    prev_after = {bid: order_after[i - 1] if i else None
+                  for i, bid in enumerate(order_after)}
+    for bid in program.procedure("main").blocks:
+        if bid not in diff.moved_blocks:
+            assert prev_before[bid] == prev_after[bid]
+    if not diff.changed and not diff.moved_blocks:
+        assert link(before).disassemble() == link(after).disassemble()
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair=shuffled_layouts())
+def test_diff_is_antisymmetric(pair):
+    program, after = pair
+    before = ProgramLayout.identity(program)
+    (fwd,) = diff_layouts(before, after)
+    (rev,) = diff_layouts(after, before)
+    assert set(fwd.inverted) == set(rev.inverted)
+    assert set(fwd.moved_blocks) == set(rev.moved_blocks)
+    assert set(fwd.jumps_added) == set(rev.jumps_removed)
+    assert set(fwd.jumps_removed) == set(rev.jumps_added)
+    assert fwd.branches_removed == rev.branches_restored
+    assert fwd.branches_restored == rev.branches_removed
+    assert fwd.size_delta == -rev.size_delta
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair=shuffled_layouts())
+def test_size_accounting(pair):
+    """size_before/after mirror the layouts; the delta is fully explained
+    by inserted jumps and removed branches — nothing else changes size."""
+    program, after = pair
+    before = ProgramLayout.identity(program)
+    (diff,) = diff_layouts(before, after)
+    assert diff.size_before == before["main"].total_size()
+    assert diff.size_after == after["main"].total_size()
+    expected_delta = (
+        len(after["main"].inserted_jumps()) - len(before["main"].inserted_jumps())
+        - (len(after["main"].removed_branches())
+           - len(before["main"].removed_branches()))
+    )
+    assert diff.size_delta == expected_delta
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs())
+def test_identity_diff_matches_identity_stream(program):
+    """Re-deriving the original order yields an empty diff and the exact
+    same linked image as ``link_identity``."""
+    proc = program.procedure("main")
+    rederived = ProgramLayout(
+        program,
+        {"main": ProcedureLayout.from_order(proc, proc.original_order)},
+    )
+    (diff,) = diff_layouts(ProgramLayout.identity(program), rederived)
+    assert not diff.changed and not diff.moved_blocks
+    assert link(rederived).disassemble() == link_identity(program).disassemble()
