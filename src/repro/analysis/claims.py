@@ -48,6 +48,8 @@ class _Context:
     figure4_rows: list
     #: Per-benchmark oracle reports: benchmark name -> List[OracleReport].
     oracle_reports: Dict[str, list] = field(default_factory=dict)
+    #: Per-benchmark estimator agreements: name -> List[ArchAgreement].
+    estimator_agreements: Dict[str, list] = field(default_factory=dict)
 
     def avg(self, aligner: str, arch: str) -> float:
         cells = [e.cell(aligner, arch).relative_cpi for e in self.experiments]
@@ -230,6 +232,28 @@ def _check_oracle_isomorphism(ctx: _Context) -> ClaimResult:
     )
 
 
+def _check_static_estimator(ctx: _Context) -> ClaimResult:
+    """The trace-free cost estimator agrees with the trace-driven simulator."""
+    tolerance = 0.10
+    worst_err, worst_label = 0.0, "n/a"
+    count = 0
+    for name, agreements in ctx.estimator_agreements.items():
+        for a in agreements:
+            count += 1
+            if a.relative_error > worst_err:
+                worst_err, worst_label = a.relative_error, f"{name}/{a.name}"
+    ok = count > 0 and worst_err <= tolerance
+    return ClaimResult(
+        "static-estimator-agrees-with-sim",
+        "branch behaviour [is] determined by the program's profile: the "
+        "static per-site cost estimator bounds every architecture's "
+        "misfetch/mispredict cost without replaying the trace",
+        ok,
+        f"{count} benchmark/arch pairs, worst error {100 * worst_err:.2f}% "
+        f"({worst_label}), tolerance {100 * tolerance:.0f}%",
+    )
+
+
 CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_static_help,
     _check_static_ordering,
@@ -243,6 +267,7 @@ CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_accurate_archs_still_gain,
     _check_figure4,
     _check_oracle_isomorphism,
+    _check_static_estimator,
 )
 
 
@@ -264,10 +289,15 @@ def verify_claims(
         for name in ORACLE_BENCHMARKS
         if name in benchmarks
     }
+    estimator_agreements = {
+        name: _estimator_agreements(name, scale=scale, seed=seed)
+        for name in benchmarks
+    }
     ctx = _Context(
         experiments=experiments,
         figure4_rows=figure4_rows,
         oracle_reports=oracle_reports,
+        estimator_agreements=estimator_agreements,
     )
     return [check(ctx) for check in CHECKS]
 
@@ -282,6 +312,22 @@ def _oracle_reports(name: str, scale: float, seed: int, window: int) -> list:
     profile = profile_program(program, seed=seed)
     layouts = alignment_layouts(program, profile, window=window)
     return verify_alignments(program, profile, layouts, seed=seed)
+
+
+def _estimator_agreements(name: str, scale: float, seed: int) -> list:
+    """Cross-validate the static estimator against the simulator."""
+    from ..isa import link_identity
+    from ..profiling import profile_program
+    from ..sim.metrics import simulate
+    from ..staticcheck import cross_validate, estimate_costs
+    from ..workloads import generate_benchmark
+
+    program = generate_benchmark(name, scale)
+    profile = profile_program(program, seed=seed)
+    linked = link_identity(program)
+    estimate = estimate_costs(linked, profile)
+    report = simulate(linked, profile, seed=seed)
+    return cross_validate(estimate, report)
 
 
 def render_claims(results: Sequence[ClaimResult]) -> str:

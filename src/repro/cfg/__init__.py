@@ -3,9 +3,12 @@
 from .analysis import (
     NaturalLoop,
     dominates,
+    exit_blocks,
     immediate_dominators,
+    immediate_postdominators,
     loop_depths,
     natural_loops,
+    postdominates,
     reverse_postorder,
 )
 from .blocks import (
@@ -35,9 +38,12 @@ __all__ = [
     "ProgramBuilder",
     "TerminatorKind",
     "dominates",
+    "exit_blocks",
     "immediate_dominators",
+    "immediate_postdominators",
     "loop_depths",
     "natural_loops",
+    "postdominates",
     "procedure_to_dot",
     "reverse_postorder",
 ]

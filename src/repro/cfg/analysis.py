@@ -95,6 +95,102 @@ def dominates(idom: Dict[BlockId, Optional[BlockId]], a: BlockId, b: BlockId) ->
     return False
 
 
+def exit_blocks(proc: Procedure) -> List[BlockId]:
+    """Blocks with no intra-procedural successors (returns, dead ends)."""
+    return [bid for bid in proc.blocks if not proc.successors(bid)]
+
+
+def immediate_postdominators(proc: Procedure) -> Dict[BlockId, Optional[BlockId]]:
+    """ipdom per block that reaches an exit (exits map to ``None``).
+
+    Computed as dominators of the *reversed* CFG rooted at a virtual exit
+    node that every exit block (return / dead end) feeds.  Blocks that
+    cannot reach any exit (e.g. bodies of infinite loops) are absent from
+    the result, mirroring how unreachable blocks are absent from
+    :func:`immediate_dominators`.
+    """
+    exits = exit_blocks(proc)
+    if not exits:
+        return {}
+    # Virtual exit: one id past every real block, never exposed to callers.
+    virtual = max(proc.blocks) + 1
+    # Reversed adjacency: successors in the reversed graph are CFG
+    # predecessors; the virtual exit's successors are the real exits.
+    rsucc: Dict[BlockId, List[BlockId]] = {virtual: list(exits)}
+    for bid in proc.blocks:
+        rsucc[bid] = list(proc.predecessors(bid))
+
+    # Reverse postorder over the reversed graph from the virtual exit.
+    seen: Set[BlockId] = {virtual}
+    order: List[BlockId] = []
+    stack: List[Tuple[BlockId, int]] = [(virtual, 0)]
+    while stack:
+        bid, idx = stack.pop()
+        children = rsucc[bid]
+        while idx < len(children):
+            child = children[idx]
+            idx += 1
+            if child not in seen:
+                seen.add(child)
+                stack.append((bid, idx))
+                stack.append((child, 0))
+                break
+        else:
+            order.append(bid)
+    order.reverse()
+    index = {bid: i for i, bid in enumerate(order)}
+
+    ipdom: Dict[BlockId, BlockId] = {virtual: virtual}
+    # Predecessors in the reversed graph are CFG successors (plus the
+    # virtual exit as predecessor of every exit block).
+    rpred: Dict[BlockId, List[BlockId]] = {
+        bid: [s for s in proc.successors(bid) if s in index] for bid in order if bid != virtual
+    }
+    for bid in exits:
+        rpred[bid].append(virtual)
+
+    def intersect(a: BlockId, b: BlockId) -> BlockId:
+        while a != b:
+            while index[a] > index[b]:
+                a = ipdom[a]
+            while index[b] > index[a]:
+                b = ipdom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            if bid == virtual:
+                continue
+            candidates = [p for p in rpred[bid] if p in ipdom]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for other in candidates[1:]:
+                new = intersect(new, other)
+            if ipdom.get(bid) != new:
+                ipdom[bid] = new
+                changed = True
+    return {
+        bid: (None if ipdom[bid] == virtual else ipdom[bid])
+        for bid in order
+        if bid != virtual and bid in ipdom
+    }
+
+
+def postdominates(
+    ipdom: Dict[BlockId, Optional[BlockId]], a: BlockId, b: BlockId
+) -> bool:
+    """True if ``a`` postdominates ``b`` under the given ipdom tree."""
+    cur: Optional[BlockId] = b
+    while cur is not None:
+        if cur == a:
+            return True
+        cur = ipdom.get(cur)
+    return False
+
+
 @dataclass
 class NaturalLoop:
     """A natural loop: header, its back edges, and the member blocks."""

@@ -9,8 +9,12 @@ Gives the library's main workflows a shell entry point:
 * ``table2`` / ``table3`` / ``table4`` / ``figure4`` — regenerate the
   paper's evaluation artifacts (through the resilient runner: per-
   benchmark isolation, timeouts, retries, checkpoint/resume);
-* ``doctor`` — run the pipeline invariant checks standalone, or audit /
-  repair an artifact store (``--store DIR [--repair]``);
+* ``lint`` — run the static verifier passes (``repro.staticcheck``)
+  over a benchmark's CFG, profile and layouts; ``--estimate`` adds the
+  trace-free branch-cost estimate cross-validated against the simulator;
+* ``doctor`` — run the pipeline invariant checks standalone, audit /
+  repair an artifact store (``--store DIR [--repair]``), or lint every
+  registered workload (``--lint``);
 * ``dot`` — emit a procedure's control-flow graph in Graphviz format.
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 partial
@@ -130,6 +134,10 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
             raise UsageError(
                 "layout faults are only observable by the oracle; add --oracle"
             )
+        if any(s.kind == "break-cfg" for s in specs) and not args.lint:
+            raise UsageError(
+                "break-cfg faults are only observable by the linter; add --lint"
+            )
     if args.retries < 1:
         raise UsageError("--retries must be >= 1")
     if args.workers < 1:
@@ -147,6 +155,7 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
         resume=args.resume,
         faults=faults,
         oracle=args.oracle,
+        lint=args.lint,
         store=args.store,
     )
 
@@ -306,12 +315,149 @@ def _doctor_store(args: argparse.Namespace) -> int:
     return EXIT_OK if not corrupt else EXIT_RUNTIME
 
 
+def _lint_layouts(program, profile, arch: str, window: int, injector=None,
+                  benchmark: str = "", attempt: int = 1):
+    """Identity + aligned layouts for one lint run, layout faults applied.
+
+    Returns ``(layouts, notes)``; an aligner that refuses the (possibly
+    corrupted) input contributes a note instead of a layout, so linting
+    a broken CFG still terminates with a report.
+    """
+    from .core import GreedyAligner as _Greedy, TryNAligner as _TryN
+
+    builders = [
+        ("orig", lambda: ProgramLayout.identity(program)),
+        ("greedy", lambda: _Greedy().align(program, profile)),
+        (f"try{window}-{arch}",
+         lambda: _TryN.for_architecture(arch, window=window).align(program, profile)),
+    ]
+    layouts, notes = {}, []
+    for label, build in builders:
+        try:
+            layout = build()
+        except Exception as exc:
+            notes.append(f"note: layout {label!r} could not be built "
+                         f"({type(exc).__name__}: {exc})")
+            continue
+        if injector is not None:
+            layout = injector.mutate_layout(benchmark, attempt, label, layout, profile)
+        layouts[label] = layout
+    return layouts, notes
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static verifier passes (and optionally the estimator)."""
+    import json as _json
+
+    from .runner import FaultInjector
+    from .staticcheck import cross_validate, estimate_costs, run_lint
+
+    program = _workload(args)
+    if args.profile:
+        profile = load_profile(args.profile)
+    else:
+        profile = profile_program(program, seed=args.seed)
+
+    injector = None
+    if args.inject:
+        try:
+            specs = tuple(parse_fault_spec(spec) for spec in args.inject)
+        except ValueError as exc:
+            raise UsageError(str(exc))
+        injector = FaultInjector(FaultPlan(specs=specs, seed=args.seed))
+        program = injector.break_cfg(args.benchmark, 1, program, profile)
+
+    layouts, notes = _lint_layouts(
+        program, profile, args.arch, args.window,
+        injector=injector, benchmark=args.benchmark,
+    )
+    report = run_lint(program, profile, layouts, subject=args.benchmark)
+
+    estimate_block = None
+    if args.estimate and report.ok:
+        linked = link_identity(program)
+        estimate = estimate_costs(linked, profile)
+        simulated = simulate(linked, profile, seed=args.seed)
+        agreements = cross_validate(estimate, simulated)
+        estimate_block = {
+            "instructions": estimate.instructions,
+            "simulated_instructions": simulated.instructions,
+            "archs": {
+                a.name: {
+                    "estimated_cpi": a.estimated_cpi,
+                    "simulated_cpi": a.simulated_cpi,
+                    "relative_error": a.relative_error,
+                }
+                for a in agreements
+            },
+        }
+
+    if args.json:
+        payload = report.to_dict()
+        if notes:
+            payload["notes"] = notes
+        if estimate_block is not None:
+            payload["estimate"] = estimate_block
+        _write(_json.dumps(payload, indent=2), args.output)
+    else:
+        lines = [report.render()]
+        lines.extend(notes)
+        if estimate_block is not None:
+            lines.append("")
+            lines.append(f"{'architecture':<18}{'est CPI':>10}{'sim CPI':>10}{'err %':>8}")
+            for name, row in estimate_block["archs"].items():
+                lines.append(
+                    f"{name:<18}{row['estimated_cpi']:>10.4f}"
+                    f"{row['simulated_cpi']:>10.4f}"
+                    f"{100 * row['relative_error']:>8.2f}"
+                )
+        _write("\n".join(lines), args.output)
+    return EXIT_OK if report.ok else EXIT_RUNTIME
+
+
+def _doctor_lint(args: argparse.Namespace) -> int:
+    """Lint every registered workload (or one), per-pass PASS/FAIL."""
+    from .staticcheck import run_lint
+
+    names = [args.benchmark] if args.benchmark else list(SUITE)
+    failures: dict = {}
+    descriptions: dict = {}
+    clean = True
+    for name in names:
+        program = generate_benchmark(name, args.scale)
+        profile = profile_program(program, seed=args.seed)
+        layouts, _notes = _lint_layouts(program, profile, args.arch, args.window)
+        report = run_lint(program, profile, layouts, subject=name)
+        clean &= report.ok
+        for outcome in report.outcomes:
+            descriptions[outcome.pass_id] = outcome.description
+            if not outcome.passed:
+                failures.setdefault(outcome.pass_id, []).append(
+                    f"{name}: " + "; ".join(
+                        d.render() for d in outcome.findings[:2]
+                    )
+                )
+    results = [
+        InvariantResult(
+            f"lint:{pass_id}",
+            f"{description} ({len(names)} workload(s))",
+            pass_id not in failures,
+            failures.get(pass_id, []),
+        )
+        for pass_id, description in descriptions.items()
+    ]
+    _write(render_invariant_report(results), args.output)
+    return EXIT_OK if clean else EXIT_RUNTIME
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     """Run the invariant-validation layer standalone, PASS/FAIL per check."""
     if args.repair and not args.store:
         raise UsageError("--repair needs --store DIR")
     if args.store:
         return _doctor_store(args)
+    if args.lint:
+        return _doctor_lint(args)
     if args.benchmark is None:
         raise UsageError("doctor needs a benchmark (or --store DIR)")
     program = _workload(args)
@@ -477,6 +623,27 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(func=cmd_breakdown)
 
+    p = sub.add_parser(
+        "lint",
+        help="static verifier passes over a benchmark's CFG, profile and "
+             "layouts (RLxxx diagnostics; non-zero exit on errors)",
+    )
+    p.add_argument("benchmark")
+    p.add_argument("--arch", choices=("fallthrough", "btfnt", "likely", "pht", "btb"),
+                   default="btb", help="cost-model architecture for the aligned layout")
+    p.add_argument("--profile", help="lint a saved profile instead of tracing")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable JSON report")
+    p.add_argument("--estimate", action="store_true",
+                   help="append the static cost estimate cross-validated "
+                        "against the simulator")
+    p.add_argument("--inject", action="append", default=[],
+                   metavar="BENCH:STAGE:KIND[:TIMES]",
+                   help="inject a deterministic fault before linting "
+                        "(e.g. eqntott:lint:break-cfg)")
+    common(p, window=True)
+    p.set_defaults(func=cmd_lint)
+
     p = sub.add_parser("sweep", help="machine-sensitivity sweeps")
     p.add_argument("benchmark")
     p.add_argument("kind", choices=("penalty", "width"))
@@ -512,6 +679,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="differentially verify every aligned layout "
                             "replays the original trace (divergences fail "
                             "the benchmark, never retried)")
+        g.add_argument("--lint", action="store_true",
+                       help="run the static verifier passes over each "
+                            "benchmark's CFG and profile before alignment "
+                            "(error findings fail the benchmark, never "
+                            "retried)")
         g.add_argument("--store", metavar="DIR",
                        help="persist results to a crash-safe checksummed "
                             "artifact store (corrupt artifacts are "
@@ -547,6 +719,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "temp files (needs --store)")
     p.add_argument("--arch", choices=("fallthrough", "btfnt", "likely", "pht", "btb"),
                    default="btb", help="cost-model architecture for the aligned checks")
+    p.add_argument("--lint", action="store_true",
+                   help="run the static verifier passes over every "
+                        "registered workload (or just BENCHMARK), "
+                        "PASS/FAIL per pass")
     common(p, window=True)
     p.set_defaults(func=cmd_doctor)
 

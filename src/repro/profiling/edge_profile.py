@@ -86,6 +86,37 @@ class EdgeProfile:
             return sum(counts.get((bid, e.dst), 0) for e in proc.out_edges(bid))
         return sum(counts.get((e.src, bid), 0) for e in proc.in_edges(bid))
 
+    def cond_mix(self, proc: Procedure, bid: BlockId) -> Tuple[int, int]:
+        """(taken, fall-through) execution counts of a conditional block.
+
+        Weights are keyed by the *original* edge roles, independent of any
+        later layout inversion; raises :class:`ValueError` for blocks that
+        are not conditionals (they have no taken/fall-through pair).
+        """
+        block = proc.block(bid)
+        if block.kind is not TerminatorKind.COND:
+            raise ValueError(
+                f"{proc.name}: block {bid} is {block.kind.value}, not cond"
+            )
+        taken = proc.taken_edge(bid)
+        fall = proc.fallthrough_edge(bid)
+        assert taken is not None and fall is not None
+        return (
+            self.weight(proc.name, bid, taken.dst),
+            self.weight(proc.name, bid, fall.dst),
+        )
+
+    def taken_probability(self, proc: Procedure, bid: BlockId) -> float:
+        """Fraction of a conditional's executions that took its branch.
+
+        Returns 0.0 for conditionals the profile never saw execute — the
+        convention the static cost estimator wants (an unexecuted branch
+        contributes nothing either way).
+        """
+        w_taken, w_fall = self.cond_mix(proc, bid)
+        executed = w_taken + w_fall
+        return w_taken / executed if executed else 0.0
+
     def total_weight(self, proc_name: str) -> int:
         """Sum of all edge counts of a procedure."""
         return sum(self._counts.get(proc_name, {}).values())

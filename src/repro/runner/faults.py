@@ -19,6 +19,10 @@ fully seeded so every injected failure reproduces exactly:
 * ``mutate-layout`` (stage ``layout``) — retarget the hottest inserted
   jump or unconditional branch at the wrong block, modelling a broken
   relocation (the oracle must catch it);
+* ``break-cfg`` (stage ``lint``) — corrupt the CFG itself after
+  profiling: retarget the hottest edge of the hottest procedure at a
+  non-existent block, or duplicate the hottest block in the layout
+  order, modelling a broken CFG builder (``repro lint`` must catch it);
 * ``corrupt-artifact`` (stage ``store``) — garble a persisted result
   file after it was written, modelling bit rot / torn writes (the
   artifact store's checksums must catch it).
@@ -41,16 +45,18 @@ from ..isa.layout import ProcedureLayout, ProgramLayout
 from ..profiling.edge_profile import EdgeProfile
 from .errors import FatalError, TransientError, annotate_stage
 
-#: Stage names at which faults can fire, in pipeline order.  ``layout``
-#: fires between alignment and the oracle; ``store`` fires after a
-#: unit's artifact is persisted.
-STAGES = ("generate", "profile", "align", "simulate", "layout", "store")
+#: Stage names at which faults can fire, in pipeline order.  ``lint``
+#: fires between profiling and alignment; ``layout`` fires between
+#: alignment and the oracle; ``store`` fires after a unit's artifact is
+#: persisted.
+STAGES = ("generate", "profile", "lint", "align", "simulate", "layout", "store")
 KINDS = (
     "crash",
     "hard-crash",
     "hang",
     "transient",
     "corrupt-profile",
+    "break-cfg",
     "flip-sense",
     "mutate-layout",
     "corrupt-artifact",
@@ -58,7 +64,13 @@ KINDS = (
 
 #: Kinds that corrupt data in-flight instead of raising at a stage
 #: boundary; :meth:`FaultInjector.fire` ignores them.
-DATA_FAULT_KINDS = ("corrupt-profile", "flip-sense", "mutate-layout", "corrupt-artifact")
+DATA_FAULT_KINDS = (
+    "corrupt-profile",
+    "break-cfg",
+    "flip-sense",
+    "mutate-layout",
+    "corrupt-artifact",
+)
 
 #: Exit status used by ``hard-crash`` so tests can recognise it.
 HARD_CRASH_EXIT = 23
@@ -177,6 +189,41 @@ class FaultInjector:
             )
         return profile
 
+    def break_cfg(self, benchmark: str, attempt: int, program, profile: EdgeProfile):
+        """Apply any scheduled ``break-cfg`` fault to ``program``.
+
+        Two deterministic corruption modes, chosen per seed, both landing
+        in the hottest procedure so the defect is never hiding in cold
+        code: retarget its hottest edge at a block that does not exist
+        (an unresolved branch target), or duplicate its hottest block in
+        the layout order.  The corrupted :class:`~repro.cfg.Procedure` is
+        assembled behind ``__init__``'s back — a real CFG-builder bug
+        would not call ``validate()`` on your behalf either.  Returns
+        ``program`` unchanged when no such fault is scheduled.
+        """
+        spec = self._active("lint", benchmark, attempt)
+        if spec is None or spec.kind != "break-cfg":
+            return program
+        rng = random.Random(f"repro-fault:{self.plan.seed}:{benchmark}:lint")
+        victim = max(
+            program.order,
+            key=lambda name: (profile.total_weight(name), name),
+        )
+        proc = program.procedures[victim]
+        if rng.random() < 0.5:
+            mutated = _dangling_edge(proc, profile)
+        else:
+            mutated = _duplicate_block(proc, profile)
+        if mutated is None:
+            raise annotate_stage(
+                FatalError(
+                    f"injected break-cfg fault found no hot victim "
+                    f"in {benchmark} procedure {victim!r}"
+                ),
+                "lint",
+            )
+        return _unchecked_program(program, {victim: mutated})
+
     def mutate_layout(
         self,
         benchmark: str,
@@ -229,6 +276,73 @@ class FaultInjector:
         data = path.read_bytes()
         path.write_bytes(data[: len(data) // 2] + b"\x00<injected-corruption>")
         return True
+
+
+def _unchecked_procedure(name, order, blocks, edges):
+    """Assemble a Procedure *without* its constructor validation.
+
+    ``_out``/``_in`` adjacency is kept consistent with the corrupted edge
+    list (dangling endpoints included) so graph walks still work — the
+    verifier passes, not a ``KeyError``, must be what flags the damage.
+    """
+    from ..cfg.procedure import Procedure
+
+    proc = Procedure.__new__(Procedure)
+    proc.name = name
+    proc._order = list(order)
+    proc.blocks = dict(blocks)
+    proc.edges = list(edges)
+    proc._out = {bid: [] for bid in proc.blocks}
+    proc._in = {bid: [] for bid in proc.blocks}
+    for edge in proc.edges:
+        proc._out.setdefault(edge.src, []).append(edge)
+        proc._in.setdefault(edge.dst, []).append(edge)
+    return proc
+
+
+def _unchecked_program(program, replacements):
+    """Copy a Program, swapping in corrupted procedures, skipping checks."""
+    from ..cfg.program import Program
+
+    mutated = Program.__new__(Program)
+    mutated.procedures = {
+        name: replacements.get(name, proc)
+        for name, proc in program.procedures.items()
+    }
+    mutated._order = list(program.order)
+    mutated.entry = program.entry
+    return mutated
+
+
+def _hottest_edge(proc, profile: EdgeProfile):
+    """The procedure's heaviest profiled edge, or None when all cold."""
+    best = None
+    for edge in proc.edges:
+        weight = profile.weight(proc.name, edge.src, edge.dst)
+        if weight and (best is None or weight > best[0]):
+            best = (weight, edge)
+    return None if best is None else best[1]
+
+
+def _dangling_edge(proc, profile: EdgeProfile):
+    """Retarget the hottest edge at a block id that does not exist."""
+    victim = _hottest_edge(proc, profile)
+    if victim is None:
+        return None
+    bogus = max(proc.blocks) + 1000
+    edges = [
+        replace(e, dst=bogus) if e is victim else e for e in proc.edges
+    ]
+    return _unchecked_procedure(proc.name, proc.original_order, proc.blocks, edges)
+
+
+def _duplicate_block(proc, profile: EdgeProfile):
+    """Append the hottest block's id to the layout order a second time."""
+    victim = _hottest_edge(proc, profile)
+    if victim is None:
+        return None
+    order = list(proc.original_order) + [victim.src]
+    return _unchecked_procedure(proc.name, order, proc.blocks, proc.edges)
 
 
 def _unchecked_layout(procedure, placements) -> ProcedureLayout:

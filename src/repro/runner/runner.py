@@ -18,6 +18,10 @@ Wraps the per-benchmark experiment units of ``analysis.experiment`` and
   resume where they stopped and only failed benchmarks re-execute;
 * **invariant validation** — profile, layout and address-map checks run
   at stage boundaries (see :mod:`repro.runner.validate`);
+* **static lint** — with ``lint=True`` the verifier passes of
+  :mod:`repro.staticcheck` run over each unit's CFG and profile after
+  profiling and before alignment; error-severity findings fail the
+  unit's ``lint`` stage as :class:`ValidationError` (never retried);
 * **differential verification** — with ``oracle=True`` every unit
   additionally replays its trace on each aligned layout and requires
   trace isomorphism (see :mod:`repro.oracle`); a divergence is a
@@ -106,6 +110,10 @@ class RunnerConfig:
     fail_fast: bool = False
     #: Differentially verify every aligned layout (see ``repro.oracle``).
     oracle: bool = False
+    #: Run the static verifier passes (``repro.staticcheck``) over each
+    #: unit's CFG and profile before alignment; findings of error
+    #: severity fail the unit's ``lint`` stage as ValidationErrors.
+    lint: bool = False
     #: Directory of the crash-safe artifact store (None disables it).
     store: Optional[Union[str, Path]] = None
 
@@ -185,6 +193,7 @@ class UnitTask:
     faults: Optional[FaultPlan] = None
     alpha_config: Optional[AlphaConfig] = None
     oracle: bool = False
+    lint: bool = False
 
 
 @contextmanager
@@ -218,6 +227,16 @@ def execute_unit(task: UnitTask) -> dict:
         injector.fire("profile", name, attempt)
         if task.validate:
             validate_profile(program, profile)
+
+    with _stage("lint"):
+        program = injector.break_cfg(name, attempt, program, profile)
+        injector.fire("lint", name, attempt)
+        if task.lint:
+            from ..staticcheck import run_lint
+
+            report = run_lint(program, profile, subject=name)
+            if not report.ok:
+                raise ValidationError(f"static lint failed — {report.summary()}")
 
     with _stage("align"):
         injector.fire("align", name, attempt)
@@ -659,6 +678,7 @@ def run_units(tasks: Sequence[UnitTask], config: Optional[RunnerConfig] = None) 
             validate=config.validate,
             faults=config.faults,
             oracle=config.oracle or task.oracle,
+            lint=config.lint or task.lint,
         )
         for task in tasks
         if task.benchmark not in payloads

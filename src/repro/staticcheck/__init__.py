@@ -1,0 +1,54 @@
+"""Static analysis over CFGs, profiles and layouts (``repro lint``).
+
+Three parts:
+
+* :mod:`.passes` — verifier passes with stable ``RLxxx`` diagnostics,
+  run by a crash-isolating :class:`~repro.staticcheck.passes.PassManager`;
+* :mod:`.dataflow` — cached classic analyses (reachability, dominators,
+  postdominators, natural loops) behind an ``AnalysisManager``;
+* :mod:`.estimator` — a trace-free branch-cost estimator computed from
+  the edge profile, cross-validated against the simulator.
+"""
+
+from .dataflow import AnalysisManager, ProgramAnalyses
+from .diagnostics import (
+    CODES,
+    REPORT_SCHEMA_VERSION,
+    Diagnostic,
+    LintReport,
+    PassOutcome,
+    Severity,
+    worst_severity,
+)
+from .estimator import (
+    ArchAgreement,
+    ArchEstimate,
+    BranchSiteEstimate,
+    CostEstimate,
+    cross_validate,
+    estimate_costs,
+)
+from .passes import PASSES, LintContext, PassManager, VerifierPass, run_lint
+
+__all__ = [
+    "AnalysisManager",
+    "ArchAgreement",
+    "ArchEstimate",
+    "BranchSiteEstimate",
+    "CODES",
+    "CostEstimate",
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "PASSES",
+    "PassManager",
+    "PassOutcome",
+    "ProgramAnalyses",
+    "REPORT_SCHEMA_VERSION",
+    "Severity",
+    "VerifierPass",
+    "cross_validate",
+    "estimate_costs",
+    "run_lint",
+    "worst_severity",
+]

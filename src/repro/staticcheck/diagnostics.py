@@ -1,0 +1,219 @@
+"""Diagnostics for the static CFG/layout verifier (``repro lint``).
+
+Every finding carries a stable ``RLxxx`` code, a severity, and the most
+precise location the emitting pass can name (procedure, block, layout
+label).  Codes are append-only: a code's meaning never changes, so CI
+assertions and suppression lists written against one release keep
+working against the next.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..cfg import BlockId
+
+#: Schema version of the machine-readable lint report.
+REPORT_SCHEMA_VERSION = 1
+
+
+class Severity(enum.Enum):
+    """How bad a finding is."""
+
+    #: The artifact is wrong: running it would produce wrong numbers or
+    #: crash.  Lint findings of this severity fail the runner's ``lint``
+    #: stage as :class:`~repro.runner.errors.ValidationError`.
+    ERROR = "error"
+    #: Suspicious but not provably wrong (e.g. unreachable code).
+    WARNING = "warning"
+    #: Informational (statistics, estimator notes).
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+#: The stable diagnostic-code catalog.  Append-only; never renumber.
+CODES: Dict[str, str] = {
+    "RL000": "internal: a verifier pass crashed on malformed input",
+    "RL001": "duplicate or missing block id in a procedure",
+    "RL002": "procedure entry block missing or not unique/first",
+    "RL003": "terminator kind inconsistent with the block's out-edges",
+    "RL004": "branch or edge target does not resolve to a known block",
+    "RL005": "fall-through successor not adjacent after lowering",
+    "RL006": "lowered address map has an overlap, hole or misalignment",
+    "RL007": "block unreachable from the procedure entry",
+    "RL008": "profiled edge absent from the CFG (or negative count)",
+    "RL009": "profile flow not conserved at a block",
+    "RL010": "conditional branch sense not invertible as placed",
+    "RL011": "layout is not a permutation of the procedure's blocks",
+    "RL012": "control transfer retargeted at a wrong block",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    pass_id: str = ""
+    procedure: Optional[str] = None
+    block: Optional[BlockId] = None
+    #: Label of the layout being verified ("orig", "greedy", "try15-btb")
+    #: for layout/lowering findings; ``None`` for CFG/profile findings.
+    layout: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def location(self) -> str:
+        """Human-readable ``proc:block`` (or ``-``) location string."""
+        parts: List[str] = []
+        if self.layout is not None:
+            parts.append(f"[{self.layout}]")
+        if self.procedure is not None:
+            loc = self.procedure
+            if self.block is not None:
+                loc += f":{self.block}"
+            parts.append(loc)
+        return " ".join(parts) or "-"
+
+    def render(self) -> str:
+        return (
+            f"{self.code} {self.severity.value:<7} {self.location:<28} "
+            f"{self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "pass": self.pass_id,
+            "procedure": self.procedure,
+            "block": self.block,
+            "layout": self.layout,
+            "message": self.message,
+        }
+
+
+@dataclass
+class PassOutcome:
+    """What one verifier pass produced over one lint run."""
+
+    pass_id: str
+    description: str
+    findings: List[Diagnostic] = field(default_factory=list)
+    crashed: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return not self.crashed and not any(
+            d.severity is Severity.ERROR for d in self.findings
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run found, renderable as text or JSON."""
+
+    subject: str
+    outcomes: List[PassOutcome] = field(default_factory=list)
+    #: Labels of the layouts that were verified after lowering.
+    layouts: List[str] = field(default_factory=list)
+
+    @property
+    def findings(self) -> List[Diagnostic]:
+        out = [d for o in self.outcomes for d in o.findings]
+        out.sort(key=lambda d: (d.severity.rank, d.code, d.location))
+        return out
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.findings if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.findings if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was produced."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        """Distinct diagnostic codes present, sorted."""
+        return sorted({d.code for d in self.findings})
+
+    def summary(self) -> str:
+        errors, warnings = len(self.errors), len(self.warnings)
+        if not errors and not warnings:
+            return f"{self.subject}: clean ({len(self.outcomes)} passes)"
+        head = ", ".join(
+            f"{d.code} {d.location}: {d.message}" for d in self.errors[:3]
+        )
+        more = "" if len(self.errors) <= 3 else f" (+{len(self.errors) - 3} more)"
+        return (
+            f"{self.subject}: {errors} error(s), {warnings} warning(s)"
+            + (f" — {head}{more}" if head else "")
+        )
+
+    def render(self) -> str:
+        lines = [f"lint: {self.subject}"]
+        if self.layouts:
+            lines.append(f"layouts verified: {', '.join(self.layouts)}")
+        width = max((len(o.pass_id) for o in self.outcomes), default=0)
+        for outcome in self.outcomes:
+            status = "PASS" if outcome.passed else "FAIL"
+            lines.append(
+                f"{status:<4}  {outcome.pass_id:<{width}}  {outcome.description}"
+            )
+        for finding in self.findings:
+            lines.append("  " + finding.render())
+        errors, warnings = len(self.errors), len(self.warnings)
+        lines.append(
+            f"{sum(o.passed for o in self.outcomes)}/{len(self.outcomes)} passes clean"
+            + (f" — {errors} error(s), {warnings} warning(s)" if errors or warnings else "")
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The machine-readable report (see docs/static-analysis.md)."""
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "subject": self.subject,
+            "layouts": list(self.layouts),
+            "passes": [
+                {
+                    "id": o.pass_id,
+                    "description": o.description,
+                    "passed": o.passed,
+                    "findings": len(o.findings),
+                }
+                for o in self.outcomes
+            ],
+            "findings": [d.to_dict() for d in self.findings],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "codes": self.codes(),
+                "ok": self.ok,
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+
+def worst_severity(findings: Sequence[Diagnostic]) -> Optional[Severity]:
+    """The most severe severity present, or ``None`` when empty."""
+    if not findings:
+        return None
+    return min((d.severity for d in findings), key=lambda s: s.rank)

@@ -1,0 +1,649 @@
+"""Verifier passes over CFGs, profiles and lowered layouts.
+
+Each pass checks one invariant family and emits :class:`Diagnostic`
+findings with a stable RL0xx code (see :mod:`.diagnostics`).  The
+:class:`PassManager` runs the catalog over a :class:`LintContext`,
+isolating each pass: malformed input that crashes a pass becomes an
+``RL000`` finding on that pass instead of killing the lint run, so lint
+always terminates with a report — the whole point of linting corrupt
+artifacts.
+
+Everything here is *static*: no trace replay, no behaviour execution.
+The passes deliberately read the raw CFG attributes (``blocks``,
+``edges``, ``original_order``) rather than trusting ``validate()``,
+because the fault-injection harness hands them Procedure/Layout objects
+assembled behind the constructors' backs — exactly how a real rewriter
+bug would manifest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..cfg import EdgeKind, Procedure, Program, TerminatorKind
+from ..cfg.blocks import expected_edge_kinds
+from ..isa.encoder import INSTRUCTION_BYTES, TEXT_BASE, LinkedProgram
+from ..isa.layout import ProcedureLayout, ProgramLayout
+from ..profiling.edge_profile import EdgeProfile
+from .dataflow import ProgramAnalyses
+from .diagnostics import Diagnostic, LintReport, PassOutcome, Severity
+
+
+@dataclass
+class LintContext:
+    """Everything one lint run inspects.
+
+    ``layouts`` maps a human-readable label ("orig", "greedy",
+    "try15-btb") to a :class:`ProgramLayout`; layout passes run once per
+    label.  ``profile`` may be ``None`` when only structural CFG checks
+    are wanted.
+    """
+
+    program: Program
+    profile: Optional[EdgeProfile] = None
+    layouts: Dict[str, ProgramLayout] = field(default_factory=dict)
+    analyses: ProgramAnalyses = field(default_factory=ProgramAnalyses)
+
+    def procedures(self) -> Iterator[Procedure]:
+        for name in self.program.order:
+            proc = self.program.procedures.get(name)
+            if proc is not None:
+                yield proc
+
+
+#: A pass body: inspects the context, returns its findings.
+PassFn = Callable[[LintContext], List[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class VerifierPass:
+    """One named verifier pass."""
+
+    pass_id: str
+    description: str
+    run: PassFn
+    #: Passes needing a profile/layouts are skipped when those are absent.
+    needs_profile: bool = False
+    needs_layouts: bool = False
+
+    def applicable(self, ctx: LintContext) -> bool:
+        if self.needs_profile and ctx.profile is None:
+            return False
+        if self.needs_layouts and not ctx.layouts:
+            return False
+        return True
+
+
+def _diag(
+    code: str,
+    message: str,
+    pass_id: str,
+    severity: Severity = Severity.ERROR,
+    procedure: Optional[str] = None,
+    block: Optional[int] = None,
+    layout: Optional[str] = None,
+) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        pass_id=pass_id,
+        procedure=procedure,
+        block=block,
+        layout=layout,
+    )
+
+
+# ----------------------------------------------------------------------
+# CFG structure passes
+# ----------------------------------------------------------------------
+def _pass_unique_blocks(ctx: LintContext) -> List[Diagnostic]:
+    """RL001: block-id uniqueness and order/table agreement."""
+    out: List[Diagnostic] = []
+    for proc in ctx.procedures():
+        order = list(proc.original_order)
+        seen: Dict[int, int] = {}
+        for bid in order:
+            seen[bid] = seen.get(bid, 0) + 1
+        for bid, count in sorted(seen.items()):
+            if count > 1:
+                out.append(_diag(
+                    "RL001",
+                    f"block {bid} appears {count} times in the layout order",
+                    "cfg-unique-blocks", procedure=proc.name, block=bid,
+                ))
+            if bid not in proc.blocks:
+                out.append(_diag(
+                    "RL001",
+                    f"ordered block {bid} missing from the block table",
+                    "cfg-unique-blocks", procedure=proc.name, block=bid,
+                ))
+        for bid in sorted(set(proc.blocks) - set(order)):
+            out.append(_diag(
+                "RL001",
+                f"block {bid} present in the block table but never ordered",
+                "cfg-unique-blocks", procedure=proc.name, block=bid,
+            ))
+        for bid, block in proc.blocks.items():
+            if block.bid != bid:
+                out.append(_diag(
+                    "RL001",
+                    f"block table maps id {bid} to a block labelled {block.bid}",
+                    "cfg-unique-blocks", procedure=proc.name, block=bid,
+                ))
+    return out
+
+
+def _pass_entry(ctx: LintContext) -> List[Diagnostic]:
+    """RL002: a unique, known entry block laid out first."""
+    out: List[Diagnostic] = []
+    for proc in ctx.procedures():
+        if not proc.original_order:
+            out.append(_diag(
+                "RL002", "procedure has no blocks", "cfg-entry",
+                procedure=proc.name,
+            ))
+            continue
+        entry = proc.original_order[0]
+        if entry not in proc.blocks:
+            out.append(_diag(
+                "RL002",
+                f"entry block {entry} missing from the block table",
+                "cfg-entry", procedure=proc.name, block=entry,
+            ))
+    return out
+
+
+def _pass_terminators(ctx: LintContext) -> List[Diagnostic]:
+    """RL003: out-edge multiset legal for each block's terminator kind."""
+    out: List[Diagnostic] = []
+    for proc in ctx.procedures():
+        by_src: Dict[int, List[EdgeKind]] = {bid: [] for bid in proc.blocks}
+        for edge in proc.edges:
+            if edge.src in by_src:
+                by_src[edge.src].append(edge.kind)
+        for bid, block in sorted(proc.blocks.items()):
+            kinds = tuple(sorted(by_src[bid], key=lambda k: k.value))
+            legal = expected_edge_kinds(block.kind)
+            if block.kind is TerminatorKind.INDIRECT:
+                ok = len(kinds) >= 1 and all(k is EdgeKind.INDIRECT for k in kinds)
+            else:
+                ok = kinds in legal
+            if not ok:
+                out.append(_diag(
+                    "RL003",
+                    f"{block.kind.value} block has out-edge kinds "
+                    f"[{', '.join(k.value for k in kinds)}]",
+                    "cfg-terminators", procedure=proc.name, block=bid,
+                ))
+                continue
+            if block.kind is TerminatorKind.COND:
+                targets = [e.dst for e in proc.edges if e.src == bid
+                           and e.kind in (EdgeKind.TAKEN, EdgeKind.FALLTHROUGH)]
+                if len(set(targets)) != len(targets):
+                    out.append(_diag(
+                        "RL003",
+                        "conditional branch has identical taken and "
+                        "fall-through targets",
+                        "cfg-terminators", procedure=proc.name, block=bid,
+                    ))
+            ft = [e for e in proc.edges
+                  if e.src == bid and e.kind is EdgeKind.FALLTHROUGH]
+            if any(e.dst == bid for e in ft):
+                out.append(_diag(
+                    "RL003", "block falls through to itself",
+                    "cfg-terminators", procedure=proc.name, block=bid,
+                ))
+    return out
+
+
+def _pass_edge_resolution(ctx: LintContext) -> List[Diagnostic]:
+    """RL004: every edge endpoint names a block that exists."""
+    out: List[Diagnostic] = []
+    for proc in ctx.procedures():
+        for edge in proc.edges:
+            if edge.src not in proc.blocks:
+                out.append(_diag(
+                    "RL004",
+                    f"edge {edge.src}->{edge.dst} has unknown source block",
+                    "cfg-edge-resolution", procedure=proc.name, block=edge.src,
+                ))
+            if edge.dst not in proc.blocks:
+                out.append(_diag(
+                    "RL004",
+                    f"edge {edge.src}->{edge.dst} targets unknown block "
+                    f"{edge.dst}",
+                    "cfg-edge-resolution", procedure=proc.name, block=edge.src,
+                ))
+    return out
+
+
+def _pass_reachability(ctx: LintContext) -> List[Diagnostic]:
+    """RL007 (warning): blocks unreachable from the procedure entry."""
+    out: List[Diagnostic] = []
+    for proc in ctx.procedures():
+        manager = ctx.analyses.for_procedure(proc)
+        for bid in manager.unreachable():
+            out.append(_diag(
+                "RL007",
+                "block is unreachable from the procedure entry",
+                "cfg-reachability", severity=Severity.WARNING,
+                procedure=proc.name, block=bid,
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Profile passes
+# ----------------------------------------------------------------------
+def _pass_profile_consistency(ctx: LintContext) -> List[Diagnostic]:
+    """RL008: profiled edges must exist in the CFG, with sane counts."""
+    assert ctx.profile is not None
+    out: List[Diagnostic] = []
+    for proc_name in sorted(ctx.profile.procedures()):
+        if proc_name not in ctx.program:
+            out.append(_diag(
+                "RL008",
+                f"profiled procedure {proc_name!r} not in the program",
+                "profile-consistency", procedure=proc_name,
+            ))
+            continue
+        proc = ctx.program.procedure(proc_name)
+        known = {(e.src, e.dst) for e in proc.edges}
+        for (src, dst), count in sorted(ctx.profile.proc_edges(proc_name).items()):
+            if count < 0:
+                out.append(_diag(
+                    "RL008",
+                    f"edge {src}->{dst} has negative count {count}",
+                    "profile-consistency", procedure=proc_name, block=src,
+                ))
+            if (src, dst) not in known:
+                out.append(_diag(
+                    "RL008",
+                    f"profiled edge {src}->{dst} not in the CFG",
+                    "profile-consistency", procedure=proc_name, block=src,
+                ))
+    return out
+
+
+def _pass_flow_conservation(ctx: LintContext) -> List[Diagnostic]:
+    """RL009: per-block in-weight equals out-weight (entry/return aside)."""
+    assert ctx.profile is not None
+    out: List[Diagnostic] = []
+    for proc in ctx.procedures():
+        edges = ctx.profile.proc_edges(proc.name)
+        if not edges:
+            continue
+        in_w: Dict[int, int] = {}
+        out_w: Dict[int, int] = {}
+        for (src, dst), count in edges.items():
+            out_w[src] = out_w.get(src, 0) + count
+            in_w[dst] = in_w.get(dst, 0) + count
+        entry = proc.original_order[0] if proc.original_order else None
+        for bid, block in sorted(proc.blocks.items()):
+            inc, outc = in_w.get(bid, 0), out_w.get(bid, 0)
+            if bid == entry:
+                if inc > outc:
+                    out.append(_diag(
+                        "RL009",
+                        f"entry in-weight {inc} exceeds out-weight {outc}",
+                        "profile-flow", procedure=proc.name, block=bid,
+                    ))
+            elif block.kind is TerminatorKind.RETURN:
+                if outc:
+                    out.append(_diag(
+                        "RL009",
+                        f"return block has out-weight {outc}",
+                        "profile-flow", procedure=proc.name, block=bid,
+                    ))
+            elif inc != outc:
+                out.append(_diag(
+                    "RL009",
+                    f"in-weight {inc} != out-weight {outc}",
+                    "profile-flow", procedure=proc.name, block=bid,
+                ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Layout / lowering passes
+# ----------------------------------------------------------------------
+def _proc_layouts(ctx: LintContext) -> Iterator[Tuple[str, ProcedureLayout]]:
+    for label, layout in ctx.layouts.items():
+        for name in layout.program.order:
+            proc_layout = layout.layouts.get(name)
+            if proc_layout is not None:
+                yield label, proc_layout
+
+
+def _pass_layout_permutation(ctx: LintContext) -> List[Diagnostic]:
+    """RL011/RL002: every block placed exactly once, entry first."""
+    out: List[Diagnostic] = []
+    for label, proc_layout in _proc_layouts(ctx):
+        proc = proc_layout.procedure
+        placed = sorted(p.bid for p in proc_layout.placements)
+        expected = sorted(proc.blocks)
+        if placed != expected:
+            missing = sorted(set(expected) - set(placed))
+            extra = sorted(set(placed) - set(expected))
+            dupes = sorted({b for b in placed if placed.count(b) > 1})
+            parts = []
+            if missing:
+                parts.append(f"missing {missing}")
+            if extra:
+                parts.append(f"unknown {extra}")
+            if dupes:
+                parts.append(f"duplicated {dupes}")
+            out.append(_diag(
+                "RL011",
+                "layout is not a permutation of the procedure's blocks"
+                + (f" ({', '.join(parts)})" if parts else ""),
+                "layout-permutation", procedure=proc.name, layout=label,
+            ))
+            continue
+        if proc_layout.placements and proc.original_order:
+            entry = proc.original_order[0]
+            if proc_layout.placements[0].bid != entry:
+                out.append(_diag(
+                    "RL002",
+                    f"entry block {entry} not placed first",
+                    "layout-permutation", procedure=proc.name,
+                    block=entry, layout=label,
+                ))
+    return out
+
+
+def _cond_successors(proc: Procedure, bid: int) -> Optional[Tuple[int, int]]:
+    """(taken, fallthrough) destinations of a conditional, or None."""
+    taken = fall = None
+    for edge in proc.edges:
+        if edge.src != bid:
+            continue
+        if edge.kind is EdgeKind.TAKEN:
+            taken = edge.dst
+        elif edge.kind is EdgeKind.FALLTHROUGH:
+            fall = edge.dst
+    if taken is None or fall is None:
+        return None
+    return taken, fall
+
+
+def _pass_fallthrough_adjacency(ctx: LintContext) -> List[Diagnostic]:
+    """RL005: every implicit (fall-through) successor is placed next."""
+    out: List[Diagnostic] = []
+    for label, proc_layout in _proc_layouts(ctx):
+        proc = proc_layout.procedure
+        ids = [p.bid for p in proc_layout.placements]
+        for idx, placement in enumerate(proc_layout.placements):
+            block = proc.blocks.get(placement.bid)
+            if block is None:
+                continue  # layout-permutation reports this
+            nxt = ids[idx + 1] if idx + 1 < len(ids) else None
+            falls_off = None
+            if block.kind is TerminatorKind.FALLTHROUGH:
+                if placement.jump_target is None:
+                    edge = next((e for e in proc.edges if e.src == placement.bid
+                                 and e.kind is EdgeKind.FALLTHROUGH), None)
+                    if edge is not None and edge.dst != nxt:
+                        falls_off = edge.dst
+            elif block.kind is TerminatorKind.COND:
+                succ = _cond_successors(proc, placement.bid)
+                if succ is not None and placement.jump_target is None:
+                    taken, fall = succ
+                    if placement.taken_target in (taken, fall):
+                        other = fall if placement.taken_target == taken else taken
+                        if other != nxt:
+                            falls_off = other
+            elif block.kind is TerminatorKind.UNCOND and placement.branch_removed:
+                edge = next((e for e in proc.edges if e.src == placement.bid
+                             and e.kind is EdgeKind.TAKEN), None)
+                if edge is not None and edge.dst != nxt:
+                    falls_off = edge.dst
+            if falls_off is not None:
+                out.append(_diag(
+                    "RL005",
+                    f"fall-through successor {falls_off} is not the next "
+                    f"placed block ({nxt})",
+                    "lower-fallthrough", procedure=proc.name,
+                    block=placement.bid, layout=label,
+                ))
+    return out
+
+
+def _pass_branch_sense(ctx: LintContext) -> List[Diagnostic]:
+    """RL010: conditionals reach both successors exactly once as placed.
+
+    A sense flip that keeps adjacency intact (the ``flip-sense`` fault)
+    lands here: the placement's taken target and its implicit/jump side
+    no longer cover the conditional's two CFG successors.
+    """
+    out: List[Diagnostic] = []
+    for label, proc_layout in _proc_layouts(ctx):
+        proc = proc_layout.procedure
+        ids = [p.bid for p in proc_layout.placements]
+        for idx, placement in enumerate(proc_layout.placements):
+            block = proc.blocks.get(placement.bid)
+            if block is None or block.kind is not TerminatorKind.COND:
+                continue
+            succ = _cond_successors(proc, placement.bid)
+            if succ is None:
+                continue  # cfg-terminators reports this
+            taken, fall = succ
+            if placement.taken_target not in (taken, fall):
+                continue  # lower-transfer-targets reports this (RL012)
+            nxt = ids[idx + 1] if idx + 1 < len(ids) else None
+            reached = (placement.jump_target
+                       if placement.jump_target is not None else nxt)
+            if {placement.taken_target, reached} != {taken, fall}:
+                out.append(_diag(
+                    "RL010",
+                    f"as placed, branch covers targets "
+                    f"{{{placement.taken_target}, {reached}}} instead of "
+                    f"successors {{{taken}, {fall}}} — the sense flip is "
+                    f"not invertible",
+                    "lower-branch-sense", procedure=proc.name,
+                    block=placement.bid, layout=label,
+                ))
+    return out
+
+
+def _pass_transfer_targets(ctx: LintContext) -> List[Diagnostic]:
+    """RL012/RL004: placement targets resolve to the right blocks.
+
+    A transfer pointed at a block that is not the corresponding CFG
+    successor (the ``mutate-layout`` fault) is RL012; a target that is
+    not a block at all is RL004.
+    """
+    out: List[Diagnostic] = []
+    for label, proc_layout in _proc_layouts(ctx):
+        proc = proc_layout.procedure
+
+        def check_target(placement, field_name: str, target: int,
+                         allowed: List[int], role: str) -> None:
+            if target not in proc.blocks:
+                out.append(_diag(
+                    "RL004",
+                    f"{role} targets unknown block {target}",
+                    "lower-transfer-targets", procedure=proc.name,
+                    block=placement.bid, layout=label,
+                ))
+            elif target not in allowed:
+                out.append(_diag(
+                    "RL012",
+                    f"{role} retargeted at block {target}; CFG allows "
+                    f"{sorted(set(allowed))}",
+                    "lower-transfer-targets", procedure=proc.name,
+                    block=placement.bid, layout=label,
+                ))
+
+        for placement in proc_layout.placements:
+            block = proc.blocks.get(placement.bid)
+            if block is None:
+                continue
+            succs = [e.dst for e in proc.edges if e.src == placement.bid]
+            if block.kind is TerminatorKind.COND:
+                succ = _cond_successors(proc, placement.bid)
+                allowed = list(succ) if succ is not None else succs
+                if placement.taken_target is not None:
+                    check_target(placement, "taken_target",
+                                 placement.taken_target, allowed,
+                                 "conditional branch")
+                if placement.jump_target is not None:
+                    check_target(placement, "jump_target",
+                                 placement.jump_target, allowed,
+                                 "appended jump")
+            elif block.kind is TerminatorKind.UNCOND:
+                edge = next((e for e in proc.edges if e.src == placement.bid
+                             and e.kind is EdgeKind.TAKEN), None)
+                allowed = [edge.dst] if edge is not None else succs
+                if placement.taken_target is not None:
+                    check_target(placement, "taken_target",
+                                 placement.taken_target, allowed,
+                                 "unconditional branch")
+            elif block.kind is TerminatorKind.FALLTHROUGH:
+                edge = next((e for e in proc.edges if e.src == placement.bid
+                             and e.kind is EdgeKind.FALLTHROUGH), None)
+                allowed = [edge.dst] if edge is not None else succs
+                if placement.jump_target is not None:
+                    check_target(placement, "jump_target",
+                                 placement.jump_target, allowed,
+                                 "appended jump")
+    return out
+
+
+def _pass_addresses(ctx: LintContext) -> List[Diagnostic]:
+    """RL006: lowered addresses tile the text segment without overlap."""
+    out: List[Diagnostic] = []
+    for label, layout in ctx.layouts.items():
+        try:
+            linked = LinkedProgram(layout)
+        except Exception as exc:
+            out.append(_diag(
+                "RL006",
+                f"layout could not be lowered to addresses: "
+                f"{type(exc).__name__}: {exc}",
+                "lower-addresses", layout=label,
+            ))
+            continue
+        cursor = TEXT_BASE
+        for name in linked.program.order:
+            proc_layout = layout.layouts.get(name)
+            placed = linked.blocks.get(name, {})
+            if proc_layout is None:
+                continue
+            for placement in proc_layout.placements:
+                lb = placed.get(placement.bid)
+                if lb is None:
+                    out.append(_diag(
+                        "RL006", "placed block has no address",
+                        "lower-addresses", procedure=name,
+                        block=placement.bid, layout=label,
+                    ))
+                    continue
+                if lb.start % INSTRUCTION_BYTES:
+                    out.append(_diag(
+                        "RL006",
+                        f"start {lb.start:#x} not instruction-aligned",
+                        "lower-addresses", procedure=name,
+                        block=placement.bid, layout=label,
+                    ))
+                if lb.start != cursor:
+                    word = "overlaps" if lb.start < cursor else "leaves a hole before"
+                    out.append(_diag(
+                        "RL006",
+                        f"block at {lb.start:#x} {word} the expected "
+                        f"address {cursor:#x}",
+                        "lower-addresses", procedure=name,
+                        block=placement.bid, layout=label,
+                    ))
+                for addr, role in ((lb.term_address, "terminator"),
+                                   (lb.jump_address, "appended jump")):
+                    if addr is not None and not lb.start <= addr < lb.end:
+                        out.append(_diag(
+                            "RL006",
+                            f"{role} address {addr:#x} outside the block's "
+                            f"range [{lb.start:#x}, {lb.end:#x})",
+                            "lower-addresses", procedure=name,
+                            block=placement.bid, layout=label,
+                        ))
+                cursor = lb.end
+        if cursor != linked.text_end:
+            out.append(_diag(
+                "RL006",
+                f"text segment ends at {linked.text_end:#x} but the "
+                f"address walk reached {cursor:#x}",
+                "lower-addresses", layout=label,
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The catalog and the pass manager
+# ----------------------------------------------------------------------
+PASSES: Tuple[VerifierPass, ...] = (
+    VerifierPass("cfg-unique-blocks", "block ids unique and consistently tabled",
+                 _pass_unique_blocks),
+    VerifierPass("cfg-entry", "entry block exists and is unique",
+                 _pass_entry),
+    VerifierPass("cfg-terminators", "out-edges legal for each terminator kind",
+                 _pass_terminators),
+    VerifierPass("cfg-edge-resolution", "every edge endpoint resolves",
+                 _pass_edge_resolution),
+    VerifierPass("cfg-reachability", "blocks reachable from the entry",
+                 _pass_reachability),
+    VerifierPass("profile-consistency", "profiled edges exist in the CFG",
+                 _pass_profile_consistency, needs_profile=True),
+    VerifierPass("profile-flow", "per-block profile flow conservation",
+                 _pass_flow_conservation, needs_profile=True),
+    VerifierPass("layout-permutation", "layouts place every block once, entry first",
+                 _pass_layout_permutation, needs_layouts=True),
+    VerifierPass("lower-fallthrough", "implicit successors placed adjacent",
+                 _pass_fallthrough_adjacency, needs_layouts=True),
+    VerifierPass("lower-branch-sense", "conditional sense flips are invertible",
+                 _pass_branch_sense, needs_layouts=True),
+    VerifierPass("lower-transfer-targets", "rewritten transfers hit CFG successors",
+                 _pass_transfer_targets, needs_layouts=True),
+    VerifierPass("lower-addresses", "addresses tile the text segment",
+                 _pass_addresses, needs_layouts=True),
+)
+
+
+class PassManager:
+    """Runs a pass catalog over a context, isolating pass crashes."""
+
+    def __init__(self, passes: Tuple[VerifierPass, ...] = PASSES):
+        self.passes = passes
+
+    def run(self, ctx: LintContext, subject: str) -> LintReport:
+        report = LintReport(subject=subject, layouts=list(ctx.layouts))
+        for verifier_pass in self.passes:
+            if not verifier_pass.applicable(ctx):
+                continue
+            outcome = PassOutcome(verifier_pass.pass_id, verifier_pass.description)
+            try:
+                outcome.findings = verifier_pass.run(ctx)
+            except Exception as exc:
+                outcome.crashed = True
+                outcome.findings = [_diag(
+                    "RL000",
+                    f"pass crashed: {type(exc).__name__}: {exc}",
+                    verifier_pass.pass_id,
+                )]
+            report.outcomes.append(outcome)
+        return report
+
+
+def run_lint(
+    program: Program,
+    profile: Optional[EdgeProfile] = None,
+    layouts: Optional[Mapping[str, ProgramLayout]] = None,
+    subject: str = "program",
+) -> LintReport:
+    """Run the full verifier-pass catalog and return the report."""
+    ctx = LintContext(
+        program=program,
+        profile=profile,
+        layouts=dict(layouts or {}),
+    )
+    return PassManager().run(ctx, subject)

@@ -1,0 +1,116 @@
+"""Property tests: the classic dataflow analyses obey their axioms.
+
+Dominators, postdominators and reachability are checked against their
+defining properties on randomly generated CFGs — not against a second
+implementation, so a shared bug cannot hide.  The analyses return
+immediate-dominator *trees* (entry/exits map to ``None``); dominance
+sets are recovered by walking the chain, with a step bound so a cyclic
+tree fails the test instead of hanging it.
+"""
+
+from hypothesis import given, settings
+
+from repro.cfg import exit_blocks
+from repro.staticcheck import AnalysisManager
+
+from .strategies import programs
+
+
+def manager(program):
+    return AnalysisManager(program.procedures["main"])
+
+
+def chain(tree, bid):
+    """The dominance (or postdominance) set of ``bid``: the tree path."""
+    path = {bid}
+    cursor = bid
+    for _ in range(len(tree) + 1):
+        cursor = tree.get(cursor)
+        if cursor is None:
+            return path
+        path.add(cursor)
+    raise AssertionError(f"dominator tree has a cycle through {bid}")
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs())
+def test_entry_dominates_every_reachable_block(program):
+    proc = program.procedures["main"]
+    am = AnalysisManager(proc)
+    idom = am.dominators()
+    assert idom[proc.entry] is None
+    for bid in am.reachable():
+        assert proc.entry in chain(idom, bid)
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs())
+def test_dominance_is_antisymmetric(program):
+    am = manager(program)
+    idom = am.dominators()
+    for a in idom:
+        for b in chain(idom, a) - {a}:
+            assert a not in chain(idom, b), f"{a} and {b} dominate each other"
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs())
+def test_dominators_cover_exactly_the_reachable_blocks(program):
+    am = manager(program)
+    assert set(am.dominators()) == am.reachable()
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs())
+def test_reachable_closed_under_successors(program):
+    proc = program.procedures["main"]
+    am = AnalysisManager(proc)
+    reachable = am.reachable()
+    assert proc.entry in reachable
+    for bid in reachable:
+        for succ in proc.successors(bid):
+            assert succ in reachable
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs())
+def test_analyses_are_idempotent(program):
+    """Repeated queries return the same cached object; fresh managers agree."""
+    am = manager(program)
+    assert am.dominators() is am.dominators()
+    assert am.postdominators() is am.postdominators()
+    assert am.reachable() is am.reachable()
+    fresh = manager(program)
+    assert am.dominators() == fresh.dominators()
+    assert am.postdominators() == fresh.postdominators()
+    assert am.reachable() == fresh.reachable()
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs())
+def test_postdominance_axioms(program):
+    proc = program.procedures["main"]
+    am = AnalysisManager(proc)
+    ipdom = am.postdominators()
+    exits = set(exit_blocks(proc))
+    for bid in exits:
+        if bid in ipdom:
+            assert ipdom[bid] is None, "exit blocks postdominate themselves only"
+    for a in ipdom:
+        # Every postdominator chain ends at an exit block.
+        assert chain(ipdom, a) & exits, f"{a}'s chain never reaches an exit"
+        for b in chain(ipdom, a) - {a}:
+            assert a not in chain(ipdom, b), f"{a}/{b} postdominate each other"
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs())
+def test_loop_headers_dominate_their_bodies(program):
+    am = manager(program)
+    idom = am.dominators()
+    for loop in am.loops():
+        for member in loop.body:
+            assert loop.header in chain(idom, member)
+        for src, dst in loop.back_edges:
+            assert dst == loop.header
+            assert src in loop.body

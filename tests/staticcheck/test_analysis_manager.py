@@ -1,0 +1,57 @@
+"""AnalysisManager: memoisation, defensiveness on corrupted CFGs."""
+
+from repro.profiling import profile_program
+from repro.runner import FaultPlan, parse_fault_spec
+from repro.runner.faults import FaultInjector
+from repro.staticcheck import AnalysisManager, ProgramAnalyses
+from repro.workloads import generate_benchmark
+
+
+def main_proc(name="eqntott", scale=0.05):
+    return generate_benchmark(name, scale).procedures
+
+
+class TestMemoisation:
+    def test_results_are_cached(self):
+        proc = next(iter(main_proc().values()))
+        am = AnalysisManager(proc)
+        assert am.cached_analyses == ()
+        first = am.reachable()
+        assert "reachable" in am.cached_analyses
+        assert am.reachable() is first
+        am.dominators()
+        am.loops()
+        assert set(am.cached_analyses) >= {"reachable", "idom", "loops"}
+
+    def test_program_pool_reuses_managers(self):
+        procs = main_proc()
+        pool = ProgramAnalyses()
+        for proc in procs.values():
+            assert pool.for_procedure(proc) is pool.for_procedure(proc)
+        # Distinct procedures get distinct managers.
+        managers = {id(pool.for_procedure(p)) for p in procs.values()}
+        assert len(managers) == len(procs)
+
+
+class TestDefensiveness:
+    def corrupted_procedures(self):
+        """Both break-cfg corruption modes, straight from the harness."""
+        program = generate_benchmark("eqntott", 0.05)
+        profile = profile_program(program, seed=0)
+        for seed in range(4):
+            plan = FaultPlan(
+                specs=(parse_fault_spec("eqntott:lint:break-cfg"),), seed=seed
+            )
+            broken = FaultInjector(plan).break_cfg("eqntott", 1, program, profile)
+            yield from (p for p in broken.procedures.values())
+
+    def test_analyses_survive_corrupted_cfgs(self):
+        """Dangling edges and duplicated order entries must not crash."""
+        for proc in self.corrupted_procedures():
+            am = AnalysisManager(proc)
+            reachable = am.reachable()
+            assert proc.entry in reachable
+            for bid in reachable:
+                assert bid in proc.blocks, "reachable() never invents blocks"
+            am.unreachable()
+            am.loop_depths()

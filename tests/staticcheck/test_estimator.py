@@ -1,0 +1,119 @@
+"""Static cost estimator: exact on static architectures, close on dynamic.
+
+Behaviours replay deterministically at a fixed seed, so profiled edge
+counts are execution counts — the estimator must therefore reproduce the
+simulator's instruction count and static-architecture penalties exactly,
+and stay within the claim-13 tolerance on the table-driven predictors.
+"""
+
+import pytest
+
+from repro.core import GreedyAligner
+from repro.core.costmodel import stationary_two_bit_rates
+from repro.isa import link, link_identity
+from repro.profiling import profile_program
+from repro.sim.metrics import ALL_ARCHS, STATIC_ARCHS, simulate
+from repro.staticcheck import cross_validate, estimate_costs
+from repro.workloads import generate_benchmark
+
+SCALE = 0.05
+TOLERANCE = 0.10
+
+
+def pipeline(name, align=False):
+    program = generate_benchmark(name, SCALE)
+    profile = profile_program(program, seed=0)
+    if align:
+        linked = link(GreedyAligner().align(program, profile))
+    else:
+        linked = link_identity(program)
+    return linked, profile
+
+
+class TestExactQuantities:
+    @pytest.mark.parametrize("name", ["eqntott", "compress", "alvinn"])
+    def test_instruction_count_is_exact(self, name):
+        linked, profile = pipeline(name)
+        estimate = estimate_costs(linked, profile)
+        report = simulate(linked, profile, seed=0)
+        assert estimate.instructions == report.instructions
+
+    @pytest.mark.parametrize("name", ["eqntott", "compress"])
+    def test_static_archs_are_exact(self, name):
+        linked, profile = pipeline(name)
+        estimate = estimate_costs(linked, profile)
+        report = simulate(linked, profile, seed=0)
+        for arch in STATIC_ARCHS:
+            est = estimate.relative_cpi(arch, report.instructions)
+            sim = report.relative_cpi(arch, report.instructions)
+            assert est == pytest.approx(sim, rel=1e-9), arch
+
+    def test_exactness_survives_alignment(self):
+        """The estimator reads the layout, not the original block order."""
+        linked, profile = pipeline("eqntott", align=True)
+        estimate = estimate_costs(linked, profile)
+        report = simulate(linked, profile, seed=0)
+        assert estimate.instructions == report.instructions
+        for arch in STATIC_ARCHS:
+            est = estimate.relative_cpi(arch, report.instructions)
+            sim = report.relative_cpi(arch, report.instructions)
+            assert est == pytest.approx(sim, rel=1e-9)
+
+
+class TestDynamicAgreement:
+    @pytest.mark.parametrize("name", ["eqntott", "compress", "gcc", "cfront"])
+    def test_all_archs_within_tolerance(self, name):
+        linked, profile = pipeline(name)
+        estimate = estimate_costs(linked, profile)
+        report = simulate(linked, profile, seed=0)
+        agreements = cross_validate(estimate, report)
+        assert {a.name for a in agreements} == set(ALL_ARCHS)
+        for a in agreements:
+            assert a.relative_error <= TOLERANCE, (
+                f"{name}/{a.name}: est {a.estimated_cpi:.4f} vs "
+                f"sim {a.simulated_cpi:.4f}"
+            )
+
+
+class TestStationaryModel:
+    def test_degenerate_probabilities(self):
+        assert stationary_two_bit_rates(0.0) == (0.0, 0.0)
+        assert stationary_two_bit_rates(1.0) == (1.0, 0.0)
+
+    def test_balanced_branch(self):
+        p_taken, mispredict = stationary_two_bit_rates(0.5)
+        assert p_taken == pytest.approx(0.5)
+        assert mispredict == pytest.approx(0.5)
+
+    def test_biased_branch_mispredicts_rarely(self):
+        p_taken, mispredict = stationary_two_bit_rates(0.95)
+        assert p_taken > 0.99
+        assert mispredict < 0.06
+
+    def test_symmetry(self):
+        pt_a, m_a = stationary_two_bit_rates(0.2)
+        pt_b, m_b = stationary_two_bit_rates(0.8)
+        assert pt_a == pytest.approx(1.0 - pt_b)
+        assert m_a == pytest.approx(m_b)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1, 2.0])
+    def test_rejects_out_of_range(self, p):
+        with pytest.raises(ValueError):
+            stationary_two_bit_rates(p)
+
+
+class TestSiteAccounting:
+    def test_every_executed_conditional_becomes_a_site(self):
+        linked, profile = pipeline("eqntott")
+        estimate = estimate_costs(linked, profile)
+        assert estimate.sites
+        for site in estimate.sites:
+            assert site.weight >= 0
+            assert 0.0 <= site.p_taken <= 1.0
+        assert set(estimate.arch) == set(ALL_ARCHS)
+
+    def test_relative_cpi_rejects_bad_baseline(self):
+        linked, profile = pipeline("eqntott")
+        estimate = estimate_costs(linked, profile)
+        with pytest.raises(ValueError):
+            estimate.relative_cpi("likely", 0)

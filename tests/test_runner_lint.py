@@ -1,0 +1,115 @@
+"""Runner/CLI integration of the static lint stage.
+
+The lint stage sits between profiling and alignment: every benchmark's
+CFG and profile are verified before any layout is computed, so a
+corrupted input fails fast as a ValidationError instead of producing
+wrong numbers downstream.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runner import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    RunnerConfig,
+    run_suite_resilient,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0, jitter=0.0)
+ARCHS = ("fallthrough", "btfnt")
+SCALE = 0.02
+WINDOW = 6
+
+
+def lint_plan(benchmark):
+    return FaultPlan((FaultSpec(benchmark, "lint", "break-cfg"),))
+
+
+class TestLintInRunner:
+    def test_clean_run_passes_lint(self):
+        result = run_suite_resilient(
+            ["compress"], scale=SCALE, window=WINDOW, archs=ARCHS,
+            config=RunnerConfig(lint=True),
+        )
+        assert not result.partial
+        assert result.executed == ["compress"]
+
+    def test_break_cfg_is_flagged_as_validation(self):
+        result = run_suite_resilient(
+            ["compress", "eqntott"], scale=SCALE, window=WINDOW, archs=ARCHS,
+            config=RunnerConfig(
+                lint=True, retry=FAST_RETRY, faults=lint_plan("eqntott"),
+            ),
+        )
+        assert result.partial
+        assert [e.name for e in result.results] == ["compress"]
+        failure = result.failures[0]
+        assert failure.benchmark == "eqntott"
+        assert failure.stage == "lint"
+        assert failure.kind == "validation"
+        assert failure.attempts == 1  # lint findings are never retried
+        assert "static lint failed" in failure.message
+        assert "RL0" in failure.message  # the diagnosis names its code
+
+    def test_break_cfg_invisible_without_lint(self):
+        """Without the linter the corruption crashes later or goes unseen."""
+        result = run_suite_resilient(
+            ["compress"], scale=SCALE, window=WINDOW, archs=ARCHS,
+            config=RunnerConfig(lint=False, retry=FAST_RETRY,
+                                faults=lint_plan("compress")),
+        )
+        # The corrupted CFG either survives (unobserved) or fails in a
+        # *later* stage — never in lint, which did not run.
+        for failure in result.failures:
+            assert failure.stage != "lint"
+
+
+class TestLintCli:
+    def test_lint_clean_exits_zero(self, capsys):
+        assert main(["lint", "eqntott", "--scale", str(SCALE)]) == 0
+        out = capsys.readouterr().out
+        assert "passes clean" in out
+
+    def test_lint_break_cfg_exits_nonzero(self, capsys):
+        code = main([
+            "lint", "eqntott", "--scale", str(SCALE),
+            "--inject", "eqntott:lint:break-cfg",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_lint_json_is_machine_readable(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        assert main([
+            "lint", "eqntott", "--scale", str(SCALE), "--json",
+            "-o", str(out_file),
+        ]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["schema"] == 1
+        assert payload["summary"]["ok"] is True
+
+    def test_table3_rejects_break_cfg_without_lint(self, capsys):
+        code = main([
+            "table3", "--benchmarks", "eqntott", "--scale", str(SCALE),
+            "--inject", "eqntott:lint:break-cfg",
+        ])
+        assert code == 2  # usage error, mirroring --oracle/--store guards
+        assert "--lint" in capsys.readouterr().err
+
+    def test_table3_break_cfg_with_lint_is_partial(self, capsys):
+        code = main([
+            "table3", "--benchmarks", "eqntott", "--scale", str(SCALE),
+            "--lint", "--inject", "eqntott:lint:break-cfg",
+        ])
+        assert code == 3  # degraded run: the lint failure is reported
+
+    def test_doctor_lint_reports_per_pass(self, capsys):
+        assert main(["doctor", "eqntott", "--lint", "--scale", str(SCALE)]) == 0
+        out = capsys.readouterr().out
+        assert "lint:cfg-unique-blocks" in out
+        assert "invariants hold" in out
