@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Standalone pipeline benchmark: replay engine vs legacy execute.
+
+Equivalent to ``python -m repro bench``; kept as a plain script so it
+can be pointed at a source checkout without installing the package:
+
+    PYTHONPATH=src python benchmarks/perf/bench_pipeline.py [--quick]
+
+Writes ``BENCH_PR4.json`` to the current directory (override with
+``--output``) and exits non-zero if the replay engine is slower than
+the legacy engine or produces different results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one benchmark, one repeat (CI smoke mode)")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--window", type=int, default=15)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--trace-cache", metavar="DIR", default=None,
+                        help="reuse a persistent trace cache directory")
+    parser.add_argument("-o", "--output", default="BENCH_PR4.json")
+    args = parser.parse_args(argv)
+
+    from repro.analysis.bench import (
+        BENCH_BENCHMARKS,
+        QUICK_BENCHMARKS,
+        bench_pipeline,
+        render_bench,
+        write_bench_json,
+    )
+
+    benchmarks = QUICK_BENCHMARKS if args.quick else BENCH_BENCHMARKS
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    report = bench_pipeline(
+        benchmarks=benchmarks,
+        scale=args.scale,
+        seed=args.seed,
+        window=args.window,
+        repeats=repeats,
+        trace_cache=args.trace_cache,
+    )
+    path = write_bench_json(report, args.output)
+    print(render_bench(report))
+    print(f"wrote {path}")
+    return 0 if report["replay_not_slower"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Pipeline benchmark: the trace-once/replay-many engine vs legacy.
+
+Times :func:`repro.analysis.experiment.run_suite_experiment` end to end
+under three engine configurations —
+
+* ``execute`` — the legacy path: every aligned layout re-executes the
+  workload (8 full executions per benchmark unit);
+* ``replay-cold`` — the replay engine with no trace cache: one capture
+  per unit, then 8 cheap replays;
+* ``replay-warm`` — the replay engine with a populated on-disk trace
+  cache: zero captures, 8 replays per unit —
+
+and reports the warm-cache speedup the PR claims.  Before timing, the
+legacy and replayed experiment results are compared for equality, so the
+speedup number can never come from a wrong answer.
+
+``python -m repro bench`` runs this and writes ``BENCH_PR4.json``;
+``benchmarks/perf/bench_pipeline.py`` is the standalone entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: Default benchmark subset: integer-heavy, loop-heavy and call-heavy
+#: programs keep the run short while exercising every step kind.
+BENCH_BENCHMARKS = ("eqntott", "compress", "sc")
+QUICK_BENCHMARKS = ("eqntott",)
+
+
+def _time_best(fn, repeats: int) -> float:
+    """Best-of-N wall-clock seconds (min is the least noisy estimator)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_pipeline(
+    benchmarks: Sequence[str] = BENCH_BENCHMARKS,
+    scale: float = 0.25,
+    seed: int = 0,
+    window: int = 15,
+    repeats: int = 3,
+    trace_cache: Optional[str] = None,
+) -> Dict[str, object]:
+    """Measure execute vs replay suite time; returns the report dict."""
+    from ..runner import RunnerConfig
+    from .experiment import run_suite_experiment
+
+    names = list(benchmarks)
+
+    def run(engine: str, cache: Optional[str]) -> List[object]:
+        config = RunnerConfig(fail_fast=True, engine=engine, trace_cache=cache)
+        return run_suite_experiment(
+            names, scale=scale, seed=seed, window=window, runner=config
+        )
+
+    with tempfile.TemporaryDirectory() as fallback_cache:
+        cache = trace_cache if trace_cache is not None else fallback_cache
+
+        # Correctness gate first: the timed configurations must agree.
+        legacy = run("execute", None)
+        replayed = run("replay", cache)  # also warms the trace cache
+        results_identical = legacy == replayed
+
+        execute_s = _time_best(lambda: run("execute", None), repeats)
+        replay_cold_s = _time_best(lambda: run("replay", None), repeats)
+        replay_warm_s = _time_best(lambda: run("replay", cache), repeats)
+
+    speedup_warm = execute_s / replay_warm_s if replay_warm_s > 0 else float("inf")
+    speedup_cold = execute_s / replay_cold_s if replay_cold_s > 0 else float("inf")
+    return {
+        "benchmark": "run_suite_experiment",
+        "benchmarks": names,
+        "scale": scale,
+        "seed": seed,
+        "window": window,
+        "repeats": repeats,
+        "results_identical": results_identical,
+        "execute_seconds": round(execute_s, 4),
+        "replay_cold_seconds": round(replay_cold_s, 4),
+        "replay_warm_seconds": round(replay_warm_s, 4),
+        "speedup_cold": round(speedup_cold, 2),
+        "speedup_warm": round(speedup_warm, 2),
+        "replay_not_slower": speedup_warm >= 1.0 and results_identical,
+    }
+
+
+def render_bench(report: Dict[str, object]) -> str:
+    """Human-readable summary of one bench report."""
+    lines = [
+        f"suite: {', '.join(report['benchmarks'])} @ scale "
+        f"{report['scale']:g} (best of {report['repeats']})",
+        f"{'engine':<16}{'seconds':>10}{'speedup':>10}",
+        f"{'execute':<16}{report['execute_seconds']:>10.3f}{'1.00x':>10}",
+        f"{'replay (cold)':<16}{report['replay_cold_seconds']:>10.3f}"
+        f"{str(report['speedup_cold']) + 'x':>10}",
+        f"{'replay (warm)':<16}{report['replay_warm_seconds']:>10.3f}"
+        f"{str(report['speedup_warm']) + 'x':>10}",
+        "results identical: " + ("yes" if report["results_identical"] else "NO"),
+    ]
+    return "\n".join(lines)
+
+
+def write_bench_json(report: Dict[str, object], path) -> Path:
+    """Persist one bench report (the ``BENCH_PR4.json`` artifact)."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path

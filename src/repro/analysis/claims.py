@@ -31,6 +31,10 @@ DEFAULT_BENCHMARKS = (
 #: exercising inversions, inserted jumps and removed branches.
 ORACLE_BENCHMARKS = ("eqntott", "compress")
 
+#: Benchmarks whose replayed simulation reports are compared bit for bit
+#: against fresh executions (the trace-once/replay-many exactness claim).
+REPLAY_BENCHMARKS = ("eqntott", "compress")
+
 
 @dataclass
 class ClaimResult:
@@ -50,6 +54,9 @@ class _Context:
     oracle_reports: Dict[str, list] = field(default_factory=dict)
     #: Per-benchmark estimator agreements: name -> List[ArchAgreement].
     estimator_agreements: Dict[str, list] = field(default_factory=dict)
+    #: Per-benchmark replay-vs-execute comparisons:
+    #: name -> List[(layout label, reports identical?, arch count)].
+    replay_checks: Dict[str, list] = field(default_factory=dict)
 
     def avg(self, aligner: str, arch: str) -> float:
         cells = [e.cell(aligner, arch).relative_cpi for e in self.experiments]
@@ -254,6 +261,36 @@ def _check_static_estimator(ctx: _Context) -> ClaimResult:
     )
 
 
+def _check_replay_equivalence(ctx: _Context) -> ClaimResult:
+    """The replay engine is exact, not approximate: bit-identical reports."""
+    checks = [
+        (name, label, identical, archs)
+        for name, rows in ctx.replay_checks.items()
+        for label, identical, archs in rows
+    ]
+    failed = [(n, label) for n, label, identical, _ in checks if not identical]
+    ok = bool(checks) and not failed
+    if failed:
+        detail = (
+            f"{len(checks) - len(failed)}/{len(checks)} layouts identical; "
+            f"first divergence {failed[0][0]}/{failed[0][1]}"
+        )
+    else:
+        archs = checks[0][3] if checks else 0
+        detail = (
+            f"{len(checks)} layouts over {', '.join(ctx.replay_checks)} — "
+            f"replayed SimulationReports bit-identical to fresh executions "
+            f"on all {archs} architectures"
+        )
+    return ClaimResult(
+        "replay-matches-execute",
+        "[methodology] one captured decision trace replayed through every "
+        "aligned layout reproduces the per-architecture trace-driven "
+        "simulation exactly",
+        ok, detail,
+    )
+
+
 CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_static_help,
     _check_static_ordering,
@@ -268,6 +305,7 @@ CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_figure4,
     _check_oracle_isomorphism,
     _check_static_estimator,
+    _check_replay_equivalence,
 )
 
 
@@ -293,11 +331,17 @@ def verify_claims(
         name: _estimator_agreements(name, scale=scale, seed=seed)
         for name in benchmarks
     }
+    replay_checks = {
+        name: _replay_checks(name, scale=scale, seed=seed, window=window)
+        for name in REPLAY_BENCHMARKS
+        if name in benchmarks
+    }
     ctx = _Context(
         experiments=experiments,
         figure4_rows=figure4_rows,
         oracle_reports=oracle_reports,
         estimator_agreements=estimator_agreements,
+        replay_checks=replay_checks,
     )
     return [check(ctx) for check in CHECKS]
 
@@ -315,19 +359,48 @@ def _oracle_reports(name: str, scale: float, seed: int, window: int) -> list:
 
 
 def _estimator_agreements(name: str, scale: float, seed: int) -> list:
-    """Cross-validate the static estimator against the simulator."""
+    """Cross-validate the static estimator against the simulator.
+
+    The simulated side comes from the replay engine: the estimator's
+    profile and the simulator's counts now derive from the *same*
+    captured decision trace, so a disagreement is the estimator's, never
+    sampling noise between two executions.
+    """
     from ..isa import link_identity
-    from ..profiling import profile_program
+    from ..sim.decisions import capture_decisions
     from ..sim.metrics import simulate
     from ..staticcheck import cross_validate, estimate_costs
     from ..workloads import generate_benchmark
 
     program = generate_benchmark(name, scale)
-    profile = profile_program(program, seed=seed)
+    trace = capture_decisions(program, seed=seed, workload=name, scale=scale)
+    profile = trace.edge_profile(program)
     linked = link_identity(program)
     estimate = estimate_costs(linked, profile)
-    report = simulate(linked, profile, seed=seed)
+    report = simulate(linked, profile, seed=seed, trace=trace, engine="replay")
     return cross_validate(estimate, report)
+
+
+def _replay_checks(name: str, scale: float, seed: int, window: int) -> list:
+    """Compare replayed vs freshly-executed reports on every layout."""
+    from ..isa import link, link_identity
+    from ..oracle import alignment_layouts
+    from ..sim.decisions import capture_decisions
+    from ..sim.metrics import simulate
+    from ..workloads import generate_benchmark
+
+    program = generate_benchmark(name, scale)
+    trace = capture_decisions(program, seed=seed, workload=name, scale=scale)
+    profile = trace.edge_profile(program)
+    linked_images = {"orig": link_identity(program)}
+    for label, layout in alignment_layouts(program, profile, window=window).items():
+        linked_images[label] = link(layout)
+    rows = []
+    for label, linked in linked_images.items():
+        replayed = simulate(linked, profile, seed=seed, trace=trace, engine="replay")
+        executed = simulate(linked, profile, seed=seed, engine="execute")
+        rows.append((label, replayed == executed, len(replayed.arch)))
+    return rows
 
 
 def render_claims(results: Sequence[ClaimResult]) -> str:

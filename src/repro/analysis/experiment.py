@@ -24,6 +24,7 @@ from ..cfg import Program
 from ..core import GreedyAligner, OriginalAligner, TryNAligner, make_model
 from ..isa.encoder import LinkedProgram, link, link_identity
 from ..profiling import EdgeProfile, profile_program
+from ..sim.decisions import DecisionTrace, load_or_capture
 from ..sim.metrics import ALL_ARCHS, SimulationReport, simulate
 from ..sim.predictors import (
     BTBSim,
@@ -127,6 +128,10 @@ def run_benchmark_experiment(
     archs: Sequence[str] = ALL_ARCHS,
     profile: Optional[EdgeProfile] = None,
     validate: bool = False,
+    engine: str = "replay",
+    trace: Optional[DecisionTrace] = None,
+    trace_store: Optional[object] = None,
+    replay_check: Optional[bool] = None,
 ) -> BenchmarkExperiment:
     """Run the full Tables 3/4 methodology for one benchmark.
 
@@ -138,6 +143,15 @@ def run_benchmark_experiment(
     checks of :mod:`repro.runner.validate` at every stage boundary:
     profile flow conservation on entry, layout-permutation and
     address-coverage checks after each align+link.
+
+    With the default ``engine="replay"`` the workload's decisions are
+    captured **once** (or loaded from ``trace_store``/``trace``) and
+    replayed through every layout — 8 aligned binaries cost one
+    execution.  The edge profile then comes straight from the trace (bit
+    for bit what a profiling run records).  ``engine="execute"`` keeps
+    the legacy one-execution-per-layout path for one release;
+    ``replay_check`` (or ``REPRO_REPLAY_CHECK=1``) runs both and asserts
+    identical reports.
     """
     if program is None:
         program = generate_benchmark(name, scale)
@@ -145,7 +159,14 @@ def run_benchmark_experiment(
     else:
         category = SUITE[name].category if name in SUITE else "custom"
     archs = tuple(archs)
-    if profile is None:
+    if engine == "replay":
+        if trace is None:
+            trace, _ = load_or_capture(
+                trace_store, program, workload=name, scale=scale, seed=seed
+            )
+        if profile is None:
+            profile = trace.edge_profile(program)
+    elif profile is None:
         profile = profile_program(program, seed=seed)
 
     if validate:
@@ -169,7 +190,13 @@ def run_benchmark_experiment(
     # --- original layout -------------------------------------------------
     orig_linked = link_identity(program)
     orig_report = simulate(
-        orig_linked, profile, archs=make_arch_sims(archs, orig_linked, profile), seed=seed
+        orig_linked,
+        profile,
+        archs=make_arch_sims(archs, orig_linked, profile),
+        seed=seed,
+        trace=trace,
+        engine=engine,
+        replay_check=replay_check,
     )
     base = orig_report.instructions
     experiment.original_instructions = base
@@ -182,7 +209,13 @@ def run_benchmark_experiment(
         layout = GreedyAligner(chain_order="weight").align(program, profile)
         linked = checked_link(layout)
         report = simulate(
-            linked, profile, archs=make_arch_sims(greedy_archs, linked, profile), seed=seed
+            linked,
+            profile,
+            archs=make_arch_sims(greedy_archs, linked, profile),
+            seed=seed,
+            trace=trace,
+            engine=engine,
+            replay_check=replay_check,
         )
         experiment.outcomes["greedy"].update(
             _report_outcomes(report, greedy_archs, base)
@@ -191,7 +224,13 @@ def run_benchmark_experiment(
         layout = GreedyAligner(chain_order="btfnt").align(program, profile)
         linked = checked_link(layout)
         report = simulate(
-            linked, profile, archs=make_arch_sims(("btfnt",), linked, profile), seed=seed
+            linked,
+            profile,
+            archs=make_arch_sims(("btfnt",), linked, profile),
+            seed=seed,
+            trace=trace,
+            engine=engine,
+            replay_check=replay_check,
         )
         experiment.outcomes["greedy"].update(
             _report_outcomes(report, ("btfnt",), base)
@@ -209,7 +248,13 @@ def run_benchmark_experiment(
         layout = aligner.align(program, profile)
         linked = checked_link(layout)
         report = simulate(
-            linked, profile, archs=make_arch_sims(wanted, linked, profile), seed=seed
+            linked,
+            profile,
+            archs=make_arch_sims(wanted, linked, profile),
+            seed=seed,
+            trace=trace,
+            engine=engine,
+            replay_check=replay_check,
         )
         experiment.outcomes["try15"].update(_report_outcomes(report, wanted, base))
 

@@ -13,9 +13,17 @@ Gives the library's main workflows a shell entry point:
   over a benchmark's CFG, profile and layouts; ``--estimate`` adds the
   trace-free branch-cost estimate cross-validated against the simulator;
 * ``doctor`` — run the pipeline invariant checks standalone, audit /
-  repair an artifact store (``--store DIR [--repair]``), or lint every
+  repair an artifact store (``--store DIR [--repair]``; cached decision
+  traces are decoded and stale/corrupt entries flagged), or lint every
   registered workload (``--lint``);
+* ``bench`` — time the trace-once/replay-many engine against the legacy
+  execute-per-layout engine and write ``BENCH_PR4.json``;
 * ``dot`` — emit a procedure's control-flow graph in Graphviz format.
+
+Suite commands run on the replay engine by default; ``--engine
+execute`` restores the legacy path, ``--replay-check`` differentially
+checks every replay against a fresh execution, and ``--trace-cache
+DIR`` persists captured decision traces across runs.
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 partial
 suite results (some benchmarks failed; see the failure table).
@@ -138,6 +146,13 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
             raise UsageError(
                 "break-cfg faults are only observable by the linter; add --lint"
             )
+        if any(s.kind == "corrupt-trace" for s in specs) and not getattr(
+            args, "trace_cache", None
+        ):
+            raise UsageError(
+                "corrupt-trace faults corrupt the on-disk trace cache; "
+                "add --trace-cache DIR"
+            )
     if args.retries < 1:
         raise UsageError("--retries must be >= 1")
     if args.workers < 1:
@@ -157,6 +172,9 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
         oracle=args.oracle,
         lint=args.lint,
         store=args.store,
+        engine=getattr(args, "engine", "replay"),
+        replay_check=getattr(args, "replay_check", False),
+        trace_cache=getattr(args, "trace_cache", None),
     )
 
 
@@ -294,19 +312,60 @@ def cmd_figure4(args: argparse.Namespace) -> int:
     return _finish_suite(result, len(selected), args, text)
 
 
+def _bad_traces(store: ArtifactStore) -> dict:
+    """Cached decision traces that fail to decode, with the reason.
+
+    Checksum-intact entries can still be unusable: written by an older
+    trace schema or ISA encoding (stale fingerprint) or semantically
+    malformed.  The runner re-captures those transparently; doctor
+    surfaces them, ``--repair`` sweeps them out.
+    """
+    from .runner.store import ArtifactCorruptError as _Corrupt
+    from .sim.decisions import TraceDecodeError, is_trace_key, validate_payload
+
+    bad = {}
+    for key in store.keys():
+        if not is_trace_key(key):
+            continue
+        try:
+            validate_payload(store.load(key), key)
+        except TraceDecodeError as exc:
+            bad[key] = exc.reason
+        except _Corrupt as exc:
+            bad[key] = exc.reason
+    return bad
+
+
 def _doctor_store(args: argparse.Namespace) -> int:
     """Audit (and with ``--repair`` fix) an artifact store's integrity."""
     store = ArtifactStore(args.store)
     if args.repair:
+        stale = _bad_traces(store)
+        for key in stale:
+            store.quarantine(key)
         report = store.repair()
-        _write(report.render(), args.output)
+        lines = [report.render()]
+        if stale:
+            lines.append(
+                f"{len(stale)} stale/corrupt cached trace(s) quarantined: "
+                + ", ".join(f"{key} ({reason})" for key, reason in stale.items())
+            )
+        _write("\n".join(lines), args.output)
         return EXIT_OK
     verdicts = store.verify_all()
+    stale = _bad_traces(store)
     lines = []
     for key, error in verdicts.items():
-        status = "PASS" if error is None else f"FAIL ({error.reason})"
+        if error is not None:
+            status = f"FAIL ({error.reason})"
+        elif key in stale:
+            status = f"FAIL ({stale[key]})"
+        else:
+            status = "PASS"
         lines.append(f"{status:<24}  {key}")
-    corrupt = sum(1 for e in verdicts.values() if e is not None)
+    corrupt = sum(1 for e in verdicts.values() if e is not None) + len(
+        [k for k in stale if verdicts.get(k) is None]
+    )
     lines.append(
         f"{len(verdicts) - corrupt}/{len(verdicts)} artifacts intact"
         + (f" — rerun with --repair to quarantine {corrupt}" if corrupt else "")
@@ -565,6 +624,36 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time the replay engine against the legacy engine (BENCH_PR4.json)."""
+    from .analysis.bench import (
+        BENCH_BENCHMARKS,
+        QUICK_BENCHMARKS,
+        bench_pipeline,
+        render_bench,
+        write_bench_json,
+    )
+
+    names = _benchmark_list(args.benchmarks)
+    if names is None:
+        names = list(QUICK_BENCHMARKS if args.quick else BENCH_BENCHMARKS)
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    if repeats < 1:
+        raise UsageError("--repeats must be >= 1")
+    report = bench_pipeline(
+        benchmarks=names,
+        scale=args.scale,
+        seed=args.seed,
+        window=args.window,
+        repeats=repeats,
+        trace_cache=args.trace_cache,
+    )
+    path = write_bench_json(report, args.json_output)
+    print(render_bench(report))
+    print(f"wrote {path}")
+    return EXIT_OK if report["replay_not_slower"] else EXIT_RUNTIME
+
+
 def cmd_dot(args: argparse.Namespace) -> int:
     program = _workload(args)
     if args.procedure not in program:
@@ -688,6 +777,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist results to a crash-safe checksummed "
                             "artifact store (corrupt artifacts are "
                             "quarantined and re-run on --resume)")
+        g.add_argument("--engine", choices=("replay", "execute"),
+                       default="replay",
+                       help="simulation engine: 'replay' captures each "
+                            "workload's decision trace once and replays it "
+                            "through every layout (default); 'execute' is "
+                            "the legacy one-execution-per-layout path")
+        g.add_argument("--replay-check", action="store_true",
+                       help="differentially check every replay against a "
+                            "fresh execution (slow; reports must be "
+                            "bit-identical)")
+        g.add_argument("--trace-cache", metavar="DIR",
+                       help="cache captured decision traces on disk, keyed "
+                            "by (workload, scale, seed) fingerprint; "
+                            "corrupt or stale entries are quarantined and "
+                            "re-captured transparently")
 
     for name, func, window in (
         ("table2", cmd_table2, False),
@@ -746,6 +850,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero when any claim fails")
     common(p, window=True)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the replay engine vs the legacy execute engine and "
+             "write BENCH_PR4.json (non-zero exit if replay is slower "
+             "or results diverge)",
+    )
+    p.add_argument("--benchmarks", help="comma-separated subset")
+    p.add_argument("--quick", action="store_true",
+                   help="one benchmark, one repeat (CI smoke mode)")
+    p.add_argument("--repeats", type=int, default=None, metavar="N",
+                   help="timing repeats, best-of (default 3; 1 with --quick)")
+    p.add_argument("--trace-cache", metavar="DIR",
+                   help="persistent trace cache (default: a temp dir "
+                        "warmed in-run)")
+    p.add_argument("--json-output", default="BENCH_PR4.json", metavar="PATH",
+                   help="where to write the JSON report (default "
+                        "BENCH_PR4.json)")
+    common(p, window=True)
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("dot", help="emit a procedure's CFG as Graphviz")
     p.add_argument("benchmark")

@@ -83,6 +83,7 @@ def capture_trace(
     seed: int = 0,
     max_events: Optional[int] = None,
     trail: bool = True,
+    decisions=None,
 ) -> TraceCapture:
     """Execute ``linked`` and record its semantic trace.
 
@@ -90,16 +91,34 @@ def capture_trace(
     program under different layouts are directly comparable.  ``trail``
     keeps the ordered edge sequence; disable it for aligned-side captures
     where only counts and outcomes are compared (halves the memory).
+
+    ``decisions`` replays a captured
+    :class:`~repro.sim.decisions.DecisionTrace` through ``linked``
+    instead of re-executing: one real execution then serves the baseline
+    and every aligned layout (``seed`` is ignored — the trace already
+    fixes the inputs).
     """
     listener = _CaptureListener(linked, trail=trail)
-    result = execute(
-        linked,
-        listeners=(listener,),
-        profile_hook=listener.hook,
-        block_hook=listener.on_block,
-        seed=seed,
-        max_events=max_events,
-    )
+    if decisions is not None:
+        from ..sim.replay import replay
+
+        result = replay(
+            linked,
+            decisions,
+            listeners=(listener,),
+            profile_hook=listener.hook,
+            block_hook=listener.on_block,
+            max_events=max_events,
+        )
+    else:
+        result = execute(
+            linked,
+            listeners=(listener,),
+            profile_hook=listener.hook,
+            block_hook=listener.on_block,
+            seed=seed,
+            max_events=max_events,
+        )
     listener.capture.instructions = result.instructions
     listener.capture.events = result.events
     return listener.capture

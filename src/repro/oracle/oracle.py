@@ -389,20 +389,26 @@ def verify_layout(
     label: str = "aligned",
     baseline: Optional[TraceCapture] = None,
     max_events: Optional[int] = None,
+    decisions=None,
 ) -> OracleReport:
     """Differentially verify one aligned layout against the original.
 
     ``baseline`` lets callers capture the original trace once and verify
     many layouts against it; ``profile`` must be the edge profile the
     aligner consumed (collected on the original binary with ``seed``).
+    ``decisions`` (a :class:`~repro.sim.decisions.DecisionTrace`) replays
+    the shared decision stream through both images instead of
+    re-executing each one.
     """
     if baseline is None:
         baseline = capture_trace(
-            link_identity(program), seed=seed, max_events=max_events
+            link_identity(program), seed=seed, max_events=max_events,
+            decisions=decisions,
         )
     aligned_linked = link(layout)
     aligned = capture_trace(
-        aligned_linked, seed=seed, max_events=max_events, trail=False
+        aligned_linked, seed=seed, max_events=max_events, trail=False,
+        decisions=decisions,
     )
     lowered = _LoweredView(aligned_linked)
 
@@ -451,13 +457,28 @@ def verify_alignments(
     layouts: Dict[str, ProgramLayout],
     seed: int = 0,
     max_events: Optional[int] = None,
+    decisions=None,
 ) -> List[OracleReport]:
-    """Verify several labelled layouts against one shared baseline."""
-    baseline = capture_trace(link_identity(program), seed=seed, max_events=max_events)
+    """Verify several labelled layouts against one shared baseline.
+
+    The program executes exactly once: its decision trace is captured
+    (unless ``decisions`` hands one in) and replayed to produce the
+    baseline capture *and* every aligned capture — N layouts cost one
+    execution, and baseline/aligned comparability is by construction.
+    """
+    if decisions is None:
+        from ..sim.decisions import capture_decisions
+
+        decisions = capture_decisions(program, seed=seed)
+    baseline = capture_trace(
+        link_identity(program), seed=seed, max_events=max_events,
+        decisions=decisions,
+    )
     return [
         verify_layout(
             program, profile, layout,
             seed=seed, label=label, baseline=baseline, max_events=max_events,
+            decisions=decisions,
         )
         for label, layout in layouts.items()
     ]

@@ -1,5 +1,6 @@
 """Profile collection (the ATOM substitute)."""
 
+from .condmix import CondMix, CondMixListener
 from .edge_profile import EdgeProfile
 from .profiler import profile_program, profile_program_with_result
 from .storage import (
@@ -14,6 +15,8 @@ from .storage import (
 )
 
 __all__ = [
+    "CondMix",
+    "CondMixListener",
     "EdgeProfile",
     "FORMAT_VERSION",
     "ProfileCorruptError",

@@ -1,0 +1,67 @@
+"""The shared conditional-mix helper (taken vs fall-through counts).
+
+Both the simulator (counting conditionals in a live event stream) and
+the profile layer (querying recorded edge weights) need the same tiny
+abstraction: a (taken, fall-through) pair with derived totals.  This
+module is that single definition; :meth:`EdgeProfile.cond_mix` returns
+one and :class:`CondMixListener` accumulates one, replacing the two
+private implementations that used to live in ``sim/metrics.py`` and
+``profiling/edge_profile.py``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: Event-kind code of a conditional branch.  Mirrors
+#: :data:`repro.sim.trace.COND`; hardcoded here because the profiling
+#: layer must not import the sim layer (profiler -> sim -> profiling
+#: would cycle).  :mod:`repro.sim.trace` asserts the two stay equal.
+COND_KIND = 0
+
+
+class CondMix(NamedTuple):
+    """Execution counts of a conditional: taken vs fall-through.
+
+    A ``NamedTuple`` so existing ``taken, fall = ...`` unpacking keeps
+    working wherever a plain pair used to be returned.
+    """
+
+    taken: int
+    fall: int
+
+    @property
+    def executed(self) -> int:
+        """Total executions of the conditional."""
+        return self.taken + self.fall
+
+    @property
+    def taken_fraction(self) -> float:
+        """Taken fraction, 0.0 for a never-executed conditional."""
+        executed = self.executed
+        return self.taken / executed if executed else 0.0
+
+
+class CondMixListener:
+    """Event listener counting executed/taken conditional branches."""
+
+    def __init__(self) -> None:
+        self.taken = 0
+        self.fall = 0
+
+    def on_event(self, event) -> None:
+        """Count one event if it is a conditional branch."""
+        if event[0] == COND_KIND:
+            if event[3]:
+                self.taken += 1
+            else:
+                self.fall += 1
+
+    @property
+    def executed(self) -> int:
+        return self.taken + self.fall
+
+    @property
+    def mix(self) -> CondMix:
+        """The accumulated counts as a :class:`CondMix`."""
+        return CondMix(self.taken, self.fall)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Tuple
 
 from ..cfg import BlockId, EdgeKind, Procedure, Program, TerminatorKind
+from .condmix import CondMix
 
 EdgeKey = Tuple[BlockId, BlockId]
 
@@ -86,12 +87,14 @@ class EdgeProfile:
             return sum(counts.get((bid, e.dst), 0) for e in proc.out_edges(bid))
         return sum(counts.get((e.src, bid), 0) for e in proc.in_edges(bid))
 
-    def cond_mix(self, proc: Procedure, bid: BlockId) -> Tuple[int, int]:
+    def cond_mix(self, proc: Procedure, bid: BlockId) -> CondMix:
         """(taken, fall-through) execution counts of a conditional block.
 
         Weights are keyed by the *original* edge roles, independent of any
         later layout inversion; raises :class:`ValueError` for blocks that
         are not conditionals (they have no taken/fall-through pair).
+        Returns a :class:`~repro.profiling.condmix.CondMix` (a named
+        tuple, so ``taken, fall = ...`` unpacking still works).
         """
         block = proc.block(bid)
         if block.kind is not TerminatorKind.COND:
@@ -101,7 +104,7 @@ class EdgeProfile:
         taken = proc.taken_edge(bid)
         fall = proc.fallthrough_edge(bid)
         assert taken is not None and fall is not None
-        return (
+        return CondMix(
             self.weight(proc.name, bid, taken.dst),
             self.weight(proc.name, bid, fall.dst),
         )

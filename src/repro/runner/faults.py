@@ -25,7 +25,11 @@ fully seeded so every injected failure reproduces exactly:
   order, modelling a broken CFG builder (``repro lint`` must catch it);
 * ``corrupt-artifact`` (stage ``store``) — garble a persisted result
   file after it was written, modelling bit rot / torn writes (the
-  artifact store's checksums must catch it).
+  artifact store's checksums must catch it);
+* ``corrupt-trace`` (stage ``trace``) — garble a cached decision trace
+  after it was written, modelling bit rot in the trace cache (the
+  runner must quarantine it and transparently re-capture — a corrupt
+  cache may cost time, never correctness).
 
 A plan is a picklable value, so it travels into worker subprocesses
 unchanged, and the CLI accepts specs as ``benchmark:stage:kind[:times]``.
@@ -45,11 +49,12 @@ from ..isa.layout import ProcedureLayout, ProgramLayout
 from ..profiling.edge_profile import EdgeProfile
 from .errors import FatalError, TransientError, annotate_stage
 
-#: Stage names at which faults can fire, in pipeline order.  ``lint``
-#: fires between profiling and alignment; ``layout`` fires between
-#: alignment and the oracle; ``store`` fires after a unit's artifact is
-#: persisted.
-STAGES = ("generate", "profile", "lint", "align", "simulate", "layout", "store")
+#: Stage names at which faults can fire, in pipeline order.  ``trace``
+#: fires between generation and profiling (the decision-trace capture);
+#: ``lint`` fires between profiling and alignment; ``layout`` fires
+#: between alignment and the oracle; ``store`` fires after a unit's
+#: artifact is persisted.
+STAGES = ("generate", "trace", "profile", "lint", "align", "simulate", "layout", "store")
 KINDS = (
     "crash",
     "hard-crash",
@@ -60,6 +65,7 @@ KINDS = (
     "flip-sense",
     "mutate-layout",
     "corrupt-artifact",
+    "corrupt-trace",
 )
 
 #: Kinds that corrupt data in-flight instead of raising at a stage
@@ -70,6 +76,7 @@ DATA_FAULT_KINDS = (
     "flip-sense",
     "mutate-layout",
     "corrupt-artifact",
+    "corrupt-trace",
 )
 
 #: Exit status used by ``hard-crash`` so tests can recognise it.
@@ -271,6 +278,25 @@ class FaultInjector:
         """
         spec = self._active("store", benchmark, attempt)
         if spec is None or spec.kind != "corrupt-artifact":
+            return False
+        path = Path(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2] + b"\x00<injected-corruption>")
+        return True
+
+    def corrupt_trace(
+        self, benchmark: str, attempt: int, path: Union[str, Path]
+    ) -> bool:
+        """Apply any scheduled ``corrupt-trace`` fault to a cached trace.
+
+        Same torn-write-plus-bit-rot damage as ``corrupt-artifact``, but
+        aimed at the decision-trace cache *after* the trace was
+        persisted: the runner's next load must fail integrity checking,
+        quarantine the entry and re-capture transparently.  Returns
+        whether the fault fired.
+        """
+        spec = self._active("trace", benchmark, attempt)
+        if spec is None or spec.kind != "corrupt-trace":
             return False
         path = Path(path)
         data = path.read_bytes()

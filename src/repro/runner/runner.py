@@ -55,6 +55,7 @@ from ..analysis.experiment import (
 from ..analysis.figure4 import Figure4Row, run_figure4_program
 from ..profiling import profile_program
 from ..sim.alpha import AlphaConfig
+from ..sim.decisions import load_or_capture, trace_fingerprint, trace_key
 from ..sim.metrics import ALL_ARCHS
 from ..workloads import SUITE, FIGURE4_PROGRAMS, generate_benchmark
 from .checkpoint import CheckpointJournal, config_fingerprint
@@ -116,6 +117,16 @@ class RunnerConfig:
     lint: bool = False
     #: Directory of the crash-safe artifact store (None disables it).
     store: Optional[Union[str, Path]] = None
+    #: Simulation engine: ``"replay"`` captures each workload's decision
+    #: trace once and replays it through every aligned layout;
+    #: ``"execute"`` keeps the legacy one-execution-per-layout path.
+    engine: str = "replay"
+    #: Differentially check every replay against a fresh execution
+    #: (slow; equivalent to ``REPRO_REPLAY_CHECK=1``).
+    replay_check: bool = False
+    #: Directory of the decision-trace cache (None captures in memory,
+    #: once per unit, with no cross-run reuse).
+    trace_cache: Optional[Union[str, Path]] = None
 
 
 @dataclass
@@ -194,6 +205,9 @@ class UnitTask:
     alpha_config: Optional[AlphaConfig] = None
     oracle: bool = False
     lint: bool = False
+    engine: str = "replay"
+    replay_check: bool = False
+    trace_cache: Optional[Union[str, Path]] = None
 
 
 @contextmanager
@@ -221,8 +235,37 @@ def execute_unit(task: UnitTask) -> dict:
         injector.fire("generate", name, attempt)
         program = generate_benchmark(name, task.scale)
 
+    trace = None
+    if task.kind == "experiment" and task.engine == "replay":
+        with _stage("trace"):
+            trace_store = (
+                ArtifactStore(task.trace_cache)
+                if task.trace_cache is not None
+                else None
+            )
+            trace, _hit = load_or_capture(
+                trace_store, program, workload=name, scale=task.scale, seed=task.seed
+            )
+            if trace_store is not None:
+                key = trace_key(name, trace_fingerprint(name, task.scale, task.seed))
+                if injector.corrupt_trace(name, attempt, trace_store.path_for(key)):
+                    # A corrupt cache entry may cost a re-capture, never
+                    # correctness: the reload must quarantine the damaged
+                    # bytes and transparently capture a fresh trace.
+                    trace, _hit = load_or_capture(
+                        trace_store,
+                        program,
+                        workload=name,
+                        scale=task.scale,
+                        seed=task.seed,
+                    )
+            injector.fire("trace", name, attempt)
+
     with _stage("profile"):
-        profile = profile_program(program, seed=task.seed)
+        if trace is not None:
+            profile = trace.edge_profile(program)
+        else:
+            profile = profile_program(program, seed=task.seed)
         profile = injector.corrupt_profile(name, attempt, profile)
         injector.fire("profile", name, attempt)
         if task.validate:
@@ -253,6 +296,9 @@ def execute_unit(task: UnitTask) -> dict:
                 min_weight=task.min_weight,
                 archs=task.archs,
                 validate=task.validate,
+                engine=task.engine,
+                trace=trace,
+                replay_check=task.replay_check,
             )
             injector.fire("simulate", name, attempt)
             payload = {"unit": "experiment", "data": experiment_to_dict(experiment)}
@@ -274,7 +320,7 @@ def execute_unit(task: UnitTask) -> dict:
 
     if task.oracle:
         with _stage("oracle"):
-            _run_oracle(task, program, profile, injector)
+            _run_oracle(task, program, profile, injector, decisions=trace)
     return payload
 
 
@@ -308,11 +354,15 @@ def _oracle_layouts(task: UnitTask, program, profile) -> dict:
     )
 
 
-def _run_oracle(task: UnitTask, program, profile, injector: FaultInjector) -> None:
+def _run_oracle(
+    task: UnitTask, program, profile, injector: FaultInjector, decisions=None
+) -> None:
     """Differentially verify every aligned layout of one unit.
 
     Any scheduled layout fault is applied first, so an injected rewriter
     bug must flow through the oracle and surface as a ValidationError.
+    ``decisions`` reuses the unit's decision trace so the oracle adds
+    zero extra executions.
     """
     from ..oracle import summarize_failures, verify_alignments
 
@@ -322,7 +372,9 @@ def _run_oracle(task: UnitTask, program, profile, injector: FaultInjector) -> No
         label: injector.mutate_layout(name, attempt, label, layout, profile)
         for label, layout in _oracle_layouts(task, program, profile).items()
     }
-    reports = verify_alignments(program, profile, layouts, seed=task.seed)
+    reports = verify_alignments(
+        program, profile, layouts, seed=task.seed, decisions=decisions
+    )
     failed = [report for report in reports if not report.passed]
     if failed:
         raise ValidationError(
@@ -679,6 +731,11 @@ def run_units(tasks: Sequence[UnitTask], config: Optional[RunnerConfig] = None) 
             faults=config.faults,
             oracle=config.oracle or task.oracle,
             lint=config.lint or task.lint,
+            engine=config.engine,
+            replay_check=config.replay_check or task.replay_check,
+            trace_cache=(
+                config.trace_cache if config.trace_cache is not None else task.trace_cache
+            ),
         )
         for task in tasks
         if task.benchmark not in payloads

@@ -2,6 +2,16 @@
 
 from . import behaviors, trace
 from .alpha import AlphaConfig, AlphaSim, alpha_execution_cycles
+from .decisions import (
+    DecisionTrace,
+    TraceDecodeError,
+    capture_decisions,
+    decode_trace,
+    encode_trace,
+    load_or_capture,
+    trace_fingerprint,
+    trace_key,
+)
 from .executor import ExecutionError, ExecutionResult, execute
 from .icache import ICacheConfig, InstructionCache
 from .metrics import (
@@ -14,6 +24,7 @@ from .metrics import (
     relative_cpi,
     simulate,
 )
+from .replay import ReplayMismatchError, replay
 from .trace import BranchEvent, EventRecorder, TraceStats
 from .wideissue import WideIssueConfig, WideIssueFrontEnd, wide_issue_cycles
 
@@ -24,22 +35,32 @@ __all__ = [
     "ArchResult",
     "BranchEvent",
     "DYNAMIC_ARCHS",
+    "DecisionTrace",
     "EventRecorder",
     "ExecutionError",
     "ExecutionResult",
     "ICacheConfig",
     "InstructionCache",
+    "ReplayMismatchError",
     "STATIC_ARCHS",
     "SimulationReport",
+    "TraceDecodeError",
     "TraceStats",
     "WideIssueConfig",
     "WideIssueFrontEnd",
     "alpha_execution_cycles",
     "behaviors",
+    "capture_decisions",
+    "decode_trace",
     "default_architectures",
+    "encode_trace",
     "execute",
+    "load_or_capture",
     "relative_cpi",
+    "replay",
     "simulate",
     "trace",
+    "trace_fingerprint",
+    "trace_key",
     "wide_issue_cycles",
 ]

@@ -13,11 +13,15 @@ reports per-architecture relative CPI.
 
 from __future__ import annotations
 
+import copy
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..isa.encoder import LinkedProgram
+from ..profiling.condmix import CondMixListener
 from ..profiling.edge_profile import EdgeProfile
+from .decisions import DecisionTrace, capture_decisions
 from .executor import ExecutionResult, execute
 from .predictors import (
     BTBSim,
@@ -77,20 +81,6 @@ class SimulationReport:
         return 100.0 * (self.cond_executed - self.cond_taken) / self.cond_executed
 
 
-class _CondMix:
-    """Tiny listener counting executed/taken conditionals."""
-
-    def __init__(self) -> None:
-        self.executed = 0
-        self.taken = 0
-
-    def on_event(self, event) -> None:
-        if event[0] == 0:  # trace.COND
-            self.executed += 1
-            if event[3]:
-                self.taken += 1
-
-
 def default_architectures(
     linked: LinkedProgram, profile: EdgeProfile, ras_depth: int = 32
 ) -> List[object]:
@@ -106,28 +96,18 @@ def default_architectures(
     ]
 
 
-def simulate(
-    linked: LinkedProgram,
-    profile: EdgeProfile,
-    archs: Optional[Sequence[object]] = None,
-    seed: int = 0,
-    max_events: Optional[int] = None,
+def _report_from(
+    sims: Sequence[object],
+    instructions: int,
+    events: int,
+    cond_taken: int,
+    cond_executed: int,
 ) -> SimulationReport:
-    """Execute a linked binary once, feeding every architecture simulator.
-
-    ``profile`` supplies the likely bits for the LIKELY architecture (and
-    is the same profile that drove the alignment, per the paper).
-    """
-    sims = list(archs) if archs is not None else default_architectures(linked, profile)
-    mix = _CondMix()
-    result: ExecutionResult = execute(
-        linked, listeners=list(sims) + [mix], seed=seed, max_events=max_events
-    )
     report = SimulationReport(
-        instructions=result.instructions,
-        events=result.events,
-        cond_taken=mix.taken,
-        cond_executed=mix.executed,
+        instructions=instructions,
+        events=events,
+        cond_taken=cond_taken,
+        cond_executed=cond_executed,
     )
     for sim in sims:
         counts = sim.counts
@@ -139,6 +119,89 @@ def simulate(
             cond_executed=counts.cond_executed,
             cond_correct=counts.cond_correct,
         )
+    return report
+
+
+def _simulate_execute(
+    linked: LinkedProgram,
+    sims: Sequence[object],
+    seed: int,
+    max_events: Optional[int],
+) -> SimulationReport:
+    """The legacy engine: one full execution feeding every simulator."""
+    mix = CondMixListener()
+    result: ExecutionResult = execute(
+        linked, listeners=list(sims) + [mix], seed=seed, max_events=max_events
+    )
+    return _report_from(sims, result.instructions, result.events, mix.taken, mix.executed)
+
+
+def replay_check_enabled() -> bool:
+    """True when ``REPRO_REPLAY_CHECK`` requests differential checking."""
+    return os.environ.get("REPRO_REPLAY_CHECK", "") not in ("", "0")
+
+
+def simulate(
+    linked: LinkedProgram,
+    profile: EdgeProfile,
+    archs: Optional[Sequence[object]] = None,
+    seed: int = 0,
+    max_events: Optional[int] = None,
+    *,
+    trace: Optional[DecisionTrace] = None,
+    engine: Optional[str] = None,
+    replay_check: Optional[bool] = None,
+) -> SimulationReport:
+    """Evaluate a linked binary on every architecture simulator.
+
+    ``profile`` supplies the likely bits for the LIKELY architecture (and
+    is the same profile that drove the alignment, per the paper).
+
+    Engine selection: an explicit ``engine`` ("execute" or "replay")
+    wins; otherwise passing a ``trace`` selects the replay engine and
+    plain calls keep the legacy single-execution path.  With
+    ``engine="replay"`` and no trace, one is captured on the fly — same
+    result, none of the reuse.  The legacy path stays addressable as
+    ``engine="execute"`` for one release while replay bakes in.
+
+    ``replay_check`` (or the ``REPRO_REPLAY_CHECK=1`` environment
+    variable) runs both engines on identical simulator copies and raises
+    :class:`~repro.sim.replay.ReplayMismatchError` unless the two
+    :class:`SimulationReport`\\ s are bit-identical.
+
+    Duplicate simulator instances in ``archs`` are dropped (by identity):
+    feeding the same object twice would double-count every event.
+    """
+    if archs is not None:
+        sims = list(dict.fromkeys(archs))
+    else:
+        sims = default_architectures(linked, profile)
+    if engine is None:
+        engine = "replay" if trace is not None else "execute"
+    if engine == "execute":
+        return _simulate_execute(linked, sims, seed, max_events)
+    if engine != "replay":
+        raise ValueError(f"unknown simulation engine {engine!r}")
+
+    from .replay import ReplayMismatchError, run_architectures
+
+    if trace is None:
+        trace = capture_decisions(linked.program, seed=seed)
+    if replay_check is None:
+        replay_check = replay_check_enabled()
+    shadow = copy.deepcopy(sims) if replay_check else None
+    instructions, events, cond_executed, cond_taken = run_architectures(
+        linked, trace, sims, max_events=max_events
+    )
+    report = _report_from(sims, instructions, events, cond_taken, cond_executed)
+    if replay_check:
+        assert shadow is not None
+        legacy = _simulate_execute(linked, shadow, seed, max_events)
+        if legacy != report:
+            raise ReplayMismatchError(
+                "replay diverged from execute:\n"
+                f"  replay:  {report}\n  execute: {legacy}"
+            )
     return report
 
 

@@ -1,0 +1,590 @@
+"""Replay a decision trace through any layout (the replay-many half).
+
+Where :mod:`repro.sim.decisions` captures the layout-*independent* half
+of an execution (which successor every block picked), this module binds
+the layout-*dependent* half: given a :class:`LinkedProgram`, each step
+template compiles to the exact branch events :func:`repro.sim.executor.
+execute` would emit under that layout — addresses from the lowered
+blocks, branch senses from the placement's taken target, inserted and
+removed unconditional branches from the linker's jump decisions.
+
+So N layouts × 7 architectures costs one capture plus N cheap replays,
+instead of N full executions.  Three tiers keep the replay cheap without
+ever being unfaithful:
+
+* **aggregate** — the static predictors (fallthrough, BT/FNT, likely)
+  are stateless per site, so their penalty counts follow from per-site
+  visit/taken totals, layout-resolved once per site, plus the
+  layout-invariant return-stack statistics; no event loop at all.
+* **fast consumers** — the table predictors (both PHTs, the BTBs) get
+  specialised loops over the realised event stream with the predictor
+  update rules inlined; same arithmetic, no dispatch.
+* **faithful** — any other listener (trace capture, recorders,
+  subclassed predictors) receives every event through the same
+  ``on_event`` protocol the executor uses, in the same order, with the
+  same ``max_events`` cut-off semantics.
+
+The fast tiers are keyed on *exact* type: a subclass (e.g. the
+tournament PHT) automatically drops to the faithful tier rather than
+silently inheriting the wrong inlined update rule.  Differential
+checking (``--replay-check``) and claim 14 assert bit-identity of the
+resulting :class:`~repro.sim.metrics.SimulationReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.encoder import INSTRUCTION_BYTES, LinkedProgram
+from ..cfg import TerminatorKind
+from . import trace as tr
+from .decisions import DecisionTrace, T_BRANCH, T_CALL, T_FINAL, T_RET
+from .executor import ExecutionResult, _compile_nodes
+from .predictors.btb import BTBSim, _Entry as _BTBEntry
+from .predictors.pht import CorrelationPHT, DirectMappedPHT
+from .predictors.static_ import BTFNTSim, FallthroughSim, LikelySim
+
+
+class ReplayMismatchError(AssertionError):
+    """The replay engine disagreed with the legacy execute engine."""
+
+
+class _Step:
+    """One step template bound to a layout (hot-loop friendly)."""
+
+    __slots__ = ("events", "enter_start", "enter_size", "enter_proc", "enter_bid", "edge")
+
+    def __init__(self, events, enter, edge):
+        self.events = events
+        if enter is None:
+            self.enter_size = -1
+            self.enter_start = 0
+            self.enter_proc = None
+            self.enter_bid = None
+        else:
+            self.enter_proc, self.enter_bid, self.enter_start, self.enter_size = enter
+        self.edge = edge
+
+
+def compile_steps(linked: LinkedProgram, trace: DecisionTrace) -> List[_Step]:
+    """Bind every step template to ``linked``'s addresses and senses."""
+    program = linked.program
+    nodes = _compile_nodes(linked)
+    entry_addr = {name: linked.entry_address(name) for name in program.order}
+    entries = {name: program.procedure(name).entry for name in program.order}
+    step = INSTRUCTION_BYTES
+    cond_k, uncond_k, indirect_k = tr.COND, tr.UNCOND, tr.INDIRECT
+    call_k, icall_k, ret_k = tr.CALL, tr.ICALL, tr.RET
+
+    compiled: List[_Step] = []
+    for template in trace.templates:
+        kind = template[0]
+        if kind == T_BRANCH:
+            _, proc, bid, succ = template
+            node = nodes[proc][bid]
+            dst = nodes[proc][succ]
+            if node.kind is TerminatorKind.COND:
+                site = node.term_addr
+                if succ == node.taken_target:
+                    events: Tuple = ((cond_k, site, dst.start, True),)
+                elif node.jump_addr is not None:
+                    events = (
+                        (cond_k, site, site + step, False),
+                        (uncond_k, node.jump_addr, dst.start, True),
+                    )
+                else:
+                    events = ((cond_k, site, site + step, False),)
+            elif node.kind is TerminatorKind.FALLTHROUGH:
+                if node.jump_addr is not None:
+                    events = ((uncond_k, node.jump_addr, dst.start, True),)
+                else:
+                    events = ()
+            elif node.kind is TerminatorKind.UNCOND:
+                if node.branch_removed:
+                    events = ()
+                else:
+                    events = ((uncond_k, node.term_addr, dst.start, True),)
+            else:  # INDIRECT
+                events = ((indirect_k, node.term_addr, dst.start, True),)
+            compiled.append(
+                _Step(events, (proc, succ, dst.start, dst.size), (proc, bid, succ))
+            )
+        elif kind == T_CALL:
+            _, proc, bid, call_idx, callee = template
+            site, _static_callee, chooser = nodes[proc][bid].calls[call_idx]
+            event_kind = icall_k if chooser is not None else call_k
+            events = ((event_kind, site, entry_addr[callee], True),)
+            entry_bid = entries[callee]
+            entry_node = nodes[callee][entry_bid]
+            compiled.append(
+                _Step(events, (callee, entry_bid, entry_node.start, entry_node.size), None)
+            )
+        elif kind == T_RET:
+            _, proc, bid, caller_proc, caller_bid, resume_idx = template
+            site = nodes[proc][bid].term_addr
+            ret_site = nodes[caller_proc][caller_bid].calls[resume_idx - 1][0]
+            events = ((ret_k, site, ret_site + step, True),)
+            compiled.append(_Step(events, None, None))
+        else:  # T_FINAL
+            _, proc, bid = template
+            events = ((ret_k, nodes[proc][bid].term_addr, 0, True),)
+            compiled.append(_Step(events, None, None))
+    return compiled
+
+
+def replay(
+    linked: LinkedProgram,
+    trace: DecisionTrace,
+    listeners: Sequence[object] = (),
+    block_listeners: Sequence[object] = (),
+    profile_hook=None,
+    block_hook=None,
+    max_events: Optional[int] = None,
+    compiled: Optional[List[_Step]] = None,
+) -> ExecutionResult:
+    """Faithful replay: same events, hooks, order and cut-off as execute.
+
+    Drop-in equivalent of :func:`repro.sim.executor.execute` driven by a
+    decision trace instead of behaviours — including the exact
+    ``max_events`` semantics (an entered block's instructions are not
+    counted when the cap fires on the transfer into it).
+    """
+    if compiled is None:
+        compiled = compile_steps(linked, trace)
+    program = linked.program
+    emit = [listener.on_event for listener in listeners]
+    on_block = [listener.on_block for listener in block_listeners]
+
+    entry_proc = program.entry
+    entry_bid = program.procedure(entry_proc).entry
+    entry_lb = linked.block(entry_proc, entry_bid)
+
+    instructions = entry_lb.size
+    events = 0
+    blocks_executed = 1
+    if on_block:
+        for cb in on_block:
+            cb(entry_lb.start, entry_lb.size)
+    if block_hook is not None:
+        block_hook(entry_proc, entry_bid)
+
+    for tid in trace.iter_steps():
+        step = compiled[tid]
+        edge = step.edge
+        if edge is not None and profile_hook is not None:
+            profile_hook(edge[0], edge[1], edge[2])
+        step_events = step.events
+        if step_events:
+            for event in step_events:
+                for cb in emit:
+                    cb(event)
+            events += len(step_events)
+        if max_events is not None and events >= max_events:
+            break
+        if step.enter_size >= 0:
+            instructions += step.enter_size
+            blocks_executed += 1
+            if on_block:
+                for cb in on_block:
+                    cb(step.enter_start, step.enter_size)
+            if block_hook is not None:
+                block_hook(step.enter_proc, step.enter_bid)
+
+    return ExecutionResult(instructions=instructions, events=events, blocks=blocks_executed)
+
+
+# -- layout-level aggregates ------------------------------------------
+
+
+class _Aggregates:
+    """Per-layout event totals derived from templates alone."""
+
+    __slots__ = (
+        "instructions",
+        "events",
+        "cond_sites",
+        "cond_executed",
+        "cond_taken",
+        "uncond_events",
+        "call_events",
+        "icall_events",
+        "indirect_events",
+        "ret_events",
+    )
+
+    def __init__(self, linked: LinkedProgram, trace: DecisionTrace, compiled: List[_Step]):
+        program = linked.program
+        self.instructions = 0
+        for (proc, bid), visits in trace.visit_counts(program).items():
+            self.instructions += visits * linked.block(proc, bid).size
+        self.events = 0
+        #: site -> [visits, taken] for every executed conditional site.
+        self.cond_sites: Dict[int, List[int]] = {}
+        self.cond_executed = 0
+        self.cond_taken = 0
+        self.uncond_events = 0
+        self.call_events = 0
+        self.icall_events = 0
+        self.indirect_events = 0
+        self.ret_events = 0
+        cond_k, uncond_k, indirect_k = tr.COND, tr.UNCOND, tr.INDIRECT
+        call_k, icall_k = tr.CALL, tr.ICALL
+        for step, count in zip(compiled, trace.counts):
+            if not step.events or not count:
+                continue
+            self.events += len(step.events) * count
+            for kind, site, _target, taken in step.events:
+                if kind == cond_k:
+                    entry = self.cond_sites.setdefault(site, [0, 0])
+                    entry[0] += count
+                    self.cond_executed += count
+                    if taken:
+                        entry[1] += count
+                        self.cond_taken += count
+                elif kind == uncond_k:
+                    self.uncond_events += count
+                elif kind == call_k:
+                    self.call_events += count
+                elif kind == icall_k:
+                    self.icall_events += count
+                elif kind == indirect_k:
+                    self.indirect_events += count
+                else:
+                    self.ret_events += count
+
+
+def _serve_static(sim, agg: _Aggregates, trace: DecisionTrace) -> None:
+    """Apply a whole replay to a stateless-per-site static predictor.
+
+    Uses the sim's own ``predict_cond`` once per site (the prediction is
+    layout-adjusted — BT/FNT reads the layout's taken target, likely
+    bits flip with inversions) and the trace's return-stack statistics,
+    which are layout-invariant (see :meth:`DecisionTrace.ras_stats`).
+    """
+    counts = sim.counts
+    predict = sim.predict_cond
+    correct = 0
+    misfetches = 0
+    mispredicts = 0
+    for site, (visits, taken) in agg.cond_sites.items():
+        if predict(site):
+            correct += taken
+            misfetches += taken
+            mispredicts += visits - taken
+        else:
+            correct += visits - taken
+            mispredicts += taken
+    pushes, pops, ras_correct = trace.ras_stats(sim.ras.depth)
+    counts.cond_executed += agg.cond_executed
+    counts.cond_correct += correct
+    counts.misfetches += misfetches + agg.uncond_events + agg.call_events
+    counts.mispredicts += (
+        mispredicts
+        + agg.icall_events
+        + agg.indirect_events
+        + (pops - ras_correct)
+    )
+    ras = sim.ras
+    ras.pushes += pushes
+    ras.pops += pops
+    ras.correct += ras_correct
+
+
+# -- inlined fast consumers -------------------------------------------
+
+
+class _DirectPHTFeed:
+    """DirectMappedPHT.on_event inlined over realised event chunks."""
+
+    def __init__(self, sim: DirectMappedPHT):
+        self.sim = sim
+
+    def feed(self, chunk: List[Tuple[int, int, int, bool]]) -> None:
+        sim = self.sim
+        counts = sim.counts
+        table = sim.table
+        counters = table.counters
+        mask = table.mask
+        push = sim.ras.push
+        pop = sim.ras.pop_predict
+        mis = counts.misfetches
+        mp = counts.mispredicts
+        ce = counts.cond_executed
+        cc = counts.cond_correct
+        for kind, site, target, taken in chunk:
+            if kind == 0:  # COND
+                ce += 1
+                index = (site >> 2) & mask
+                value = counters[index]
+                if taken:
+                    if value < 3:
+                        counters[index] = value + 1
+                    if value >= 2:
+                        cc += 1
+                        mis += 1
+                    else:
+                        mp += 1
+                else:
+                    if value > 0:
+                        counters[index] = value - 1
+                    if value >= 2:
+                        mp += 1
+                    else:
+                        cc += 1
+            elif kind == 1:  # UNCOND
+                mis += 1
+            elif kind == 3:  # CALL
+                mis += 1
+                push(site + 4)
+            elif kind == 4:  # ICALL
+                mp += 1
+                push(site + 4)
+            elif kind == 2:  # INDIRECT
+                mp += 1
+            else:  # RET
+                if not pop(target):
+                    mp += 1
+        counts.misfetches = mis
+        counts.mispredicts = mp
+        counts.cond_executed = ce
+        counts.cond_correct = cc
+
+
+class _CorrelationPHTFeed:
+    """CorrelationPHT (gshare) inlined over realised event chunks."""
+
+    def __init__(self, sim: CorrelationPHT):
+        self.sim = sim
+
+    def feed(self, chunk: List[Tuple[int, int, int, bool]]) -> None:
+        sim = self.sim
+        counts = sim.counts
+        table = sim.table
+        counters = table.counters
+        mask = table.mask
+        history = sim.history
+        history_mask = sim.history_mask
+        push = sim.ras.push
+        pop = sim.ras.pop_predict
+        mis = counts.misfetches
+        mp = counts.mispredicts
+        ce = counts.cond_executed
+        cc = counts.cond_correct
+        for kind, site, target, taken in chunk:
+            if kind == 0:  # COND
+                ce += 1
+                index = ((site >> 2) ^ history) & mask
+                value = counters[index]
+                if taken:
+                    if value < 3:
+                        counters[index] = value + 1
+                    history = ((history << 1) | 1) & history_mask
+                    if value >= 2:
+                        cc += 1
+                        mis += 1
+                    else:
+                        mp += 1
+                else:
+                    if value > 0:
+                        counters[index] = value - 1
+                    history = (history << 1) & history_mask
+                    if value >= 2:
+                        mp += 1
+                    else:
+                        cc += 1
+            elif kind == 1:  # UNCOND
+                mis += 1
+            elif kind == 3:  # CALL
+                mis += 1
+                push(site + 4)
+            elif kind == 4:  # ICALL
+                mp += 1
+                push(site + 4)
+            elif kind == 2:  # INDIRECT
+                mp += 1
+            else:  # RET
+                if not pop(target):
+                    mp += 1
+        sim.history = history
+        counts.misfetches = mis
+        counts.mispredicts = mp
+        counts.cond_executed = ce
+        counts.cond_correct = cc
+
+
+class _BTBFeed:
+    """BTBSim.on_event (with BTB.lookup/insert) inlined over chunks."""
+
+    def __init__(self, sim: BTBSim):
+        self.sim = sim
+
+    def feed(self, chunk: List[Tuple[int, int, int, bool]]) -> None:
+        sim = self.sim
+        counts = sim.counts
+        btb = sim.btb
+        sets = btb._sets
+        nsets = btb.sets
+        assoc = btb.assoc
+        clock = btb._clock
+        hits = btb.hits
+        misses = btb.misses
+        make_entry = _BTBEntry
+        push = sim.ras.push
+        pop = sim.ras.pop_predict
+        mis = counts.misfetches
+        mp = counts.mispredicts
+        ce = counts.cond_executed
+        cc = counts.cond_correct
+        for kind, site, target, taken in chunk:
+            if kind == 5:  # RET — no BTB traffic
+                if not pop(target):
+                    mp += 1
+                continue
+            clock += 1
+            bucket = sets[(site >> 2) % nsets]
+            entry = bucket.get(site)
+            if kind == 0:  # COND
+                ce += 1
+                if entry is not None:
+                    hits += 1
+                    entry.stamp = clock
+                    predicted = entry.counter >= 2
+                    if taken:
+                        if entry.counter < 3:
+                            entry.counter += 1
+                        entry.target = target
+                    elif entry.counter > 0:
+                        entry.counter -= 1
+                else:
+                    misses += 1
+                    predicted = False
+                    if taken:
+                        clock += 1
+                        if len(bucket) >= assoc:
+                            victim = min(bucket, key=lambda tag: bucket[tag].stamp)
+                            del bucket[victim]
+                        bucket[site] = make_entry(target, 2, clock)
+                if predicted == taken:
+                    cc += 1
+                else:
+                    mp += 1
+            elif kind == 1 or kind == 3:  # UNCOND / CALL
+                if entry is None:
+                    misses += 1
+                    mis += 1
+                    clock += 1
+                    if len(bucket) >= assoc:
+                        victim = min(bucket, key=lambda tag: bucket[tag].stamp)
+                        del bucket[victim]
+                    bucket[site] = make_entry(target, 2, clock)
+                else:
+                    hits += 1
+                    entry.stamp = clock
+                if kind == 3:
+                    push(site + 4)
+            else:  # ICALL / INDIRECT
+                if entry is None:
+                    misses += 1
+                    mp += 1
+                    clock += 1
+                    if len(bucket) >= assoc:
+                        victim = min(bucket, key=lambda tag: bucket[tag].stamp)
+                        del bucket[victim]
+                    bucket[site] = make_entry(target, 2, clock)
+                else:
+                    hits += 1
+                    entry.stamp = clock
+                    if entry.target != target:
+                        mp += 1
+                        entry.target = target
+                if kind == 4:
+                    push(site + 4)
+        btb._clock = clock
+        btb.hits = hits
+        btb.misses = misses
+        counts.misfetches = mis
+        counts.mispredicts = mp
+        counts.cond_executed = ce
+        counts.cond_correct = cc
+
+
+class _GenericFeed:
+    """Faithful per-event feed for listeners outside the fast tiers."""
+
+    def __init__(self, listener):
+        self.on_event = listener.on_event
+
+    def feed(self, chunk: List[Tuple[int, int, int, bool]]) -> None:
+        cb = self.on_event
+        for event in chunk:
+            cb(event)
+
+
+_FAST_FEEDS = {
+    DirectMappedPHT: _DirectPHTFeed,
+    CorrelationPHT: _CorrelationPHTFeed,
+    BTBSim: _BTBFeed,
+}
+
+_AGGREGATE_TYPES = (FallthroughSim, BTFNTSim, LikelySim)
+
+
+def run_architectures(
+    linked: LinkedProgram,
+    trace: DecisionTrace,
+    sims: Sequence[object],
+    max_events: Optional[int] = None,
+) -> Tuple[int, int, int, int]:
+    """Feed every simulator one replay of ``trace`` under ``linked``.
+
+    Returns ``(instructions, events, cond_executed, cond_taken)`` — the
+    stream totals the :class:`SimulationReport` header wants.  Each sim
+    is served by the cheapest faithful tier its exact type allows; a
+    ``max_events`` cap forces the fully faithful path because aggregate
+    totals have no notion of a mid-stream cut.
+    """
+    if max_events is not None:
+        executed = 0
+        taken = 0
+
+        class _Mix:
+            def on_event(self, event):
+                nonlocal executed, taken
+                if event[0] == 0:
+                    executed += 1
+                    if event[3]:
+                        taken += 1
+
+        result = replay(
+            linked, trace, listeners=list(sims) + [_Mix()], max_events=max_events
+        )
+        return result.instructions, result.events, executed, taken
+
+    compiled = compile_steps(linked, trace)
+    agg = _Aggregates(linked, trace, compiled)
+
+    feeds = []
+    for sim in sims:
+        # Exact-type dispatch: subclasses (tournament, local-history PHTs)
+        # override update rules and must fall through to the generic tier.
+        sim_type = type(sim)
+        if sim_type in _AGGREGATE_TYPES:
+            _serve_static(sim, agg, trace)
+        elif sim_type in _FAST_FEEDS:
+            feeds.append(_FAST_FEEDS[sim_type](sim))
+        else:
+            feeds.append(_GenericFeed(sim))
+
+    if feeds:
+        events_of = [step.events for step in compiled]
+        for chunk in trace.iter_chunks():
+            realized: List[Tuple[int, int, int, bool]] = []
+            extend = realized.extend
+            for tid in chunk:
+                step_events = events_of[tid]
+                if step_events:
+                    extend(step_events)
+            for feed in feeds:
+                feed.feed(realized)
+
+    return agg.instructions, agg.events, agg.cond_executed, agg.cond_taken

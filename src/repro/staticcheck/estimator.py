@@ -257,6 +257,14 @@ def cross_validate(
     simulated instruction count of the run itself (pure-BEP comparison of
     one layout); pass the original binary's count to compare the paper's
     relative-CPI numbers.
+
+    The comparison is sharpest when ``report`` comes from the replay
+    engine driven by the same decision trace that produced the estimator's
+    profile (``simulate(..., trace=trace, engine="replay")`` with
+    ``profile = trace.edge_profile(program)``): both sides then describe
+    the identical dynamic run and any residual error is attributable to
+    the estimator's aggregation, not to behavioural divergence between
+    two executions.
     """
     base = original_instructions or report.instructions
     return [

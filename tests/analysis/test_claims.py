@@ -59,6 +59,31 @@ class TestOracleClaim:
         assert not claim.passed
 
 
+class TestReplayClaim:
+    def test_replay_claim_present_and_passing(self, results):
+        claim = next(r for r in results if r.claim_id == "replay-matches-execute")
+        assert claim.passed
+        assert "bit-identical" in claim.detail
+
+    def test_divergence_fails_the_claim(self):
+        from repro.analysis.claims import _Context, _check_replay_equivalence
+
+        ctx = _Context(
+            experiments=[], figure4_rows=[],
+            replay_checks={"eqntott": [("orig", True, 7), ("greedy", False, 7)]},
+        )
+        claim = _check_replay_equivalence(ctx)
+        assert not claim.passed
+        assert "eqntott/greedy" in claim.detail
+
+    def test_no_checks_fails_rather_than_vacuously_passes(self):
+        from repro.analysis.claims import _Context, _check_replay_equivalence
+
+        assert not _check_replay_equivalence(
+            _Context(experiments=[], figure4_rows=[])
+        ).passed
+
+
 class TestStrictFlag:
     def _fake_results(self, passed):
         return [ClaimResult("c", "a quote long enough to satisfy checks", passed, "d")]

@@ -1,0 +1,49 @@
+"""The shared conditional-mix helper (deduplicated from sim.metrics)."""
+
+from repro.cfg import TerminatorKind
+from repro.isa import link_identity
+from repro.profiling import CondMix, CondMixListener, profile_program
+from repro.sim import trace as tr
+from repro.sim.executor import execute
+
+
+class TestCondMix:
+    def test_fields_and_properties(self):
+        mix = CondMix(taken=3, fall=7)
+        assert mix.executed == 10
+        assert mix.taken_fraction == 0.3
+
+    def test_tuple_unpacking_compatible(self):
+        # cond_mix() historically returned a plain (taken, fall) tuple;
+        # the NamedTuple must keep that contract.
+        taken, fall = CondMix(taken=2, fall=5)
+        assert (taken, fall) == (2, 5)
+
+    def test_zero_executed(self):
+        assert CondMix(0, 0).taken_fraction == 0.0
+
+
+class TestCondMixListener:
+    def test_counts_only_conditionals(self):
+        listener = CondMixListener()
+        listener.on_event((tr.COND, 0, 4, True))
+        listener.on_event((tr.COND, 0, 4, False))
+        listener.on_event((tr.UNCOND, 8, 16, True))
+        listener.on_event((tr.CALL, 12, 64, True))
+        assert listener.executed == 2
+        assert listener.taken == 1
+        assert listener.mix == CondMix(taken=1, fall=1)
+
+    def test_agrees_with_profile_mix(self, loop_program):
+        """Dynamic counting and the profile's per-block mixes concur."""
+        listener = CondMixListener()
+        execute(link_identity(loop_program), listeners=(listener,), seed=0)
+        profile = profile_program(loop_program, seed=0)
+        taken = fall = 0
+        for proc in loop_program:
+            for bid in proc.blocks:
+                if proc.block(bid).kind is TerminatorKind.COND:
+                    t, f = profile.cond_mix(proc, bid)
+                    taken += t
+                    fall += f
+        assert listener.mix == CondMix(taken=taken, fall=fall)

@@ -1,0 +1,71 @@
+"""Property: replay == execute on arbitrary random programs and layouts."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import GreedyAligner, TryNAligner
+from repro.isa import link, link_identity
+from repro.sim.decisions import capture_decisions, decode_trace, encode_trace
+from repro.sim.metrics import simulate
+
+from .strategies import programs
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=programs(), seed=st.integers(min_value=0, max_value=2**16))
+def test_replay_matches_execute_on_identity(program, seed):
+    trace = capture_decisions(program, seed=seed)
+    profile = trace.edge_profile(program)
+    linked = link_identity(program)
+    replayed = simulate(linked, profile, seed=seed, trace=trace, engine="replay")
+    executed = simulate(linked, profile, seed=seed, engine="execute")
+    assert replayed == executed
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    program=programs(),
+    seed=st.integers(min_value=0, max_value=2**16),
+    model=st.sampled_from(("fallthrough", "btfnt", "likely", "pht", "btb")),
+)
+def test_replay_matches_execute_on_aligned_layouts(program, seed, model):
+    trace = capture_decisions(program, seed=seed)
+    profile = trace.edge_profile(program)
+    for aligner in (
+        GreedyAligner(chain_order="weight"),
+        TryNAligner.for_architecture(model, window=7),
+    ):
+        linked = link(aligner.align(program, profile))
+        replayed = simulate(linked, profile, seed=seed, trace=trace, engine="replay")
+        executed = simulate(linked, profile, seed=seed, engine="execute")
+        assert replayed == executed
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=programs(), seed=st.integers(min_value=0, max_value=2**16))
+def test_persisted_trace_replays_identically(program, seed):
+    """Round-tripping through the storage encoding loses nothing."""
+    trace = capture_decisions(program, seed=seed)
+    revived = decode_trace(encode_trace(trace))
+    profile = trace.edge_profile(program)
+    linked = link_identity(program)
+    assert simulate(linked, profile, trace=revived, engine="replay") == simulate(
+        linked, profile, trace=trace, engine="replay"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    program=programs(),
+    seed=st.integers(min_value=0, max_value=2**16),
+    cap=st.integers(min_value=0, max_value=64),
+)
+def test_replay_cap_semantics_match(program, seed, cap):
+    trace = capture_decisions(program, seed=seed)
+    profile = trace.edge_profile(program)
+    linked = link_identity(program)
+    replayed = simulate(
+        linked, profile, seed=seed, max_events=cap, trace=trace, engine="replay"
+    )
+    executed = simulate(linked, profile, seed=seed, max_events=cap, engine="execute")
+    assert replayed == executed
