@@ -57,6 +57,11 @@ class _Context:
     #: Per-benchmark replay-vs-execute comparisons:
     #: name -> List[(layout label, reports identical?, arch count)].
     replay_checks: Dict[str, list] = field(default_factory=dict)
+    #: Per-benchmark prover/oracle agreement rows: name -> List[(layout
+    #: label, oracle passed?, prover passed?, expected to pass?)].  Rows
+    #: whose label starts with ``fault:`` carry an injected rewriter bug
+    #: and are expected to be rejected by *both* judges.
+    prove_checks: Dict[str, list] = field(default_factory=dict)
 
     def avg(self, aligner: str, arch: str) -> float:
         cells = [e.cell(aligner, arch).relative_cpi for e in self.experiments]
@@ -291,6 +296,48 @@ def _check_replay_equivalence(ctx: _Context) -> ClaimResult:
     )
 
 
+def _check_prover_oracle_agreement(ctx: _Context) -> ClaimResult:
+    """The static prover and the dynamic oracle never disagree."""
+    rows = [
+        (name, label, oracle_ok, prover_ok, expect)
+        for name, benchmark_rows in ctx.prove_checks.items()
+        for label, oracle_ok, prover_ok, expect in benchmark_rows
+    ]
+    disagreements = [
+        f"{name}/{label}" for name, label, oracle_ok, prover_ok, _ in rows
+        if oracle_ok != prover_ok
+    ]
+    wrong_verdicts = [
+        f"{name}/{label}" for name, label, oracle_ok, prover_ok, expect in rows
+        if oracle_ok != expect or prover_ok != expect
+    ]
+    fault_rows = sum(1 for _, _, _, _, expect in rows if not expect)
+    ok = bool(rows) and fault_rows >= 2 and not disagreements and not wrong_verdicts
+    if not rows:
+        detail = "no prover/oracle rows collected"
+    elif disagreements or wrong_verdicts:
+        bad = (disagreements or wrong_verdicts)[0]
+        detail = (
+            f"{len(disagreements)} disagreement(s), "
+            f"{len(wrong_verdicts)} wrong verdict(s); first: {bad}"
+        )
+    else:
+        clean = len(rows) - fault_rows
+        detail = (
+            f"{clean} clean layouts proved and replayed identically over "
+            f"{', '.join(ctx.prove_checks)}; both judges rejected all "
+            f"{fault_rows} injected rewriter faults"
+        )
+    return ClaimResult(
+        "static-proof-matches-oracle",
+        "[translation validation] the CFG recovered from the rewritten "
+        "binary alone is bisimilar to the original: the static prover "
+        "agrees with the dynamic replay oracle on every layout, including "
+        "joint rejection of injected rewriter faults",
+        ok, detail,
+    )
+
+
 CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_static_help,
     _check_static_ordering,
@@ -306,6 +353,7 @@ CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_oracle_isomorphism,
     _check_static_estimator,
     _check_replay_equivalence,
+    _check_prover_oracle_agreement,
 )
 
 
@@ -322,11 +370,16 @@ def verify_claims(
     if "ear" not in figure4_names:
         figure4_names.append("ear")
     figure4_rows = run_figure4(figure4_names, scale=scale, seed=seed, window=window)
-    oracle_reports = {
-        name: _oracle_reports(name, scale=scale, seed=seed, window=window)
-        for name in ORACLE_BENCHMARKS
-        if name in benchmarks
-    }
+    oracle_reports = {}
+    prove_checks = {}
+    for name in ORACLE_BENCHMARKS:
+        if name not in benchmarks:
+            continue
+        reports, prove_rows = _oracle_and_prove(
+            name, scale=scale, seed=seed, window=window
+        )
+        oracle_reports[name] = reports
+        prove_checks[name] = prove_rows
     estimator_agreements = {
         name: _estimator_agreements(name, scale=scale, seed=seed)
         for name in benchmarks
@@ -342,20 +395,59 @@ def verify_claims(
         oracle_reports=oracle_reports,
         estimator_agreements=estimator_agreements,
         replay_checks=replay_checks,
+        prove_checks=prove_checks,
     )
     return [check(ctx) for check in CHECKS]
 
 
-def _oracle_reports(name: str, scale: float, seed: int, window: int) -> list:
-    """Differentially verify every aligned layout of one benchmark."""
+def _oracle_and_prove(name: str, scale: float, seed: int, window: int):
+    """Judge every aligned layout dynamically *and* statically.
+
+    Returns ``(oracle_reports, prove_rows)``: the clean layouts' oracle
+    reports (consumed by the semantics claim) plus one agreement row per
+    layout — clean layouts are expected to pass both judges, and two
+    fault probes (a sense flip and a retargeted transfer applied to the
+    greedy layout) are expected to be rejected by both.
+    """
+    import random
+
     from ..oracle import alignment_layouts, verify_alignments
     from ..profiling import profile_program
+    from ..runner.faults import _flip_sense, _retarget_transfer
+    from ..staticcheck.binary import prove_layouts
     from ..workloads import generate_benchmark
 
     program = generate_benchmark(name, scale)
     profile = profile_program(program, seed=seed)
     layouts = alignment_layouts(program, profile, window=window)
-    return verify_alignments(program, profile, layouts, seed=seed)
+
+    victim = layouts.get("greedy") or next(iter(layouts.values()))
+    probes = {}
+    flipped = _flip_sense(victim, profile)
+    if flipped is not None:
+        probes["fault:flip-sense"] = flipped
+    mutated = _retarget_transfer(
+        victim, profile, random.Random(f"claims:{name}:{seed}")
+    )
+    if mutated is not None:
+        probes["fault:mutate-layout"] = mutated
+
+    reports = verify_alignments(program, profile, layouts, seed=seed)
+    oracle_verdicts = {report.label: report.passed for report in reports}
+    for report in verify_alignments(program, profile, probes, seed=seed):
+        oracle_verdicts[report.label] = report.passed
+
+    proofs = prove_layouts(program, {**layouts, **probes})
+    prove_rows = [
+        (
+            label,
+            oracle_verdicts[label],
+            proofs[label].bisimilar,
+            not label.startswith("fault:"),
+        )
+        for label in list(layouts) + list(probes)
+    ]
+    return reports, prove_rows
 
 
 def _estimator_agreements(name: str, scale: float, seed: int) -> list:

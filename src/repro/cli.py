@@ -12,6 +12,9 @@ Gives the library's main workflows a shell entry point:
 * ``lint`` — run the static verifier passes (``repro.staticcheck``)
   over a benchmark's CFG, profile and layouts; ``--estimate`` adds the
   trace-free branch-cost estimate cross-validated against the simulator;
+* ``prove`` — recover a CFG from each aligned layout's raw linked
+  instruction stream and statically prove it bisimilar to the original
+  binary (translation validation; ``--json`` emits the proof artifacts);
 * ``doctor`` — run the pipeline invariant checks standalone, audit /
   repair an artifact store (``--store DIR [--repair]``; cached decision
   traces are decoded and stale/corrupt entries flagged), or lint every
@@ -138,9 +141,12 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
             raise UsageError(
                 "corrupt-artifact faults need an artifact store; add --store DIR"
             )
-        if any(s.stage == "layout" for s in specs) and not args.oracle:
+        if any(s.stage == "layout" for s in specs) and not (
+            args.oracle or getattr(args, "prove", False)
+        ):
             raise UsageError(
-                "layout faults are only observable by the oracle; add --oracle"
+                "layout faults are only observable by the oracle or the "
+                "prover; add --oracle or --prove"
             )
         if any(s.kind == "break-cfg" for s in specs) and not args.lint:
             raise UsageError(
@@ -170,6 +176,7 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
         resume=args.resume,
         faults=faults,
         oracle=args.oracle,
+        prove=getattr(args, "prove", False),
         lint=args.lint,
         store=args.store,
         engine=getattr(args, "engine", "replay"),
@@ -474,6 +481,70 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return EXIT_OK if report.ok else EXIT_RUNTIME
 
 
+def cmd_prove(args: argparse.Namespace) -> int:
+    """Statically prove every aligned layout bisimilar to the original.
+
+    Recovers a CFG from each layout's raw linked instruction stream (no
+    source metadata, no execution) and emits a checkable bisimulation
+    proof per layout; any rejection exits non-zero.
+    """
+    import json as _json
+
+    from .oracle import alignment_layouts
+    from .runner import FaultInjector
+    from .staticcheck.binary import prove_layouts
+
+    program = _workload(args)
+    if args.profile:
+        profile = load_profile(args.profile)
+    else:
+        profile = profile_program(program, seed=args.seed)
+
+    layouts = alignment_layouts(program, profile, window=args.window)
+    if args.inject:
+        try:
+            specs = tuple(parse_fault_spec(spec) for spec in args.inject)
+        except ValueError as exc:
+            raise UsageError(str(exc))
+        injector = FaultInjector(FaultPlan(specs=specs, seed=args.seed))
+        layouts = {
+            label: injector.mutate_layout(args.benchmark, 1, label, layout, profile)
+            for label, layout in layouts.items()
+        }
+
+    store = ArtifactStore(args.store) if args.store else None
+    proofs = prove_layouts(
+        program, layouts, store=store, benchmark=args.benchmark
+    )
+    ok = all(proof.bisimilar for proof in proofs.values())
+    if args.json:
+        payload = {
+            "benchmark": args.benchmark,
+            "bisimilar": ok,
+            "proofs": {label: proof.to_dict() for label, proof in proofs.items()},
+        }
+        _write(_json.dumps(payload, indent=2), args.output)
+    else:
+        lines = [f"prove: {args.benchmark}"]
+        width = max(len(label) for label in proofs) if proofs else 0
+        for label, proof in proofs.items():
+            if proof.bisimilar:
+                sites = sum(len(p.correspondences) for p in proof.procedures)
+                edges = sum(len(p.witnesses) for p in proof.procedures)
+                detail = f"{sites} site pairs, {edges} edge witnesses"
+                status = "PROVED"
+            else:
+                detail = "; ".join(proof.failures()[:2])
+                status = "REJECT"
+            lines.append(f"{status:<7} {label:<{width}}  {detail}")
+        proved = sum(proof.bisimilar for proof in proofs.values())
+        lines.append(f"{proved}/{len(proofs)} layouts proved bisimilar")
+        if store is not None:
+            lines.append(f"proof artifacts stored under {args.store}")
+        _write("\n".join(lines), args.output)
+    return EXIT_OK if ok else EXIT_RUNTIME
+
+
 def _doctor_lint(args: argparse.Namespace) -> int:
     """Lint every registered workload (or one), per-pass PASS/FAIL."""
     from .staticcheck import run_lint
@@ -733,6 +804,26 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, window=True)
     p.set_defaults(func=cmd_lint)
 
+    p = sub.add_parser(
+        "prove",
+        help="statically prove every aligned layout's binary bisimilar to "
+             "the original (translation validation; non-zero exit on any "
+             "rejection)",
+    )
+    p.add_argument("benchmark")
+    p.add_argument("--profile", help="reuse a saved profile instead of tracing")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable proof artifacts as JSON")
+    p.add_argument("--store", metavar="DIR",
+                   help="persist proof artifacts to a crash-safe artifact "
+                        "store under proof/<benchmark>/<layout>")
+    p.add_argument("--inject", action="append", default=[],
+                   metavar="BENCH:STAGE:KIND[:TIMES]",
+                   help="inject a deterministic layout fault before proving "
+                        "(e.g. eqntott:layout:flip-sense)")
+    common(p, window=True)
+    p.set_defaults(func=cmd_prove)
+
     p = sub.add_parser("sweep", help="machine-sensitivity sweeps")
     p.add_argument("benchmark")
     p.add_argument("kind", choices=("penalty", "width"))
@@ -768,6 +859,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="differentially verify every aligned layout "
                             "replays the original trace (divergences fail "
                             "the benchmark, never retried)")
+        g.add_argument("--prove", action="store_true",
+                       help="statically prove every aligned layout's binary "
+                            "bisimilar to the original (translation "
+                            "validation; rejections fail the benchmark, "
+                            "never retried)")
         g.add_argument("--lint", action="store_true",
                        help="run the static verifier passes over each "
                             "benchmark's CFG and profile before alignment "

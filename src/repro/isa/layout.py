@@ -146,11 +146,25 @@ class ProcedureLayout:
         proc = self.procedure
         ids = [p.bid for p in self.placements]
         if sorted(ids) != sorted(proc.blocks):
+            missing = sorted(set(proc.blocks) - set(ids))
+            extra = sorted(set(ids) - set(proc.blocks))
+            duplicated = sorted({bid for bid in ids if ids.count(bid) > 1})
+            problems = []
+            if missing:
+                problems.append(f"missing blocks {missing}")
+            if extra:
+                problems.append(f"unknown blocks {extra}")
+            if duplicated:
+                problems.append(f"duplicated blocks {duplicated}")
             raise LayoutError(
-                f"{proc.name}: layout is not a permutation of the blocks"
+                f"{proc.name}: layout is not a permutation of the blocks "
+                f"({'; '.join(problems) or 'count mismatch'})"
             )
         if ids[0] != proc.entry:
-            raise LayoutError(f"{proc.name}: entry block must be placed first")
+            raise LayoutError(
+                f"{proc.name}: entry block {proc.entry} must be placed "
+                f"first, but block {ids[0]} is"
+            )
         for idx, placement in enumerate(self.placements):
             block = proc.block(placement.bid)
             nxt = ids[idx + 1] if idx + 1 < len(ids) else None
@@ -159,7 +173,11 @@ class ProcedureLayout:
                 succ = proc.fallthrough_edge(block.bid).dst  # type: ignore[union-attr]
                 reached = placement.jump_target if placement.jump_target is not None else nxt
                 if placement.taken_target is not None or placement.branch_removed:
-                    raise LayoutError(f"{proc.name}: bad placement for {block.bid}")
+                    raise LayoutError(
+                        f"{proc.name}: bad placement for block {block.bid}: "
+                        f"a fall-through block cannot carry a taken target "
+                        f"or have its branch removed"
+                    )
                 if reached != succ:
                     raise LayoutError(
                         f"{proc.name}: block {block.bid} no longer reaches "
@@ -168,7 +186,11 @@ class ProcedureLayout:
             elif kind is TerminatorKind.UNCOND:
                 target = proc.taken_edge(block.bid).dst  # type: ignore[union-attr]
                 if placement.jump_target is not None:
-                    raise LayoutError(f"{proc.name}: bad placement for {block.bid}")
+                    raise LayoutError(
+                        f"{proc.name}: bad placement for block {block.bid}: "
+                        f"an unconditional-branch block cannot take an "
+                        f"appended jump (to {placement.jump_target})"
+                    )
                 if placement.branch_removed:
                     if nxt != target:
                         raise LayoutError(
@@ -183,7 +205,15 @@ class ProcedureLayout:
                 taken = proc.taken_edge(block.bid).dst  # type: ignore[union-attr]
                 fall = proc.fallthrough_edge(block.bid).dst  # type: ignore[union-attr]
                 if placement.branch_removed or placement.taken_target is None:
-                    raise LayoutError(f"{proc.name}: bad placement for {block.bid}")
+                    what = (
+                        "its branch removed"
+                        if placement.branch_removed
+                        else "no taken target"
+                    )
+                    raise LayoutError(
+                        f"{proc.name}: bad placement for block {block.bid}: "
+                        f"a conditional block cannot have {what}"
+                    )
                 if placement.taken_target not in (taken, fall):
                     raise LayoutError(
                         f"{proc.name}: block {block.bid} branch retargeted"
@@ -200,7 +230,10 @@ class ProcedureLayout:
                     or placement.jump_target is not None
                     or placement.branch_removed
                 ):
-                    raise LayoutError(f"{proc.name}: bad placement for {block.bid}")
+                    raise LayoutError(
+                        f"{proc.name}: bad placement for block {block.bid}: "
+                        f"{kind.value} blocks are never rewritten by layout"
+                    )
 
     # ------------------------------------------------------------------
     # Derived properties

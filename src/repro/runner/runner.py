@@ -111,6 +111,9 @@ class RunnerConfig:
     fail_fast: bool = False
     #: Differentially verify every aligned layout (see ``repro.oracle``).
     oracle: bool = False
+    #: Statically prove every aligned layout bisimilar to the original
+    #: binary (see ``repro.staticcheck.binary``); no execution involved.
+    prove: bool = False
     #: Run the static verifier passes (``repro.staticcheck``) over each
     #: unit's CFG and profile before alignment; findings of error
     #: severity fail the unit's ``lint`` stage as ValidationErrors.
@@ -204,6 +207,7 @@ class UnitTask:
     faults: Optional[FaultPlan] = None
     alpha_config: Optional[AlphaConfig] = None
     oracle: bool = False
+    prove: bool = False
     lint: bool = False
     engine: str = "replay"
     replay_check: bool = False
@@ -318,9 +322,21 @@ def execute_unit(task: UnitTask) -> dict:
         else:
             raise FatalError(f"unknown unit kind {task.kind!r}")
 
-    if task.oracle:
-        with _stage("oracle"):
-            _run_oracle(task, program, profile, injector, decisions=trace)
+    if task.oracle or task.prove:
+        # Compute (and fault-mutate) the layouts once, so the dynamic
+        # oracle and the static prover judge the *same* binaries.
+        with _stage("oracle" if task.oracle else "prove"):
+            injector.fire("layout", name, attempt)
+            layouts = {
+                label: injector.mutate_layout(name, attempt, label, layout, profile)
+                for label, layout in _oracle_layouts(task, program, profile).items()
+            }
+        if task.oracle:
+            with _stage("oracle"):
+                _run_oracle(task, program, profile, layouts, decisions=trace)
+        if task.prove:
+            with _stage("prove"):
+                _run_prove(task, program, layouts)
     return payload
 
 
@@ -354,24 +370,16 @@ def _oracle_layouts(task: UnitTask, program, profile) -> dict:
     )
 
 
-def _run_oracle(
-    task: UnitTask, program, profile, injector: FaultInjector, decisions=None
-) -> None:
+def _run_oracle(task: UnitTask, program, profile, layouts, decisions=None) -> None:
     """Differentially verify every aligned layout of one unit.
 
-    Any scheduled layout fault is applied first, so an injected rewriter
-    bug must flow through the oracle and surface as a ValidationError.
-    ``decisions`` reuses the unit's decision trace so the oracle adds
-    zero extra executions.
+    ``layouts`` already carries any scheduled layout fault, so an
+    injected rewriter bug must flow through the oracle and surface as a
+    ValidationError.  ``decisions`` reuses the unit's decision trace so
+    the oracle adds zero extra executions.
     """
     from ..oracle import summarize_failures, verify_alignments
 
-    name, attempt = task.benchmark, task.attempt
-    injector.fire("layout", name, attempt)
-    layouts = {
-        label: injector.mutate_layout(name, attempt, label, layout, profile)
-        for label, layout in _oracle_layouts(task, program, profile).items()
-    }
     reports = verify_alignments(
         program, profile, layouts, seed=task.seed, decisions=decisions
     )
@@ -380,6 +388,28 @@ def _run_oracle(
         raise ValidationError(
             f"differential oracle: {len(failed)}/{len(reports)} layout(s) "
             f"not trace-isomorphic — {summarize_failures(reports)}"
+        )
+
+
+def _run_prove(task: UnitTask, program, layouts) -> None:
+    """Statically prove every aligned layout bisimilar to the original.
+
+    Recovery works from the raw linked instruction stream only; a layout
+    whose binary cannot be proven equivalent fails the unit's ``prove``
+    stage as a ValidationError — the static twin of the dynamic oracle.
+    """
+    from ..staticcheck.binary import prove_layouts
+
+    proofs = prove_layouts(program, layouts, benchmark=task.benchmark)
+    failed = {label: proof for label, proof in proofs.items() if not proof.bisimilar}
+    if failed:
+        details = "; ".join(
+            f"{label}: {'; '.join(proof.failures()[:1]) or 'not bisimilar'}"
+            for label, proof in sorted(failed.items())
+        )
+        raise ValidationError(
+            f"translation validator: {len(failed)}/{len(proofs)} layout(s) "
+            f"not bisimilar — {details}"
         )
 
 
@@ -730,6 +760,7 @@ def run_units(tasks: Sequence[UnitTask], config: Optional[RunnerConfig] = None) 
             validate=config.validate,
             faults=config.faults,
             oracle=config.oracle or task.oracle,
+            prove=config.prove or task.prove,
             lint=config.lint or task.lint,
             engine=config.engine,
             replay_check=config.replay_check or task.replay_check,

@@ -31,7 +31,10 @@ import hashlib
 import json
 import sys
 from array import array
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Protocol, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from ..profiling.edge_profile import EdgeProfile
 
 from ..cfg import BlockId, Program, TerminatorKind
 from ..isa.encoder import INSTRUCTION_BYTES
@@ -165,7 +168,7 @@ class DecisionTrace:
             self._visit_counts = visits
         return self._visit_counts
 
-    def edge_profile(self, program: Program):
+    def edge_profile(self, program: Program) -> EdgeProfile:
         """Reconstruct the exact edge profile a profiled run would record.
 
         The executor's ``profile_hook`` fires once per intra-procedural
@@ -480,8 +483,24 @@ def validate_payload(payload: object, key: Optional[str] = None) -> DecisionTrac
     return trace
 
 
+class TraceStore(Protocol):
+    """The artifact-store surface the trace cache relies on (duck-typed).
+
+    Matches :class:`repro.runner.store.ArtifactStore` structurally so the
+    sim layer stays free of a runner dependency.
+    """
+
+    def __contains__(self, key: str) -> bool: ...
+
+    def load(self, key: str) -> object: ...
+
+    def put(self, key: str, payload: Dict[str, object]) -> object: ...
+
+    def quarantine(self, key: str) -> object: ...
+
+
 def load_or_capture(
-    store,
+    store: Optional[TraceStore],
     program: Program,
     workload: str,
     scale: float,
@@ -490,14 +509,14 @@ def load_or_capture(
     """Fetch a cached trace, or capture (and cache) a fresh one.
 
     Returns ``(trace, cache_hit)``.  ``store`` is duck-typed (the
-    :class:`repro.runner.store.ArtifactStore` surface: ``__contains__``,
-    ``load``, ``put``, ``quarantine``) so the sim layer stays free of a
-    runner dependency; pass ``None`` to always capture.
+    :class:`TraceStore` surface of :class:`repro.runner.store.
+    ArtifactStore`); pass ``None`` to always capture.
 
-    A corrupt cached entry (store checksum failure, digest mismatch,
-    undecodable payload) is quarantined and transparently re-captured; a
-    merely stale one (schema drift) is silently overwritten.  Any load
-    failure degrades to a capture — the cache is an accelerator, never a
+    Every unusable cached entry — stale (``stale-schema``,
+    ``stale-fingerprint``) as well as corrupt (``digest-mismatch``,
+    ``malformed``) — is quarantined, preserving the payload for
+    post-mortem, and transparently re-captured.  Any load failure
+    degrades to a capture — the cache is an accelerator, never a
     correctness dependency, so *every* exception on the load path is
     converted into a miss.
     """
@@ -506,9 +525,10 @@ def load_or_capture(
     if store is not None and key in store:
         try:
             trace = decode_trace(store.load(key), expect_fingerprint=fingerprint)
-        except TraceDecodeError as exc:
-            if exc.reason in ("digest-mismatch", "malformed"):
-                store.quarantine(key)
+        except TraceDecodeError:
+            # Stale or corrupt, the response is the same: set the entry
+            # aside rather than silently overwrite it, then re-capture.
+            store.quarantine(key)
         except Exception:
             # The store already quarantines entries failing its own
             # checksum; anything else (I/O, JSON) is treated as a miss.

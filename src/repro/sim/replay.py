@@ -33,10 +33,10 @@ resulting :class:`~repro.sim.metrics.SimulationReport`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..isa.encoder import INSTRUCTION_BYTES, LinkedProgram
-from ..cfg import TerminatorKind
+from ..cfg import BlockId, TerminatorKind
 from . import trace as tr
 from .decisions import DecisionTrace, T_BRANCH, T_CALL, T_FINAL, T_RET
 from .executor import ExecutionResult, _compile_nodes
@@ -49,12 +49,40 @@ class ReplayMismatchError(AssertionError):
     """The replay engine disagreed with the legacy execute engine."""
 
 
+#: One realised branch event: (kind, site address, target address, taken).
+Event = Tuple[int, int, int, bool]
+
+
+class EventListener(Protocol):
+    """Anything consuming the executor's per-event protocol."""
+
+    def on_event(self, event: Event) -> None: ...
+
+
+class BlockListener(Protocol):
+    """Anything consuming the executor's per-block protocol."""
+
+    def on_block(self, start: int, size: int) -> None: ...
+
+
 class _Step:
     """One step template bound to a layout (hot-loop friendly)."""
 
     __slots__ = ("events", "enter_start", "enter_size", "enter_proc", "enter_bid", "edge")
 
-    def __init__(self, events, enter, edge):
+    events: Tuple[Event, ...]
+    enter_start: int
+    enter_size: int
+    enter_proc: Optional[str]
+    enter_bid: Optional[BlockId]
+    edge: Optional[Tuple[str, BlockId, BlockId]]
+
+    def __init__(
+        self,
+        events: Tuple[Event, ...],
+        enter: Optional[Tuple[str, BlockId, int, int]],
+        edge: Optional[Tuple[str, BlockId, BlockId]],
+    ):
         self.events = events
         if enter is None:
             self.enter_size = -1
@@ -135,10 +163,10 @@ def compile_steps(linked: LinkedProgram, trace: DecisionTrace) -> List[_Step]:
 def replay(
     linked: LinkedProgram,
     trace: DecisionTrace,
-    listeners: Sequence[object] = (),
-    block_listeners: Sequence[object] = (),
-    profile_hook=None,
-    block_hook=None,
+    listeners: Sequence[EventListener] = (),
+    block_listeners: Sequence[BlockListener] = (),
+    profile_hook: Optional[Callable[[str, BlockId, BlockId], None]] = None,
+    block_hook: Optional[Callable[[str, BlockId], None]] = None,
     max_events: Optional[int] = None,
     compiled: Optional[List[_Step]] = None,
 ) -> ExecutionResult:
@@ -187,7 +215,11 @@ def replay(
             if on_block:
                 for cb in on_block:
                     cb(step.enter_start, step.enter_size)
-            if block_hook is not None:
+            if (
+                block_hook is not None
+                and step.enter_proc is not None
+                and step.enter_bid is not None
+            ):
                 block_hook(step.enter_proc, step.enter_bid)
 
     return ExecutionResult(instructions=instructions, events=events, blocks=blocks_executed)
@@ -253,7 +285,7 @@ class _Aggregates:
                     self.ret_events += count
 
 
-def _serve_static(sim, agg: _Aggregates, trace: DecisionTrace) -> None:
+def _serve_static(sim: Any, agg: _Aggregates, trace: DecisionTrace) -> None:
     """Apply a whole replay to a stateless-per-site static predictor.
 
     Uses the sim's own ``predict_cond`` once per site (the prediction is
@@ -511,16 +543,17 @@ class _BTBFeed:
 class _GenericFeed:
     """Faithful per-event feed for listeners outside the fast tiers."""
 
-    def __init__(self, listener):
+    def __init__(self, listener: EventListener):
         self.on_event = listener.on_event
 
-    def feed(self, chunk: List[Tuple[int, int, int, bool]]) -> None:
+    def feed(self, chunk: List[Event]) -> None:
         cb = self.on_event
         for event in chunk:
             cb(event)
 
 
-_FAST_FEEDS = {
+#: Exact listener type -> inlined feed constructor (see module docstring).
+_FAST_FEEDS: Dict[type, Callable[[Any], Any]] = {
     DirectMappedPHT: _DirectPHTFeed,
     CorrelationPHT: _CorrelationPHTFeed,
     BTBSim: _BTBFeed,
@@ -532,7 +565,7 @@ _AGGREGATE_TYPES = (FallthroughSim, BTFNTSim, LikelySim)
 def run_architectures(
     linked: LinkedProgram,
     trace: DecisionTrace,
-    sims: Sequence[object],
+    sims: Sequence[Any],
     max_events: Optional[int] = None,
 ) -> Tuple[int, int, int, int]:
     """Feed every simulator one replay of ``trace`` under ``linked``.
@@ -548,7 +581,7 @@ def run_architectures(
         taken = 0
 
         class _Mix:
-            def on_event(self, event):
+            def on_event(self, event: Event) -> None:
                 nonlocal executed, taken
                 if event[0] == 0:
                     executed += 1
@@ -563,7 +596,7 @@ def run_architectures(
     compiled = compile_steps(linked, trace)
     agg = _Aggregates(linked, trace, compiled)
 
-    feeds = []
+    feeds: List[Any] = []
     for sim in sims:
         # Exact-type dispatch: subclasses (tournament, local-history PHTs)
         # override update rules and must fall through to the generic tier.

@@ -7,9 +7,29 @@ Three parts:
 * :mod:`.dataflow` — cached classic analyses (reachability, dominators,
   postdominators, natural loops) behind an ``AnalysisManager``;
 * :mod:`.estimator` — a trace-free branch-cost estimator computed from
-  the edge profile, cross-validated against the simulator.
+  the edge profile, cross-validated against the simulator;
+* :mod:`.binary` — binary-level translation validation: CFG recovery
+  from the linked instruction stream, encoding checks (RL013-RL017) and
+  static bisimulation proofs for every alignment rewrite.
 """
 
+from .binary import (
+    BinaryImage,
+    EquivalenceError,
+    EquivalenceProof,
+    ProcedureProof,
+    RecoveredBlock,
+    RecoveredCFG,
+    RecoveredProcedure,
+    RecoveryError,
+    check_proof,
+    proof_key,
+    prove_cfgs,
+    prove_layouts,
+    recover,
+    recover_layout,
+    verify_image,
+)
 from .dataflow import AnalysisManager, ProgramAnalyses
 from .diagnostics import (
     CODES,
@@ -34,21 +54,36 @@ __all__ = [
     "AnalysisManager",
     "ArchAgreement",
     "ArchEstimate",
+    "BinaryImage",
     "BranchSiteEstimate",
     "CODES",
     "CostEstimate",
     "Diagnostic",
+    "EquivalenceError",
+    "EquivalenceProof",
     "LintContext",
     "LintReport",
     "PASSES",
     "PassManager",
     "PassOutcome",
+    "ProcedureProof",
     "ProgramAnalyses",
+    "RecoveredBlock",
+    "RecoveredCFG",
+    "RecoveredProcedure",
+    "RecoveryError",
     "REPORT_SCHEMA_VERSION",
     "Severity",
     "VerifierPass",
+    "check_proof",
     "cross_validate",
     "estimate_costs",
+    "proof_key",
+    "prove_cfgs",
+    "prove_layouts",
+    "recover",
+    "recover_layout",
     "run_lint",
+    "verify_image",
     "worst_severity",
 ]

@@ -1,0 +1,47 @@
+"""Binary-level translation validation.
+
+This package closes the circularity gap left by the source-level verifier
+passes: instead of checking a layout against the CFG metadata it was derived
+from, it re-derives a CFG from the raw linked instruction stream alone
+(:mod:`recover`), lints the encoded stream (:mod:`encoding`, RL013-RL017)
+and proves the aligned binary bisimilar to the original binary
+(:mod:`equiv`) without executing a single instruction.
+"""
+
+from .encoding import verify_image
+from .equiv import (
+    EquivalenceError,
+    EquivalenceProof,
+    ProcedureProof,
+    check_proof,
+    proof_key,
+    prove_cfgs,
+    prove_layouts,
+)
+from .recover import (
+    BinaryImage,
+    RecoveredBlock,
+    RecoveredCFG,
+    RecoveredProcedure,
+    RecoveryError,
+    recover,
+    recover_layout,
+)
+
+__all__ = [
+    "BinaryImage",
+    "EquivalenceError",
+    "EquivalenceProof",
+    "ProcedureProof",
+    "RecoveredBlock",
+    "RecoveredCFG",
+    "RecoveredProcedure",
+    "RecoveryError",
+    "check_proof",
+    "proof_key",
+    "prove_cfgs",
+    "prove_layouts",
+    "recover",
+    "recover_layout",
+    "verify_image",
+]

@@ -1,0 +1,239 @@
+"""Encoding verifier over the raw linked instruction stream (RL013-RL017).
+
+Unlike the source-level passes, these checks never consult the layout or
+the CFG the image was produced from: they decode the flat stream the same
+way :mod:`repro.staticcheck.binary.recover` does and lint what a binary
+rewriter actually emitted — displacement encodability, target sanity,
+dead padding, control flow running off a procedure's end, and streams
+that do not decode to a consistent CFG at all.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ...isa.encoder import LinkedProgram
+from ...isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
+from ...isa.layout import ProgramLayout
+from ..diagnostics import Diagnostic, Severity
+from .recover import BinaryImage, RecoveryError, recover
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..passes import LintContext
+
+#: Signed displacement width of direct control transfers, in words
+#: (Alpha-flavoured 21-bit branch displacement field).
+BRANCH_DISPLACEMENT_BITS = 21
+_DISP_MIN = -(1 << (BRANCH_DISPLACEMENT_BITS - 1))
+_DISP_MAX = (1 << (BRANCH_DISPLACEMENT_BITS - 1)) - 1
+
+_DIRECT = (Opcode.COND_BRANCH, Opcode.UNCOND_BRANCH, Opcode.CALL)
+_BRANCHES = (Opcode.COND_BRANCH, Opcode.UNCOND_BRANCH)
+
+
+def displacement(instruction: Instruction) -> Optional[int]:
+    """Signed word displacement a direct transfer must encode."""
+    if instruction.target is None:
+        return None
+    return (instruction.target - (instruction.address + INSTRUCTION_BYTES)) // (
+        INSTRUCTION_BYTES
+    )
+
+
+def _owner(image: BinaryImage, address: int) -> Optional[str]:
+    """Name of the procedure whose span contains ``address``."""
+    ordered = sorted(image.symbols, key=lambda pair: pair[1])
+    for idx, (name, start) in enumerate(ordered):
+        end = ordered[idx + 1][1] if idx + 1 < len(ordered) else image.text_end
+        if start <= address < end:
+            return name
+    return None
+
+
+def check_encoding(
+    image: BinaryImage, pass_id: str = "binary-encoding", layout: Optional[str] = None
+) -> List[Diagnostic]:
+    """RL013/RL014: displacement range and target sanity, per instruction."""
+    out: List[Diagnostic] = []
+    decoded = {instruction.address for instruction in image.instructions}
+    entries = {addr for _, addr in image.symbols}
+    for instruction in image.instructions:
+        if instruction.opcode not in _DIRECT:
+            continue
+        target = instruction.target
+        assert target is not None
+        proc = _owner(image, instruction.address)
+        disp = displacement(instruction)
+        assert disp is not None
+        if not _DISP_MIN <= disp <= _DISP_MAX:
+            out.append(
+                Diagnostic(
+                    code="RL013",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{instruction.opcode.value} at {instruction.address:#x} "
+                        f"needs displacement {disp}, outside the signed "
+                        f"{BRANCH_DISPLACEMENT_BITS}-bit range"
+                    ),
+                    pass_id=pass_id,
+                    procedure=proc,
+                    layout=layout,
+                )
+            )
+        bad: Optional[str] = None
+        if target % INSTRUCTION_BYTES:
+            bad = f"misaligned target {target:#x}"
+        elif not image.text_base <= target < image.text_end:
+            bad = f"target {target:#x} outside the text segment"
+        elif target not in decoded:
+            bad = f"target {target:#x} is not an instruction boundary"
+        elif instruction.opcode in _BRANCHES and _owner(image, target) != proc:
+            bad = (
+                f"branch target {target:#x} crosses from procedure "
+                f"{proc!r} into {_owner(image, target)!r}"
+            )
+        elif instruction.opcode is Opcode.CALL and target not in entries:
+            bad = f"call target {target:#x} is not a procedure entry"
+        if bad is not None:
+            out.append(
+                Diagnostic(
+                    code="RL014",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{instruction.opcode.value} at "
+                        f"{instruction.address:#x}: {bad}"
+                    ),
+                    pass_id=pass_id,
+                    procedure=proc,
+                    layout=layout,
+                )
+            )
+    return out
+
+
+def check_recovery(
+    image: BinaryImage, pass_id: str = "binary-recovery", layout: Optional[str] = None
+) -> List[Diagnostic]:
+    """RL015/RL016/RL017: recovered-CFG hygiene for one image."""
+    out: List[Diagnostic] = []
+    try:
+        cfg = recover(image)
+    except RecoveryError as exc:
+        out.append(
+            Diagnostic(
+                code="RL017",
+                severity=Severity.ERROR,
+                message=f"instruction stream does not decode consistently: {exc}",
+                pass_id=pass_id,
+                layout=layout,
+            )
+        )
+        return out
+    for proc in cfg.procedures:
+        has_indirect = any(
+            block.kind is Opcode.INDIRECT_JUMP for block in proc.blocks
+        )
+        reachable = {proc.entry}
+        frontier = [proc.entry]
+        while frontier:
+            address = frontier.pop()
+            if not proc.has_block_at(address):
+                continue
+            for successor in proc.block_at(address).successors():
+                if proc.start <= successor < proc.end and successor not in reachable:
+                    reachable.add(successor)
+                    frontier.append(successor)
+        for block in proc.blocks:
+            if (
+                block.kind is Opcode.UNCOND_BRANCH
+                and block.taken_target == block.end
+            ):
+                out.append(
+                    Diagnostic(
+                        code="RL015",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"dead padding: jump at {block.end - INSTRUCTION_BYTES:#x} "
+                            "targets the next instruction"
+                        ),
+                        pass_id=pass_id,
+                        procedure=proc.name,
+                        layout=layout,
+                    )
+                )
+            if not has_indirect and block.start not in reachable:
+                out.append(
+                    Diagnostic(
+                        code="RL015",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"recovered block at {block.start:#x} is "
+                            "unreachable from the procedure entry"
+                        ),
+                        pass_id=pass_id,
+                        procedure=proc.name,
+                        layout=layout,
+                    )
+                )
+            if block.fall_target is not None and block.fall_target >= proc.end:
+                out.append(
+                    Diagnostic(
+                        code="RL016",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"control falls off the end of the procedure "
+                            f"after {block.end - INSTRUCTION_BYTES:#x}"
+                        ),
+                        pass_id=pass_id,
+                        procedure=proc.name,
+                        layout=layout,
+                    )
+                )
+    return out
+
+
+def verify_image(
+    image: BinaryImage, layout: Optional[str] = None
+) -> List[Diagnostic]:
+    """Run both binary verifier stages over one image."""
+    return check_encoding(image, layout=layout) + check_recovery(
+        image, layout=layout
+    )
+
+
+def _linked_image(
+    label: str, layout: ProgramLayout, pass_id: str, out: List[Diagnostic]
+) -> Optional[BinaryImage]:
+    try:
+        return BinaryImage.from_linked(LinkedProgram(layout))
+    except Exception as exc:
+        out.append(
+            Diagnostic(
+                code="RL017",
+                severity=Severity.ERROR,
+                message=f"layout could not be linked for binary checking: {exc}",
+                pass_id=pass_id,
+                layout=label,
+            )
+        )
+        return None
+
+
+def pass_binary_encoding(ctx: "LintContext") -> List[Diagnostic]:
+    """Verifier pass: RL013/RL014 over every layout's linked image."""
+    out: List[Diagnostic] = []
+    for label, layout in ctx.layouts.items():
+        image = _linked_image(label, layout, "binary-encoding", out)
+        if image is not None:
+            out.extend(check_encoding(image, "binary-encoding", label))
+    return out
+
+
+def pass_binary_recovery(ctx: "LintContext") -> List[Diagnostic]:
+    """Verifier pass: RL015/RL016/RL017 over every layout's linked image."""
+    out: List[Diagnostic] = []
+    for label, layout in ctx.layouts.items():
+        image = _linked_image(label, layout, "binary-recovery", out)
+        if image is not None:
+            out.extend(check_recovery(image, "binary-recovery", label))
+    return out

@@ -1,0 +1,285 @@
+"""Disassembler and CFG recovery from a linked binary image.
+
+The recovery engine deliberately works from the *least* information a
+binary rewriter's validator could rely on: the flat, address-sorted
+instruction stream of a :class:`~repro.isa.encoder.LinkedProgram` plus its
+symbol table (procedure name, entry address).  No block ids, no layout
+placements, no source :class:`~repro.cfg.Program` — leaders are rediscovered
+from branch targets and fall-through the way a real disassembler does it,
+so the recovered graph is an independent witness of what the rewrite
+actually emitted.
+
+Because recovery only splits blocks at *observed* control flow, two source
+blocks glued together by layout (a fall-through block followed by its only
+successor) come back as a single recovered block.  The equivalence prover
+(:mod:`repro.staticcheck.binary.equiv`) is therefore written against
+instruction-level observables, not block identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...isa.encoder import LinkedProgram
+from ...isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
+from ...isa.layout import ProgramLayout
+
+#: Opcodes that terminate a basic block (calls do not: control returns).
+_TERMINATORS = (
+    Opcode.COND_BRANCH,
+    Opcode.UNCOND_BRANCH,
+    Opcode.INDIRECT_JUMP,
+    Opcode.RETURN,
+)
+
+#: Opcodes carrying a direct (statically known) target address.
+_DIRECT = (Opcode.COND_BRANCH, Opcode.UNCOND_BRANCH, Opcode.CALL)
+
+
+class RecoveryError(ValueError):
+    """The instruction stream does not decode to a consistent CFG."""
+
+
+@dataclass(frozen=True)
+class BinaryImage:
+    """Pure-data view of a linked program: bytes-with-addresses + symbols.
+
+    This is the *only* input the recovery path sees.  ``symbols`` maps each
+    procedure name to its entry address in link order; ``entry_symbol``
+    names the image's entry point (what an ELF header would record).
+    """
+
+    instructions: Tuple[Instruction, ...]
+    symbols: Tuple[Tuple[str, int], ...]
+    entry_symbol: str
+    text_base: int
+    text_end: int
+
+    @classmethod
+    def from_linked(cls, linked: LinkedProgram) -> "BinaryImage":
+        """Flatten a linked program into an image, discarding metadata."""
+        instructions = tuple(
+            sorted(linked.disassemble(), key=lambda ins: ins.address)
+        )
+        symbols = tuple(
+            (name, linked.proc_start[name]) for name in linked.program.order
+        )
+        base = min(addr for _, addr in symbols) if symbols else linked.text_end
+        return cls(
+            instructions=instructions,
+            symbols=symbols,
+            entry_symbol=linked.program.entry,
+            text_base=base,
+            text_end=linked.text_end,
+        )
+
+    def symbol_at(self, address: int) -> Optional[str]:
+        """Name of the procedure whose entry is ``address``, if any."""
+        for name, addr in self.symbols:
+            if addr == address:
+                return name
+        return None
+
+
+@dataclass(frozen=True)
+class RecoveredBlock:
+    """A basic block rediscovered from the instruction stream.
+
+    ``kind`` is the terminator opcode of the block's last instruction, or
+    ``None`` for a pure fall-through block.  ``taken_target`` and
+    ``fall_target`` are *addresses*; ``fall_target`` is ``None`` when the
+    block cannot fall through (unconditional transfer or return).
+    """
+
+    start: int
+    instructions: Tuple[Instruction, ...]
+    kind: Optional[Opcode]
+    taken_target: Optional[int]
+    fall_target: Optional[int]
+
+    @property
+    def end(self) -> int:
+        """Address one past the last instruction."""
+        return self.start + len(self.instructions) * INSTRUCTION_BYTES
+
+    @property
+    def size(self) -> int:
+        return len(self.instructions)
+
+    def successors(self) -> Tuple[int, ...]:
+        """Statically known successor addresses."""
+        out: List[int] = []
+        if self.taken_target is not None:
+            out.append(self.taken_target)
+        if self.fall_target is not None:
+            out.append(self.fall_target)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class RecoveredProcedure:
+    """All recovered blocks within one symbol's address span."""
+
+    name: str
+    start: int
+    end: int
+    blocks: Tuple[RecoveredBlock, ...]
+
+    @property
+    def entry(self) -> int:
+        return self.start
+
+    def block_at(self, address: int) -> RecoveredBlock:
+        """The block whose first instruction is ``address``."""
+        for block in self.blocks:
+            if block.start == address:
+                return block
+        raise KeyError(f"{self.name}: no recovered block at {address:#x}")
+
+    def has_block_at(self, address: int) -> bool:
+        return any(block.start == address for block in self.blocks)
+
+
+@dataclass(frozen=True)
+class RecoveredCFG:
+    """The control-flow graph recovered from a whole binary image."""
+
+    image: BinaryImage
+    procedures: Tuple[RecoveredProcedure, ...]
+
+    @property
+    def entry_symbol(self) -> str:
+        return self.image.entry_symbol
+
+    def procedure(self, name: str) -> RecoveredProcedure:
+        for proc in self.procedures:
+            if proc.name == name:
+                return proc
+        raise KeyError(f"no recovered procedure named {name!r}")
+
+    def procedure_names(self) -> Tuple[str, ...]:
+        return tuple(proc.name for proc in self.procedures)
+
+    def callee_name(self, address: int) -> Optional[str]:
+        """Resolve a call target address to its symbol, if it is one."""
+        return self.image.symbol_at(address)
+
+
+def _spans(image: BinaryImage) -> List[Tuple[str, int, int]]:
+    """(name, start, end) address spans of each symbol, in address order."""
+    ordered = sorted(image.symbols, key=lambda pair: pair[1])
+    spans: List[Tuple[str, int, int]] = []
+    for idx, (name, start) in enumerate(ordered):
+        end = ordered[idx + 1][1] if idx + 1 < len(ordered) else image.text_end
+        spans.append((name, start, end))
+    return spans
+
+
+def _decode_stream(image: BinaryImage) -> Dict[int, Instruction]:
+    """Index the stream by address, rejecting inconsistent encodings."""
+    by_address: Dict[int, Instruction] = {}
+    for instruction in image.instructions:
+        if instruction.address in by_address:
+            raise RecoveryError(
+                f"overlapping code: two instructions at {instruction.address:#x}"
+            )
+        if not image.text_base <= instruction.address < image.text_end:
+            raise RecoveryError(
+                f"instruction at {instruction.address:#x} lies outside the "
+                f"text segment [{image.text_base:#x}, {image.text_end:#x})"
+            )
+        by_address[instruction.address] = instruction
+    return by_address
+
+
+def _find_leaders(
+    stream: Dict[int, Instruction], start: int, end: int
+) -> List[int]:
+    """Block leaders within one procedure span, address-sorted.
+
+    A leader is the procedure entry, any direct branch target landing
+    inside the span, or the instruction following a block terminator.
+    Calls do not end blocks — control returns to the next instruction.
+    """
+    leaders = {start}
+    address = start
+    while address < end:
+        instruction = stream.get(address)
+        if instruction is None:
+            raise RecoveryError(
+                f"hole in the instruction stream at {address:#x}"
+            )
+        if instruction.opcode in (Opcode.COND_BRANCH, Opcode.UNCOND_BRANCH):
+            target = instruction.target
+            if target is not None and start <= target < end:
+                leaders.add(target)
+        if instruction.opcode in _TERMINATORS:
+            after = address + INSTRUCTION_BYTES
+            if after < end:
+                leaders.add(after)
+        address += INSTRUCTION_BYTES
+    return sorted(leaders)
+
+
+def _carve_blocks(
+    stream: Dict[int, Instruction], leaders: List[int], end: int
+) -> Tuple[RecoveredBlock, ...]:
+    """Slice the span at its leaders and classify each block's terminator."""
+    blocks: List[RecoveredBlock] = []
+    for idx, leader in enumerate(leaders):
+        stop = leaders[idx + 1] if idx + 1 < len(leaders) else end
+        body = tuple(
+            stream[address]
+            for address in range(leader, stop, INSTRUCTION_BYTES)
+        )
+        last = body[-1]
+        kind: Optional[Opcode] = None
+        taken: Optional[int] = None
+        fall: Optional[int] = stop
+        if last.opcode in _TERMINATORS:
+            kind = last.opcode
+            if last.opcode is Opcode.COND_BRANCH:
+                taken = last.target
+            elif last.opcode is Opcode.UNCOND_BRANCH:
+                taken = last.target
+                fall = None
+            else:  # INDIRECT_JUMP, RETURN — no static successors
+                fall = None
+        blocks.append(
+            RecoveredBlock(
+                start=leader,
+                instructions=body,
+                kind=kind,
+                taken_target=taken,
+                fall_target=fall,
+            )
+        )
+    return tuple(blocks)
+
+
+def recover(image: BinaryImage) -> RecoveredCFG:
+    """Rebuild a CFG from an image using addresses and opcodes only.
+
+    Raises :class:`RecoveryError` when the stream cannot be decoded
+    consistently (overlapping instructions, holes inside a procedure,
+    code outside the text segment, empty procedures).
+    """
+    stream = _decode_stream(image)
+    procedures: List[RecoveredProcedure] = []
+    for name, start, end in _spans(image):
+        if start >= end:
+            raise RecoveryError(f"{name}: empty procedure span at {start:#x}")
+        leaders = _find_leaders(stream, start, end)
+        blocks = _carve_blocks(stream, leaders, end)
+        procedures.append(
+            RecoveredProcedure(name=name, start=start, end=end, blocks=blocks)
+        )
+    by_symbol_order = {name: idx for idx, (name, _) in enumerate(image.symbols)}
+    procedures.sort(key=lambda proc: by_symbol_order[proc.name])
+    return RecoveredCFG(image=image, procedures=tuple(procedures))
+
+
+def recover_layout(layout: ProgramLayout) -> RecoveredCFG:
+    """Convenience: link a layout, flatten it, and recover its CFG."""
+    return recover(BinaryImage.from_linked(LinkedProgram(layout)))

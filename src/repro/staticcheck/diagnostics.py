@@ -52,6 +52,11 @@ CODES: Dict[str, str] = {
     "RL010": "conditional branch sense not invertible as placed",
     "RL011": "layout is not a permutation of the procedure's blocks",
     "RL012": "control transfer retargeted at a wrong block",
+    "RL013": "direct transfer displacement exceeds the encodable range",
+    "RL014": "control-transfer target invalid in the linked image",
+    "RL015": "dead padding or unreachable code in the recovered stream",
+    "RL016": "control flow falls off the end of a procedure",
+    "RL017": "instruction stream does not decode to a consistent CFG",
 }
 
 

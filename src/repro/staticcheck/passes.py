@@ -26,6 +26,7 @@ from ..cfg.blocks import expected_edge_kinds
 from ..isa.encoder import INSTRUCTION_BYTES, TEXT_BASE, LinkedProgram
 from ..isa.layout import ProcedureLayout, ProgramLayout
 from ..profiling.edge_profile import EdgeProfile
+from .binary.encoding import pass_binary_encoding, pass_binary_recovery
 from .dataflow import ProgramAnalyses
 from .diagnostics import Diagnostic, LintReport, PassOutcome, Severity
 
@@ -606,6 +607,10 @@ PASSES: Tuple[VerifierPass, ...] = (
                  _pass_transfer_targets, needs_layouts=True),
     VerifierPass("lower-addresses", "addresses tile the text segment",
                  _pass_addresses, needs_layouts=True),
+    VerifierPass("binary-encoding", "linked stream displacements and targets encode",
+                 pass_binary_encoding, needs_layouts=True),
+    VerifierPass("binary-recovery", "recovered binary CFG is consistent and covered",
+                 pass_binary_recovery, needs_layouts=True),
 )
 
 

@@ -84,6 +84,59 @@ class TestReplayClaim:
         ).passed
 
 
+class TestProveClaim:
+    def _rows(self):
+        return [
+            ("greedy", True, True, True),
+            ("try10-pht", True, True, True),
+            ("fault:flip-sense", False, False, False),
+            ("fault:mutate-layout", False, False, False),
+        ]
+
+    def _check(self, rows):
+        from repro.analysis.claims import _Context, _check_prover_oracle_agreement
+
+        return _check_prover_oracle_agreement(
+            _Context(experiments=[], figure4_rows=[],
+                     prove_checks={"eqntott": rows})
+        )
+
+    def test_prove_claim_present_and_passing(self, results):
+        claim = next(r for r in results if r.claim_id == "static-proof-matches-oracle")
+        assert claim.passed
+        assert "both judges rejected" in claim.detail
+
+    def test_agreement_with_joint_rejection_passes(self):
+        claim = self._check(self._rows())
+        assert claim.passed
+        assert "2 injected rewriter faults" in claim.detail
+
+    def test_disagreement_fails_the_claim(self):
+        rows = self._rows()
+        rows[0] = ("greedy", True, False, True)  # prover rejects, oracle passes
+        claim = self._check(rows)
+        assert not claim.passed
+        assert "eqntott/greedy" in claim.detail
+
+    def test_jointly_missed_fault_fails_the_claim(self):
+        rows = self._rows()
+        rows[2] = ("fault:flip-sense", True, True, False)  # both judges fooled
+        claim = self._check(rows)
+        assert not claim.passed
+        assert "wrong verdict" in claim.detail
+
+    def test_too_few_fault_probes_fails_rather_than_vacuously_passes(self):
+        claim = self._check([("greedy", True, True, True)])
+        assert not claim.passed
+
+    def test_no_rows_fails_rather_than_vacuously_passes(self):
+        from repro.analysis.claims import _Context, _check_prover_oracle_agreement
+
+        assert not _check_prover_oracle_agreement(
+            _Context(experiments=[], figure4_rows=[])
+        ).passed
+
+
 class TestStrictFlag:
     def _fake_results(self, passed):
         return [ClaimResult("c", "a quote long enough to satisfy checks", passed, "d")]

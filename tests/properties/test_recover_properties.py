@@ -1,0 +1,94 @@
+"""Property tests: binary CFG recovery round-trips arbitrary layouts.
+
+For any program and any block permutation (entry first), linking the
+layout and recovering a CFG from the flat instruction stream must give
+back the placed block order, the rewritten branch senses and the resolved
+edge targets — and the recovered CFG must prove bisimilar to the CFG
+recovered from the identity image.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg import TerminatorKind
+from repro.isa import ProcedureLayout, ProgramLayout, link, link_identity
+from repro.isa.instructions import INSTRUCTION_BYTES, Opcode
+from repro.staticcheck.binary import (
+    BinaryImage,
+    check_proof,
+    prove_cfgs,
+    recover,
+)
+
+from .strategies import programs
+
+
+def random_layout(program, data):
+    proc = program.procedure("main")
+    rest = [bid for bid in proc.blocks if bid != proc.entry]
+    order = [proc.entry] + data.draw(st.permutations(rest))
+    return ProgramLayout(program, {"main": ProcedureLayout.from_order(proc, order)})
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=programs(), data=st.data())
+def test_recover_round_trips_order_senses_and_targets(program, data):
+    layout = random_layout(program, data)
+    linked = link(layout)
+    cfg = recover(BinaryImage.from_linked(linked))
+    rproc = cfg.procedure("main")
+    proc = program.procedure("main")
+    starts = {bid: linked.block("main", bid).start for bid in proc.blocks}
+
+    # Block order: recovered leaders are placed block starts (or inserted
+    # jumps), in address order, led by the entry block.
+    recovered = [b.start for b in rproc.blocks]
+    assert recovered == sorted(recovered)
+    assert recovered[0] == starts[proc.entry]
+    jump_addresses = {
+        linked.block("main", p.bid).jump_address
+        for p in layout["main"].placements
+        if p.jump_target is not None
+    }
+    assert set(recovered) <= set(starts.values()) | jump_addresses
+
+    for placement in layout["main"].placements:
+        block = proc.block(placement.bid)
+        lb = linked.block("main", placement.bid)
+        if block.kind is TerminatorKind.COND:
+            # Branch sense: the recovered conditional site carries the
+            # placement's (possibly inverted) taken target.
+            site = lb.term_address
+            rblock = next(
+                b for b in rproc.blocks
+                if b.kind is Opcode.COND_BRANCH
+                and b.end - INSTRUCTION_BYTES == site
+            )
+            assert rblock.taken_target == starts[placement.taken_target]
+            assert rblock.fall_target == site + INSTRUCTION_BYTES
+        elif block.kind is TerminatorKind.UNCOND and not placement.branch_removed:
+            site = lb.term_address
+            rblock = next(
+                b for b in rproc.blocks
+                if b.kind is Opcode.UNCOND_BRANCH
+                and b.end - INSTRUCTION_BYTES == site
+            )
+            assert rblock.taken_target == starts[placement.taken_target]
+            assert rblock.fall_target is None
+        if placement.jump_target is not None:
+            rjump = next(
+                b for b in rproc.blocks
+                if b.kind is Opcode.UNCOND_BRANCH
+                and b.end - INSTRUCTION_BYTES == lb.jump_address
+            )
+            assert rjump.taken_target == starts[placement.jump_target]
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs(), data=st.data())
+def test_random_layouts_prove_bisimilar(program, data):
+    layout = random_layout(program, data)
+    original = recover(BinaryImage.from_linked(link_identity(program)))
+    aligned = recover(BinaryImage.from_linked(link(layout)))
+    proof = prove_cfgs(original, aligned)
+    assert proof.bisimilar, proof.failures()
+    check_proof(proof.to_dict(), original, aligned)

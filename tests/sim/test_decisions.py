@@ -143,13 +143,45 @@ class TestLoadOrCapture:
         _, hit_again = load_or_capture(store, program, workload="eqntott", scale=0.1)
         assert hit_again
 
-    def test_stale_entry_overwritten_silently(self, program, tmp_path, monkeypatch):
+    def test_schema_bump_misses_via_new_fingerprint(self, program, tmp_path, monkeypatch):
         store = ArtifactStore(tmp_path)
         load_or_capture(store, program, workload="eqntott", scale=0.1)
         monkeypatch.setattr(dec, "TRACE_SCHEMA_VERSION", dec.TRACE_SCHEMA_VERSION + 1)
         # The old entry is no longer addressed (new fingerprint): miss.
         _, hit = load_or_capture(store, program, workload="eqntott", scale=0.1)
         assert not hit
+
+    @pytest.mark.parametrize("reason,tamper", [
+        ("stale-schema",
+         lambda p: p.update(schema=dec.TRACE_SCHEMA_VERSION + 1)),
+        ("stale-fingerprint",
+         lambda p: p.update(fingerprint="0" * 16)),
+        ("digest-mismatch",
+         lambda p: p.update(counts=[c + 1 for c in p["counts"]])),
+        ("malformed",
+         lambda p: p.pop("templates")),
+    ])
+    def test_every_decode_failure_quarantines_and_recaptures(
+        self, program, tmp_path, reason, tamper
+    ):
+        """Each TraceDecodeError reason sets the entry aside and re-captures."""
+        store = ArtifactStore(tmp_path)
+        load_or_capture(store, program, workload="eqntott", scale=0.1)
+        fp = trace_fingerprint("eqntott", 0.1, 0)
+        key = trace_key("eqntott", fp)
+        payload = store.load(key)
+        tamper(payload)
+        store.put(key, payload)
+        # Sanity: the tampering produces exactly the decode failure under test.
+        with pytest.raises(TraceDecodeError) as info:
+            decode_trace(store.load(key), expect_fingerprint=fp)
+        assert info.value.reason == reason
+
+        trace, hit = load_or_capture(store, program, workload="eqntott", scale=0.1)
+        assert not hit and trace.steps > 0
+        assert any(store.quarantine_dir.iterdir()), reason
+        _, hit_again = load_or_capture(store, program, workload="eqntott", scale=0.1)
+        assert hit_again
 
     def test_validate_payload_checks_key(self, trace):
         payload = encode_trace(trace)

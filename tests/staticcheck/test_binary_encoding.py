@@ -1,0 +1,154 @@
+"""Binary encoding verifier: RL013-RL017 over raw instruction streams."""
+
+import pytest
+
+from repro.core import GreedyAligner
+from repro.isa import LinkedProgram, ProgramLayout
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
+from repro.profiling import profile_program
+from repro.staticcheck import Severity
+from repro.staticcheck.binary import BinaryImage, verify_image
+from repro.staticcheck.binary.encoding import (
+    BRANCH_DISPLACEMENT_BITS,
+    check_encoding,
+    check_recovery,
+    displacement,
+)
+from repro.workloads import generate_benchmark
+
+BASE = 0x1000
+
+
+def addr(i):
+    return BASE + i * INSTRUCTION_BYTES
+
+
+def stream(*opcodes):
+    out = []
+    for i, item in enumerate(opcodes):
+        opcode, target = item if isinstance(item, tuple) else (item, None)
+        out.append(
+            Instruction(addr(i), opcode, addr(target) if target is not None else None)
+        )
+    return tuple(out)
+
+
+def image(instructions, symbols=None, text_end=None):
+    symbols = tuple(symbols or (("main", BASE),))
+    end = (
+        text_end
+        if text_end is not None
+        else BASE + len(instructions) * INSTRUCTION_BYTES
+    )
+    return BinaryImage(
+        instructions=instructions,
+        symbols=symbols,
+        entry_symbol=symbols[0][0],
+        text_base=BASE,
+        text_end=end,
+    )
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestDisplacement:
+    def test_forward_and_backward_word_displacements(self):
+        forward = Instruction(addr(0), Opcode.UNCOND_BRANCH, addr(5))
+        backward = Instruction(addr(5), Opcode.COND_BRANCH, addr(0))
+        assert displacement(forward) == 4
+        assert displacement(backward) == -6
+        assert displacement(Instruction(addr(0), Opcode.OP)) is None
+
+
+class TestEncodingChecks:
+    def test_out_of_range_displacement_is_rl013(self):
+        far = BASE + (1 << BRANCH_DISPLACEMENT_BITS) * INSTRUCTION_BYTES
+        img = image(
+            (
+                Instruction(BASE, Opcode.UNCOND_BRANCH, far),
+                Instruction(far, Opcode.RETURN),
+            ),
+            text_end=far + INSTRUCTION_BYTES,
+        )
+        assert codes(check_encoding(img)) == ["RL013"]
+
+    def test_target_outside_text_is_rl014(self):
+        img = image(stream((Opcode.UNCOND_BRANCH, 2), Opcode.RETURN))
+        report = check_encoding(img)
+        assert codes(report) == ["RL014"]
+        assert "outside the text segment" in report[0].message
+
+    def test_target_off_instruction_boundary_is_rl014(self):
+        img = image(
+            (
+                Instruction(addr(0), Opcode.UNCOND_BRANCH, addr(2)),
+                Instruction(addr(1), Opcode.RETURN),
+            ),
+            text_end=addr(3),
+        )
+        report = check_encoding(img)
+        assert codes(report) == ["RL014"]
+        assert "not an instruction boundary" in report[0].message
+
+    def test_branch_crossing_procedures_is_rl014(self):
+        img = image(
+            stream((Opcode.UNCOND_BRANCH, 1), Opcode.RETURN),
+            symbols=(("main", BASE), ("leaf", addr(1))),
+        )
+        report = check_encoding(img)
+        assert codes(report) == ["RL014"]
+        assert "crosses" in report[0].message
+
+    def test_call_not_at_procedure_entry_is_rl014(self):
+        img = image(
+            stream((Opcode.CALL, 2), Opcode.RETURN, Opcode.RETURN),
+            symbols=(("main", BASE), ("leaf", addr(1))),
+        )
+        report = check_encoding(img)
+        assert codes(report) == ["RL014"]
+        assert "not a procedure entry" in report[0].message
+
+
+class TestRecoveryChecks:
+    def test_dead_padding_jump_is_rl015_warning(self):
+        img = image(stream((Opcode.UNCOND_BRANCH, 1), Opcode.RETURN))
+        report = check_recovery(img)
+        assert codes(report) == ["RL015"]
+        assert report[0].severity is Severity.WARNING
+        assert "dead padding" in report[0].message
+
+    def test_unreachable_code_is_rl015_warning(self):
+        img = image(stream(Opcode.RETURN, Opcode.OP, Opcode.RETURN))
+        report = check_recovery(img)
+        assert codes(report) == ["RL015"]
+        assert "unreachable" in report[0].message
+
+    def test_indirect_jump_suppresses_unreachable_warnings(self):
+        img = image(stream(Opcode.INDIRECT_JUMP, Opcode.OP, Opcode.RETURN))
+        assert check_recovery(img) == []
+
+    def test_fall_off_the_end_is_rl016(self):
+        img = image(stream(Opcode.OP, Opcode.OP))
+        report = check_recovery(img)
+        assert codes(report) == ["RL016"]
+        assert report[0].severity is Severity.ERROR
+
+    def test_undecodable_stream_is_rl017(self):
+        bad = (Instruction(BASE, Opcode.OP), Instruction(BASE, Opcode.RETURN))
+        report = check_recovery(image(bad, text_end=addr(1)))
+        assert codes(report) == ["RL017"]
+
+
+class TestCleanImages:
+    @pytest.mark.parametrize("name", ["eqntott", "compress"])
+    def test_linked_workload_images_verify_clean(self, name):
+        program = generate_benchmark(name, 0.05)
+        profile = profile_program(program, seed=0)
+        for layout in (
+            ProgramLayout.identity(program),
+            GreedyAligner().align(program, profile),
+        ):
+            img = BinaryImage.from_linked(LinkedProgram(layout))
+            assert verify_image(img) == []

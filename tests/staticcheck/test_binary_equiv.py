@@ -1,0 +1,147 @@
+"""Bisimulation prover: positive proofs, fault rejection, proof checking."""
+
+import pytest
+
+from repro.core import GreedyAligner
+from repro.isa import LinkedProgram, ProgramLayout, link_identity
+from repro.profiling import profile_program
+from repro.runner import FaultPlan, parse_fault_spec
+from repro.runner.faults import FaultInjector
+from repro.runner.store import ArtifactStore
+from repro.staticcheck.binary import (
+    BinaryImage,
+    EquivalenceError,
+    check_proof,
+    proof_key,
+    prove_cfgs,
+    prove_layouts,
+    recover,
+    recover_layout,
+)
+from repro.workloads import generate_benchmark
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def workload():
+    program = generate_benchmark("eqntott", SCALE)
+    profile = profile_program(program, seed=0)
+    return program, profile
+
+
+@pytest.fixture(scope="module")
+def greedy(workload):
+    program, profile = workload
+    return GreedyAligner().align(program, profile)
+
+
+def mutated(kind, layout, profile, seed=0):
+    plan = FaultPlan(specs=(parse_fault_spec(f"eqntott:layout:{kind}"),), seed=seed)
+    return FaultInjector(plan).mutate_layout("eqntott", 1, "greedy", layout, profile)
+
+
+class TestProver:
+    def test_identity_is_bisimilar_to_itself(self, workload):
+        program, _ = workload
+        proofs = prove_layouts(program, {"orig": ProgramLayout.identity(program)})
+        assert proofs["orig"].bisimilar
+        assert proofs["orig"].failures() == []
+
+    def test_greedy_layout_is_proved(self, workload, greedy):
+        program, _ = workload
+        proof = prove_layouts(program, {"greedy": greedy})["greedy"]
+        assert proof.bisimilar
+        # The artifact is substantive: site pairs and edge witnesses exist.
+        assert any(p.correspondences for p in proof.procedures)
+        assert any(p.witnesses for p in proof.procedures)
+        # Greedy alignment inverts branches; the proof records the senses.
+        inversions = sum(
+            row["inverted"]
+            for p in proof.procedures
+            for row in p.correspondences
+        )
+        inverted_blocks = sum(
+            len(greedy[name].inverted_conditionals()) for name in program.order
+        )
+        assert (inversions > 0) == (inverted_blocks > 0)
+
+    @pytest.mark.parametrize("kind", ["flip-sense", "mutate-layout"])
+    def test_injected_rewriter_fault_is_rejected(self, workload, greedy, kind):
+        program, profile = workload
+        broken = mutated(kind, greedy, profile)
+        proof = prove_layouts(program, {"greedy": broken})["greedy"]
+        assert not proof.bisimilar
+        assert proof.failures()
+
+    def test_mismatched_procedure_tables_rejected(self, workload):
+        program, _ = workload
+        other = generate_benchmark("compress", SCALE)
+        proof = prove_cfgs(
+            recover_layout(ProgramLayout.identity(program)),
+            recover_layout(ProgramLayout.identity(other)),
+        )
+        assert not proof.bisimilar
+        assert "procedure tables differ" in proof.reason
+
+
+class TestProofChecker:
+    @pytest.fixture()
+    def proven(self, workload, greedy):
+        program, _ = workload
+        original = recover(BinaryImage.from_linked(link_identity(program)))
+        aligned = recover_layout(greedy)
+        proof = prove_cfgs(original, aligned, label="greedy")
+        assert proof.bisimilar
+        return proof.to_dict(), original, aligned
+
+    def test_checker_accepts_the_emitted_artifact(self, proven):
+        payload, original, aligned = proven
+        check_proof(payload, original, aligned)  # must not raise
+
+    def test_checker_rejects_unknown_schema(self, proven):
+        payload, original, aligned = proven
+        payload = dict(payload, schema=payload["schema"] + 1)
+        with pytest.raises(EquivalenceError, match="schema"):
+            check_proof(payload, original, aligned)
+
+    def test_checker_rejects_missing_procedure_rows(self, proven):
+        payload, original, aligned = proven
+        payload = dict(payload, procedures=[])
+        with pytest.raises(EquivalenceError, match="no entry for procedure"):
+            check_proof(payload, original, aligned)
+
+    def test_checker_rejects_corrupted_correspondence(self, proven):
+        payload, original, aligned = proven
+        import copy
+
+        payload = copy.deepcopy(payload)
+        for row in payload["procedures"]:
+            if row["correspondences"]:
+                row["correspondences"][0]["aligned"] += 4
+                break
+        with pytest.raises(EquivalenceError):
+            check_proof(payload, original, aligned)
+
+    def test_rejection_needs_no_certificate(self, proven):
+        _, original, aligned = proven
+        check_proof(
+            {"schema": 1, "bisimilar": False, "procedures": []},
+            original,
+            aligned,
+        )  # accepted as-is
+
+
+class TestPersistence:
+    def test_proofs_land_in_the_artifact_store(self, workload, greedy, tmp_path):
+        program, _ = workload
+        store = ArtifactStore(tmp_path)
+        prove_layouts(program, {"greedy": greedy}, store=store, benchmark="eqntott")
+        key = proof_key("eqntott", "greedy")
+        assert key == "proof/eqntott/greedy"
+        assert key in store
+        payload = store.load(key)
+        assert payload["bisimilar"] is True
+        # The persisted artifact is independently checkable.
+        original = recover(BinaryImage.from_linked(link_identity(program)))
+        check_proof(payload, original, recover_layout(greedy))

@@ -1,0 +1,189 @@
+"""CFG recovery from raw instruction streams: leaders, carving, errors.
+
+The recovery engine must work from addresses and opcodes alone — these
+tests hand-build :class:`BinaryImage` instances instruction by
+instruction, and the metadata-freedom test rebuilds a real image from
+primitive data to prove no ``Program`` object is consulted.
+"""
+
+import pytest
+
+from repro.core import GreedyAligner
+from repro.isa import LinkedProgram, ProgramLayout
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
+from repro.profiling import profile_program
+from repro.staticcheck.binary import (
+    BinaryImage,
+    RecoveryError,
+    recover,
+    recover_layout,
+)
+from repro.workloads import generate_benchmark
+
+BASE = 0x1000
+
+
+def addr(i):
+    return BASE + i * INSTRUCTION_BYTES
+
+
+def stream(*opcodes):
+    """Build a contiguous stream; items are opcodes or (opcode, target index)."""
+    out = []
+    for i, item in enumerate(opcodes):
+        opcode, target = item if isinstance(item, tuple) else (item, None)
+        out.append(
+            Instruction(addr(i), opcode, addr(target) if target is not None else None)
+        )
+    return tuple(out)
+
+
+def image(instructions, symbols=None, text_end=None):
+    symbols = tuple(symbols or (("main", BASE),))
+    end = (
+        text_end
+        if text_end is not None
+        else BASE + len(instructions) * INSTRUCTION_BYTES
+    )
+    return BinaryImage(
+        instructions=instructions,
+        symbols=symbols,
+        entry_symbol=symbols[0][0],
+        text_base=BASE,
+        text_end=end,
+    )
+
+
+class TestLeaderDiscovery:
+    def test_branch_targets_and_fallthroughs_split_blocks(self):
+        cfg = recover(image(stream(
+            Opcode.OP,                 # 0
+            (Opcode.COND_BRANCH, 3),   # 1: taken -> 3, falls to 2
+            Opcode.OP,                 # 2
+            Opcode.RETURN,             # 3
+        )))
+        proc = cfg.procedure("main")
+        assert [b.start for b in proc.blocks] == [addr(0), addr(2), addr(3)]
+        head = proc.block_at(addr(0))
+        assert head.kind is Opcode.COND_BRANCH
+        assert head.taken_target == addr(3)
+        assert head.fall_target == addr(2)
+        assert head.successors() == (addr(3), addr(2))
+        glue = proc.block_at(addr(2))
+        assert glue.kind is None and glue.fall_target == addr(3)
+        assert proc.block_at(addr(3)).kind is Opcode.RETURN
+
+    def test_calls_do_not_end_blocks(self):
+        cfg = recover(image(
+            stream(
+                Opcode.OP, (Opcode.CALL, 4), Opcode.OP, Opcode.RETURN,  # main
+                Opcode.RETURN,                                          # leaf
+            ),
+            symbols=(("main", BASE), ("leaf", addr(4))),
+        ))
+        proc = cfg.procedure("main")
+        assert len(proc.blocks) == 1
+        assert proc.blocks[0].size == 4
+        assert proc.blocks[0].kind is Opcode.RETURN
+        assert cfg.callee_name(addr(4)) == "leaf"
+        assert cfg.callee_name(addr(2)) is None
+
+    def test_uncond_branch_has_no_fall_target(self):
+        cfg = recover(image(stream(
+            (Opcode.UNCOND_BRANCH, 2),  # 0
+            Opcode.OP,                  # 1 (target of the loop-back below)
+            (Opcode.UNCOND_BRANCH, 1),  # 2
+        )))
+        proc = cfg.procedure("main")
+        jump = proc.block_at(addr(0))
+        assert jump.kind is Opcode.UNCOND_BRANCH
+        assert jump.fall_target is None
+        assert jump.successors() == (addr(2),)
+
+    def test_indirect_and_return_have_no_static_successors(self):
+        cfg = recover(image(stream(Opcode.INDIRECT_JUMP, Opcode.RETURN)))
+        proc = cfg.procedure("main")
+        assert proc.block_at(addr(0)).successors() == ()
+        assert proc.block_at(addr(1)).successors() == ()
+
+
+class TestDecodeErrors:
+    def test_overlapping_instructions_rejected(self):
+        bad = (Instruction(BASE, Opcode.OP), Instruction(BASE, Opcode.RETURN))
+        with pytest.raises(RecoveryError, match="overlapping"):
+            recover(image(bad, text_end=addr(1)))
+
+    def test_instruction_outside_text_rejected(self):
+        bad = (Instruction(addr(5), Opcode.RETURN),)
+        with pytest.raises(RecoveryError, match="outside the text segment"):
+            recover(image(bad, text_end=addr(1)))
+
+    def test_hole_in_stream_rejected(self):
+        bad = (Instruction(addr(0), Opcode.OP), Instruction(addr(2), Opcode.RETURN))
+        with pytest.raises(RecoveryError, match="hole"):
+            recover(image(bad, text_end=addr(3)))
+
+    def test_empty_procedure_span_rejected(self):
+        with pytest.raises(RecoveryError, match="empty procedure span"):
+            recover(image(
+                stream(Opcode.OP, Opcode.RETURN),
+                symbols=(("main", BASE), ("ghost", addr(2))),
+                text_end=addr(2),
+            ))
+
+
+class TestRealWorkloads:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        program = generate_benchmark("eqntott", 0.05)
+        profile = profile_program(program, seed=0)
+        return program, profile
+
+    def test_identity_recovery_covers_every_span(self, workload):
+        program, _ = workload
+        cfg = recover_layout(ProgramLayout.identity(program))
+        assert cfg.entry_symbol == program.entry
+        assert list(cfg.procedure_names()) == list(program.order)
+        for proc in cfg.procedures:
+            covered = sum(b.size for b in proc.blocks) * INSTRUCTION_BYTES
+            assert proc.start + covered == proc.end
+            for block in proc.blocks:
+                for successor in block.successors():
+                    if proc.start <= successor < proc.end:
+                        assert proc.has_block_at(successor)
+
+    def test_aligned_recovery_still_consistent(self, workload):
+        program, profile = workload
+        layout = GreedyAligner().align(program, profile)
+        cfg = recover_layout(layout)
+        assert list(cfg.procedure_names()) == list(program.order)
+
+
+class TestMetadataFreedom:
+    def test_recovery_uses_only_the_flat_image(self):
+        """Rebuild the image from primitive values — no Program survives."""
+        program = generate_benchmark("compress", 0.05)
+        profile = profile_program(program, seed=0)
+        layout = GreedyAligner().align(program, profile)
+        flat = BinaryImage.from_linked(LinkedProgram(layout))
+        rebuilt = BinaryImage(
+            instructions=tuple(
+                Instruction(int(ins.address), Opcode(ins.opcode.value),
+                            None if ins.target is None else int(ins.target))
+                for ins in flat.instructions
+            ),
+            symbols=tuple((str(name), int(a)) for name, a in flat.symbols),
+            entry_symbol=str(flat.entry_symbol),
+            text_base=int(flat.text_base),
+            text_end=int(flat.text_end),
+        )
+        del program, profile, layout
+
+        def shape(cfg):
+            return [
+                (p.name, [(b.start, b.kind, b.taken_target, b.fall_target)
+                          for b in p.blocks])
+                for p in cfg.procedures
+            ]
+
+        assert shape(recover(rebuilt)) == shape(recover(flat))

@@ -165,7 +165,7 @@ class TestPassManager:
         assert others and all(o.passed for o in others)
 
     def test_every_pass_has_a_catalogued_code_space(self):
-        assert set(CODES) == {f"RL{i:03d}" for i in range(13)}
+        assert set(CODES) == {f"RL{i:03d}" for i in range(18)}
         for code, title in CODES.items():
             assert title and title[0].islower() or title.startswith("internal")
 

@@ -1,0 +1,122 @@
+"""Runner/CLI integration of the static translation validator (prove stage)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runner import (
+    ArtifactStore,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    RunnerConfig,
+    run_suite_resilient,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0, jitter=0.0)
+ARCHS = ("fallthrough", "btfnt")
+SCALE = 0.02
+WINDOW = 6
+
+
+def layout_plan(benchmark, kind):
+    return FaultPlan((FaultSpec(benchmark, "layout", kind),))
+
+
+class TestProveInRunner:
+    def test_clean_run_proves_every_layout(self):
+        result = run_suite_resilient(
+            ["compress"], scale=SCALE, window=WINDOW, archs=ARCHS,
+            config=RunnerConfig(prove=True),
+        )
+        assert not result.partial
+        assert result.executed == ["compress"]
+
+    @pytest.mark.parametrize("kind", ["mutate-layout", "flip-sense"])
+    def test_layout_fault_is_flagged_at_prove_stage(self, kind):
+        result = run_suite_resilient(
+            ["compress", "eqntott"], scale=SCALE, window=WINDOW, archs=ARCHS,
+            config=RunnerConfig(
+                prove=True, retry=FAST_RETRY,
+                faults=layout_plan("eqntott", kind),
+            ),
+        )
+        assert result.partial
+        assert [e.name for e in result.results] == ["compress"]
+        failure = result.failures[0]
+        assert failure.benchmark == "eqntott"
+        assert failure.stage == "prove"
+        assert failure.kind == "validation"
+        assert failure.attempts == 1  # rejections are never retried
+        assert "not bisimilar" in failure.message
+
+    def test_oracle_and_prover_judge_the_same_binaries(self):
+        """With both judges on, the fault is observed (oracle runs first)."""
+        result = run_suite_resilient(
+            ["eqntott"], scale=SCALE, window=WINDOW, archs=ARCHS,
+            config=RunnerConfig(
+                oracle=True, prove=True, retry=FAST_RETRY,
+                faults=layout_plan("eqntott", "flip-sense"),
+            ),
+        )
+        assert result.partial
+        assert result.failures[0].stage == "oracle"
+
+    def test_layout_fault_invisible_without_either_judge(self):
+        result = run_suite_resilient(
+            ["compress"], scale=SCALE, window=WINDOW, archs=ARCHS,
+            config=RunnerConfig(faults=layout_plan("compress", "flip-sense")),
+        )
+        assert not result.partial
+
+
+class TestCLI:
+    def test_table3_prove_inject_exits_partial(self, capsys):
+        code = main([
+            "table3", "--benchmarks", "eqntott", "--scale", str(SCALE),
+            "--window", str(WINDOW), "--prove",
+            "--inject", "eqntott:layout:flip-sense",
+        ])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "prove" in err and "validation" in err
+
+    def test_prove_flag_satisfies_layout_inject_gate(self, capsys):
+        """--prove (like --oracle) makes layout faults observable."""
+        code = main([
+            "table3", "--benchmarks", "eqntott", "--scale", str(SCALE),
+            "--window", str(WINDOW), "--prove",
+            "--inject", "eqntott:layout:mutate-layout",
+        ])
+        assert code == 3  # observed and failed, not a usage error
+
+    def test_prove_command_clean_json(self, capsys):
+        code = main([
+            "prove", "compress", "--scale", str(SCALE),
+            "--window", str(WINDOW), "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "compress"
+        assert payload["bisimilar"] is True
+        assert all(p["bisimilar"] for p in payload["proofs"].values())
+
+    def test_prove_command_rejects_injected_fault(self, capsys):
+        code = main([
+            "prove", "eqntott", "--scale", str(SCALE), "--window", str(WINDOW),
+            "--inject", "eqntott:layout:flip-sense",
+        ])
+        assert code == 1
+        assert "REJECT" in capsys.readouterr().out
+
+    def test_prove_command_persists_artifacts(self, tmp_path, capsys):
+        code = main([
+            "prove", "compress", "--scale", str(SCALE), "--window", str(WINDOW),
+            "--store", str(tmp_path / "art"),
+        ])
+        assert code == 0
+        store = ArtifactStore(tmp_path / "art")
+        proof_keys = [k for k in store.keys() if k.startswith("proof/compress/")]
+        assert proof_keys
+        assert all(store.load(k)["bisimilar"] for k in proof_keys)
