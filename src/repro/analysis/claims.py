@@ -35,6 +35,11 @@ ORACLE_BENCHMARKS = ("eqntott", "compress")
 #: against fresh executions (the trace-once/replay-many exactness claim).
 REPLAY_BENCHMARKS = ("eqntott", "compress")
 
+#: Benchmarks of the fabric chaos run (claim 16): three victims of
+#: recoverable fabric faults plus one designated poison unit.
+FABRIC_BENCHMARKS = ("eqntott", "compress", "alvinn", "swm256")
+FABRIC_POISON = "swm256"
+
 
 @dataclass
 class ClaimResult:
@@ -62,6 +67,9 @@ class _Context:
     #: whose label starts with ``fault:`` carry an injected rewriter bug
     #: and are expected to be rejected by *both* judges.
     prove_checks: Dict[str, list] = field(default_factory=dict)
+    #: Fabric chaos-vs-clean evidence (claim 16); see
+    #: :func:`_fabric_evidence` for the keys.
+    fabric_check: Dict[str, object] = field(default_factory=dict)
 
     def avg(self, aligner: str, arch: str) -> float:
         cells = [e.cell(aligner, arch).relative_cpi for e in self.experiments]
@@ -338,6 +346,59 @@ def _check_prover_oracle_agreement(ctx: _Context) -> ClaimResult:
     )
 
 
+def _check_fabric_recovery(ctx: _Context) -> ClaimResult:
+    """Claim 16: the fabric recovers from injected faults losslessly."""
+    fc = ctx.fabric_check
+    if not fc:
+        return ClaimResult(
+            "fabric-recovers-from-faults",
+            "[fabric] a chaos sweep's results are bit-identical to a clean "
+            "sweep's, minus only explicitly quarantined poison units",
+            False, "no fabric evidence collected",
+        )
+    problems = list(fc.get("problems", ["missing"]))  # type: ignore[arg-type]
+    quarantined = list(fc.get("quarantined", []))  # type: ignore[arg-type]
+    units = int(fc.get("units", 0))  # type: ignore[arg-type]
+    chaos_done = int(fc.get("chaos_done", 0))  # type: ignore[arg-type]
+    resume_restored = int(fc.get("resume_restored", -1))  # type: ignore[arg-type]
+    resume_executed = int(fc.get("resume_executed", -1))  # type: ignore[arg-type]
+    poison_expected = str(fc.get("poison_expected", ""))
+    poison_ok = (
+        len(quarantined) == 1 and poison_expected in quarantined[0]
+    )
+    recovered_ok = chaos_done == units - 1
+    resume_ok = resume_executed == 0 and resume_restored == units - 1
+    ok = not problems and poison_ok and recovered_ok and resume_ok
+    if problems:
+        detail = f"chaos/clean diff: {problems[0]}"
+    elif not poison_ok:
+        detail = (
+            f"expected exactly {poison_expected!r} quarantined, "
+            f"got {quarantined or 'none'}"
+        )
+    elif not recovered_ok:
+        detail = f"chaos run completed {chaos_done}/{units - 1} non-poison units"
+    elif not resume_ok:
+        detail = (
+            f"resume restored {resume_restored} and re-ran {resume_executed} "
+            f"unit(s); wanted {units - 1} restored, 0 re-run"
+        )
+    else:
+        detail = (
+            f"chaos run (kill-worker, stall-worker, expire-lease, "
+            f"poison-unit over {units} units) bit-identical to clean minus "
+            f"quarantined {quarantined[0]}; resume restored "
+            f"{resume_restored} unit(s) with 0 re-runs"
+        )
+    return ClaimResult(
+        "fabric-recovers-from-faults",
+        "[fabric] a chaos sweep's results are bit-identical to a clean "
+        "sweep's, minus only explicitly quarantined poison units; resume "
+        "after a kill loses and duplicates nothing",
+        ok, detail,
+    )
+
+
 CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_static_help,
     _check_static_ordering,
@@ -354,6 +415,7 @@ CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_static_estimator,
     _check_replay_equivalence,
     _check_prover_oracle_agreement,
+    _check_fabric_recovery,
 )
 
 
@@ -389,6 +451,7 @@ def verify_claims(
         for name in REPLAY_BENCHMARKS
         if name in benchmarks
     }
+    fabric_check = _fabric_evidence(scale=scale, seed=seed, window=window)
     ctx = _Context(
         experiments=experiments,
         figure4_rows=figure4_rows,
@@ -396,8 +459,84 @@ def verify_claims(
         estimator_agreements=estimator_agreements,
         replay_checks=replay_checks,
         prove_checks=prove_checks,
+        fabric_check=fabric_check,
     )
     return [check(ctx) for check in CHECKS]
+
+
+def _fabric_evidence(scale: float, seed: int, window: int) -> Dict[str, object]:
+    """Run the claim-16 experiment: clean sweep vs chaos sweep vs resume.
+
+    The chaos run injects one fabric fault per victim benchmark — a
+    worker kill, a worker stall, a lease expiry — plus one designated
+    poison unit (crashes every worker it touches).  The fabric must (a)
+    deliver results bit-identical to the clean run for every non-poison
+    unit, (b) quarantine exactly the poison unit with its tracebacks,
+    and (c) resume the chaos queue afterwards restoring everything
+    without re-running anything.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from ..fabric import FabricConfig, build_report, diff_reports, run_fabric
+    from ..runner.faults import FaultPlan, FaultSpec
+    from ..runner.retry import RetryPolicy
+    from ..runner.runner import UnitTask
+
+    archs = ("btfnt",)  # one static arch keeps the double run cheap
+    tasks = [
+        UnitTask(
+            kind="experiment", benchmark=name, scale=scale, seed=seed,
+            window=window, archs=archs,
+        )
+        for name in FABRIC_BENCHMARKS
+    ]
+    retry = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
+    root = Path(tempfile.mkdtemp(prefix="repro-fabric-claim16-"))
+
+    def fabric_config(queue: str, faults=None, resume: bool = False) -> FabricConfig:
+        return FabricConfig(
+            workers=2, lease=20.0, heartbeat=0.25, missed_heartbeats=4,
+            poison_threshold=2, retry=retry, queue_dir=root / queue,
+            resume=resume, faults=faults, seed=seed,
+        )
+
+    try:
+        clean = run_fabric(tasks, fabric_config("clean"))
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("eqntott", "fabric", "kill-worker"),
+                FaultSpec("compress", "fabric", "stall-worker"),
+                FaultSpec("alvinn", "fabric", "expire-lease"),
+                FaultSpec(FABRIC_POISON, "fabric", "poison-unit"),
+            ),
+            seed=seed,
+        )
+        chaos = run_fabric(tasks, fabric_config("chaos", faults=plan))
+        problems = diff_reports(
+            build_report(clean.scheduler),
+            build_report(chaos.scheduler, drained=chaos.drained),
+        )
+        if clean.counts().get("done") != len(tasks):
+            problems.append(
+                f"clean run finished {clean.counts().get('done')}/{len(tasks)}"
+            )
+        resumed = run_fabric(tasks, fabric_config("chaos", resume=True))
+        return {
+            "problems": problems,
+            "units": len(tasks),
+            "chaos_done": chaos.counts().get("done", 0),
+            "quarantined": [r.unit_id for r in chaos.quarantined],
+            "poison_expected": FABRIC_POISON,
+            "poison_tracebacks": sum(
+                len(r.tracebacks) for r in chaos.quarantined
+            ),
+            "resume_restored": len(resumed.resumed),
+            "resume_executed": len(resumed.executed),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
 
 
 def _oracle_and_prove(name: str, scale: float, seed: int, window: int):

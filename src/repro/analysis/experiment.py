@@ -278,9 +278,26 @@ def run_suite_experiment(
     timeouts, retries and checkpoint/resume; lost benchmarks then raise
     unless the config captures them, in which case use
     :func:`repro.runner.run_suite_resilient` directly to also see the
-    failure records.
+    failure records.  Pass a :class:`repro.fabric.FabricConfig` instead
+    to route the suite through the fault-tolerant fabric (durable lease
+    queue, supervised workers, poison quarantine); use
+    :func:`repro.fabric.run_fabric` directly for the full provenance.
     """
+    from ..fabric import FabricConfig, run_fabric
     from ..runner import RunnerConfig, run_suite_resilient
+
+    if isinstance(runner, FabricConfig):
+        from ..runner.runner import UnitTask
+        from ..workloads import SUITE
+
+        tasks = [
+            UnitTask(
+                kind="experiment", benchmark=name, scale=scale, seed=seed,
+                window=window, archs=tuple(archs),
+            )
+            for name in (list(names) if names is not None else list(SUITE))
+        ]
+        return list(run_fabric(tasks, runner).results)
 
     config = runner if runner is not None else RunnerConfig(fail_fast=True)
     result = run_suite_resilient(

@@ -15,9 +15,17 @@ Gives the library's main workflows a shell entry point:
 * ``prove`` — recover a CFG from each aligned layout's raw linked
   instruction stream and statically prove it bisimilar to the original
   binary (translation validation; ``--json`` emits the proof artifacts);
+* ``sweep`` — run a benchmarks x seeds sweep through the fault-tolerant
+  fabric (``repro.fabric``): durable lease queue (``--queue DIR``,
+  ``--resume``), supervised heartbeat workers (``--workers/--lease``),
+  poison-unit quarantine, chaos injection (``--inject kill-worker,...``)
+  and a consolidated SHA-256-manifested report;
+* ``sensitivity`` — machine-sensitivity sweeps (mispredict penalty,
+  issue width) for one benchmark;
 * ``doctor`` — run the pipeline invariant checks standalone, audit /
   repair an artifact store (``--store DIR [--repair]``; cached decision
-  traces are decoded and stale/corrupt entries flagged), or lint every
+  traces are decoded and stale/corrupt entries flagged), inspect or
+  repair a fabric queue (``--fabric DIR [--repair]``), or lint every
   registered workload (``--lint``);
 * ``bench`` — time the trace-once/replay-many engine against the legacy
   execute-per-layout engine and write ``BENCH_PR4.json``;
@@ -582,14 +590,20 @@ def _doctor_lint(args: argparse.Namespace) -> int:
 
 def cmd_doctor(args: argparse.Namespace) -> int:
     """Run the invariant-validation layer standalone, PASS/FAIL per check."""
-    if args.repair and not args.store:
-        raise UsageError("--repair needs --store DIR")
+    if args.repair and not (args.store or args.fabric):
+        raise UsageError("--repair needs --store DIR or --fabric DIR")
+    if args.store and args.fabric:
+        raise UsageError("pick one of --store and --fabric")
+    if args.fabric:
+        return _doctor_fabric(args)
     if args.store:
         return _doctor_store(args)
     if args.lint:
         return _doctor_lint(args)
     if args.benchmark is None:
-        raise UsageError("doctor needs a benchmark (or --store DIR)")
+        raise UsageError(
+            "doctor needs a benchmark (or --store DIR / --fabric DIR)"
+        )
     program = _workload(args)
     if args.profile:
         profile = load_profile(args.profile)
@@ -633,7 +647,7 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
+def cmd_sensitivity(args: argparse.Namespace) -> int:
     program = _workload(args)
     if args.kind == "penalty":
         raw = args.points or "2,4,8,16"
@@ -656,6 +670,197 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     _write(text, args.output)
     return 0
+
+
+def _fabric_fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """Parse ``repro sweep --inject``: bare fabric kinds or full specs."""
+    from .runner import FaultSpec
+
+    specs = []
+    for chunk in args.inject:
+        for item in chunk.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            try:
+                if ":" in item:
+                    specs.append(parse_fault_spec(item))
+                else:
+                    specs.append(
+                        FaultSpec(benchmark="*", stage="fabric", kind=item)
+                    )
+            except ValueError as exc:
+                raise UsageError(str(exc))
+    if not specs:
+        return None
+    return FaultPlan(specs=tuple(specs), seed=args.seeds_list[0])
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a benchmark sweep through the fault-tolerant fabric."""
+    from .fabric import FabricConfig, run_fabric, write_report
+    from .runner.runner import UnitTask
+
+    names = _benchmark_list(args.benchmarks) or list(SUITE)
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError:
+        raise UsageError(f"bad --seeds value {args.seeds!r}")
+    if not seeds:
+        raise UsageError("--seeds needs at least one seed")
+    args.seeds_list = seeds
+    if args.archs:
+        archs = tuple(a.strip() for a in args.archs.split(",") if a.strip())
+        unknown = [a for a in archs if a not in ALL_ARCHS]
+        if unknown:
+            raise UsageError(f"unknown architectures: {', '.join(unknown)}")
+    else:
+        archs = ALL_ARCHS
+    if args.retries < 1:
+        raise UsageError("--retries must be >= 1")
+    if args.resume and not args.queue:
+        raise UsageError("--resume requires --queue DIR")
+    if args.report is None and args.queue is not None:
+        from pathlib import Path as _Path
+
+        args.report = str(_Path(args.queue) / "report.json")
+
+    tasks = [
+        UnitTask(
+            kind="experiment", benchmark=name, scale=args.scale, seed=seed,
+            window=args.window, archs=archs,
+        )
+        for seed in seeds
+        for name in names
+    ]
+    try:
+        config = FabricConfig(
+            workers=args.workers,
+            lease=args.lease,
+            heartbeat=args.heartbeat,
+            poison_threshold=args.poison_threshold,
+            retry=RetryPolicy(max_attempts=args.retries),
+            queue_dir=args.queue,
+            resume=args.resume,
+            faults=_fabric_fault_plan(args),
+            drain_timeout=args.drain_timeout,
+            seed=seeds[0],
+        )
+    except ValueError as exc:
+        raise UsageError(str(exc))
+    result = run_fabric(tasks, config)
+
+    scheduler = result.scheduler
+    rows = []
+    for unit_id in scheduler.order:
+        record = scheduler.record(unit_id)
+        workers = sorted(
+            {str(e["worker"]) for e in record.lease_history if "worker" in e}
+        )
+        rows.append([
+            unit_id,
+            record.state,
+            str(record.attempts),
+            ",".join(workers) or "-",
+        ])
+    lines = [format_table(["Unit", "State", "Attempts", "Workers"], rows)]
+    counts = result.counts()
+    lines.append(
+        "counts: " + ", ".join(f"{state}={counts[state]}"
+                               for state in ("done", "failed", "quarantined",
+                                             "pending", "leased")
+                               if counts[state])
+    )
+    if result.resumed:
+        lines.append(f"resumed: {len(result.resumed)} unit(s) restored from "
+                     f"the queue without re-running")
+    for record in result.quarantined:
+        failure = record.failure or {}
+        lines.append(
+            f"quarantined (poison): {record.unit_id} — "
+            f"{failure.get('message', 'crashed distinct workers')}; "
+            f"{len(record.tracebacks)} traceback(s) recorded"
+        )
+    for failure_rec in result.failures:
+        lines.append(f"failed: {failure_rec.benchmark} at {failure_rec.stage} "
+                     f"({failure_rec.kind}): {failure_rec.message}")
+    if result.drained:
+        lines.append(
+            f"drained: {result.drain_reason} — leases revoked and queue "
+            f"checkpointed; rerun with --resume to finish"
+        )
+    if args.report:
+        path = write_report(
+            scheduler, args.report,
+            drained=result.drained, drain_reason=result.drain_reason,
+        )
+        lines.append(f"report written to {path}")
+    _write("\n".join(lines), args.output)
+    if result.partial:
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _doctor_fabric(args: argparse.Namespace) -> int:
+    """Inspect (and with ``--repair`` fix) a fabric queue directory."""
+    from .fabric import (
+        LEASED,
+        QUARANTINED,
+        load_queue_dir,
+        repair_queue_dir,
+    )
+
+    if args.repair:
+        summary = repair_queue_dir(args.fabric)
+        lines = []
+        if summary["revoked"]:
+            lines.append(
+                f"{len(summary['revoked'])} stuck lease(s) released back to "
+                f"pending: " + ", ".join(summary["revoked"])
+            )
+        if summary["quarantined"]:
+            lines.append(
+                f"{len(summary['quarantined'])} corrupt record file(s) "
+                f"quarantined: " + ", ".join(summary["quarantined"])
+            )
+        if not lines:
+            lines.append("queue is clean — nothing to repair")
+        _write("\n".join(lines), args.output)
+        return EXIT_OK
+
+    header, records, corrupt = load_queue_dir(args.fabric)
+    lines = [f"fabric queue {args.fabric} (sweep {header.get('fingerprint')})"]
+    counts: dict = {}
+    for record in records.values():
+        counts[record.state] = counts.get(record.state, 0) + 1
+    lines.append(
+        "counts: " + (", ".join(f"{state}={n}"
+                                for state, n in sorted(counts.items())) or "empty")
+    )
+    problems = 0
+    for record in sorted(records.values(), key=lambda r: r.unit_id):
+        if record.state == LEASED:
+            problems += 1
+            holder = record.lease.worker if record.lease is not None else "?"
+            lines.append(
+                f"stuck lease: {record.unit_id} held by {holder} "
+                f"(attempt {record.attempts}) — no live supervisor can "
+                f"renew it; --repair releases it"
+            )
+        elif record.state == QUARANTINED:
+            failure = record.failure or {}
+            lines.append(
+                f"quarantined: {record.unit_id} — "
+                f"{failure.get('message', 'poison unit')}"
+            )
+    for path in corrupt:
+        problems += 1
+        lines.append(f"corrupt record: {path.name} — undecodable; --repair "
+                     f"quarantines it")
+    if not problems:
+        lines.append("no stuck leases or corrupt records")
+    _write("\n".join(lines), args.output)
+    return EXIT_OK if not problems else EXIT_RUNTIME
 
 
 def cmd_quality(args: argparse.Namespace) -> int:
@@ -824,7 +1029,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, window=True)
     p.set_defaults(func=cmd_prove)
 
-    p = sub.add_parser("sweep", help="machine-sensitivity sweeps")
+    p = sub.add_parser("sensitivity", help="machine-sensitivity sweeps")
     p.add_argument("benchmark")
     p.add_argument("kind", choices=("penalty", "width"))
     p.add_argument("--points", default=None,
@@ -832,6 +1037,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", default="likely",
                    help="architecture for the penalty sweep")
     common(p)
+    p.set_defaults(func=cmd_sensitivity)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a benchmark sweep through the fault-tolerant fabric: "
+             "durable lease queue, supervised heartbeat workers, "
+             "poison-unit quarantine, consolidated manifest report",
+    )
+    p.add_argument("--benchmarks", help="comma-separated subset (default: all)")
+    p.add_argument("--seeds", default="0",
+                   help="comma-separated behaviour seeds (default 0); the "
+                        "sweep is benchmarks x seeds units")
+    p.add_argument("--archs", default=None,
+                   help="comma-separated architecture subset (default: all)")
+    g = p.add_argument_group("fabric")
+    g.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="supervised worker processes (default 2)")
+    g.add_argument("--lease", type=float, default=30.0, metavar="SECONDS",
+                   help="lease duration; a unit not completed or "
+                        "heartbeat-renewed within this window is revoked "
+                        "and re-leased (default 30)")
+    g.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
+                   help="worker heartbeat interval (default: lease/4, "
+                        "capped at 1s)")
+    g.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="max attempts per unit (default 3)")
+    g.add_argument("--poison-threshold", type=int, default=2, metavar="K",
+                   help="distinct workers a unit may crash before it is "
+                        "quarantined as poison (default 2)")
+    g.add_argument("--queue", metavar="DIR",
+                   help="durable queue directory; the sweep survives "
+                        "SIGKILL and --resume picks it back up")
+    g.add_argument("--resume", action="store_true",
+                   help="resume the queue directory: done units keep "
+                        "their verified results, dead leases are revoked, "
+                        "failed units re-run, poison stays quarantined")
+    g.add_argument("--inject", action="append", default=[],
+                   metavar="KIND|BENCH:fabric:KIND[:TIMES]",
+                   help="inject fabric faults (comma-separable): bare "
+                        "kinds (kill-worker, stall-worker, expire-lease, "
+                        "corrupt-queue, poison-unit) apply to every "
+                        "benchmark; full specs pin one")
+    g.add_argument("--report", metavar="PATH",
+                   help="write the consolidated SHA-256-manifested report "
+                        "here (default: QUEUE/report.json with --queue)")
+    g.add_argument("--drain-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="grace period for in-flight units on SIGINT/"
+                        "SIGTERM before their leases are revoked")
+    common(p, window=True)
     p.set_defaults(func=cmd_sweep)
 
     def runner_flags(p):
@@ -914,9 +1169,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", help="validate a saved profile instead of tracing")
     p.add_argument("--store", metavar="DIR",
                    help="audit an artifact store's checksums instead")
+    p.add_argument("--fabric", metavar="DIR",
+                   help="inspect a fabric queue directory: stuck leases, "
+                        "quarantined poison units, corrupt records")
     p.add_argument("--repair", action="store_true",
-                   help="quarantine corrupt artifacts and clear orphaned "
-                        "temp files (needs --store)")
+                   help="with --store: quarantine corrupt artifacts; with "
+                        "--fabric: release stuck leases back to pending "
+                        "and quarantine corrupt queue records")
     p.add_argument("--arch", choices=("fallthrough", "btfnt", "likely", "pht", "btb"),
                    default="btb", help="cost-model architecture for the aligned checks")
     p.add_argument("--lint", action="store_true",

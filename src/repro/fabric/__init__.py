@@ -1,0 +1,73 @@
+"""The fault-tolerant experiment fabric.
+
+Three layers turn a sweep into a batch service (see ``docs/robustness.md``):
+
+* :mod:`~repro.fabric.scheduler` — fingerprinted work units in a durable
+  lease queue (``pending/leased/done/failed/quarantined``) that survives
+  SIGKILL at any instant;
+* :mod:`~repro.fabric.workers` — a supervised worker pool: heartbeats,
+  lease revocation and reassignment, poison-unit quarantine, graceful
+  SIGINT/SIGTERM drain;
+* :mod:`~repro.fabric.report` — per-worker partial results merged into
+  one SHA-256-manifested report with per-unit provenance.
+
+``repro sweep`` is the CLI entry point; :func:`run_fabric` the library
+one.  Claim 16 (``fabric-recovers-from-faults``) holds the whole stack
+to its contract: a chaos run's results are bit-identical to a clean
+run's, minus only explicitly quarantined poison units.
+"""
+
+from .report import (
+    build_report,
+    diff_reports,
+    load_report,
+    payload_digest,
+    write_report,
+)
+from .scheduler import (
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    QUARANTINED,
+    STATES,
+    FabricError,
+    JobQueue,
+    QueueMismatch,
+    Scheduler,
+    UnitRecord,
+    expand_units,
+    load_queue_dir,
+    repair_queue_dir,
+    sweep_fingerprint,
+    unit_id_for,
+)
+from .workers import FabricConfig, FabricRunResult, FabricSupervisor, run_fabric
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "LEASED",
+    "PENDING",
+    "QUARANTINED",
+    "STATES",
+    "FabricConfig",
+    "FabricError",
+    "FabricRunResult",
+    "FabricSupervisor",
+    "JobQueue",
+    "QueueMismatch",
+    "Scheduler",
+    "UnitRecord",
+    "build_report",
+    "diff_reports",
+    "expand_units",
+    "load_queue_dir",
+    "load_report",
+    "payload_digest",
+    "repair_queue_dir",
+    "run_fabric",
+    "sweep_fingerprint",
+    "unit_id_for",
+    "write_report",
+]

@@ -1,0 +1,173 @@
+"""The fabric's consolidated report: one manifested artifact per sweep.
+
+Workers produce per-unit partial results (persisted individually through
+the checksummed artifact store); this layer merges them into a single
+report document with
+
+* per-unit **provenance** — which workers held the lease, how many
+  attempts were charged, the full lease/crash/complete event history;
+* a **results manifest** — the SHA-256 of every unit's canonical payload
+  JSON, so two sweeps can be compared result-by-result without parsing
+  the payloads (claim 16 compares chaos vs. clean runs this way);
+* a whole-report **digest** — the SHA-256 of the canonical report body,
+  embedded in the document, so a tampered or truncated report file is
+  detectable on load.
+
+The canonical encoding is ``json.dumps(..., sort_keys=True,
+separators=(",", ":"))`` — byte-stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..atomicio import atomic_write_text
+from .scheduler import QUARANTINED, FabricError, Scheduler
+
+REPORT_FORMAT = "repro-fabric-report"
+REPORT_SCHEMA = 1
+
+
+def canonical_json(value: object) -> str:
+    """The byte-stable JSON encoding digests are computed over."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def payload_digest(payload: Dict[str, object]) -> str:
+    """SHA-256 of a unit payload's canonical JSON."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def report_digest(body: Dict[str, object]) -> str:
+    """SHA-256 of a report body (everything except the digest itself)."""
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+
+def build_report(
+    scheduler: Scheduler,
+    drained: bool = False,
+    drain_reason: str = "",
+) -> Dict[str, object]:
+    """Merge a scheduler's per-unit state and payloads into one report."""
+    units: Dict[str, object] = {}
+    manifest: Dict[str, str] = {}
+    for unit_id in scheduler.order:
+        record = scheduler.record(unit_id)
+        payload = scheduler.get_payload(unit_id)
+        if payload is not None:
+            manifest[unit_id] = payload_digest(payload)
+        workers = sorted(
+            {
+                str(event["worker"])
+                for event in record.lease_history
+                if "worker" in event
+            }
+        )
+        units[unit_id] = {
+            "benchmark": record.benchmark,
+            "kind": record.kind,
+            "state": record.state,
+            "attempts": record.attempts,
+            "workers": workers,
+            "lease_history": record.lease_history,
+            "crash_workers": record.crash_workers,
+            "tracebacks": record.tracebacks,
+            "failure": record.failure,
+            "meta": record.meta,
+        }
+    body: Dict[str, object] = {
+        "format": REPORT_FORMAT,
+        "schema": REPORT_SCHEMA,
+        "fingerprint": scheduler.fingerprint,
+        "counts": scheduler.counts(),
+        "drained": drained,
+        "drain_reason": drain_reason,
+        "quarantined": [
+            record.unit_id for record in scheduler.queue.in_state(QUARANTINED)
+        ],
+        "units": units,
+        "results": manifest,
+    }
+    report = dict(body)
+    report["sha256"] = report_digest(body)
+    return report
+
+
+def write_report(
+    scheduler: Scheduler,
+    path: Union[str, Path],
+    drained: bool = False,
+    drain_reason: str = "",
+) -> Path:
+    """Build and atomically persist the consolidated report artifact."""
+    path = Path(path)
+    report = build_report(scheduler, drained=drained, drain_reason=drain_reason)
+    atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True))
+    return path
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, object]:
+    """Load a report, verifying its embedded digest and schema."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise FabricError(f"{path}: unreadable fabric report: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != REPORT_FORMAT:
+        raise FabricError(f"{path}: not a fabric report")
+    if data.get("schema") != REPORT_SCHEMA:
+        raise FabricError(
+            f"{path}: unsupported report schema {data.get('schema')!r}"
+        )
+    body = {key: value for key, value in data.items() if key != "sha256"}
+    if report_digest(body) != data.get("sha256"):
+        raise FabricError(
+            f"{path}: report digest mismatch — the file was modified or "
+            f"truncated after it was written"
+        )
+    return data
+
+
+def diff_reports(
+    clean: Dict[str, object],
+    chaos: Dict[str, object],
+) -> List[str]:
+    """Differences between two sweeps' results, for claim 16.
+
+    Returns human-readable discrepancy strings; **empty means the chaos
+    run's results are bit-identical to the clean run's, minus only the
+    units the chaos report explicitly quarantined.**  A quarantined unit
+    is an accounted, reported loss — anything else (a missing unit, an
+    extra unit, a payload whose digest changed) is a fabric bug.
+    """
+    problems: List[str] = []
+    clean_results = clean.get("results")
+    chaos_results = chaos.get("results")
+    if not isinstance(clean_results, dict) or not isinstance(chaos_results, dict):
+        return ["report(s) missing their results manifest"]
+    quarantined = set(
+        chaos.get("quarantined", []) if isinstance(chaos.get("quarantined"), list) else []
+    )
+    for unit_id, digest in sorted(clean_results.items()):
+        if unit_id in quarantined:
+            if unit_id in chaos_results:
+                problems.append(
+                    f"{unit_id}: quarantined as poison yet present in the "
+                    f"chaos results"
+                )
+            continue
+        theirs: Optional[object] = chaos_results.get(unit_id)
+        if theirs is None:
+            problems.append(f"{unit_id}: missing from the chaos run")
+        elif theirs != digest:
+            problems.append(
+                f"{unit_id}: result digest differs (clean {digest[:12]}…, "
+                f"chaos {str(theirs)[:12]}…)"
+            )
+    for unit_id in sorted(chaos_results):
+        if unit_id not in clean_results:
+            problems.append(f"{unit_id}: present in chaos but not in clean")
+    return problems

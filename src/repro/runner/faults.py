@@ -31,6 +31,15 @@ fully seeded so every injected failure reproduces exactly:
   runner must quarantine it and transparently re-capture — a corrupt
   cache may cost time, never correctness).
 
+Stage ``fabric`` holds the faults that attack the experiment *fabric*
+around the unit instead of the unit itself (see :mod:`repro.fabric`):
+``kill-worker`` (the worker holding the lease dies mid-unit),
+``stall-worker`` (the worker freezes and stops heartbeating),
+``expire-lease`` (a healthy worker's lease is revoked under it),
+``corrupt-queue`` (the unit's durable queue record is garbled on disk)
+and ``poison-unit`` (the unit crashes every worker it is assigned to —
+the scheduler must quarantine it, not die with it).
+
 A plan is a picklable value, so it travels into worker subprocesses
 unchanged, and the CLI accepts specs as ``benchmark:stage:kind[:times]``.
 """
@@ -53,8 +62,14 @@ from .errors import FatalError, TransientError, annotate_stage
 #: fires between generation and profiling (the decision-trace capture);
 #: ``lint`` fires between profiling and alignment; ``layout`` fires
 #: between alignment and the oracle; ``store`` fires after a unit's
-#: artifact is persisted.
-STAGES = ("generate", "trace", "profile", "lint", "align", "simulate", "layout", "store")
+#: artifact is persisted.  ``fabric`` is not a pipeline stage at all:
+#: its faults attack the experiment fabric *around* the unit — the
+#: worker process, the lease, the queue — and are applied by
+#: :mod:`repro.fabric`, never by :meth:`FaultInjector.fire`.
+STAGES = (
+    "generate", "trace", "profile", "lint", "align", "simulate", "layout",
+    "store", "fabric",
+)
 KINDS = (
     "crash",
     "hard-crash",
@@ -66,6 +81,11 @@ KINDS = (
     "mutate-layout",
     "corrupt-artifact",
     "corrupt-trace",
+    "kill-worker",
+    "stall-worker",
+    "expire-lease",
+    "corrupt-queue",
+    "poison-unit",
 )
 
 #: Kinds that corrupt data in-flight instead of raising at a stage
@@ -79,8 +99,29 @@ DATA_FAULT_KINDS = (
     "corrupt-trace",
 )
 
+#: Fabric-level kinds (stage ``fabric``): they attack the scheduler /
+#: worker-pool machinery rather than the unit's own pipeline, and are
+#: observable only under ``repro sweep`` (the fabric).  ``kill-worker``
+#: kills the worker process holding the lease mid-unit; ``stall-worker``
+#: freezes the worker (heartbeats stop, the supervisor must kill it);
+#: ``expire-lease`` revokes a healthy worker's lease (its late result
+#: must be rejected, not double-counted); ``corrupt-queue`` garbles the
+#: unit's durable queue record on disk; ``poison-unit`` makes the unit
+#: crash *every* worker it touches, so the scheduler must quarantine it.
+FABRIC_FAULT_KINDS = (
+    "kill-worker",
+    "stall-worker",
+    "expire-lease",
+    "corrupt-queue",
+    "poison-unit",
+)
+
 #: Exit status used by ``hard-crash`` so tests can recognise it.
 HARD_CRASH_EXIT = 23
+
+#: Exit statuses of the injected fabric worker deaths.
+FABRIC_KILL_EXIT = 24
+FABRIC_POISON_EXIT = 25
 
 
 @dataclass(frozen=True)
@@ -100,6 +141,12 @@ class FaultSpec:
             raise ValueError(f"unknown fault stage {self.stage!r}; pick from {STAGES}")
         if self.kind not in KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; pick from {KINDS}")
+        if (self.kind in FABRIC_FAULT_KINDS) != (self.stage == "fabric"):
+            raise ValueError(
+                f"fault kind {self.kind!r} belongs to stage "
+                f"{'fabric' if self.kind in FABRIC_FAULT_KINDS else 'a pipeline stage'}, "
+                f"not {self.stage!r}"
+            )
         if self.times < 1:
             raise ValueError("times must be >= 1")
 
@@ -150,7 +197,7 @@ class FaultInjector:
     def fire(self, stage: str, benchmark: str, attempt: int) -> None:
         """Raise/kill/hang if a fault is scheduled for this stage."""
         spec = self._active(stage, benchmark, attempt)
-        if spec is None or spec.kind in DATA_FAULT_KINDS:
+        if spec is None or spec.kind in DATA_FAULT_KINDS or spec.kind in FABRIC_FAULT_KINDS:
             return
         if spec.kind == "transient":
             raise annotate_stage(
@@ -280,6 +327,42 @@ class FaultInjector:
         if spec is None or spec.kind != "corrupt-artifact":
             return False
         path = Path(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2] + b"\x00<injected-corruption>")
+        return True
+
+    def fabric_fault(
+        self, benchmark: str, attempt: int, kinds: Sequence[str]
+    ) -> Optional[FaultSpec]:
+        """The scheduled fabric-level fault of one of ``kinds``, if any.
+
+        ``poison-unit`` ignores the spec's ``times``: poison is defined
+        as a unit that crashes *every* worker on *every* attempt, so it
+        never heals — the scheduler's quarantine, not the fault's decay,
+        must end it.
+        """
+        for spec in self.plan.specs:
+            if spec.stage != "fabric" or spec.kind not in kinds:
+                continue
+            if spec.benchmark not in ("*", benchmark):
+                continue
+            if spec.kind == "poison-unit" or attempt <= spec.times:
+                return spec
+        return None
+
+    def corrupt_queue_record(self, path: Union[str, Path]) -> bool:
+        """Garble a durable queue record file (``corrupt-queue`` damage).
+
+        Same torn-write-plus-bit-rot damage as ``corrupt_artifact``, but
+        aimed at the fabric's per-unit queue record: the next queue load
+        must quarantine the damaged record and recover the unit as
+        pending instead of crashing or losing it.  The caller decides
+        *when* it fires (the fabric applies it once per matching spec);
+        returns whether the file existed to be damaged.
+        """
+        path = Path(path)
+        if not path.exists():
+            return False
         data = path.read_bytes()
         path.write_bytes(data[: len(data) // 2] + b"\x00<injected-corruption>")
         return True

@@ -1,10 +1,20 @@
-"""Retry with exponential backoff and deterministic jitter.
+"""Retry with capped exponential backoff and seeded *full* jitter.
 
 Only :class:`~repro.runner.errors.TransientError` (and, configurably,
 worker crashes and timeouts) is worth retrying; the policy here decides
-*how*: attempt ``n`` sleeps ``base_delay * multiplier**(n-1)`` seconds,
-capped at ``max_delay``, plus a jitter fraction drawn from a seeded RNG
-so reruns of the same suite back off identically.
+*how*.  Attempt ``n`` has a backoff ceiling of
+``base_delay * multiplier**(n-1)`` seconds, capped at ``max_delay``; the
+actual sleep is drawn uniformly from ``[ceiling * (1 - jitter),
+ceiling]`` — with the default ``jitter=1.0`` that is AWS-style **full
+jitter** (uniform over ``[0, ceiling]``), so two units that failed
+together do not re-collide on the exact same schedule the way a
+deterministic backoff makes them.  The RNG is seeded per (run seed,
+unit, attempt), so reruns of the same suite still back off identically.
+
+``max_total_delay`` caps the *cumulative* backoff wall-clock per unit:
+once a unit has slept that long across its attempts, further retries are
+abandoned even when attempts remain — a unit must not be able to pin a
+worker indefinitely through an adversarial failure schedule.
 """
 
 from __future__ import annotations
@@ -13,8 +23,6 @@ import random
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional
-
-from .errors import TransientError
 
 
 @dataclass(frozen=True)
@@ -25,23 +33,48 @@ class RetryPolicy:
     base_delay: float = 0.05
     multiplier: float = 2.0
     max_delay: float = 2.0
-    #: Fraction of the delay added as random jitter (0 disables it).
-    jitter: float = 0.5
+    #: Jitter width as a fraction of the backoff ceiling: the sleep is
+    #: uniform over ``[ceiling * (1 - jitter), ceiling]``.  The default
+    #: 1.0 is full jitter; 0 restores the deterministic schedule.
+    jitter: float = 1.0
+    #: Cumulative backoff budget per unit in seconds (None = unlimited).
+    #: Once a unit's sleeps add up to this, retrying stops even when
+    #: attempts remain.
+    max_total_delay: Optional[float] = 30.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
             raise ValueError("delays and jitter must be non-negative")
+        if self.jitter > 1.0:
+            raise ValueError("jitter is a fraction of the ceiling; must be <= 1")
+        if self.max_total_delay is not None and self.max_total_delay < 0:
+            raise ValueError("max_total_delay must be non-negative")
 
-    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
-        """Backoff before re-running after failed attempt number ``attempt``."""
+    def ceiling(self, attempt: int) -> float:
+        """The backoff ceiling after failed attempt number ``attempt``."""
         if attempt < 1:
             raise ValueError("attempt numbers start at 1")
-        delay = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before re-running after failed attempt number ``attempt``.
+
+        Without an RNG the delay is the deterministic ceiling (legacy
+        behaviour, used by tests that assert the schedule); with one the
+        delay is jittered uniformly below the ceiling.
+        """
+        ceiling = self.ceiling(attempt)
         if self.jitter and rng is not None:
-            delay += delay * self.jitter * rng.random()
-        return delay
+            return rng.uniform(ceiling * (1.0 - self.jitter), ceiling)
+        return ceiling
+
+    def within_budget(self, slept: float, next_delay: float) -> bool:
+        """Whether sleeping ``next_delay`` more stays inside the budget."""
+        if self.max_total_delay is None:
+            return True
+        return slept + next_delay <= self.max_total_delay
 
 
 def retry_rng(seed: int, label: str) -> random.Random:
@@ -64,16 +97,24 @@ def call_with_retry(
 
     Only :class:`TransientError` triggers a retry; any other exception
     propagates immediately, as does the transient error of the final
-    attempt.
+    attempt or of the attempt that would blow the cumulative backoff
+    budget (``policy.max_total_delay``).
     """
+    from .errors import TransientError
+
     attempt = 1
+    slept = 0.0
     while True:
         try:
             return fn(attempt)
         except TransientError as exc:
             if attempt >= policy.max_attempts:
                 raise
+            delay = policy.delay(attempt, rng)
+            if not policy.within_budget(slept, delay):
+                raise
             if on_retry is not None:
                 on_retry(attempt, exc)
-            sleep(policy.delay(attempt, rng))
+            sleep(delay)
+            slept += delay
             attempt += 1

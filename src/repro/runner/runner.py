@@ -524,6 +524,7 @@ def _run_inline(
     """Execute units in this process (no isolation, no timeouts)."""
     for task in pending:
         attempt = 1
+        slept = 0.0
         while True:
             try:
                 payload = execute_unit(replace(task, attempt=attempt))
@@ -532,9 +533,15 @@ def _run_inline(
                     raise
                 if _is_retryable(exc, config) and attempt < config.retry.max_attempts:
                     rng = retry_rng(task.seed, f"{task.benchmark}:{attempt}")
-                    time.sleep(config.retry.delay(attempt, rng))
-                    attempt += 1
-                    continue
+                    delay = config.retry.delay(attempt, rng)
+                    # Per-unit cumulative backoff budget: once a unit has
+                    # slept max_total_delay across attempts, retrying
+                    # stops even when attempts remain.
+                    if config.retry.within_budget(slept, delay):
+                        time.sleep(delay)
+                        slept += delay
+                        attempt += 1
+                        continue
                 on_failure(_failure_from_exception(task, exc, attempt, config))
                 break
             else:
@@ -543,13 +550,22 @@ def _run_inline(
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
-    """Terminate a pool's worker processes (hung or poisoned pool)."""
-    for process in list(getattr(pool, "_processes", {}).values()):
+    """Terminate a pool's worker processes (hung or poisoned pool).
+
+    Idempotent: an already-shut-down pool's ``_processes`` map may be
+    ``None`` rather than empty, and ``shutdown`` may be re-entered by a
+    ``finally`` after an exceptional teardown — neither may raise or
+    leak processes.
+    """
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
         try:
             process.terminate()
         except Exception:  # pragma: no cover - process already gone
             pass
-    pool.shutdown(wait=False, cancel_futures=True)
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - interpreter teardown races
+        pass
 
 
 def _run_isolated(
@@ -572,16 +588,21 @@ def _run_isolated(
     inflight: Dict[object, Tuple[UnitTask, int, float]] = {}
     pool: Optional[ProcessPoolExecutor] = None
     poll = 0.05
+    slept: Dict[str, float] = {}
 
     def settle(task: UnitTask, attempt: int, exc: BaseException) -> None:
         if config.fail_fast:
             raise exc
         if _is_retryable(exc, config) and attempt < config.retry.max_attempts:
             rng = retry_rng(task.seed, f"{task.benchmark}:{attempt}")
-            time.sleep(config.retry.delay(attempt, rng))
-            queue.append((task, attempt + 1))
-        else:
-            on_failure(_failure_from_exception(task, exc, attempt, config))
+            delay = config.retry.delay(attempt, rng)
+            # Per-unit cumulative backoff budget (max_total_delay).
+            if config.retry.within_budget(slept.get(task.benchmark, 0.0), delay):
+                time.sleep(delay)
+                slept[task.benchmark] = slept.get(task.benchmark, 0.0) + delay
+                queue.append((task, attempt + 1))
+                return
+        on_failure(_failure_from_exception(task, exc, attempt, config))
 
     def collect(future: object, task: UnitTask, attempt: int) -> bool:
         """Absorb one finished future; True when it broke the pool."""

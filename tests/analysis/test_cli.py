@@ -144,15 +144,15 @@ class TestBreakdownCommand:
         assert "Misfetch cyc" in out and "try15" in out
 
 
-class TestSweepCommand:
+class TestSensitivityCommand:
     def test_penalty_sweep(self, capsys):
-        assert main(["sweep", "eqntott", "penalty", "--scale", "0.02",
+        assert main(["sensitivity", "eqntott", "penalty", "--scale", "0.02",
                      "--points", "2,8"]) == 0
         out = capsys.readouterr().out
         assert "Mispredict cycles" in out and "Gain %" in out
 
     def test_width_sweep_defaults(self, capsys):
-        assert main(["sweep", "eqntott", "width", "--scale", "0.02"]) == 0
+        assert main(["sensitivity", "eqntott", "width", "--scale", "0.02"]) == 0
         assert "Issue width" in capsys.readouterr().out
 
 

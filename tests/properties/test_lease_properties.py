@@ -1,0 +1,177 @@
+"""Property tests: no interleaving of the lease protocol loses a unit.
+
+A :class:`~repro.fabric.scheduler.JobQueue` is driven through arbitrary
+interleavings of the operations a real fabric run generates — leases,
+heartbeats, completions, failures, crashes, expiries, revocations — with
+workers deliberately reusing stale tokens.  After every step the queue's
+own invariants must hold, and at the end every unit must be accounted
+for exactly once: settled in a terminal state or still runnable, never
+lost, never completed twice.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.fabric.scheduler import (
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    QUARANTINED,
+    JobQueue,
+    UnitRecord,
+)
+from repro.runner.retry import RetryPolicy
+
+UNIT_IDS = ["experiment/u0/aaaaaaaaaaaa", "experiment/u1/bbbbbbbbbbbb",
+            "experiment/u2/cccccccccccc"]
+WORKERS = ["w1", "w2", "w3"]
+
+
+def make_queue(poison_threshold: int = 2) -> JobQueue:
+    records = [
+        UnitRecord(unit_id=uid, benchmark=uid.split("/")[1], kind="experiment")
+        for uid in UNIT_IDS
+    ]
+    return JobQueue(
+        records,
+        poison_threshold=poison_threshold,
+        retry=RetryPolicy(max_attempts=4, base_delay=0.0, max_delay=0.0,
+                          jitter=0.0),
+    )
+
+
+class LeaseProtocolMachine(RuleBasedStateMachine):
+    """Drive the queue like an adversarial scheduler of a chaotic pool."""
+
+    @initialize(poison_threshold=st.integers(min_value=1, max_value=3))
+    def setup(self, poison_threshold):
+        self.queue = make_queue(poison_threshold)
+        self.now = 0.0
+        #: Every (unit, token) ever issued — stale ones stay in here, so
+        #: rules replay them against the queue long after revocation.
+        self.issued = []
+        self.completions = {}
+
+    def _tick(self):
+        self.now += 1.0
+        return self.now
+
+    @rule(worker=st.sampled_from(WORKERS),
+          duration=st.floats(min_value=1.0, max_value=5.0))
+    def lease(self, worker, duration):
+        leased = self.queue.lease(worker, self._tick(), duration)
+        if leased is not None:
+            record, token = leased
+            assert record.state == LEASED
+            self.issued.append((record.unit_id, token, worker))
+
+    @rule(pick=st.integers(min_value=0))
+    def complete(self, pick):
+        if not self.issued:
+            return
+        unit_id, token, _worker = self.issued[pick % len(self.issued)]
+        if self.queue.complete(unit_id, token, self._tick()):
+            # Only a current lease may complete, and only once ever.
+            assert unit_id not in self.completions
+            self.completions[unit_id] = token
+
+    @rule(pick=st.integers(min_value=0), retryable=st.booleans())
+    def fail(self, pick, retryable):
+        if not self.issued:
+            return
+        unit_id, token, _worker = self.issued[pick % len(self.issued)]
+        outcome = self.queue.fail(unit_id, token, {"kind": "x"}, retryable,
+                                  self._tick())
+        assert outcome in (PENDING, FAILED, "rejected")
+
+    @rule(pick=st.integers(min_value=0))
+    def crash(self, pick):
+        if not self.issued:
+            return
+        unit_id, token, worker = self.issued[pick % len(self.issued)]
+        outcome = self.queue.crash(unit_id, token, worker, "tb", self._tick())
+        assert outcome in (PENDING, FAILED, QUARANTINED, "rejected")
+
+    @rule(pick=st.integers(min_value=0))
+    def heartbeat(self, pick):
+        if not self.issued:
+            return
+        unit_id, token, _worker = self.issued[pick % len(self.issued)]
+        self.queue.heartbeat(unit_id, token, self._tick())
+
+    @rule(jump=st.floats(min_value=0.0, max_value=10.0))
+    def expire(self, jump):
+        self.now += jump
+        self.queue.expire(self.now)
+
+    @rule(pick=st.integers(min_value=0))
+    def revoke(self, pick):
+        self.queue.revoke(UNIT_IDS[pick % len(UNIT_IDS)], self._tick())
+
+    @invariant()
+    def queue_is_consistent(self):
+        assert self.queue.check_consistency() == []
+
+    @invariant()
+    def no_unit_is_lost_or_double_counted(self):
+        counts = self.queue.counts()
+        assert sum(counts.values()) == len(UNIT_IDS)
+        for unit_id in UNIT_IDS:
+            record = self.queue[unit_id]
+            events = [e for e in record.lease_history
+                      if e.get("action") == "complete"]
+            if unit_id in self.completions:
+                assert record.state == DONE and len(events) == 1
+            else:
+                assert record.state != DONE and not events
+
+    @invariant()
+    def done_units_never_leave_done(self):
+        for unit_id in self.completions:
+            assert self.queue[unit_id].state == DONE
+
+
+TestLeaseProtocol = LeaseProtocolMachine.TestCase
+TestLeaseProtocol.settings = settings(max_examples=60, stateful_step_count=40,
+                                      deadline=None)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["lease", "complete", "fail", "crash", "expire"]),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_random_interleavings_preserve_every_unit(ops):
+    """A flat generator over the same protocol, cheap enough to run wide."""
+    queue = make_queue()
+    now = 0.0
+    issued = []
+    for op, arg in ops:
+        now += 1.0
+        if op == "lease":
+            leased = queue.lease(WORKERS[arg % len(WORKERS)], now, 2.0)
+            if leased is not None:
+                issued.append((leased[0].unit_id, leased[1]))
+        elif op == "expire":
+            now += float(arg)
+            queue.expire(now)
+        elif issued:
+            unit_id, token = issued[arg % len(issued)]
+            if op == "complete":
+                queue.complete(unit_id, token, now)
+            elif op == "fail":
+                queue.fail(unit_id, token, {"kind": "x"}, arg % 2 == 0, now)
+            elif op == "crash":
+                queue.crash(unit_id, token, WORKERS[arg % len(WORKERS)],
+                            "tb", now)
+        assert queue.check_consistency() == []
+    assert sum(queue.counts().values()) == len(UNIT_IDS)
