@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..runner.faults import NETWORK_FAULT_KINDS
 from ..sim.metrics import STATIC_ARCHS
 from ..workloads import CATEGORIES, FIGURE4_PROGRAMS
 from .experiment import BenchmarkExperiment, run_suite_experiment
@@ -70,6 +71,9 @@ class _Context:
     #: Fabric chaos-vs-clean evidence (claim 16); see
     #: :func:`_fabric_evidence` for the keys.
     fabric_check: Dict[str, object] = field(default_factory=dict)
+    #: Socket-tier chaos evidence (claim 17); see
+    #: :func:`_remote_fabric_evidence` for the keys.
+    remote_check: Dict[str, object] = field(default_factory=dict)
 
     def avg(self, aligner: str, arch: str) -> float:
         cells = [e.cell(aligner, arch).relative_cpi for e in self.experiments]
@@ -399,6 +403,75 @@ def _check_fabric_recovery(ctx: _Context) -> ClaimResult:
     )
 
 
+def _check_remote_fabric(ctx: _Context) -> ClaimResult:
+    """Claim 17: the socket tier recovers from injected network faults."""
+    claim_id = "remote-fabric-recovers-from-network-faults"
+    quote = (
+        "[fabric] a seeded network-chaos sweep over remote socket workers "
+        "is bit-identical to a clean local run; stale-epoch reconnects are "
+        "rejected without double-counting; dead remote workers degrade to "
+        "local completion"
+    )
+    rc = ctx.remote_check
+    if not rc:
+        return ClaimResult(claim_id, quote, False, "no remote-fabric evidence")
+    problems = list(rc.get("problems", ["missing"]))  # type: ignore[arg-type]
+    units = int(rc.get("units", 0))  # type: ignore[arg-type]
+    chaos_done = int(rc.get("chaos_done", 0))  # type: ignore[arg-type]
+    remote_done = int(rc.get("remote_done", 0))  # type: ignore[arg-type]
+    fired = dict(rc.get("faults_fired", {}))  # type: ignore[arg-type]
+    unfired = [k for k in NETWORK_FAULT_KINDS if not fired.get(k)]
+    stale = dict(rc.get("stale", {}))  # type: ignore[arg-type]
+    stale_ok = (
+        bool(stale.get("stale_rejected"))
+        and int(stale.get("completions", 0)) == 1  # type: ignore[arg-type]
+    )
+    degraded = dict(rc.get("degraded", {}))  # type: ignore[arg-type]
+    degraded_ok = (
+        int(degraded.get("done", 0)) == units  # type: ignore[arg-type]
+        and not list(degraded.get("problems", ["missing"]))  # type: ignore[arg-type]
+        and int(degraded.get("abandoned", 0)) >= 1  # type: ignore[arg-type]
+    )
+    ok = (
+        not problems
+        and chaos_done == units
+        and remote_done == units
+        and not unfired
+        and stale_ok
+        and degraded_ok
+    )
+    if problems:
+        detail = f"chaos/clean diff: {problems[0]}"
+    elif chaos_done != units or remote_done != units:
+        detail = (
+            f"socket workers completed {remote_done}/{units} unit(s) "
+            f"({chaos_done} done overall)"
+        )
+    elif unfired:
+        detail = f"network fault(s) never fired: {', '.join(unfired)}"
+    elif not stale_ok:
+        detail = (
+            f"stale-epoch probe: rejected={stale.get('stale_rejected')}, "
+            f"completions={stale.get('completions')} (want rejected, 1)"
+        )
+    elif not degraded_ok:
+        detail = (
+            f"degradation probe: {degraded.get('abandoned', 0)} remote "
+            f"worker(s) abandoned, local tier finished "
+            f"{degraded.get('done', 0)}/{units}, "
+            f"diff {list(degraded.get('problems', []))[:1] or 'clean'}"  # type: ignore[arg-type]
+        )
+    else:
+        detail = (
+            f"all {units} units completed over ≥2 socket workers under "
+            + ", ".join(f"{k}x{v}" for k, v in sorted(fired.items()))
+            + f" (bit-identical to clean); stale-epoch commit rejected with "
+            f"exactly 1 completion; {degraded.get('abandoned')} dead remote "
+            f"worker(s) degraded to local completion"
+        )
+    return ClaimResult(claim_id, quote, ok, detail)
+
+
 CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_static_help,
     _check_static_ordering,
@@ -416,6 +489,7 @@ CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_replay_equivalence,
     _check_prover_oracle_agreement,
     _check_fabric_recovery,
+    _check_remote_fabric,
 )
 
 
@@ -452,6 +526,7 @@ def verify_claims(
         if name in benchmarks
     }
     fabric_check = _fabric_evidence(scale=scale, seed=seed, window=window)
+    remote_check = _remote_fabric_evidence(scale=scale, seed=seed, window=window)
     ctx = _Context(
         experiments=experiments,
         figure4_rows=figure4_rows,
@@ -460,6 +535,7 @@ def verify_claims(
         replay_checks=replay_checks,
         prove_checks=prove_checks,
         fabric_check=fabric_check,
+        remote_check=remote_check,
     )
     return [check(ctx) for check in CHECKS]
 
@@ -537,6 +613,155 @@ def _fabric_evidence(scale: float, seed: int, window: int) -> Dict[str, object]:
         }
     finally:
         shutil.rmtree(root, ignore_errors=True)
+
+
+def _remote_fabric_evidence(scale: float, seed: int, window: int) -> Dict[str, object]:
+    """Run the claim-17 experiment: the socket tier under network chaos.
+
+    Three probes against one clean local baseline:
+
+    1. **Network chaos**: a coordinator-only sweep (``workers=0``) served
+       entirely by two loopback socket workers, with every network fault
+       kind injected at the transport — the consolidated report must be
+       bit-identical to the clean local run and every kind must actually
+       have fired.
+    2. **Stale epoch**: a worker leases a unit, "reconnects" (new
+       epoch), and the commit carrying the old epoch must be rejected
+       while the re-sent commit under the new epoch lands — exactly one
+       completion on the record.
+    3. **Degradation**: every remote worker abandons its first lease and
+       vanishes; the single local pipe worker must finish the whole
+       sweep, still bit-identical to clean.
+    """
+    from ..fabric import (
+        FabricConfig,
+        LeaseGate,
+        Scheduler,
+        build_report,
+        diff_reports,
+        launch_workers,
+        run_fabric,
+    )
+    from ..runner.faults import FaultPlan, FaultSpec
+    from ..runner.retry import RetryPolicy
+    from ..runner.runner import UnitTask
+
+    archs = ("btfnt",)
+    benchmarks = ("eqntott", "compress", "alvinn")
+    tasks = [
+        UnitTask(
+            kind="experiment", benchmark=name, scale=scale, seed=seed,
+            window=window, archs=archs,
+        )
+        for name in benchmarks
+    ]
+    retry = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
+    reconnect = RetryPolicy(
+        max_attempts=12, base_delay=0.02, max_delay=0.25, max_total_delay=30.0
+    )
+
+    clean = run_fabric(
+        tasks,
+        FabricConfig(workers=2, lease=20.0, heartbeat=0.25,
+                     missed_heartbeats=4, retry=retry, seed=seed),
+    )
+    clean_report = build_report(clean.scheduler)
+
+    # Probe 1: all five network fault kinds against two socket workers.
+    plan = FaultPlan(
+        specs=tuple(
+            FaultSpec("*", "fabric", kind) for kind in NETWORK_FAULT_KINDS
+        ),
+        seed=seed,
+    )
+    chaos_workers: list = []
+
+    def chaos_listening(address: tuple) -> None:
+        chaos_workers.extend(
+            launch_workers(
+                address, 2, timeout=1.0, reconnect=reconnect, seed=seed
+            )
+        )
+
+    chaos = run_fabric(
+        tasks,
+        FabricConfig(workers=0, listen="127.0.0.1:0", lease=4.0,
+                     retry=retry, faults=plan, seed=seed),
+        on_listening=chaos_listening,
+    )
+    for thread in chaos_workers:
+        thread.join(timeout=30.0)
+    problems = diff_reports(clean_report, build_report(chaos.scheduler))
+    if clean.counts().get("done") != len(tasks):
+        problems.append(
+            f"clean run finished {clean.counts().get('done')}/{len(tasks)}"
+        )
+    remote_summary = chaos.remote or {}
+
+    # Probe 2: a reconnect invalidates the old epoch, not the work.
+    gate_scheduler = Scheduler(tasks[:1], retry=retry, seed=seed)
+    gate = LeaseGate(gate_scheduler.queue)
+    first_epoch = gate.register("flaky")
+    leased = gate.queue.lease("flaky", now=0.0, duration=30.0)
+    assert leased is not None
+    record, token = leased
+    second_epoch = gate.register("flaky")  # the worker reconnected
+    stale_ok, stale_reason = gate.complete(
+        "flaky", first_epoch, record.unit_id, token, now=1.0
+    )
+    fresh_ok, _ = gate.complete(
+        "flaky", second_epoch, record.unit_id, token, now=2.0
+    )
+    completions = sum(
+        1 for event in record.lease_history if event["action"] == "complete"
+    )
+    stale = {
+        "stale_rejected": (not stale_ok) and stale_reason == "stale-epoch",
+        "fresh_accepted": fresh_ok,
+        "completions": completions,
+    }
+
+    # Probe 3: every remote worker dies holding a lease; the local tier
+    # must absorb the whole sweep.
+    dead_workers: list = []
+
+    def degraded_listening(address: tuple) -> None:
+        dead_workers.extend(
+            launch_workers(
+                address, 2, timeout=1.0, reconnect=reconnect,
+                abandon_after=0, seed=seed,
+            )
+        )
+
+    degraded_run = run_fabric(
+        tasks,
+        FabricConfig(workers=1, listen="127.0.0.1:0", lease=2.0,
+                     heartbeat=0.25, missed_heartbeats=4, retry=retry,
+                     seed=seed),
+        on_listening=degraded_listening,
+    )
+    for thread in dead_workers:
+        thread.join(timeout=30.0)
+    degraded = {
+        "done": degraded_run.counts().get("done", 0),
+        "problems": diff_reports(
+            clean_report, build_report(degraded_run.scheduler)
+        ),
+        "abandoned": sum(
+            1 for thread in dead_workers
+            if (thread.summary or {}).get("reason") == "abandoned"
+        ),
+    }
+
+    return {
+        "problems": problems,
+        "units": len(tasks),
+        "chaos_done": chaos.counts().get("done", 0),
+        "remote_done": len(remote_summary.get("remote_completed", [])),  # type: ignore[arg-type]
+        "faults_fired": dict(remote_summary.get("faults_fired", {})),  # type: ignore[arg-type]
+        "stale": stale,
+        "degraded": degraded,
+    }
 
 
 def _oracle_and_prove(name: str, scale: float, seed: int, window: int):

@@ -588,12 +588,114 @@ def _doctor_lint(args: argparse.Namespace) -> int:
     return EXIT_OK if clean else EXIT_RUNTIME
 
 
+def _doctor_remote(args: argparse.Namespace) -> int:
+    """Probe a live coordinator: protocol, schema, fingerprint drift."""
+    from .fabric import PROTOCOL_VERSION, TransportError, probe_coordinator
+    from .fabric.scheduler import SCHEMA_VERSION, load_queue_dir
+
+    lines = [f"remote coordinator {args.remote}"]
+    try:
+        probe = probe_coordinator(args.remote, timeout=5.0)
+    except ValueError as exc:
+        raise UsageError(str(exc))
+    except TransportError as exc:
+        lines.append(
+            f"FAIL unreachable: {exc.reason} — {exc.detail or 'no detail'}; "
+            f"is a `repro sweep --listen` coordinator running there?"
+        )
+        _write("\n".join(lines), args.output)
+        return EXIT_RUNTIME
+    problems = 0
+    if probe["protocol"] != PROTOCOL_VERSION:
+        problems += 1
+        lines.append(
+            f"FAIL protocol drift: coordinator speaks wire protocol "
+            f"{probe['protocol']}, this client speaks {PROTOCOL_VERSION} — "
+            f"workers from this host would be rejected at handshake"
+        )
+    else:
+        lines.append(f"PASS protocol: v{probe['protocol']}")
+    if probe["schema"] != SCHEMA_VERSION:
+        problems += 1
+        lines.append(
+            f"FAIL queue-schema drift: coordinator persists schema "
+            f"{probe['schema']}, this host expects {SCHEMA_VERSION}"
+        )
+    else:
+        lines.append(f"PASS queue schema: v{probe['schema']}")
+    lines.append(
+        f"coordinator sweep: {probe['units']} unit(s), "
+        f"fingerprint {probe['fingerprint']}"
+    )
+    if args.fabric:
+        header, _records, _corrupt = load_queue_dir(args.fabric)
+        local = header.get("fingerprint")
+        if local != probe["fingerprint"]:
+            problems += 1
+            lines.append(
+                f"FAIL fingerprint drift: local queue {args.fabric} is sweep "
+                f"{local}, the coordinator serves {probe['fingerprint']} — "
+                f"these are different sweeps; results must not be merged"
+            )
+        else:
+            lines.append(f"PASS fingerprint matches local queue {args.fabric}")
+    _write("\n".join(lines), args.output)
+    return EXIT_OK if not problems else EXIT_RUNTIME
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Join a coordinator as a remote fabric worker until drained."""
+    from .fabric import FabricError, RemoteWorker, WorkerConfig
+
+    if args.max_units is not None and args.max_units < 1:
+        raise UsageError("--max-units must be >= 1")
+    if args.name:
+        name = args.name
+    else:
+        import os
+        import socket as _socket
+
+        name = f"{_socket.gethostname()}-{os.getpid()}"
+    try:
+        config = WorkerConfig(
+            connect=args.connect,
+            name=name,
+            timeout=args.timeout,
+            store_dir=args.store,
+            max_units=args.max_units,
+            seed=args.seed,
+        )
+        worker = RemoteWorker(config)
+    except ValueError as exc:
+        raise UsageError(str(exc))
+    try:
+        summary = worker.run()
+    except FabricError as exc:
+        print(f"worker rejected: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME
+    lines = [
+        f"worker {summary['worker']}: {summary['reason']}",
+        f"completed: {len(summary['completed'])} unit(s)",  # type: ignore[arg-type]
+    ]
+    failed = summary["failed"]
+    if failed:
+        lines.append(f"failed: {len(failed)} unit(s)")  # type: ignore[arg-type]
+    if summary["reconnects"]:
+        lines.append(f"reconnected {summary['reconnects']} time(s)")
+    if args.store:
+        lines.append(f"partial results manifested in {args.store}")
+    _write("\n".join(lines), args.output)
+    return EXIT_OK if summary["reason"] in ("drained", "max-units") else EXIT_RUNTIME
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     """Run the invariant-validation layer standalone, PASS/FAIL per check."""
     if args.repair and not (args.store or args.fabric):
         raise UsageError("--repair needs --store DIR or --fabric DIR")
     if args.store and args.fabric:
         raise UsageError("pick one of --store and --fabric")
+    if args.remote:
+        return _doctor_remote(args)
     if args.fabric:
         return _doctor_fabric(args)
     if args.store:
@@ -699,6 +801,7 @@ def _fabric_fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a benchmark sweep through the fault-tolerant fabric."""
     from .fabric import FabricConfig, run_fabric, write_report
+    from .runner.faults import NETWORK_FAULT_KINDS
     from .runner.runner import UnitTask
 
     names = _benchmark_list(args.benchmarks) or list(SUITE)
@@ -720,10 +823,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise UsageError("--retries must be >= 1")
     if args.resume and not args.queue:
         raise UsageError("--resume requires --queue DIR")
+    if args.remote_workers < 0:
+        raise UsageError("--remote-workers must be >= 0")
+    if args.remote_workers and not args.listen:
+        raise UsageError("--remote-workers needs --listen [HOST:]PORT")
     if args.report is None and args.queue is not None:
         from pathlib import Path as _Path
 
         args.report = str(_Path(args.queue) / "report.json")
+
+    faults = _fabric_fault_plan(args)
+    if faults is not None and not args.listen:
+        network = sorted(
+            {s.kind for s in faults.specs if s.kind in NETWORK_FAULT_KINDS}
+        )
+        if network:
+            raise UsageError(
+                f"network fault(s) {', '.join(network)} attack the socket "
+                f"tier; add --listen [HOST:]PORT"
+            )
 
     tasks = [
         UnitTask(
@@ -742,13 +860,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             retry=RetryPolicy(max_attempts=args.retries),
             queue_dir=args.queue,
             resume=args.resume,
-            faults=_fabric_fault_plan(args),
+            faults=faults,
             drain_timeout=args.drain_timeout,
             seed=seeds[0],
+            listen=args.listen,
         )
     except ValueError as exc:
         raise UsageError(str(exc))
-    result = run_fabric(tasks, config)
+
+    loopback: list = []
+    on_listening = None
+    if args.listen:
+        from .fabric import launch_workers
+
+        def on_listening(address: tuple) -> None:
+            print(f"listening on {address[0]}:{address[1]}", file=sys.stderr)
+            if args.remote_workers:
+                loopback.extend(
+                    launch_workers(address, args.remote_workers, seed=seeds[0])
+                )
+
+    result = run_fabric(tasks, config, on_listening=on_listening)
+    for thread in loopback:
+        thread.join(timeout=30.0)
 
     scheduler = result.scheduler
     rows = []
@@ -774,6 +908,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if result.resumed:
         lines.append(f"resumed: {len(result.resumed)} unit(s) restored from "
                      f"the queue without re-running")
+    if result.remote is not None:
+        fired = result.remote.get("faults_fired") or {}
+        rejections = result.remote.get("rejections") or {}
+        line = (
+            f"socket tier: {len(result.remote.get('workers', []))} remote "
+            f"worker(s), {len(result.remote.get('remote_completed', []))} "
+            f"unit(s) completed remotely"
+        )
+        if fired:
+            line += "; network faults fired: " + ", ".join(
+                f"{kind}x{times}" for kind, times in sorted(fired.items())
+            )
+        if rejections:
+            line += "; stale messages rejected: " + ", ".join(
+                f"{reason}x{times}"
+                for reason, times in sorted(rejections.items())
+            )
+        lines.append(line)
     for record in result.quarantined:
         failure = record.failure or {}
         lines.append(
@@ -1086,8 +1238,40 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="grace period for in-flight units on SIGINT/"
                         "SIGTERM before their leases are revoked")
+    s = p.add_argument_group("socket tier")
+    s.add_argument("--listen", metavar="[HOST:]PORT",
+                   help="serve the lease protocol over TCP so `repro "
+                        "worker` processes (any host) can join the sweep; "
+                        "port 0 picks an ephemeral port (printed to "
+                        "stderr); --workers 0 runs coordinator-only")
+    s.add_argument("--remote-workers", type=int, default=0, metavar="N",
+                   help="also start N loopback socket workers in-process "
+                        "(demo/CI mode; requires --listen)")
     common(p, window=True)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "worker",
+        help="join a `repro sweep --listen` coordinator as a remote "
+             "fabric worker: lease units over TCP, heartbeat, stream "
+             "results back, reconnect with jittered backoff",
+    )
+    p.add_argument("--connect", required=True, metavar="[HOST:]PORT",
+                   help="coordinator address")
+    p.add_argument("--name", default=None, metavar="NAME",
+                   help="worker name (default: HOSTNAME-PID); reconnects "
+                        "under the same name get a fresh session epoch")
+    p.add_argument("--store", metavar="DIR",
+                   help="also persist this host's results to a local "
+                        "SHA-256-manifested partial artifact store")
+    p.add_argument("--timeout", type=float, default=5.0, metavar="SECONDS",
+                   help="per-RPC timeout before reconnecting (default 5)")
+    p.add_argument("--max-units", type=int, default=None, metavar="N",
+                   help="leave after completing N units")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the reconnect backoff jitter")
+    p.add_argument("-o", "--output", help="write the summary to a file")
+    p.set_defaults(func=cmd_worker)
 
     def runner_flags(p):
         g = p.add_argument_group("resilient runner")
@@ -1172,6 +1356,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fabric", metavar="DIR",
                    help="inspect a fabric queue directory: stuck leases, "
                         "quarantined poison units, corrupt records")
+    p.add_argument("--remote", metavar="[HOST:]PORT",
+                   help="probe a live sweep coordinator: ping round-trip, "
+                        "wire-protocol and queue-schema versions, sweep "
+                        "fingerprint (with --fabric DIR: drift vs the "
+                        "local queue)")
     p.add_argument("--repair", action="store_true",
                    help="with --store: quarantine corrupt artifacts; with "
                         "--fabric: release stuck leases back to pending "

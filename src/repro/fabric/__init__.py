@@ -1,20 +1,29 @@
 """The fault-tolerant experiment fabric.
 
-Three layers turn a sweep into a batch service (see ``docs/robustness.md``):
+Five layers turn a sweep into a batch service (see ``docs/robustness.md``):
 
 * :mod:`~repro.fabric.scheduler` — fingerprinted work units in a durable
   lease queue (``pending/leased/done/failed/quarantined``) that survives
   SIGKILL at any instant;
-* :mod:`~repro.fabric.workers` — a supervised worker pool: heartbeats,
-  lease revocation and reassignment, poison-unit quarantine, graceful
-  SIGINT/SIGTERM drain;
+* :mod:`~repro.fabric.workers` — the local pipe tier: a supervised
+  worker pool with heartbeats, lease revocation and reassignment,
+  poison-unit quarantine, graceful SIGINT/SIGTERM drain;
+* :mod:`~repro.fabric.transport` — the wire protocol of the socket
+  tier: length-prefixed, checksummed JSON frames plus the seeded
+  network-fault injector;
+* :mod:`~repro.fabric.remote` — the socket tier itself: a coordinator
+  serving leases over TCP and remote workers that reconnect with
+  full-jitter backoff, resume in-flight uploads, and can never be
+  counted twice thanks to session epochs + lease tokens;
 * :mod:`~repro.fabric.report` — per-worker partial results merged into
   one SHA-256-manifested report with per-unit provenance.
 
-``repro sweep`` is the CLI entry point; :func:`run_fabric` the library
-one.  Claim 16 (``fabric-recovers-from-faults``) holds the whole stack
-to its contract: a chaos run's results are bit-identical to a clean
-run's, minus only explicitly quarantined poison units.
+``repro sweep`` is the CLI entry point (``--listen`` opens the socket
+tier, ``repro worker`` joins it); :func:`run_fabric` the library one.
+Claim 16 (``fabric-recovers-from-faults``) holds the local stack to its
+contract and claim 17 (``remote-fabric-recovers-from-network-faults``)
+extends it over the wire: a chaos run's results are bit-identical to a
+clean run's, minus only explicitly quarantined poison units.
 """
 
 from .report import (
@@ -42,32 +51,74 @@ from .scheduler import (
     sweep_fingerprint,
     unit_id_for,
 )
+from .transport import (
+    NETWORK_FAULT_KINDS,
+    PROTOCOL_VERSION,
+    FaultyTransport,
+    NetworkChaos,
+    Transport,
+    TransportError,
+    decode_frame,
+    encode_frame,
+    parse_address,
+)
+from .remote import (
+    CoordinatorServer,
+    LeaseGate,
+    RemoteWorker,
+    SessionTable,
+    WorkerConfig,
+    WorkerThread,
+    launch_workers,
+    probe_coordinator,
+    task_from_wire,
+    task_to_wire,
+)
 from .workers import FabricConfig, FabricRunResult, FabricSupervisor, run_fabric
 
 __all__ = [
     "DONE",
     "FAILED",
     "LEASED",
+    "NETWORK_FAULT_KINDS",
     "PENDING",
+    "PROTOCOL_VERSION",
     "QUARANTINED",
     "STATES",
+    "CoordinatorServer",
     "FabricConfig",
     "FabricError",
     "FabricRunResult",
     "FabricSupervisor",
+    "FaultyTransport",
     "JobQueue",
+    "LeaseGate",
+    "NetworkChaos",
     "QueueMismatch",
+    "RemoteWorker",
     "Scheduler",
+    "SessionTable",
+    "Transport",
+    "TransportError",
     "UnitRecord",
+    "WorkerConfig",
+    "WorkerThread",
     "build_report",
+    "decode_frame",
     "diff_reports",
+    "encode_frame",
     "expand_units",
+    "launch_workers",
     "load_queue_dir",
     "load_report",
+    "parse_address",
     "payload_digest",
+    "probe_coordinator",
     "repair_queue_dir",
     "run_fabric",
     "sweep_fingerprint",
+    "task_from_wire",
+    "task_to_wire",
     "unit_id_for",
     "write_report",
 ]

@@ -34,9 +34,10 @@ undecodable records, and re-runs exactly the units whose work was lost.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..atomicio import atomic_write_text
 from ..runner.checkpoint import config_fingerprint
@@ -257,6 +258,7 @@ class JobQueue:
         poison_threshold: int = 2,
         retry: Optional[RetryPolicy] = None,
         seed: int = 0,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if poison_threshold < 1:
             raise ValueError("poison_threshold must be >= 1")
@@ -266,6 +268,11 @@ class JobQueue:
         self.poison_threshold = poison_threshold
         self.retry = retry if retry is not None else RetryPolicy()
         self.seed = seed
+        #: Time source for every lease decision.  Deliberately monotonic:
+        #: a wall-clock (``time.time``) jump on a remote host — NTP step,
+        #: suspend/resume — must never mass-expire healthy leases.  Tests
+        #: inject a fake clock here instead of sleeping.
+        self.clock: Callable[[], float] = clock if clock is not None else time.monotonic
 
     # -- persistence ---------------------------------------------------
     def unit_path(self, unit_id: str) -> Optional[Path]:
@@ -302,8 +309,10 @@ class JobQueue:
         """True when no unit is runnable or running any more."""
         return all(r.state in TERMINAL_STATES for r in self.records.values())
 
-    def next_ready_delay(self, now: float) -> Optional[float]:
+    def next_ready_delay(self, now: Optional[float] = None) -> Optional[float]:
         """Seconds until the earliest backoff-delayed pending unit is due."""
+        if now is None:
+            now = self.clock()
         waits = [
             r.not_before - now
             for r in self.records.values()
@@ -500,8 +509,10 @@ class JobQueue:
         self.persist(record)
         return True
 
-    def expire(self, now: float) -> List[Tuple[str, str]]:
+    def expire(self, now: Optional[float] = None) -> List[Tuple[str, str]]:
         """Revoke every lease past its expiry; returns (unit, worker) pairs."""
+        if now is None:
+            now = self.clock()
         revoked: List[Tuple[str, str]] = []
         for unit_id in self.order:
             record = self.records[unit_id]
@@ -672,6 +683,7 @@ class Scheduler:
         poison_threshold: int = 2,
         retry: Optional[RetryPolicy] = None,
         seed: int = 0,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if not tasks:
             raise FabricError("a sweep needs at least one unit")
@@ -704,6 +716,7 @@ class Scheduler:
             poison_threshold=poison_threshold,
             retry=retry,
             seed=seed,
+            clock=clock,
         )
         if self.root is not None:
             self.queue.persist_all()

@@ -91,10 +91,17 @@ class FabricConfig:
     poll: float = 0.02
     #: Seed for the retry-backoff jitter.
     seed: int = 0
+    #: ``[HOST:]PORT`` to serve the socket tier on (``0`` = ephemeral
+    #: port).  None keeps the sweep local-only.  With a listener, remote
+    #: workers lease from the same queue as the local pipe workers — and
+    #: ``workers=0`` runs a coordinator-only sweep.
+    listen: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.workers < 1:
-            raise ValueError("workers must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.workers < 1 and self.listen is None:
+            raise ValueError("workers must be >= 1 unless listen is set")
         if self.lease <= 0:
             raise ValueError("lease must be positive")
         if self.heartbeat is not None and self.heartbeat <= 0:
@@ -258,6 +265,15 @@ class FabricSupervisor:
         self._corrupted: Set[str] = set()
         #: Units completed by this supervisor (vs. restored on resume).
         self.executed: List[str] = []
+        #: Shared with the socket-tier coordinator: its handler threads
+        #: and this loop interleave on the queue under one re-entrant
+        #: lock, so local and remote workers see one state machine.
+        self.lock = threading.RLock()
+        self.coordinator: Optional[Any] = None
+        self.remote_summary: Optional[Dict[str, object]] = None
+        #: Called with ``(host, port)`` once the socket tier is bound —
+        #: loopback fleets and tests learn the ephemeral port here.
+        self.on_listening: Optional[Any] = None
 
     # -- lifecycle -----------------------------------------------------
     def _spawn(self) -> WorkerHandle:
@@ -277,7 +293,7 @@ class FabricSupervisor:
             worker_id=worker_id,
             process=process,
             conn=parent_conn,
-            last_beat=time.monotonic(),
+            last_beat=self.queue.clock(),
         )
         self.handles.append(handle)
         return handle
@@ -286,6 +302,30 @@ class FabricSupervisor:
         """Stop leasing; in-flight units get the drain grace period."""
         self.draining = True
         self.drain_reason = reason
+
+    def _start_coordinator(self) -> None:
+        from .remote import CoordinatorServer
+        from .transport import parse_address
+
+        assert self.config.listen is not None
+        host, port = parse_address(self.config.listen)
+        self.coordinator = CoordinatorServer(
+            (host, port),
+            self.scheduler,
+            lock=self.lock,
+            lease_duration=self.config.lease,
+            faults=self.config.faults,
+            on_complete=self.executed.append,
+            drain_check=lambda: self.draining,
+        ).launch()
+        if self.on_listening is not None:
+            self.on_listening(self.coordinator.address)
+
+    def _stop_coordinator(self) -> None:
+        if self.coordinator is not None:
+            self.remote_summary = self.coordinator.summary()
+            self.coordinator.stop()
+            self.coordinator = None
 
     # -- loop steps ----------------------------------------------------
     def _pump(self, handle: WorkerHandle, now: float) -> None:
@@ -431,34 +471,40 @@ class FabricSupervisor:
     # -- the loop ------------------------------------------------------
     def run(self) -> None:
         drain_deadline: Optional[float] = None
+        if self.config.listen is not None:
+            self._start_coordinator()
         try:
             while True:
-                now = time.monotonic()
-                self._reap(now)
-                for handle in list(self.handles):
-                    self._pump(handle, now)
-                self.queue.expire(now)
-                self._detect_stalls(now)
-                if not self.draining:
-                    while len(self.handles) < self.config.workers:
-                        self._spawn()
-                    self._assign(now)
-                if self.queue.settled():
-                    # Workers still computing hold only stale leases —
-                    # their late results would be rejected anyway.
-                    return
-                if self.draining:
-                    if drain_deadline is None:
-                        drain_deadline = now + self.config.drain_timeout
-                    if not self._busy() or now >= drain_deadline:
-                        for record in self.queue.in_state(LEASED):
-                            self.queue.revoke(
-                                record.unit_id, now,
-                                detail=f"drained ({self.drain_reason})",
-                            )
+                # One tick under the shared lock: coordinator handler
+                # threads mutate the queue between ticks, never during.
+                with self.lock:
+                    now = self.queue.clock()
+                    self._reap(now)
+                    for handle in list(self.handles):
+                        self._pump(handle, now)
+                    self.queue.expire(now)
+                    self._detect_stalls(now)
+                    if not self.draining:
+                        while len(self.handles) < self.config.workers:
+                            self._spawn()
+                        self._assign(now)
+                    if self.queue.settled():
+                        # Workers still computing hold only stale leases —
+                        # their late results would be rejected anyway.
                         return
+                    if self.draining:
+                        if drain_deadline is None:
+                            drain_deadline = now + self.config.drain_timeout
+                        if not self._busy() or now >= drain_deadline:
+                            for record in self.queue.in_state(LEASED):
+                                self.queue.revoke(
+                                    record.unit_id, now,
+                                    detail=f"drained ({self.drain_reason})",
+                                )
+                            return
                 time.sleep(self.config.poll)
         finally:
+            self._stop_coordinator()
             self._shutdown()
 
     def _shutdown(self) -> None:
@@ -507,6 +553,9 @@ class FabricRunResult:
     #: True when the run was drained by SIGINT/SIGTERM before settling.
     drained: bool = False
     drain_reason: str = ""
+    #: Socket-tier summary (listen address, sessions, remote completions,
+    #: rejections, faults fired) when the sweep served remote workers.
+    remote: Optional[Dict[str, object]] = None
 
     @property
     def partial(self) -> bool:
@@ -558,6 +607,7 @@ def _failure_from_record(record: UnitRecord) -> BenchmarkFailure:
 def run_fabric(
     tasks: Sequence[UnitTask],
     config: Optional[FabricConfig] = None,
+    on_listening: Optional[Any] = None,
 ) -> FabricRunResult:
     """Run a sweep's units through the fault-tolerant fabric.
 
@@ -566,6 +616,10 @@ def run_fabric(
     ``drain_timeout`` seconds, outstanding leases are revoked, and —
     with a durable ``queue_dir`` — ``resume=True`` later picks the sweep
     up with no lost or duplicated units.
+
+    With ``config.listen`` set, a socket-tier coordinator serves remote
+    workers from the same queue; ``on_listening`` receives the bound
+    ``(host, port)`` (useful with an ephemeral port).
     """
     config = config or FabricConfig()
     scheduler = Scheduler(
@@ -577,6 +631,7 @@ def run_fabric(
         seed=config.seed,
     )
     supervisor = FabricSupervisor(scheduler, config)
+    supervisor.on_listening = on_listening
 
     previous: Dict[int, Any] = {}
 
@@ -619,4 +674,5 @@ def run_fabric(
         executed=list(supervisor.executed),
         drained=supervisor.draining,
         drain_reason=supervisor.drain_reason,
+        remote=supervisor.remote_summary,
     )

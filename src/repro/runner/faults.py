@@ -86,6 +86,11 @@ KINDS = (
     "expire-lease",
     "corrupt-queue",
     "poison-unit",
+    "drop-message",
+    "delay-message",
+    "duplicate-message",
+    "partition-worker",
+    "corrupt-frame",
 )
 
 #: Kinds that corrupt data in-flight instead of raising at a stage
@@ -108,13 +113,27 @@ DATA_FAULT_KINDS = (
 #: must be rejected, not double-counted); ``corrupt-queue`` garbles the
 #: unit's durable queue record on disk; ``poison-unit`` makes the unit
 #: crash *every* worker it touches, so the scheduler must quarantine it.
+#: The ``*-message`` / ``partition-worker`` / ``corrupt-frame`` kinds are
+#: the *network* faults of the socket tier (PR 7): they attack the wire
+#: between a remote worker and the coordinator and are injected by
+#: ``repro.fabric.transport.FaultyTransport``.  Network faults ignore the
+#: spec's benchmark field — the wire does not know which unit a frame
+#: serves.
+NETWORK_FAULT_KINDS = (
+    "drop-message",
+    "delay-message",
+    "duplicate-message",
+    "partition-worker",
+    "corrupt-frame",
+)
+
 FABRIC_FAULT_KINDS = (
     "kill-worker",
     "stall-worker",
     "expire-lease",
     "corrupt-queue",
     "poison-unit",
-)
+) + NETWORK_FAULT_KINDS
 
 #: Exit status used by ``hard-crash`` so tests can recognise it.
 HARD_CRASH_EXIT = 23

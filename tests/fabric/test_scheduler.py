@@ -244,3 +244,32 @@ class TestResume:
         poisoned = resumed.record(record.unit_id)
         assert poisoned.state == QUARANTINED
         assert poisoned.tracebacks == ["tb"]
+
+
+class TestInjectedClock:
+    """``JobQueue(clock=...)``: expiry runs on a caller-owned monotonic
+    clock, so the fabric never consults the wall clock implicitly."""
+
+    def test_expire_and_ready_delay_read_the_injected_clock(self):
+        ticks = iter([100.0, 103.5, 103.5])
+        queue = fresh_queue("eqntott", clock=lambda: next(ticks))
+        record, _token = queue.lease("w1", now=0.0, duration=2.0)
+        # No ``now`` argument: expire() asks the injected clock (100.0),
+        # well past the 2-second lease — the lease is revoked.
+        assert queue.expire() == [(record.unit_id, "w1")]
+        assert queue.records[record.unit_id].state == PENDING
+        # next_ready_delay() reads the clock the same way: nothing is
+        # backoff-delayed past the injected 103.5, so nothing to wait on.
+        assert queue.next_ready_delay() is None
+
+    def test_explicit_now_still_wins(self):
+        queue = fresh_queue("eqntott",
+                            clock=lambda: 1e9)  # a poisoned default
+        record, token = queue.lease("w1", now=0.0, duration=10.0)
+        assert queue.expire(now=1.0) == []
+        assert queue.complete(record.unit_id, token, now=2.0)
+
+    def test_scheduler_threads_the_clock_through(self):
+        queue_clock = lambda: 42.0
+        sched = Scheduler(tasks_for("eqntott"), clock=queue_clock)
+        assert sched.queue.clock is queue_clock

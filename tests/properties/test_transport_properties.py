@@ -1,0 +1,239 @@
+"""Property tests: the wire codec never lies and epochs never double-count.
+
+Two contracts from ``docs/robustness.md`` are held here:
+
+* the frame codec either decodes a frame in full or raises a
+  :class:`~repro.fabric.transport.TransportError` with a structured
+  reason — truncation, bit-flips and alien bytes can never hang the
+  decoder or yield a partially decoded message;
+* the :class:`~repro.fabric.remote.LeaseGate` — session epochs layered
+  over lease tokens — rejects every message from an abandoned
+  connection, under arbitrary interleavings of reconnects, leases,
+  completions and expiries: a unit can be attempted twice, but never
+  counted twice.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.fabric.remote import LeaseGate
+from repro.fabric.scheduler import DONE, JobQueue, UnitRecord
+from repro.fabric.transport import (
+    HEADER_SIZE,
+    TransportError,
+    decode_frame,
+    encode_frame,
+)
+from repro.runner.retry import RetryPolicy
+
+# ----------------------------------------------------------------------
+# The frame codec
+# ----------------------------------------------------------------------
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=20,
+)
+json_messages = st.dictionaries(st.text(max_size=10), json_values, max_size=6)
+
+
+@given(message=json_messages)
+@settings(max_examples=200, deadline=None)
+def test_codec_round_trips_and_consumes_exactly_one_frame(message):
+    frame = encode_frame(message)
+    decoded, consumed = decode_frame(frame)
+    assert decoded == message
+    assert consumed == len(frame)
+    # Trailing garbage after the frame must not confuse the decoder.
+    decoded_again, consumed_again = decode_frame(frame + b"\xffgarbage")
+    assert decoded_again == message
+    assert consumed_again == len(frame)
+
+
+@given(message=json_messages, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_every_truncation_raises_a_structured_reason(message, data):
+    frame = encode_frame(message)
+    cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    with pytest.raises(TransportError) as excinfo:
+        decode_frame(frame[:cut])
+    expected = "truncated-header" if cut < HEADER_SIZE else "truncated-body"
+    assert excinfo.value.reason == expected
+
+
+@given(message=json_messages, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_every_byte_flip_raises_a_structured_reason(message, data):
+    frame = bytearray(encode_frame(message))
+    index = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    frame[index] ^= flip
+    with pytest.raises(TransportError) as excinfo:
+        decode_frame(bytes(frame))
+    assert excinfo.value.reason in (
+        "bad-magic",
+        "oversized-frame",
+        "truncated-body",
+        "checksum-mismatch",
+    )
+
+
+@given(junk=st.binary(max_size=64))
+@settings(max_examples=200, deadline=None)
+def test_alien_bytes_never_decode(junk):
+    try:
+        message, consumed = decode_frame(junk)
+    except TransportError as exc:
+        assert exc.reason  # always structured, never a bare failure
+    else:  # pragma: no cover - requires hypothesis forging a valid frame
+        assert isinstance(message, dict) and consumed <= len(junk)
+
+
+def test_oversized_frame_is_rejected_on_encode():
+    with pytest.raises(TransportError) as excinfo:
+        encode_frame({"pad": "x" * (33 * 1024 * 1024)})
+    assert excinfo.value.reason == "oversized-frame"
+
+
+# ----------------------------------------------------------------------
+# The lease gate: epochs over tokens
+# ----------------------------------------------------------------------
+UNIT_IDS = ["experiment/u0/aaaaaaaaaaaa", "experiment/u1/bbbbbbbbbbbb",
+            "experiment/u2/cccccccccccc"]
+WORKERS = ["w1", "w2"]
+
+
+def make_gate() -> LeaseGate:
+    records = [
+        UnitRecord(unit_id=uid, benchmark=uid.split("/")[1], kind="experiment")
+        for uid in UNIT_IDS
+    ]
+    queue = JobQueue(
+        records,
+        retry=RetryPolicy(max_attempts=4, base_delay=0.0, max_delay=0.0,
+                          jitter=0.0),
+    )
+    return LeaseGate(queue)
+
+
+class LeaseGateMachine(RuleBasedStateMachine):
+    """Partition-happy workers reconnecting mid-flight, replaying epochs."""
+
+    @initialize()
+    def setup(self):
+        self.gate = make_gate()
+        self.now = 0.0
+        #: worker -> every epoch it was ever issued (stale ones included).
+        self.epochs = {w: [self.gate.register(w)] for w in WORKERS}
+        #: every (unit, token, worker, epoch-at-lease) ever granted.
+        self.issued = []
+        self.completions = {}
+
+    def _tick(self):
+        self.now += 1.0
+        return self.now
+
+    def _pick_epoch(self, worker, pick):
+        return self.epochs[worker][pick % len(self.epochs[worker])]
+
+    def _is_current(self, worker, epoch):
+        return epoch == self.epochs[worker][-1]
+
+    @rule(worker=st.sampled_from(WORKERS))
+    def reconnect(self, worker):
+        """A partition: the worker re-registers; old epochs go stale."""
+        epoch = self.gate.register(worker)
+        assert epoch > self.epochs[worker][-1]
+        self.epochs[worker].append(epoch)
+
+    @rule(worker=st.sampled_from(WORKERS), pick=st.integers(min_value=0))
+    def lease(self, worker, pick):
+        epoch = self._pick_epoch(worker, pick)
+        leased, reason = self.gate.lease(worker, epoch, self._tick(), 3.0)
+        if not self._is_current(worker, epoch):
+            assert leased is None and reason == "stale-epoch"
+        elif leased is not None:
+            record, token = leased
+            self.issued.append((record.unit_id, token, worker, epoch))
+
+    @rule(pick=st.integers(min_value=0), epoch_pick=st.integers(min_value=0))
+    def complete(self, pick, epoch_pick):
+        if not self.issued:
+            return
+        unit_id, token, worker, _lease_epoch = self.issued[pick % len(self.issued)]
+        epoch = self._pick_epoch(worker, epoch_pick)
+        ok, reason = self.gate.complete(
+            worker, epoch, unit_id, token, self._tick()
+        )
+        if not self._is_current(worker, epoch):
+            # A delayed frame from a dead connection: always rejected,
+            # even though its lease token might still be current.
+            assert not ok and reason == "stale-epoch"
+        if ok:
+            assert unit_id not in self.completions
+            self.completions[unit_id] = token
+
+    @rule(pick=st.integers(min_value=0), epoch_pick=st.integers(min_value=0))
+    def heartbeat(self, pick, epoch_pick):
+        if not self.issued:
+            return
+        unit_id, token, worker, _ = self.issued[pick % len(self.issued)]
+        epoch = self._pick_epoch(worker, epoch_pick)
+        ok, reason = self.gate.heartbeat(
+            worker, epoch, unit_id, token, self._tick()
+        )
+        if not self._is_current(worker, epoch):
+            assert not ok and reason == "stale-epoch"
+
+    @rule(pick=st.integers(min_value=0), epoch_pick=st.integers(min_value=0),
+          retryable=st.booleans())
+    def fail(self, pick, epoch_pick, retryable):
+        if not self.issued:
+            return
+        unit_id, token, worker, _ = self.issued[pick % len(self.issued)]
+        epoch = self._pick_epoch(worker, epoch_pick)
+        outcome, reason = self.gate.fail(
+            worker, epoch, unit_id, token, {"kind": "x"}, retryable,
+            self._tick(),
+        )
+        if not self._is_current(worker, epoch):
+            assert outcome == "rejected" and reason == "stale-epoch"
+
+    @rule(jump=st.floats(min_value=0.0, max_value=8.0))
+    def expire(self, jump):
+        self.now += jump
+        self.gate.queue.expire(self.now)
+
+    @invariant()
+    def queue_is_consistent(self):
+        assert self.gate.queue.check_consistency() == []
+
+    @invariant()
+    def attempted_twice_never_counted_twice(self):
+        for unit_id in UNIT_IDS:
+            record = self.gate.queue[unit_id]
+            events = [e for e in record.lease_history
+                      if e.get("action") == "complete"]
+            if unit_id in self.completions:
+                assert record.state == DONE and len(events) == 1
+            else:
+                assert record.state != DONE and not events
+
+    @invariant()
+    def reconnecting_restores_a_usable_epoch(self):
+        for worker in WORKERS:
+            assert self.gate.sessions.valid(worker, self.epochs[worker][-1])
+
+
+TestLeaseGate = LeaseGateMachine.TestCase
+TestLeaseGate.settings = settings(max_examples=60, stateful_step_count=40,
+                                  deadline=None)
