@@ -1,7 +1,13 @@
 """Experiment drivers and paper-style report rendering."""
 
 from .breakdown import PenaltyBreakdown, penalty_breakdown, render_breakdown
-from .claims import ClaimResult, DEFAULT_BENCHMARKS, render_claims, verify_claims
+from .claims import (
+    ClaimResult,
+    DEFAULT_BENCHMARKS,
+    MELD_BENCHMARKS,
+    render_claims,
+    verify_claims,
+)
 from .experiment import (
     ALIGNER_KEYS,
     ArchOutcome,
@@ -26,6 +32,13 @@ from .hotspots import (
     branch_hotspots,
     procedure_hotspots,
     render_hotspots,
+)
+from .meldstudy import (
+    MeldStudy,
+    STUDY_ARCHS,
+    VariantCell,
+    render_meld_studies,
+    run_meld_study,
 )
 from .quality import LayoutQuality, compare_layout_quality, layout_quality
 from .reporting import (
@@ -58,6 +71,10 @@ __all__ = [
     "figure4_records",
     "format_table",
     "make_arch_sims",
+    "MELD_BENCHMARKS",
+    "MeldStudy",
+    "STUDY_ARCHS",
+    "VariantCell",
     "measure_program",
     "LayoutQuality",
     "ProcedureHotspot",
@@ -66,6 +83,7 @@ __all__ = [
     "procedure_hotspots",
     "render_breakdown",
     "render_claims",
+    "render_meld_studies",
     "render_hotspots",
     "render_figure4",
     "render_table2",
@@ -73,6 +91,7 @@ __all__ = [
     "render_table4",
     "run_benchmark_experiment",
     "run_figure4",
+    "run_meld_study",
     "run_figure4_program",
     "records_to_csv",
     "run_suite_experiment",

@@ -36,6 +36,12 @@ ORACLE_BENCHMARKS = ("eqntott", "compress")
 #: against fresh executions (the trace-once/replay-many exactness claim).
 REPLAY_BENCHMARKS = ("eqntott", "compress")
 
+#: Benchmarks of the melding claim (claim 18): one with a symmetric
+#: diamond in its hot loop (eqntott) and one with a family of
+#: if-convertible triangles (cfront); both also carry blocked sites,
+#: which supply the forced illegal-meld fault probes.
+MELD_BENCHMARKS = ("eqntott", "cfront")
+
 #: Benchmarks of the fabric chaos run (claim 16): three victims of
 #: recoverable fabric faults plus one designated poison unit.
 FABRIC_BENCHMARKS = ("eqntott", "compress", "alvinn", "swm256")
@@ -74,6 +80,9 @@ class _Context:
     #: Socket-tier chaos evidence (claim 17); see
     #: :func:`_remote_fabric_evidence` for the keys.
     remote_check: Dict[str, object] = field(default_factory=dict)
+    #: Per-benchmark melding evidence (claim 18); see
+    #: :func:`_meld_evidence` for the keys.
+    meld_checks: Dict[str, dict] = field(default_factory=dict)
 
     def avg(self, aligner: str, arch: str) -> float:
         cells = [e.cell(aligner, arch).relative_cpi for e in self.experiments]
@@ -472,6 +481,74 @@ def _check_remote_fabric(ctx: _Context) -> ClaimResult:
     return ClaimResult(claim_id, quote, ok, detail)
 
 
+def _check_melding(ctx: _Context) -> ClaimResult:
+    """Claim 18: melding preserves semantics and compounds the cost win."""
+    claim_id = "melding-preserves-semantics-and-costs"
+    quote = (
+        "[melding] every analyzer-approved branch removal is proved "
+        "bisimilar to the unmelded original — alone and after alignment — "
+        "and replays the identical observable event stream; injected "
+        "illegal melds are rejected by the prover and flagged RL018+; "
+        "removing branches compounds the alignment win"
+    )
+    mc = ctx.meld_checks
+    if not mc:
+        return ClaimResult(claim_id, quote, False, "no melding evidence collected")
+    melds = sum(int(e["melds_applied"]) for e in mc.values())
+    probes = [p for e in mc.values() for p in e["probes"]]
+    rows = [r for e in mc.values() for r in e["interaction"]]
+    problems: List[str] = []
+    for name, e in mc.items():
+        if not e["melds_applied"]:
+            continue
+        if not e["prove_identity"]:
+            problems.append(f"{name}: melded program not proved bisimilar")
+        unproved = sorted(
+            label for label, ok in e["prove_layouts"].items() if not ok
+        )
+        if unproved:
+            problems.append(
+                f"{name}: melded layout(s) not proved: {', '.join(unproved)}"
+            )
+        if not e["oracle_passed"]:
+            problems.append(f"{name}: melded event stream diverges")
+        if not e["lint_clean"]:
+            problems.append(f"{name}: RL018+ fired on an approved meld")
+    for probe in probes:
+        if not probe["prover_rejected"] or "RL018" not in probe["flagged"]:
+            problems.append(f"{probe['label']}: illegal meld escaped the judges")
+        if not probe["oracle_rejected"]:
+            problems.append(f"{probe['label']}: oracle accepted an illegal meld")
+    shrinks = sorted(
+        {row["arch"] for row in rows if not row["compounds"]}
+    )
+    ok = (
+        melds > 0
+        and len(probes) >= 2
+        and bool(rows)
+        and not problems
+        and not shrinks
+    )
+    if problems:
+        detail = "; ".join(problems[:3])
+    elif melds == 0:
+        detail = "no meldable site approved in any benchmark"
+    elif len(probes) < 2:
+        detail = f"only {len(probes)} illegal-meld probe(s) available"
+    elif shrinks:
+        detail = "melding shrinks the alignment win on " + ", ".join(shrinks)
+    else:
+        layouts_proved = sum(len(e["prove_layouts"]) for e in mc.values())
+        detail = (
+            f"{melds} meld(s) over {', '.join(mc)} proved bisimilar "
+            f"(identity + {layouts_proved} aligned layouts) with identical "
+            f"event streams; all {len(probes)} forced illegal melds "
+            f"rejected by the prover and flagged RL018; combined win ≥ "
+            f"align win on all {len(rows)} benchmark×arch rows"
+        )
+    return ClaimResult(claim_id, quote, ok, detail)
+
+
 CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_static_help,
     _check_static_ordering,
@@ -490,6 +567,7 @@ CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_prover_oracle_agreement,
     _check_fabric_recovery,
     _check_remote_fabric,
+    _check_melding,
 )
 
 
@@ -527,6 +605,11 @@ def verify_claims(
     }
     fabric_check = _fabric_evidence(scale=scale, seed=seed, window=window)
     remote_check = _remote_fabric_evidence(scale=scale, seed=seed, window=window)
+    meld_checks = {
+        name: _meld_evidence(name, scale=scale, seed=seed, window=window)
+        for name in MELD_BENCHMARKS
+        if name in benchmarks
+    }
     ctx = _Context(
         experiments=experiments,
         figure4_rows=figure4_rows,
@@ -536,6 +619,7 @@ def verify_claims(
         prove_checks=prove_checks,
         fabric_check=fabric_check,
         remote_check=remote_check,
+        meld_checks=meld_checks,
     )
     return [check(ctx) for check in CHECKS]
 
@@ -812,6 +896,101 @@ def _oracle_and_prove(name: str, scale: float, seed: int, window: int):
         for label in list(layouts) + list(probes)
     ]
     return reports, prove_rows
+
+
+def _meld_evidence(name: str, scale: float, seed: int, window: int) -> dict:
+    """Collect the claim-18 evidence for one benchmark.
+
+    Four legs, mirroring the claim text: (a) the approved melds prove
+    bisimilar to the unmelded original, both in identity layout and
+    after re-profiling and aligning the melded program; (b) the dynamic
+    meld oracle replays identical observable event streams; (c) forced
+    illegal melds — blocked sites whose arms' observation chains
+    diverge — are rejected by the prover, flagged RL018+ by the lint
+    tier, and caught by the oracle; (d) the interaction study's verdict
+    per architecture (does melding compound the alignment win?).
+    """
+    from ..oracle import alignment_layouts
+    from ..oracle.meldcheck import verify_meld
+    from ..profiling import profile_program
+    from ..staticcheck import MeldContext, analyze_program, run_lint
+    from ..staticcheck.binary import prove_meld, prove_meld_layouts
+    from ..transforms import force_meld, meld_program
+    from ..workloads import generate_benchmark
+    from .meldstudy import run_meld_study
+
+    program = generate_benchmark(name, scale)
+    legality = analyze_program(program)
+    melded, report = meld_program(program, legality=legality)
+
+    evidence: dict = {
+        "melds_applied": len(report.applied),
+        "blocked_sites": len(report.blocked),
+        "prove_identity": None,
+        "prove_layouts": {},
+        "oracle_passed": None,
+        "lint_clean": None,
+        "probes": [],
+        "interaction": [],
+    }
+
+    if report.applied:
+        evidence["prove_identity"] = prove_meld(
+            program, melded, label="meld"
+        ).bisimilar
+        profile = profile_program(melded, seed=seed)
+        layouts = alignment_layouts(melded, profile, window=window)
+        proofs = prove_meld_layouts(program, layouts)
+        evidence["prove_layouts"] = {
+            label: proofs[label].bisimilar for label in layouts
+        }
+        evidence["oracle_passed"] = verify_meld(
+            program, melded, seed=seed, benchmark=name
+        ).passed
+        lint = run_lint(
+            melded,
+            subject=f"{name}:meld",
+            meld=MeldContext(
+                original=program, melded=melded, records=tuple(report.applied)
+            ),
+        )
+        evidence["lint_clean"] = lint.ok
+
+    meld_codes = {"RL018", "RL019", "RL020", "RL021"}
+    probe_sites = [
+        site for site in legality.blocked() if site.reason == "chains-diverge"
+    ][:2]
+    for site in probe_sites:
+        forced, record = force_meld(program, site.procedure, site.site)
+        label = f"fault:meld:{site.procedure}:{site.site}"
+        proof = prove_meld(program, forced, label=label)
+        lint = run_lint(
+            forced,
+            subject=label,
+            meld=MeldContext(original=program, melded=forced, records=(record,)),
+        )
+        oracle = verify_meld(program, forced, seed=seed, benchmark=name)
+        evidence["probes"].append(
+            {
+                "label": label,
+                "prover_rejected": not proof.bisimilar,
+                "oracle_rejected": not oracle.passed,
+                "flagged": sorted(
+                    meld_codes.intersection(d.code for d in lint.errors)
+                ),
+            }
+        )
+
+    study = run_meld_study(
+        name, scale=scale, seed=seed, window=window,
+        program=program, melded=melded, meld_report=report,
+    )
+    evidence["interaction"] = [
+        row
+        for row in (study.interaction(arch) for arch in study.archs())
+        if row is not None
+    ]
+    return evidence
 
 
 def _estimator_agreements(name: str, scale: float, seed: int) -> list:

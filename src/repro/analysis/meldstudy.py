@@ -1,0 +1,238 @@
+"""The alignment × melding interaction study (claim 18's cost half).
+
+The ROADMAP asks one question of the melding tier: *does removing
+branches shrink the alignment win, or compound it?*  This module
+answers it with four variants per benchmark, all normalised against the
+same base (the original program in its original layout):
+
+* **baseline** — original program, original layout;
+* **align** — original program, aligned (Greedy and per-model Try15);
+* **meld** — melded program, original layout;
+* **meld+align** — melded program, aligned, with the profile re-derived
+  from the melded program's own captured decision trace.
+
+Every variant runs through the existing Tables-3/4 experiment driver
+(cost models + trace-replay engine); the study only re-normalises the
+relative CPI so the four variants are mutually comparable:
+``cycles / baseline_instructions`` with cycles = instructions + BEP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cfg import Program
+from ..sim.metrics import relative_cpi
+from ..transforms.meld import MeldReport, meld_program
+from ..workloads import generate_benchmark
+from .experiment import ALIGNER_KEYS, BenchmarkExperiment, run_benchmark_experiment
+
+#: Default architecture subset for the study (one per cost-model family).
+STUDY_ARCHS: Tuple[str, ...] = ("fallthrough", "btfnt", "pht-direct")
+
+#: Variant keys, in presentation order.
+VARIANTS: Tuple[str, ...] = ("baseline", "align", "meld", "meld+align")
+
+
+@dataclass
+class VariantCell:
+    """One (variant, aligner, architecture) cell, shared-base normalised."""
+
+    variant: str
+    aligner: str
+    arch: str
+    cycles: int
+    relative_cpi: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form of the cell."""
+        return {
+            "variant": self.variant,
+            "aligner": self.aligner,
+            "arch": self.arch,
+            "cycles": self.cycles,
+            "relative_cpi": self.relative_cpi,
+        }
+
+
+@dataclass
+class MeldStudy:
+    """Interaction-study results for one benchmark."""
+
+    benchmark: str
+    scale: float
+    seed: int
+    base_instructions: int
+    melds_applied: int
+    blocks_removed: int
+    cells: List[VariantCell] = field(default_factory=list)
+
+    def best(self, variant: str, arch: str) -> Optional[VariantCell]:
+        """The cheapest cell of one variant on one architecture."""
+        candidates = [
+            c for c in self.cells if c.variant == variant and c.arch == arch
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: c.relative_cpi)
+
+    def interaction(self, arch: str) -> Optional[Dict[str, Any]]:
+        """Compound-or-shrink verdict for one architecture."""
+        align = self.best("align", arch)
+        meld_align = self.best("meld+align", arch)
+        baseline = self.best("baseline", arch)
+        meld_only = self.best("meld", arch)
+        if align is None or meld_align is None or baseline is None:
+            return None
+        align_win = baseline.relative_cpi - align.relative_cpi
+        combined_win = baseline.relative_cpi - meld_align.relative_cpi
+        return {
+            "arch": arch,
+            "baseline": baseline.relative_cpi,
+            "align": align.relative_cpi,
+            "meld": meld_only.relative_cpi if meld_only else None,
+            "meld_align": meld_align.relative_cpi,
+            "align_win": align_win,
+            "combined_win": combined_win,
+            "compounds": combined_win >= align_win,
+        }
+
+    def archs(self) -> List[str]:
+        """Architectures with at least one cell, sorted."""
+        return sorted({c.arch for c in self.cells})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form of the study, interaction rows included."""
+        return {
+            "benchmark": self.benchmark,
+            "scale": self.scale,
+            "seed": self.seed,
+            "base_instructions": self.base_instructions,
+            "melds_applied": self.melds_applied,
+            "blocks_removed": self.blocks_removed,
+            "cells": [c.to_dict() for c in self.cells],
+            "interaction": [
+                row
+                for row in (self.interaction(a) for a in self.archs())
+                if row is not None
+            ],
+        }
+
+
+def _collect_cells(
+    study: MeldStudy,
+    experiment: BenchmarkExperiment,
+    base: int,
+    variant_orig: str,
+    variant_aligned: str,
+) -> None:
+    for aligner in ALIGNER_KEYS:
+        for arch, outcome in experiment.outcomes.get(aligner, {}).items():
+            cycles = outcome.instructions + outcome.bep
+            variant = variant_orig if aligner == "orig" else variant_aligned
+            study.cells.append(
+                VariantCell(
+                    variant=variant,
+                    aligner=aligner,
+                    arch=arch,
+                    cycles=cycles,
+                    relative_cpi=relative_cpi(
+                        outcome.instructions, outcome.bep, base
+                    ),
+                )
+            )
+
+
+def run_meld_study(
+    name: str,
+    scale: float = 0.25,
+    seed: int = 0,
+    window: int = 15,
+    archs: Sequence[str] = STUDY_ARCHS,
+    program: Optional[Program] = None,
+    melded: Optional[Program] = None,
+    meld_report: Optional[MeldReport] = None,
+) -> MeldStudy:
+    """Run the four-variant interaction study for one benchmark."""
+    if program is None:
+        program = generate_benchmark(name, scale)
+    if melded is None or meld_report is None:
+        melded, meld_report = meld_program(program)
+
+    original_exp = run_benchmark_experiment(
+        name, program=program, scale=scale, seed=seed, window=window,
+        archs=tuple(archs),
+    )
+    base = original_exp.original_instructions
+    study = MeldStudy(
+        benchmark=name,
+        scale=scale,
+        seed=seed,
+        base_instructions=base,
+        melds_applied=len(meld_report.applied),
+        blocks_removed=meld_report.removed_blocks,
+    )
+    _collect_cells(study, original_exp, base, "baseline", "align")
+    if meld_report.applied:
+        melded_exp = run_benchmark_experiment(
+            name, program=melded, scale=scale, seed=seed, window=window,
+            archs=tuple(archs),
+        )
+        _collect_cells(study, melded_exp, base, "meld", "meld+align")
+    return study
+
+
+def render_meld_studies(studies: Sequence[MeldStudy]) -> str:
+    """Markdown interaction table across benchmarks (the results artifact)."""
+    lines: List[str] = []
+    lines.append("# Alignment x melding interaction study")
+    lines.append("")
+    lines.append(
+        "Relative CPI, all variants normalised by the *original* "
+        "program's original-layout instruction count (lower is better)."
+    )
+    lines.append("")
+    header = (
+        "| benchmark | arch | baseline | align | meld | meld+align "
+        "| align win | combined win | verdict |"
+    )
+    lines.append(header)
+    lines.append("|" + "---|" * 9)
+    for study in studies:
+        for arch in study.archs():
+            row = study.interaction(arch)
+            if row is None:
+                baseline = study.best("baseline", arch)
+                align = study.best("align", arch)
+                if baseline is None or align is None:
+                    continue
+                align_win = baseline.relative_cpi - align.relative_cpi
+                lines.append(
+                    f"| {study.benchmark} | {arch} "
+                    f"| {baseline.relative_cpi:.4f} "
+                    f"| {align.relative_cpi:.4f} | - | - "
+                    f"| {align_win:.4f} | - | no meldable sites |"
+                )
+                continue
+            meld_cell = (
+                f"{row['meld']:.4f}" if row["meld"] is not None else "-"
+            )
+            verdict = "compounds" if row["compounds"] else "shrinks"
+            if study.melds_applied == 0:
+                verdict = "no meldable sites"
+            lines.append(
+                f"| {study.benchmark} | {arch} | {row['baseline']:.4f} "
+                f"| {row['align']:.4f} | {meld_cell} "
+                f"| {row['meld_align']:.4f} | {row['align_win']:.4f} "
+                f"| {row['combined_win']:.4f} | {verdict} |"
+            )
+    lines.append("")
+    for study in studies:
+        lines.append(
+            f"- `{study.benchmark}`: {study.melds_applied} meld(s) applied, "
+            f"{study.blocks_removed} block(s) removed, "
+            f"base {study.base_instructions} instructions."
+        )
+    lines.append("")
+    return "\n".join(lines)

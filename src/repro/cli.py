@@ -186,6 +186,7 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
         oracle=args.oracle,
         prove=getattr(args, "prove", False),
         lint=args.lint,
+        meld=getattr(args, "meld", False),
         store=args.store,
         engine=getattr(args, "engine", "replay"),
         replay_check=getattr(args, "replay_check", False),
@@ -553,9 +554,167 @@ def cmd_prove(args: argparse.Namespace) -> int:
     return EXIT_OK if ok else EXIT_RUNTIME
 
 
+def cmd_meld(args: argparse.Namespace) -> int:
+    """Analyze, apply and judge branch melding (the claim-18 workflow).
+
+    Runs the static legality analyzer over each benchmark, applies every
+    approved meld, and (on request) proves the melded program bisimilar
+    to the original, replays both observable event streams, injects
+    forced illegal melds that the prover and RL018+ must reject, and
+    emits the alignment x melding interaction study.
+    """
+    import json as _json
+
+    from .analysis import MELD_BENCHMARKS, render_meld_studies, run_meld_study
+    from .oracle.meldcheck import verify_meld
+    from .staticcheck import MeldContext, analyze_program, run_lint
+    from .staticcheck.binary import prove_meld, prove_meld_layouts
+    from .staticcheck.legality import REASON_CHAINS_DIVERGE
+    from .oracle import alignment_layouts
+    from .transforms import force_meld, meld_program
+
+    names = [
+        _require_benchmark(name)
+        for name in (args.benchmarks or list(MELD_BENCHMARKS))
+    ]
+    ok = True
+    lines: List[str] = []
+    payload: List[dict] = []
+    studies = []
+    for name in names:
+        program = generate_benchmark(name, args.scale)
+        legality = analyze_program(program)
+        melded, report = meld_program(program, legality=legality)
+        entry: dict = {
+            "benchmark": name,
+            "legality": legality.to_dict(),
+            "meld": report.to_dict(),
+        }
+        counts = legality.verdict_counts()
+        lines.append(f"meld: {name}")
+        lines.append(
+            "  sites: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        )
+        for site in legality.sites:
+            lines.append(
+                f"    {site.verdict:<14} {site.procedure}:{site.site:<4} "
+                f"shape={site.shape:<9} {site.reason or '-'}"
+            )
+        for applied in report.applied:
+            lines.append(
+                f"  applied {applied.action} at "
+                f"{applied.procedure}:{applied.site} -> {applied.target} "
+                f"(removed {len(applied.removed)} block(s))"
+            )
+        if not report.applied:
+            lines.append("  no approved site; nothing melded")
+
+        if args.prove and report.applied:
+            proof = prove_meld(program, melded)
+            oracle = verify_meld(program, melded, seed=args.seed, benchmark=name)
+            profile = profile_program(melded, seed=args.seed)
+            layout_proofs = prove_meld_layouts(
+                program, alignment_layouts(melded, profile, window=args.window)
+            )
+            proved = (
+                proof.bisimilar
+                and oracle.passed
+                and all(p.bisimilar for p in layout_proofs.values())
+            )
+            ok &= proved
+            status = "PROVED" if proved else "REJECT"
+            lines.append(
+                f"  {status} identity={proof.bisimilar} "
+                f"stream={'match' if oracle.passed else 'diverged'} "
+                f"aligned={sum(p.bisimilar for p in layout_proofs.values())}"
+                f"/{len(layout_proofs)}"
+            )
+            entry["prove"] = {
+                "identity": proof.to_dict(),
+                "oracle": oracle.to_dict(),
+                "layouts": {
+                    label: p.bisimilar for label, p in layout_proofs.items()
+                },
+            }
+
+        if args.inject:
+            meld_codes = {"RL018", "RL019", "RL020", "RL021"}
+            probes = [
+                site for site in legality.blocked()
+                if site.reason == REASON_CHAINS_DIVERGE
+            ][: args.inject]
+            if len(probes) < args.inject:
+                lines.append(
+                    f"  only {len(probes)} chains-diverge site(s) available "
+                    f"for {args.inject} requested probe(s)"
+                )
+            entry["probes"] = []
+            for site in probes:
+                forced, record = force_meld(program, site.procedure, site.site)
+                proof = prove_meld(
+                    program, forced, label=f"fault:{site.procedure}:{site.site}"
+                )
+                lint = run_lint(
+                    forced,
+                    subject=f"{name}:fault-meld",
+                    meld=MeldContext(
+                        original=program, melded=forced, records=(record,)
+                    ),
+                )
+                flagged = sorted(
+                    meld_codes.intersection(d.code for d in lint.errors)
+                )
+                caught = not proof.bisimilar and "RL018" in flagged
+                ok &= caught
+                lines.append(
+                    f"  probe {site.procedure}:{site.site} "
+                    f"{'caught' if caught else 'ESCAPED'}: "
+                    f"prover={'reject' if not proof.bisimilar else 'accept'} "
+                    f"lint={','.join(flagged) or '-'}"
+                )
+                entry["probes"].append(
+                    {
+                        "procedure": site.procedure,
+                        "site": site.site,
+                        "prover_rejected": not proof.bisimilar,
+                        "flagged": flagged,
+                        "caught": caught,
+                    }
+                )
+
+        if args.study:
+            study = run_meld_study(
+                name, scale=args.scale, seed=args.seed, window=args.window,
+                program=program, melded=melded, meld_report=report,
+            )
+            studies.append(study)
+            entry["study"] = study.to_dict()
+        payload.append(entry)
+
+    if args.json:
+        _write(
+            _json.dumps(
+                {"benchmarks": payload, "ok": ok}, indent=2, default=str
+            ),
+            args.output,
+        )
+    elif args.study:
+        _write(render_meld_studies(studies), args.output)
+    else:
+        _write("\n".join(lines), args.output)
+    return EXIT_OK if ok else EXIT_RUNTIME
+
+
 def _doctor_lint(args: argparse.Namespace) -> int:
-    """Lint every registered workload (or one), per-pass PASS/FAIL."""
-    from .staticcheck import run_lint
+    """Lint every registered workload (or one), per-pass PASS/FAIL.
+
+    Each workload is also melded (where the legality analyzer approves)
+    so the RL018–RL021 meld-audit passes run with a real transcript and
+    show up in the aggregate table.
+    """
+    from .staticcheck import MeldContext, run_lint
+    from .transforms import meld_program
 
     names = [args.benchmark] if args.benchmark else list(SUITE)
     failures: dict = {}
@@ -565,7 +724,12 @@ def _doctor_lint(args: argparse.Namespace) -> int:
         program = generate_benchmark(name, args.scale)
         profile = profile_program(program, seed=args.seed)
         layouts, _notes = _lint_layouts(program, profile, args.arch, args.window)
-        report = run_lint(program, profile, layouts, subject=name)
+        melded, meld_report = meld_program(program)
+        meld = MeldContext(
+            original=program, melded=melded,
+            records=tuple(meld_report.applied),
+        )
+        report = run_lint(program, profile, layouts, subject=name, meld=meld)
         clean &= report.ok
         for outcome in report.outcomes:
             descriptions[outcome.pass_id] = outcome.description
@@ -1181,6 +1345,30 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, window=True)
     p.set_defaults(func=cmd_prove)
 
+    p = sub.add_parser(
+        "meld",
+        help="statically classify every conditional branch as meldable / "
+             "if-convertible / blocked, apply the approved removals, and "
+             "judge them (bisimulation prover + event-stream oracle)",
+    )
+    p.add_argument("benchmarks", nargs="*",
+                   help="benchmarks to meld (default: the claim-18 pair)")
+    p.add_argument("--prove", action="store_true",
+                   help="prove each melded program (identity + aligned "
+                        "layouts) bisimilar and replay both event streams; "
+                        "non-zero exit on any rejection")
+    p.add_argument("--inject", type=int, default=0, metavar="N",
+                   help="force N illegal melds per benchmark; each must be "
+                        "rejected by the prover and flagged RL018+ or the "
+                        "command exits non-zero")
+    p.add_argument("--study", action="store_true",
+                   help="run the alignment x melding interaction study and "
+                        "render the results table")
+    p.add_argument("--json", action="store_true",
+                   help="emit everything as machine-readable JSON")
+    common(p, window=True)
+    p.set_defaults(func=cmd_meld)
+
     p = sub.add_parser("sensitivity", help="machine-sensitivity sweeps")
     p.add_argument("benchmark")
     p.add_argument("kind", choices=("penalty", "width"))
@@ -1308,6 +1496,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "benchmark's CFG and profile before alignment "
                             "(error findings fail the benchmark, never "
                             "retried)")
+        g.add_argument("--meld", action="store_true",
+                       help="apply every analyzer-approved branch meld to "
+                            "the workload before tracing (with --lint the "
+                            "RL018-RL021 audit passes check the transcript)")
         g.add_argument("--store", metavar="DIR",
                        help="persist results to a crash-safe checksummed "
                             "artifact store (corrupt artifacts are "

@@ -1,0 +1,183 @@
+"""Dynamic oracle for branch melding: observable event-stream replay.
+
+The alignment oracle (:mod:`repro.oracle.oracle`) judges layouts by
+*block-sequence identity*, which is exactly right when the CFG is
+unchanged.  Melding removes blocks, so that oracle cannot apply; what
+melding must preserve is the program's **observable event stream** —
+the dynamic counterpart of the prover's observation alphabet:
+
+* runs of straight-line operations (coalesced across control
+  transfers — branch instructions themselves are unobservable);
+* direct calls, by callee symbol, at their exact instruction offsets;
+* indirect calls (whose dynamically chosen callee shows up in the
+  stream through the callee's own observables);
+* returns.
+
+Conditional outcomes and block ids are deliberately *not* events:
+they are the things melding is allowed to erase.  The comparison is
+sound because decision behaviours are seeded per surviving site, so
+removing one site leaves every other site's decision stream intact —
+any semantic damage surfaces as an ops/call/return mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cfg import BlockId, Program, TerminatorKind
+from ..isa.encoder import link_identity
+from ..sim.executor import execute
+
+#: Context window (tokens) reported around the first divergence.
+_WINDOW = 4
+
+
+@dataclass(frozen=True)
+class MeldDivergence:
+    """The first point where two observation streams disagree."""
+
+    index: int
+    original: Tuple[str, ...]
+    melded: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "original": list(self.original),
+            "melded": list(self.melded),
+        }
+
+
+@dataclass
+class MeldOracleReport:
+    """Verdict of one original-vs-melded stream comparison."""
+
+    benchmark: str
+    passed: bool
+    events_original: int
+    events_melded: int
+    instructions_original: int
+    instructions_melded: int
+    divergence: Optional[MeldDivergence] = None
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "passed": self.passed,
+            "events_original": self.events_original,
+            "events_melded": self.events_melded,
+            "instructions_original": self.instructions_original,
+            "instructions_melded": self.instructions_melded,
+            "divergence": (
+                self.divergence.to_dict() if self.divergence else None
+            ),
+            "seed": self.seed,
+        }
+
+
+class _Recorder:
+    """Builds the observation stream from the executor's block hook.
+
+    Per visited block, tokens are derived from the block's static
+    shape: straight-line ops accumulate into an open run, flushed at
+    every call site; a return block appends ``ret`` after its body.
+    An indirect call records ``icall`` — the chosen callee then speaks
+    for itself through its own blocks' tokens.
+    """
+
+    def __init__(self, program: Program):
+        self.tokens: List[str] = []
+        self._ops = 0
+        self._plans: Dict[Tuple[str, BlockId], Tuple[Tuple[str, int], ...]] = {}
+        for proc in program:
+            for bid, block in proc.blocks.items():
+                plan: List[Tuple[str, int]] = []
+                position = 0
+                for call in block.calls:
+                    gap = call.offset - position
+                    if gap:
+                        plan.append(("ops", gap))
+                    if call.is_indirect:
+                        plan.append(("icall", 0))
+                    else:
+                        plan.append((f"call:{call.callee}", 0))
+                    position = call.offset + 1
+                tail = block.straightline_size - position
+                if tail:
+                    plan.append(("ops", tail))
+                if block.kind is TerminatorKind.RETURN:
+                    plan.append(("ret", 0))
+                self._plans[(proc.name, bid)] = tuple(plan)
+
+    def _flush(self) -> None:
+        if self._ops:
+            self.tokens.append(f"ops:{self._ops}")
+            self._ops = 0
+
+    def on_block(self, proc_name: str, bid: BlockId) -> None:
+        for token, count in self._plans[(proc_name, bid)]:
+            if token == "ops":
+                self._ops += count
+            else:
+                self._flush()
+                self.tokens.append(token)
+
+    def finish(self) -> List[str]:
+        self._flush()
+        return self.tokens
+
+
+def capture_observations(
+    program: Program, seed: int = 0, max_events: Optional[int] = None
+) -> Tuple[List[str], int]:
+    """Execute ``program`` and return (observation stream, instructions)."""
+    linked = link_identity(program)
+    recorder = _Recorder(program)
+    result = execute(
+        linked,
+        block_hook=recorder.on_block,
+        seed=seed,
+        max_events=max_events,
+    )
+    return recorder.finish(), result.instructions
+
+
+def verify_meld(
+    original: Program,
+    melded: Program,
+    seed: int = 0,
+    max_events: Optional[int] = None,
+    benchmark: str = "",
+) -> MeldOracleReport:
+    """Execute both programs and compare their observation streams."""
+    stream_original, instr_original = capture_observations(
+        original, seed=seed, max_events=max_events
+    )
+    stream_melded, instr_melded = capture_observations(
+        melded, seed=seed, max_events=max_events
+    )
+    divergence: Optional[MeldDivergence] = None
+    if stream_original != stream_melded:
+        index = 0
+        limit = min(len(stream_original), len(stream_melded))
+        while index < limit and stream_original[index] == stream_melded[index]:
+            index += 1
+        lo = max(index - _WINDOW, 0)
+        hi = index + _WINDOW
+        divergence = MeldDivergence(
+            index=index,
+            original=tuple(stream_original[lo:hi]),
+            melded=tuple(stream_melded[lo:hi]),
+        )
+    return MeldOracleReport(
+        benchmark=benchmark,
+        passed=divergence is None,
+        events_original=len(stream_original),
+        events_melded=len(stream_melded),
+        instructions_original=instr_original,
+        instructions_melded=instr_melded,
+        divergence=divergence,
+        seed=seed,
+    )

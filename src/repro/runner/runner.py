@@ -118,6 +118,10 @@ class RunnerConfig:
     #: unit's CFG and profile before alignment; findings of error
     #: severity fail the unit's ``lint`` stage as ValidationErrors.
     lint: bool = False
+    #: Apply every analyzer-approved branch meld right after workload
+    #: generation (``repro.transforms.meld``); with ``lint`` the
+    #: RL018–RL021 audit passes verify the transcript.
+    meld: bool = False
     #: Directory of the crash-safe artifact store (None disables it).
     store: Optional[Union[str, Path]] = None
     #: Simulation engine: ``"replay"`` captures each workload's decision
@@ -209,6 +213,7 @@ class UnitTask:
     oracle: bool = False
     prove: bool = False
     lint: bool = False
+    meld: bool = False
     engine: str = "replay"
     replay_check: bool = False
     trace_cache: Optional[Union[str, Path]] = None
@@ -238,6 +243,17 @@ def execute_unit(task: UnitTask) -> dict:
     with _stage("generate"):
         injector.fire("generate", name, attempt)
         program = generate_benchmark(name, task.scale)
+
+    meld_ctx = None
+    if task.meld:
+        with _stage("meld"):
+            from ..transforms import meld_program
+
+            original = program
+            program, meld_report = meld_program(program)
+            injector.fire("meld", name, attempt)
+            if meld_report.applied:
+                meld_ctx = (original, program, tuple(meld_report.applied))
 
     trace = None
     if task.kind == "experiment" and task.engine == "replay":
@@ -279,9 +295,16 @@ def execute_unit(task: UnitTask) -> dict:
         program = injector.break_cfg(name, attempt, program, profile)
         injector.fire("lint", name, attempt)
         if task.lint:
-            from ..staticcheck import run_lint
+            from ..staticcheck import MeldContext, run_lint
 
-            report = run_lint(program, profile, subject=name)
+            meld = None
+            if meld_ctx is not None:
+                meld = MeldContext(
+                    original=meld_ctx[0],
+                    melded=meld_ctx[1],
+                    records=meld_ctx[2],
+                )
+            report = run_lint(program, profile, subject=name, meld=meld)
             if not report.ok:
                 raise ValidationError(f"static lint failed — {report.summary()}")
 
@@ -692,6 +715,7 @@ def _fingerprint(tasks: Sequence[UnitTask]) -> Tuple[str, dict]:
         "window": head.window,
         "archs": list(head.archs),
         "min_weight": head.min_weight,
+        "meld": head.meld,
     }
     return config_fingerprint(summary), summary
 
@@ -783,6 +807,7 @@ def run_units(tasks: Sequence[UnitTask], config: Optional[RunnerConfig] = None) 
             oracle=config.oracle or task.oracle,
             prove=config.prove or task.prove,
             lint=config.lint or task.lint,
+            meld=config.meld or task.meld,
             engine=config.engine,
             replay_check=config.replay_check or task.replay_check,
             trace_cache=(

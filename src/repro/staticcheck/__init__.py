@@ -26,11 +26,13 @@ from .binary import (
     proof_key,
     prove_cfgs,
     prove_layouts,
+    prove_meld,
+    prove_meld_layouts,
     recover,
     recover_layout,
     verify_image,
 )
-from .dataflow import AnalysisManager, ProgramAnalyses
+from .dataflow import AnalysisManager, ProgramAnalyses, cfg_fingerprint
 from .diagnostics import (
     CODES,
     REPORT_SCHEMA_VERSION,
@@ -48,7 +50,22 @@ from .estimator import (
     cross_validate,
     estimate_costs,
 )
-from .passes import PASSES, LintContext, PassManager, VerifierPass, run_lint
+from .legality import (
+    LegalityReport,
+    SiteLegality,
+    analyze_procedure,
+    analyze_program,
+)
+from .passes import (
+    PASSES,
+    LintContext,
+    MeldContext,
+    PassManager,
+    VerifierPass,
+    pass_count,
+    pass_ids,
+    run_lint,
+)
 
 __all__ = [
     "AnalysisManager",
@@ -61,8 +78,10 @@ __all__ = [
     "Diagnostic",
     "EquivalenceError",
     "EquivalenceProof",
+    "LegalityReport",
     "LintContext",
     "LintReport",
+    "MeldContext",
     "PASSES",
     "PassManager",
     "PassOutcome",
@@ -74,13 +93,21 @@ __all__ = [
     "RecoveryError",
     "REPORT_SCHEMA_VERSION",
     "Severity",
+    "SiteLegality",
     "VerifierPass",
+    "analyze_procedure",
+    "analyze_program",
+    "cfg_fingerprint",
     "check_proof",
     "cross_validate",
     "estimate_costs",
+    "pass_count",
+    "pass_ids",
     "proof_key",
     "prove_cfgs",
     "prove_layouts",
+    "prove_meld",
+    "prove_meld_layouts",
     "recover",
     "recover_layout",
     "run_lint",

@@ -17,6 +17,8 @@ from .equiv import (
     proof_key,
     prove_cfgs,
     prove_layouts,
+    prove_meld,
+    prove_meld_layouts,
 )
 from .recover import (
     BinaryImage,
@@ -41,6 +43,8 @@ __all__ = [
     "proof_key",
     "prove_cfgs",
     "prove_layouts",
+    "prove_meld",
+    "prove_meld_layouts",
     "recover",
     "recover_layout",
     "verify_image",

@@ -28,7 +28,7 @@ much simpler checker in the classic translation-validation style.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from ...isa.encoder import LinkedProgram, link_identity
 from ...isa.instructions import Opcode
@@ -75,11 +75,25 @@ class _Chain:
 
 
 class _Side:
-    """Per-procedure chain cache and control-site index for one image."""
+    """Per-procedure chain cache and control-site index for one image.
 
-    def __init__(self, cfg: RecoveredCFG, proc: RecoveredProcedure):
+    ``elide`` names conditional sites to treat as unobservable glue: the
+    walk silently continues along their fall-through successor instead
+    of stopping.  Elision is how *melding* proofs absorb a conditional
+    the transform removed — sound only for sites whose two arms are
+    observationally identical, which :func:`check_proof` re-verifies
+    from the claimed set in the artifact (see :func:`_site_is_trivial`).
+    """
+
+    def __init__(
+        self,
+        cfg: RecoveredCFG,
+        proc: RecoveredProcedure,
+        elide: FrozenSet[int] = frozenset(),
+    ):
         self.cfg = cfg
         self.proc = proc
+        self.elide = elide
         self.sites: Dict[int, RecoveredBlock] = {
             block.start: block
             for block in proc.blocks
@@ -155,6 +169,15 @@ class _Side:
                 assert target is not None
                 address = target
                 continue
+            if (
+                block.kind is Opcode.COND_BRANCH
+                and block.start in self.elide
+                and block.fall_target is not None
+            ):
+                # Elided trivial conditional: both arms are observably
+                # identical, so following the fall-through loses nothing.
+                address = block.fall_target
+                continue
             flush()
             return _Chain(
                 tuple(observables), _SITE_KINDS[block.kind], block.start
@@ -171,6 +194,50 @@ class _Side:
         else:
             fall = self.chain(block.fall_target)
         return taken, fall
+
+
+def _site_is_trivial(side: _Side, address: int) -> bool:
+    """Is this conditional's choice unobservable (under ``side.elide``)?
+
+    True when both successor chains carry identical observables and are
+    dynamically interchangeable: they converge on the *same* control
+    site, or both terminate in a return (whose equal bodies are already
+    part of the compared observables).  Divergent / external / fall-off
+    ends never qualify.
+    """
+    block = side.sites.get(address)
+    if block is None or block.kind is not Opcode.COND_BRANCH:
+        return False
+    taken, fall = side.cond_chains(address)
+    if taken.observables != fall.observables or taken.kind != fall.kind:
+        return False
+    if taken.site is not None and taken.site == fall.site:
+        return True
+    return taken.kind == "return"
+
+
+def _trivial_elision(cfg: RecoveredCFG, proc: RecoveredProcedure) -> FrozenSet[int]:
+    """The largest self-supporting set of elidable conditional sites.
+
+    Computed as a greatest fixpoint: start from every conditional site
+    and repeatedly discard the ones whose arms are not observationally
+    identical *under the current elision set*.  The final set is a
+    post-fixpoint of :func:`_site_is_trivial`, which is exactly what the
+    coinductive reading of bisimilarity needs — and exactly what
+    :func:`check_proof` re-verifies for a claimed set.
+    """
+    side = _Side(cfg, proc)
+    elide = frozenset(
+        address
+        for address, block in side.sites.items()
+        if block.kind is Opcode.COND_BRANCH
+    )
+    while True:
+        side = _Side(cfg, proc, elide=elide)
+        kept = frozenset(a for a in elide if _site_is_trivial(side, a))
+        if kept == elide:
+            return kept
+        elide = kept
 
 
 _State = Tuple[str, int]
@@ -252,6 +319,9 @@ class ProcedureProof:
     entry: Dict[str, Any]
     correspondences: Tuple[Dict[str, Any], ...]
     witnesses: Tuple[Dict[str, Any], ...]
+    #: Conditional sites proved trivial and treated as glue (melding).
+    elided_original: Tuple[int, ...] = ()
+    elided_aligned: Tuple[int, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -261,6 +331,8 @@ class ProcedureProof:
             "entry": dict(self.entry),
             "correspondences": [dict(c) for c in self.correspondences],
             "witnesses": [dict(w) for w in self.witnesses],
+            "elided_original": list(self.elided_original),
+            "elided_aligned": list(self.elided_aligned),
         }
 
 
@@ -419,13 +491,27 @@ def _prove_procedure(
         entry=entry,
         correspondences=tuple(correspondences),
         witnesses=tuple(witnesses),
+        elided_original=tuple(sorted(original.elide)),
+        elided_aligned=tuple(sorted(aligned.elide)),
     )
 
 
 def prove_cfgs(
-    original: RecoveredCFG, aligned: RecoveredCFG, label: str = "aligned"
+    original: RecoveredCFG,
+    aligned: RecoveredCFG,
+    label: str = "aligned",
+    *,
+    elide_trivial: bool = False,
 ) -> EquivalenceProof:
-    """Prove the aligned recovered CFG bisimilar to the original one."""
+    """Prove the aligned recovered CFG bisimilar to the original one.
+
+    With ``elide_trivial`` (the melding mode) conditional sites whose
+    two arms are observationally identical are treated as glue on *both*
+    sides, so a program that removed such a branch can still be paired
+    with its original.  Alignment-only proofs keep the flag off: there,
+    every conditional of the original must survive, and claim 15 relies
+    on the prover rejecting any layout that drops one.
+    """
     names_original = original.procedure_names()
     names_aligned = aligned.procedure_names()
     if names_original != names_aligned:
@@ -439,8 +525,15 @@ def prove_cfgs(
         )
     proofs: List[ProcedureProof] = []
     for name in names_original:
-        side_original = _Side(original, original.procedure(name))
-        side_aligned = _Side(aligned, aligned.procedure(name))
+        proc_original = original.procedure(name)
+        proc_aligned = aligned.procedure(name)
+        elide_original: FrozenSet[int] = frozenset()
+        elide_aligned: FrozenSet[int] = frozenset()
+        if elide_trivial:
+            elide_original = _trivial_elision(original, proc_original)
+            elide_aligned = _trivial_elision(aligned, proc_aligned)
+        side_original = _Side(original, proc_original, elide=elide_original)
+        side_aligned = _Side(aligned, proc_aligned, elide=elide_aligned)
         proofs.append(_prove_procedure(side_original, side_aligned))
     return EquivalenceProof(label=label, procedures=tuple(proofs))
 
@@ -540,11 +633,33 @@ def check_proof(
             raise EquivalenceError(
                 f"{name}: claimed bisimilar overall but procedure row is not"
             )
-        _check_procedure(
-            row,
-            _Side(original, original.procedure(name)),
-            _Side(aligned, aligned.procedure(name)),
+        elide_original = frozenset(
+            int(a) for a in row.get("elided_original", ())
         )
+        elide_aligned = frozenset(
+            int(a) for a in row.get("elided_aligned", ())
+        )
+        side_original = _Side(
+            original, original.procedure(name), elide=elide_original
+        )
+        side_aligned = _Side(
+            aligned, aligned.procedure(name), elide=elide_aligned
+        )
+        # An elision claim is part of the certificate: every claimed
+        # site must really be a trivial conditional *under the claimed
+        # set* (a post-fixpoint check — the coinductive soundness
+        # argument for treating the set as glue).
+        for side, claimed in (
+            (side_original, elide_original),
+            (side_aligned, elide_aligned),
+        ):
+            for address in sorted(claimed):
+                if not _site_is_trivial(side, address):
+                    raise EquivalenceError(
+                        f"{name}: claimed elided site {address:#x} is not "
+                        "a trivial conditional"
+                    )
+        _check_procedure(row, side_original, side_aligned)
 
 
 # ----------------------------------------------------------------------
@@ -583,6 +698,64 @@ def prove_layouts(
         proof = prove_cfgs(original, aligned, label=label)
         if proof.bisimilar:
             # A proof we cannot independently re-check is no proof at all.
+            check_proof(proof.to_dict(), original, aligned)
+        proofs[label] = proof
+        if store is not None and benchmark:
+            store.put(proof_key(benchmark, label), proof.to_dict())
+    return proofs
+
+
+def prove_meld(
+    original_program: Any,
+    melded_program: Any,
+    label: str = "meld",
+) -> EquivalenceProof:
+    """Prove a melded program bisimilar to its original (elision mode).
+
+    Both programs are linked in identity layout, recovered, and proved
+    with ``elide_trivial=True`` so the conditionals melding removed are
+    absorbed as trivial glue.  Positive verdicts are re-validated with
+    the independent checker before being returned.
+    """
+    original = recover(BinaryImage.from_linked(link_identity(original_program)))
+    try:
+        melded = recover(BinaryImage.from_linked(link_identity(melded_program)))
+    except (RecoveryError, ValueError) as exc:
+        return EquivalenceProof(
+            label=label, procedures=(), reason=f"recovery failed: {exc}"
+        )
+    proof = prove_cfgs(original, melded, label=label, elide_trivial=True)
+    if proof.bisimilar:
+        check_proof(proof.to_dict(), original, melded)
+    return proof
+
+
+def prove_meld_layouts(
+    original_program: Any,
+    layouts: Mapping[str, ProgramLayout],
+    store: Any = None,
+    benchmark: str = "",
+) -> Dict[str, EquivalenceProof]:
+    """Prove layouts of a *melded* program against the original program.
+
+    Like :func:`prove_layouts`, but the reference image comes from
+    ``original_program`` (pre-meld) while each layout belongs to the
+    melded program, and the prover runs in elision mode.  This is the
+    claim-18 judgement: meld-then-align must still be bisimilar to the
+    unmelded original.
+    """
+    original = recover(BinaryImage.from_linked(link_identity(original_program)))
+    proofs: Dict[str, EquivalenceProof] = {}
+    for label, layout in layouts.items():
+        try:
+            aligned = recover(BinaryImage.from_linked(LinkedProgram(layout)))
+        except (RecoveryError, ValueError) as exc:
+            proofs[label] = EquivalenceProof(
+                label=label, procedures=(), reason=f"recovery failed: {exc}"
+            )
+            continue
+        proof = prove_cfgs(original, aligned, label=label, elide_trivial=True)
+        if proof.bisimilar:
             check_proof(proof.to_dict(), original, aligned)
         proofs[label] = proof
         if store is not None and benchmark:

@@ -10,7 +10,8 @@ and duplicate order entries instead of crashing the lint run.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple, TypeVar
+import hashlib
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Set, Tuple, TypeVar
 
 from ..cfg import (
     BlockId,
@@ -23,7 +24,38 @@ from ..cfg import (
     reverse_postorder,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .legality import BlockEffects, ObservationChain, RegionInfo
+
 T = TypeVar("T")
+
+
+def cfg_fingerprint(proc: Procedure) -> str:
+    """A structural hash of one procedure's CFG.
+
+    Covers everything the cached analyses can observe — block ids,
+    sizes, terminator kinds, call sites (offset + callee symbol +
+    indirection), layout order, and the edge list — and nothing they
+    cannot (behaviour objects, labels).  Two procedures with equal
+    fingerprints are indistinguishable to every analysis in this module,
+    so they may safely share an :class:`AnalysisManager`.
+    """
+    digest = hashlib.sha256()
+    digest.update(proc.name.encode())
+    for bid in proc.original_order:
+        block = proc.blocks.get(bid)
+        if block is None:  # corrupted CFG: dangling order entry
+            digest.update(f"|b{bid}:?".encode())
+            continue
+        digest.update(f"|b{bid}:{block.size}:{block.kind.value}".encode())
+        for call in block.calls:
+            callee = call.callee if call.callee is not None else "*"
+            digest.update(f":c{call.offset}:{callee}".encode())
+    for edge in sorted(
+        proc.edges, key=lambda e: (e.src, e.dst, e.kind.value)
+    ):
+        digest.update(f"|e{edge.src}>{edge.dst}:{edge.kind.value}".encode())
+    return digest.hexdigest()
 
 
 class AnalysisManager:
@@ -128,6 +160,46 @@ class AnalysisManager:
     def loop_depths(self) -> Dict[BlockId, int]:
         return self._memo("loop_depths", lambda: loop_depths(self._analysable()))
 
+    # -- melding legality (kernels in repro.staticcheck.legality) -------
+
+    def block_effects(self) -> Dict[BlockId, "BlockEffects"]:
+        """Per-block side-effect / purity summaries."""
+        from .legality import compute_block_effects
+
+        return self._memo(
+            "block_effects",
+            lambda: compute_block_effects(self._analysable()),
+        )
+
+    def live_control_sites(self) -> Dict[BlockId, FrozenSet[BlockId]]:
+        """Per-block liveness: control sites reachable from each block."""
+        from .legality import compute_live_control_sites
+
+        return self._memo(
+            "live_control_sites",
+            lambda: compute_live_control_sites(self._analysable()),
+        )
+
+    def site_chains(
+        self,
+    ) -> Dict[BlockId, Tuple["ObservationChain", "ObservationChain"]]:
+        """(taken, fall) observation chains per conditional site."""
+        from .legality import compute_site_chains
+
+        return self._memo(
+            "site_chains",
+            lambda: compute_site_chains(self._analysable()),
+        )
+
+    def region_shapes(self) -> Dict[BlockId, "RegionInfo"]:
+        """Triangle/diamond/complex region shape per conditional site."""
+        from .legality import compute_region_shapes
+
+        return self._memo(
+            "region_shapes",
+            lambda: compute_region_shapes(self._analysable(), self),
+        )
+
     # -- bookkeeping ----------------------------------------------------
 
     @property
@@ -137,15 +209,24 @@ class AnalysisManager:
 
 
 class ProgramAnalyses:
-    """Lazy per-procedure :class:`AnalysisManager` pool for a program."""
+    """Lazy per-procedure :class:`AnalysisManager` pool for a program.
+
+    Managers are keyed by :func:`cfg_fingerprint` rather than ``id()``:
+    an ``id()`` key can be reused by the allocator after a procedure is
+    garbage-collected, silently serving one procedure's cached
+    dominators to a structurally different successor.  The structural
+    key cannot go stale — and as a bonus, a transformed procedure that
+    happens to be CFG-identical to one already analysed shares its
+    cache instead of recomputing.
+    """
 
     def __init__(self) -> None:
-        self._managers: Dict[int, AnalysisManager] = {}
+        self._managers: Dict[str, AnalysisManager] = {}
 
     def for_procedure(self, proc: Procedure) -> AnalysisManager:
-        key = id(proc)
+        key = cfg_fingerprint(proc)
         manager = self._managers.get(key)
-        if manager is None or manager.proc is not proc:
+        if manager is None:
             manager = AnalysisManager(proc)
             self._managers[key] = manager
         return manager

@@ -57,6 +57,10 @@ CODES: Dict[str, str] = {
     "RL015": "dead padding or unreachable code in the recovered stream",
     "RL016": "control flow falls off the end of a procedure",
     "RL017": "instruction stream does not decode to a consistent CFG",
+    "RL018": "applied meld lacks legality-analyzer approval (illegal meld)",
+    "RL019": "meld clobbers a decision stream that is still live",
+    "RL020": "meld reorders observable side effects across region arms",
+    "RL021": "recorded meld region shape contradicts the dominator tree",
 }
 
 

@@ -1,0 +1,569 @@
+"""Static legality analysis for branch-removal transforms.
+
+Branch *alignment* rearranges conditional branches; branch *melding*
+removes them.  A conditional site may only be removed when doing so is
+invisible to every observer the reproduction cares about:
+
+* the bisimulation prover (:mod:`repro.staticcheck.binary.equiv`), whose
+  observable alphabet is coalesced runs of straight-line ops, direct
+  calls by callee symbol, indirect calls, and the control-site kinds;
+* the dynamic oracle, which executes the program and therefore also
+  sees the *seeded decision streams* attached to each surviving site.
+
+This module classifies every conditional site of a program as
+
+* ``meldable`` — a diamond-shaped region whose two arms carry equal
+  observation chains converging on the same join site;
+* ``if-convertible`` — a triangle region whose side arm is pure glue
+  (zero observables), so the branch can be converted to a straight
+  fall-through path;
+* ``blocked`` — removal would be observable; a machine-readable
+  ``reason`` code says why.
+
+The verdict rests on three new cached dataflow analyses hung off
+:class:`repro.staticcheck.dataflow.AnalysisManager`:
+
+* **observation chains** — an IR-level mirror of the prover's chain
+  walk (``_Side._walk``): from each successor of a conditional site,
+  follow fall-throughs and unconditional glue, collecting ``ops:N`` /
+  ``call:SYM`` / ``icall`` tokens, until the next control site;
+* **per-block liveness of decision sites** — a backward union dataflow
+  computing, for every block, the set of control sites still reachable
+  (live) from it;
+* **side-effect summaries** — per-block purity facts (op counts, the
+  direct-call sequence, indirect-call presence);
+
+plus diamond/triangle **region detection** built on the existing
+dominator/postdominator analyses.
+
+The transform tier (:mod:`repro.transforms.meld`) applies melds only at
+approved sites; the RL018–RL021 verifier passes re-derive every fact
+here from scratch when auditing an applied meld.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..cfg import BlockId, Procedure, Program, TerminatorKind
+from .dataflow import AnalysisManager, ProgramAnalyses
+
+# --- verdicts ----------------------------------------------------------
+MELDABLE = "meldable"
+IF_CONVERTIBLE = "if-convertible"
+BLOCKED = "blocked"
+
+# --- machine-readable blocking reasons ---------------------------------
+REASON_CHAINS_DIVERGE = "chains-diverge"
+REASON_JOIN_MISMATCH = "join-mismatch"
+REASON_LOOP_REGION = "loop-region"
+REASON_SHARED_BEHAVIOR = "shared-behavior"
+REASON_INDIRECT_CALL = "indirect-call-in-arm"
+
+BLOCK_REASONS = (
+    REASON_CHAINS_DIVERGE,
+    REASON_JOIN_MISMATCH,
+    REASON_LOOP_REGION,
+    REASON_SHARED_BEHAVIOR,
+    REASON_INDIRECT_CALL,
+)
+
+# --- region shapes -----------------------------------------------------
+SHAPE_TRIANGLE = "triangle"
+SHAPE_DIAMOND = "diamond"
+SHAPE_COMPLEX = "complex"
+
+#: Chain end kinds (mirrors the prover's site kinds plus ``divergent``).
+CHAIN_COND = "cond"
+CHAIN_INDIRECT = "indirect"
+CHAIN_RETURN = "return"
+CHAIN_DIVERGENT = "divergent"
+
+_SITE_KINDS = {
+    TerminatorKind.COND: CHAIN_COND,
+    TerminatorKind.INDIRECT: CHAIN_INDIRECT,
+    TerminatorKind.RETURN: CHAIN_RETURN,
+}
+
+
+@dataclass(frozen=True)
+class ObservationChain:
+    """An IR-level observation chain, token-compatible with the prover.
+
+    ``observables`` holds coalesced ``ops:N`` / ``call:SYM`` / ``icall``
+    tokens; ``end`` is the block id of the terminating control site (its
+    straight-line body is *included* in the tokens, exactly as the
+    binary-level walk consumes a site block's body before stopping at
+    it).  ``path`` lists the glue blocks traversed before the end site.
+    """
+
+    observables: Tuple[str, ...]
+    kind: str
+    end: Optional[BlockId]
+    path: Tuple[BlockId, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "observables": list(self.observables),
+            "kind": self.kind,
+            "end": self.end,
+            "path": list(self.path),
+        }
+
+
+@dataclass(frozen=True)
+class BlockEffects:
+    """Side-effect / purity summary of one basic block."""
+
+    ops: int
+    direct_calls: Tuple[str, ...]
+    indirect_calls: int
+
+    @property
+    def pure(self) -> bool:
+        """True when the block performs no calls at all."""
+        return not self.direct_calls and not self.indirect_calls
+
+
+@dataclass(frozen=True)
+class RegionInfo:
+    """Shape of the single-entry region hanging off a conditional site."""
+
+    shape: str
+    join: Optional[BlockId]
+    taken_arm: Tuple[BlockId, ...]
+    fall_arm: Tuple[BlockId, ...]
+
+
+@dataclass(frozen=True)
+class SiteLegality:
+    """The analyzer's verdict for one conditional site."""
+
+    procedure: str
+    site: BlockId
+    verdict: str
+    shape: str
+    reason: Optional[str]
+    target: Optional[BlockId]
+    taken_chain: ObservationChain
+    fall_chain: ObservationChain
+
+    @property
+    def approved(self) -> bool:
+        return self.verdict in (MELDABLE, IF_CONVERTIBLE)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "procedure": self.procedure,
+            "site": self.site,
+            "verdict": self.verdict,
+            "shape": self.shape,
+            "reason": self.reason,
+            "target": self.target,
+            "taken_chain": self.taken_chain.to_dict(),
+            "fall_chain": self.fall_chain.to_dict(),
+        }
+
+
+@dataclass
+class LegalityReport:
+    """All per-site verdicts for one program."""
+
+    sites: List[SiteLegality] = field(default_factory=list)
+
+    def approved(self) -> List[SiteLegality]:
+        return [s for s in self.sites if s.approved]
+
+    def blocked(self) -> List[SiteLegality]:
+        return [s for s in self.sites if not s.approved]
+
+    def for_procedure(self, name: str) -> List[SiteLegality]:
+        return [s for s in self.sites if s.procedure == name]
+
+    def verdict_counts(self) -> Dict[str, int]:
+        counts = {MELDABLE: 0, IF_CONVERTIBLE: 0, BLOCKED: 0}
+        for site in self.sites:
+            counts[site.verdict] += 1
+        return counts
+
+    def reason_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for site in self.sites:
+            if site.reason is not None:
+                counts[site.reason] = counts.get(site.reason, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sites": [s.to_dict() for s in self.sites],
+            "verdicts": self.verdict_counts(),
+            "reasons": self.reason_counts(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Cached analysis kernels (invoked through AnalysisManager._memo)
+# ----------------------------------------------------------------------
+def compute_block_effects(proc: Procedure) -> Dict[BlockId, BlockEffects]:
+    """Side-effect summary per block."""
+    out: Dict[BlockId, BlockEffects] = {}
+    for bid, block in proc.blocks.items():
+        direct = tuple(
+            c.callee for c in block.calls if c.callee is not None
+        )
+        indirect = sum(1 for c in block.calls if c.is_indirect)
+        ops = block.straightline_size - len(block.calls)
+        out[bid] = BlockEffects(
+            ops=max(ops, 0), direct_calls=direct, indirect_calls=indirect
+        )
+    return out
+
+
+def compute_live_control_sites(
+    proc: Procedure,
+) -> Dict[BlockId, FrozenSet[BlockId]]:
+    """Backward liveness: control sites still reachable from each block.
+
+    A conditional/indirect site is *live* at block ``b`` when some path
+    from ``b`` reaches it — i.e. its seeded decision stream can still be
+    consumed downstream of ``b``.  Computed as a backward union dataflow
+    to a fixpoint (the CFG may be cyclic).
+    """
+    live: Dict[BlockId, Set[BlockId]] = {bid: set() for bid in proc.blocks}
+    for bid, block in proc.blocks.items():
+        if block.kind in (TerminatorKind.COND, TerminatorKind.INDIRECT):
+            live[bid].add(bid)
+    changed = True
+    while changed:
+        changed = False
+        for bid in proc.blocks:
+            acc = live[bid]
+            before = len(acc)
+            for succ in proc.successors(bid):
+                if succ in live:
+                    acc |= live[succ]
+            if len(acc) != before:
+                changed = True
+    return {bid: frozenset(acc) for bid, acc in live.items()}
+
+
+def _block_tokens(
+    proc: Procedure, bid: BlockId, observables: List[str], ops: int
+) -> int:
+    """Append one block's observable tokens; return the open ops run.
+
+    Mirrors the prover's instruction loop: straight-line ops accumulate
+    into a run that is flushed at every call token, and the terminator
+    branch instruction (when present) is never observable.
+    """
+    block = proc.blocks[bid]
+    position = 0
+    for call in block.calls:
+        ops += call.offset - position
+        if ops:
+            observables.append(f"ops:{ops}")
+            ops = 0
+        if call.is_indirect:
+            observables.append("icall")
+        else:
+            observables.append(f"call:{call.callee}")
+        position = call.offset + 1
+    ops += block.straightline_size - position
+    return ops
+
+
+def chain_from(proc: Procedure, start: BlockId) -> ObservationChain:
+    """Walk the observation chain beginning at block ``start``.
+
+    Token-for-token compatible with the binary-level walk in
+    :mod:`repro.staticcheck.binary.equiv`: fall-through blocks
+    contribute their whole body, unconditional branches are silent glue
+    contributing ``size - 1`` ops, and the walk stops *after* consuming
+    the body of the first conditional / indirect / return block.
+    """
+    observables: List[str] = []
+    path: List[BlockId] = []
+    ops = 0
+    visited: Set[BlockId] = set()
+    bid = start
+    while True:
+        if bid in visited or bid not in proc.blocks:
+            if ops:
+                observables.append(f"ops:{ops}")
+            return ObservationChain(
+                tuple(observables), CHAIN_DIVERGENT, None, tuple(path)
+            )
+        visited.add(bid)
+        block = proc.blocks[bid]
+        ops = _block_tokens(proc, bid, observables, ops)
+        site_kind = _SITE_KINDS.get(block.kind)
+        if site_kind is not None:
+            if ops:
+                observables.append(f"ops:{ops}")
+            return ObservationChain(
+                tuple(observables), site_kind, bid, tuple(path)
+            )
+        path.append(bid)
+        if block.kind is TerminatorKind.FALLTHROUGH:
+            edge = proc.fallthrough_edge(bid)
+        else:  # UNCOND: unobservable glue, follow silently.
+            edge = proc.taken_edge(bid)
+        if edge is None:
+            if ops:
+                observables.append(f"ops:{ops}")
+            return ObservationChain(
+                tuple(observables), CHAIN_DIVERGENT, None, tuple(path)
+            )
+        bid = edge.dst
+
+
+def compute_site_chains(
+    proc: Procedure,
+) -> Dict[BlockId, Tuple[ObservationChain, ObservationChain]]:
+    """(taken-chain, fall-chain) per conditional site."""
+    chains: Dict[BlockId, Tuple[ObservationChain, ObservationChain]] = {}
+    for bid, block in proc.blocks.items():
+        if block.kind is not TerminatorKind.COND:
+            continue
+        taken = proc.taken_edge(bid)
+        fall = proc.fallthrough_edge(bid)
+        if taken is None or fall is None:  # corrupt CFG; lint will flag it
+            continue
+        chains[bid] = (
+            chain_from(proc, taken.dst), chain_from(proc, fall.dst)
+        )
+    return chains
+
+
+def _arm_blocks(
+    proc: Procedure, start: BlockId, join: Optional[BlockId]
+) -> Set[BlockId]:
+    """Blocks reachable from ``start`` without passing through ``join``."""
+    if start == join:
+        return set()
+    seen: Set[BlockId] = set()
+    stack = [start]
+    while stack:
+        bid = stack.pop()
+        if bid in seen or bid == join or bid not in proc.blocks:
+            continue
+        seen.add(bid)
+        stack.extend(proc.successors(bid))
+    return seen
+
+
+def compute_region_shapes(
+    proc: Procedure, manager: Optional[AnalysisManager] = None
+) -> Dict[BlockId, RegionInfo]:
+    """Classify the region at each conditional site via the ipdom tree.
+
+    The *join* of a conditional site is its immediate postdominator.  A
+    **triangle** has one successor equal to the join and a side arm that
+    rejoins without looping back through the site; a **diamond** has two
+    disjoint arms converging on the join; everything else — no join,
+    overlapping arms, or a region containing the site itself — is
+    **complex**.
+    """
+    if manager is None:
+        manager = AnalysisManager(proc)
+    ipdom = manager.postdominators()
+    shapes: Dict[BlockId, RegionInfo] = {}
+    for bid, block in proc.blocks.items():
+        if block.kind is not TerminatorKind.COND:
+            continue
+        taken = proc.taken_edge(bid)
+        fall = proc.fallthrough_edge(bid)
+        if taken is None or fall is None:
+            continue
+        join = ipdom.get(bid)
+        taken_arm = _arm_blocks(proc, taken.dst, join)
+        fall_arm = _arm_blocks(proc, fall.dst, join)
+        info = RegionInfo(
+            shape=SHAPE_COMPLEX,
+            join=join,
+            taken_arm=tuple(sorted(taken_arm)),
+            fall_arm=tuple(sorted(fall_arm)),
+        )
+        if join is not None and bid not in taken_arm and bid not in fall_arm:
+            if taken.dst == join or fall.dst == join:
+                info = RegionInfo(
+                    SHAPE_TRIANGLE, join, info.taken_arm, info.fall_arm
+                )
+            elif not (taken_arm & fall_arm):
+                info = RegionInfo(
+                    SHAPE_DIAMOND, join, info.taken_arm, info.fall_arm
+                )
+        shapes[bid] = info
+    return shapes
+
+
+# ----------------------------------------------------------------------
+# Program-wide behaviour sharing
+# ----------------------------------------------------------------------
+def behavior_root(behavior: Any) -> Any:
+    """Unwrap decorator behaviours (``Inverted.inner`` chains)."""
+    seen: Set[int] = set()
+    while (
+        behavior is not None
+        and hasattr(behavior, "inner")
+        and id(behavior) not in seen
+    ):
+        seen.add(id(behavior))
+        behavior = behavior.inner
+    return behavior
+
+
+def behavior_owners(
+    procedures: Iterable[Procedure],
+) -> Dict[int, List[Tuple[str, BlockId]]]:
+    """Map each root behaviour object (by id) to the sites that drive it.
+
+    Two sites sharing one underlying behaviour (e.g. an unrolled copy
+    wrapping the original's behaviour in ``Inverted``) consume a single
+    decision stream; removing either desynchronises the other.
+    """
+    owners: Dict[int, List[Tuple[str, BlockId]]] = {}
+    for proc in procedures:
+        for bid, block in proc.blocks.items():
+            root = behavior_root(block.behavior)
+            if root is None:
+                continue
+            owners.setdefault(id(root), []).append((proc.name, bid))
+    return owners
+
+
+# ----------------------------------------------------------------------
+# The legality verdict
+# ----------------------------------------------------------------------
+def _chains_equal(taken: ObservationChain, fall: ObservationChain) -> bool:
+    return (
+        taken.observables == fall.observables and taken.kind == fall.kind
+    )
+
+
+def _arms_indirect(
+    effects: Mapping[BlockId, BlockEffects],
+    taken: ObservationChain,
+    fall: ObservationChain,
+) -> bool:
+    for bid in taken.path + fall.path:
+        summary = effects.get(bid)
+        if summary is not None and summary.indirect_calls:
+            return True
+    return False
+
+
+def classify_site(
+    proc: Procedure,
+    site: BlockId,
+    taken: ObservationChain,
+    fall: ObservationChain,
+    region: Optional[RegionInfo],
+    shared: bool,
+    effects: Mapping[BlockId, BlockEffects],
+) -> SiteLegality:
+    """Combine the cached analyses into one site verdict."""
+    shape = region.shape if region is not None else SHAPE_COMPLEX
+    fall_edge = proc.fallthrough_edge(site)
+    target = fall_edge.dst if fall_edge is not None else None
+
+    def blocked(reason: str) -> SiteLegality:
+        return SiteLegality(
+            procedure=proc.name,
+            site=site,
+            verdict=BLOCKED,
+            shape=shape,
+            reason=reason,
+            target=target,
+            taken_chain=taken,
+            fall_chain=fall,
+        )
+
+    if (
+        taken.kind == CHAIN_DIVERGENT
+        or fall.kind == CHAIN_DIVERGENT
+        or site in taken.path
+        or site in fall.path
+        or taken.end == site
+        or fall.end == site
+    ):
+        return blocked(REASON_LOOP_REGION)
+    if _arms_indirect(effects, taken, fall):
+        return blocked(REASON_INDIRECT_CALL)
+    if not _chains_equal(taken, fall):
+        return blocked(REASON_CHAINS_DIVERGE)
+    # Equal observables; the ends must also be dynamically interchangeable:
+    # the same surviving site, or two returns (whose equal bodies are
+    # already part of the compared observables).  Distinct-but-similar end
+    # sites would carry *differently seeded* decision streams.
+    if taken.end != fall.end and taken.kind != CHAIN_RETURN:
+        return blocked(REASON_JOIN_MISMATCH)
+    if shared:
+        return blocked(REASON_SHARED_BEHAVIOR)
+    verdict = IF_CONVERTIBLE if shape == SHAPE_TRIANGLE else MELDABLE
+    return SiteLegality(
+        procedure=proc.name,
+        site=site,
+        verdict=verdict,
+        shape=shape,
+        reason=None,
+        target=target,
+        taken_chain=taken,
+        fall_chain=fall,
+    )
+
+
+def analyze_procedure(
+    proc: Procedure,
+    manager: Optional[AnalysisManager] = None,
+    owners: Optional[Mapping[int, List[Tuple[str, BlockId]]]] = None,
+) -> List[SiteLegality]:
+    """Classify every conditional site of one procedure.
+
+    ``owners`` carries the program-wide behaviour-sharing map; when
+    absent, sharing is judged within the procedure alone.
+    """
+    if manager is None:
+        manager = AnalysisManager(proc)
+    chains = manager.site_chains()
+    shapes = manager.region_shapes()
+    effects = manager.block_effects()
+    if owners is None:
+        owners = behavior_owners([proc])
+    verdicts: List[SiteLegality] = []
+    for site in sorted(chains):
+        taken, fall = chains[site]
+        root = behavior_root(proc.blocks[site].behavior)
+        shared = root is not None and len(owners.get(id(root), [])) > 1
+        verdicts.append(
+            classify_site(
+                proc, site, taken, fall, shapes.get(site), shared, effects
+            )
+        )
+    return verdicts
+
+
+def analyze_program(
+    program: Program, analyses: Optional[ProgramAnalyses] = None
+) -> LegalityReport:
+    """Classify every conditional site of a whole program."""
+    if analyses is None:
+        analyses = ProgramAnalyses()
+    owners = behavior_owners(program.procedures.values())
+    report = LegalityReport()
+    for name in program.order:
+        proc = program.procedures[name]
+        manager = analyses.for_procedure(proc)
+        report.sites.extend(analyze_procedure(proc, manager, owners))
+    return report

@@ -19,7 +19,18 @@ bug would manifest.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..cfg import EdgeKind, Procedure, Program, TerminatorKind
 from ..cfg.blocks import expected_edge_kinds
@@ -30,6 +41,24 @@ from .binary.encoding import pass_binary_encoding, pass_binary_recovery
 from .dataflow import ProgramAnalyses
 from .diagnostics import Diagnostic, LintReport, PassOutcome, Severity
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..transforms.meld import AppliedMeld
+
+
+@dataclass
+class MeldContext:
+    """An applied meld under audit: before, after, and the transcript.
+
+    The RL018–RL021 passes re-derive *every* legality fact from
+    ``original`` plus the dominator/liveness/effect analyses — they
+    never trust the transform that produced ``melded``, which is what
+    lets them catch a forced illegal meld.
+    """
+
+    original: Program
+    melded: Program
+    records: Sequence["AppliedMeld"] = ()
+
 
 @dataclass
 class LintContext:
@@ -38,13 +67,15 @@ class LintContext:
     ``layouts`` maps a human-readable label ("orig", "greedy",
     "try15-btb") to a :class:`ProgramLayout`; layout passes run once per
     label.  ``profile`` may be ``None`` when only structural CFG checks
-    are wanted.
+    are wanted.  ``meld`` carries an applied branch-melding transcript
+    for the RL018–RL021 audit passes; without it those passes skip.
     """
 
     program: Program
     profile: Optional[EdgeProfile] = None
     layouts: Dict[str, ProgramLayout] = field(default_factory=dict)
     analyses: ProgramAnalyses = field(default_factory=ProgramAnalyses)
+    meld: Optional[MeldContext] = None
 
     def procedures(self) -> Iterator[Procedure]:
         for name in self.program.order:
@@ -64,14 +95,17 @@ class VerifierPass:
     pass_id: str
     description: str
     run: PassFn
-    #: Passes needing a profile/layouts are skipped when those are absent.
+    #: Passes needing a profile/layouts/meld are skipped when absent.
     needs_profile: bool = False
     needs_layouts: bool = False
+    needs_meld: bool = False
 
     def applicable(self, ctx: LintContext) -> bool:
         if self.needs_profile and ctx.profile is None:
             return False
         if self.needs_layouts and not ctx.layouts:
+            return False
+        if self.needs_meld and ctx.meld is None:
             return False
         return True
 
@@ -580,6 +614,214 @@ def _pass_addresses(ctx: LintContext) -> List[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
+# Branch-melding audit passes (RL018-RL021)
+# ----------------------------------------------------------------------
+def _meld_approvals(ctx: LintContext, proc: Procedure) -> Dict[int, Any]:
+    """Analyzer-approved sites of one original procedure, re-derived."""
+    from .legality import analyze_procedure, behavior_owners
+
+    assert ctx.meld is not None
+    owners = behavior_owners(ctx.meld.original.procedures.values())
+    manager = ctx.analyses.for_procedure(proc)
+    return {
+        s.site: s
+        for s in analyze_procedure(proc, manager, owners)
+        if s.approved
+    }
+
+
+def _pass_meld_legality(ctx: LintContext) -> List[Diagnostic]:
+    """RL018: applied melds must be analyzer-approved and faithfully applied."""
+    out: List[Diagnostic] = []
+    meld = ctx.meld
+    assert meld is not None
+    for record in meld.records:
+        proc = meld.original.procedures.get(record.procedure)
+        if proc is None:
+            out.append(_diag(
+                "RL018",
+                f"meld transcript names unknown procedure {record.procedure!r}",
+                "meld-legality",
+            ))
+            continue
+        approvals = _meld_approvals(ctx, proc)
+        verdict = approvals.get(record.site)
+        if verdict is None:
+            out.append(_diag(
+                "RL018",
+                f"meld at block {record.site} was not approved by the "
+                "legality analyzer",
+                "meld-legality", procedure=record.procedure,
+                block=record.site,
+            ))
+        elif verdict.target != record.target:
+            out.append(_diag(
+                "RL018",
+                f"meld at block {record.site} branches to {record.target} "
+                f"but the analyzer approved the fall-through {verdict.target}",
+                "meld-legality", procedure=record.procedure,
+                block=record.site,
+            ))
+        melded_proc = meld.melded.procedures.get(record.procedure)
+        if melded_proc is None:
+            continue
+        block = melded_proc.blocks.get(record.site)
+        taken = (
+            melded_proc.taken_edge(record.site) if block is not None else None
+        )
+        if (
+            block is None
+            or block.kind is not TerminatorKind.UNCOND
+            or block.behavior is not None
+            or taken is None
+            or taken.dst != record.target
+        ):
+            out.append(_diag(
+                "RL018",
+                f"melded program does not reflect the recorded meld at "
+                f"block {record.site}",
+                "meld-legality", procedure=record.procedure,
+                block=record.site,
+            ))
+    return out
+
+
+def _pass_meld_liveness(ctx: LintContext) -> List[Diagnostic]:
+    """RL019: a meld must only erase dead decision streams and dead blocks."""
+    from .legality import behavior_owners, behavior_root
+
+    out: List[Diagnostic] = []
+    meld = ctx.meld
+    assert meld is not None
+    owners = behavior_owners(meld.original.procedures.values())
+    for record in meld.records:
+        proc = meld.original.procedures.get(record.procedure)
+        if proc is None:
+            continue
+        site_block = proc.blocks.get(record.site)
+        if site_block is not None:
+            root = behavior_root(site_block.behavior)
+            sharers = owners.get(id(root), []) if root is not None else []
+            others = [o for o in sharers if o != (record.procedure, record.site)]
+            if others:
+                out.append(_diag(
+                    "RL019",
+                    f"melded site {record.site} shares its decision stream "
+                    f"with live site(s) {others}",
+                    "meld-liveness", procedure=record.procedure,
+                    block=record.site,
+                ))
+        manager = ctx.analyses.for_procedure(proc)
+        live = manager.live_control_sites()
+        melded_proc = meld.melded.procedures.get(record.procedure)
+        for bid in record.removed:
+            if melded_proc is not None and bid in melded_proc.blocks:
+                out.append(_diag(
+                    "RL019",
+                    f"block {bid} is recorded removed but survives the meld",
+                    "meld-liveness", procedure=record.procedure, block=bid,
+                ))
+            removed_block = proc.blocks.get(bid)
+            if removed_block is None:
+                continue
+            if removed_block.kind in (
+                TerminatorKind.COND, TerminatorKind.INDIRECT
+            ):
+                # A decision site that was live on the erased arm is gone
+                # wholesale; its seeded stream cannot be replayed.
+                out.append(_diag(
+                    "RL019",
+                    f"meld erased live decision site {bid} "
+                    f"(live-out of {sorted(live.get(bid, ()))})",
+                    "meld-liveness", procedure=record.procedure, block=bid,
+                ))
+            root = behavior_root(removed_block.behavior)
+            if root is not None and len(owners.get(id(root), [])) > 1:
+                out.append(_diag(
+                    "RL019",
+                    f"removed block {bid} drives a shared decision stream",
+                    "meld-liveness", procedure=record.procedure, block=bid,
+                ))
+    return out
+
+
+def _pass_meld_effects(ctx: LintContext) -> List[Diagnostic]:
+    """RL020: the surviving arm must replay the erased arm's side effects."""
+    out: List[Diagnostic] = []
+    meld = ctx.meld
+    assert meld is not None
+    for record in meld.records:
+        proc = meld.original.procedures.get(record.procedure)
+        if proc is None:
+            continue
+        manager = ctx.analyses.for_procedure(proc)
+        chains = manager.site_chains()
+        effects = manager.block_effects()
+        pair = chains.get(record.site)
+        if pair is None:
+            continue  # not a conditional site; RL018 reports it
+        taken, fall = pair
+        calls_taken = [t for t in taken.observables if not t.startswith("ops:")]
+        calls_fall = [t for t in fall.observables if not t.startswith("ops:")]
+        if calls_taken != calls_fall:
+            out.append(_diag(
+                "RL020",
+                f"meld at block {record.site} reorders observable calls: "
+                f"taken arm {calls_taken} vs fall arm {calls_fall}",
+                "meld-effects", procedure=record.procedure,
+                block=record.site,
+            ))
+        for bid in record.removed:
+            summary = effects.get(bid)
+            if summary is not None and summary.indirect_calls:
+                out.append(_diag(
+                    "RL020",
+                    f"removed block {bid} performs {summary.indirect_calls} "
+                    "indirect call(s) whose targets cannot be replayed",
+                    "meld-effects", procedure=record.procedure, block=bid,
+                ))
+    return out
+
+
+def _pass_meld_region(ctx: LintContext) -> List[Diagnostic]:
+    """RL021: recorded region shapes must match the dominator structure."""
+    out: List[Diagnostic] = []
+    meld = ctx.meld
+    assert meld is not None
+    for record in meld.records:
+        proc = meld.original.procedures.get(record.procedure)
+        if proc is None:
+            continue
+        manager = ctx.analyses.for_procedure(proc)
+        region = manager.region_shapes().get(record.site)
+        if region is None:
+            out.append(_diag(
+                "RL021",
+                f"block {record.site} has no conditional region to meld",
+                "meld-region", procedure=record.procedure, block=record.site,
+            ))
+            continue
+        if region.shape != record.shape:
+            out.append(_diag(
+                "RL021",
+                f"meld at block {record.site} recorded a {record.shape} "
+                f"region but the dominator tree says {region.shape}",
+                "meld-region", procedure=record.procedure, block=record.site,
+            ))
+        expected_action = (
+            "if-convert" if record.shape == "triangle" else "meld"
+        )
+        if record.action != expected_action:
+            out.append(_diag(
+                "RL021",
+                f"meld at block {record.site} pairs action "
+                f"{record.action!r} with shape {record.shape!r}",
+                "meld-region", procedure=record.procedure, block=record.site,
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
 # The catalog and the pass manager
 # ----------------------------------------------------------------------
 PASSES: Tuple[VerifierPass, ...] = (
@@ -611,7 +853,27 @@ PASSES: Tuple[VerifierPass, ...] = (
                  pass_binary_encoding, needs_layouts=True),
     VerifierPass("binary-recovery", "recovered binary CFG is consistent and covered",
                  pass_binary_recovery, needs_layouts=True),
+    VerifierPass("meld-legality", "applied melds carry analyzer approval",
+                 _pass_meld_legality, needs_meld=True),
+    VerifierPass("meld-liveness", "melds erase only dead decision streams",
+                 _pass_meld_liveness, needs_meld=True),
+    VerifierPass("meld-effects", "surviving arms replay erased side effects",
+                 _pass_meld_effects, needs_meld=True),
+    VerifierPass("meld-region", "recorded region shapes match the dominators",
+                 _pass_meld_region, needs_meld=True),
 )
+
+
+def pass_ids(
+    passes: Tuple[VerifierPass, ...] = PASSES,
+) -> Tuple[str, ...]:
+    """All registered pass ids, in catalog order."""
+    return tuple(p.pass_id for p in passes)
+
+
+def pass_count(passes: Tuple[VerifierPass, ...] = PASSES) -> int:
+    """Size of the pass registry (the single source of the pass count)."""
+    return len(passes)
 
 
 class PassManager:
@@ -644,11 +906,13 @@ def run_lint(
     profile: Optional[EdgeProfile] = None,
     layouts: Optional[Mapping[str, ProgramLayout]] = None,
     subject: str = "program",
+    meld: Optional[MeldContext] = None,
 ) -> LintReport:
     """Run the full verifier-pass catalog and return the report."""
     ctx = LintContext(
         program=program,
         profile=profile,
         layouts=dict(layouts or {}),
+        meld=meld,
     )
     return PassManager().run(ctx, subject)

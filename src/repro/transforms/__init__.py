@@ -1,5 +1,13 @@
 """CFG transformations beyond pure reordering (the paper's future work)."""
 
+from .meld import (
+    AppliedMeld,
+    MeldError,
+    MeldReport,
+    force_meld,
+    meld_program,
+    meldable_sites,
+)
 from .unroll import (
     UnrollError,
     find_self_loops,
@@ -8,8 +16,14 @@ from .unroll import (
 )
 
 __all__ = [
+    "AppliedMeld",
+    "MeldError",
+    "MeldReport",
     "UnrollError",
     "find_self_loops",
+    "force_meld",
+    "meld_program",
+    "meldable_sites",
     "unroll_program_self_loops",
     "unroll_self_loop",
 ]

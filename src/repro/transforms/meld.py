@@ -1,0 +1,249 @@
+"""Branch melding: remove conditional branches the analyzer proves dead.
+
+The legality analyzer (:mod:`repro.staticcheck.legality`) marks a
+conditional site *meldable* (diamond) or *if-convertible* (triangle)
+when its two successor observation chains are indistinguishable to both
+the bisimulation prover and the dynamic oracle.  The transform then:
+
+* rewrites the site's terminator from a conditional branch to an
+  unconditional branch targeting the old **fall-through** successor —
+  same block size, so the observable op count is untouched, and the
+  surviving arm keeps its original sense;
+* drops the blocks that become unreachable (the taken-side glue);
+* leaves everything else, including block ids, intact, so edge profiles
+  and decision traces for surviving sites still apply.
+
+The residual unconditional branch is exactly what the aligners already
+know how to delete (``BlockPlacement.branch_removed``) when the target
+ends up adjacent — melding feeds alignment, which is the interaction
+the study in ``repro meld --study`` measures.
+
+:func:`force_meld` applies the same rewrite *without* consulting the
+analyzer.  It exists for fault probes: an illegal meld must be rejected
+by the prover, flagged by the RL018–RL021 lint passes, and caught by
+the dynamic meld oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cfg import (
+    BasicBlock,
+    BlockId,
+    Edge,
+    EdgeKind,
+    Procedure,
+    Program,
+    TerminatorKind,
+)
+from ..staticcheck.dataflow import ProgramAnalyses
+from ..staticcheck.legality import (
+    LegalityReport,
+    SiteLegality,
+    analyze_program,
+)
+
+
+class MeldError(ValueError):
+    """A meld request that cannot be applied."""
+
+
+@dataclass(frozen=True)
+class AppliedMeld:
+    """One applied branch removal, recorded for audit by RL018–RL021."""
+
+    procedure: str
+    site: BlockId
+    action: str  # "meld" (diamond) or "if-convert" (triangle)
+    shape: str
+    target: BlockId
+    removed: Tuple[BlockId, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form of the record."""
+        return {
+            "procedure": self.procedure,
+            "site": self.site,
+            "action": self.action,
+            "shape": self.shape,
+            "target": self.target,
+            "removed": list(self.removed),
+        }
+
+
+@dataclass
+class MeldReport:
+    """Everything one :func:`meld_program` run did and declined to do."""
+
+    applied: List[AppliedMeld] = field(default_factory=list)
+    blocked: List[SiteLegality] = field(default_factory=list)
+    removed_blocks: int = 0
+
+    @property
+    def melded(self) -> bool:
+        return bool(self.applied)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form of the report."""
+        return {
+            "applied": [m.to_dict() for m in self.applied],
+            "blocked": [s.to_dict() for s in self.blocked],
+            "removed_blocks": self.removed_blocks,
+        }
+
+
+def _meld_site(proc: Procedure, site: BlockId) -> Tuple[Procedure, Tuple[BlockId, ...]]:
+    """Rewrite one conditional site to an unconditional branch.
+
+    Returns the new procedure and the ids of the blocks dropped as
+    newly unreachable.  Performs only *structural* checks; legality is
+    the caller's business (which is what lets fault probes force an
+    illegal meld through the same code path).
+    """
+    block = proc.blocks.get(site)
+    if block is None:
+        raise MeldError(f"{proc.name}: no block {site}")
+    if block.kind is not TerminatorKind.COND:
+        raise MeldError(
+            f"{proc.name}: block {site} is {block.kind.value}, not a "
+            "conditional site"
+        )
+    fall = proc.fallthrough_edge(site)
+    if fall is None:  # pragma: no cover - validate() guarantees the edge
+        raise MeldError(f"{proc.name}: block {site} has no fall-through")
+    target = fall.dst
+
+    melded = BasicBlock(
+        bid=block.bid,
+        size=block.size,
+        kind=TerminatorKind.UNCOND,
+        calls=list(block.calls),
+        behavior=None,
+        label=block.label,
+    )
+    blocks: Dict[BlockId, BasicBlock] = {
+        bid: (melded if bid == site else b) for bid, b in proc.blocks.items()
+    }
+    edges = [
+        e
+        for e in proc.edges
+        if e.src != site
+    ]
+    edges.append(Edge(site, target, EdgeKind.TAKEN))
+
+    # Drop blocks no longer reachable from the entry.  A dropped block
+    # can never sit between a surviving fall-through pair (a fall-through
+    # edge is adjacent in the original order, leaving no room), so the
+    # remaining order still validates.
+    succ: Dict[BlockId, List[BlockId]] = {bid: [] for bid in blocks}
+    for e in edges:
+        succ[e.src].append(e.dst)
+    live: Set[BlockId] = set()
+    stack = [proc.entry]
+    while stack:
+        bid = stack.pop()
+        if bid in live:
+            continue
+        live.add(bid)
+        stack.extend(s for s in succ[bid] if s not in live)
+    removed = tuple(
+        bid for bid in proc.original_order if bid not in live
+    )
+    new_proc = Procedure(
+        proc.name,
+        [blocks[bid] for bid in proc.original_order if bid in live],
+        [e for e in edges if e.src in live and e.dst in live],
+    )
+    return new_proc, removed
+
+
+def meld_program(
+    program: Program,
+    legality: Optional[LegalityReport] = None,
+    analyses: Optional[ProgramAnalyses] = None,
+) -> Tuple[Program, MeldReport]:
+    """Apply every analyzer-approved meld, re-analysing to a fixpoint.
+
+    Each applied meld changes the CFG (and can expose or retract other
+    opportunities), so the program is re-analysed after every round
+    until no approved site remains.  The returned report carries one
+    :class:`AppliedMeld` per removal plus the final blocked-site table.
+    """
+    if analyses is None:
+        analyses = ProgramAnalyses()
+    report = MeldReport()
+    procs = {name: program.procedures[name] for name in program.order}
+    current = program
+    rounds = program.static_conditional_sites() + 1
+    for _ in range(rounds):
+        verdicts = (
+            legality if legality is not None else analyze_program(current, analyses)
+        )
+        legality = None  # only trust the caller's report for round one
+        pending = [s for s in verdicts.sites if s.approved]
+        if not pending:
+            report.blocked = list(verdicts.blocked())
+            break
+        site = pending[0]
+        proc = procs[site.procedure]
+        new_proc, removed = _meld_site(proc, site.site)
+        procs[site.procedure] = new_proc
+        action = "if-convert" if site.shape == "triangle" else "meld"
+        report.applied.append(
+            AppliedMeld(
+                procedure=site.procedure,
+                site=site.site,
+                action=action,
+                shape=site.shape,
+                target=site.target if site.target is not None else -1,
+                removed=removed,
+            )
+        )
+        report.removed_blocks += len(removed)
+        current = Program(
+            [procs[name] for name in program.order], entry=program.entry
+        )
+    return current, report
+
+
+def force_meld(
+    program: Program, procedure: str, site: BlockId
+) -> Tuple[Program, AppliedMeld]:
+    """Apply one meld *without* legality checking (fault-probe support).
+
+    The result is structurally valid but — unless the analyzer would
+    have approved the site anyway — semantically different from the
+    input.  Probes built on this must be rejected by the prover,
+    flagged by RL018+, and caught by the dynamic meld oracle.
+    """
+    proc = program.procedures.get(procedure)
+    if proc is None:
+        raise MeldError(f"no procedure {procedure!r}")
+    new_proc, removed = _meld_site(proc, site)
+    fall = proc.fallthrough_edge(site)
+    assert fall is not None
+    record = AppliedMeld(
+        procedure=procedure,
+        site=site,
+        action="meld",
+        shape="complex",
+        target=fall.dst,
+        removed=removed,
+    )
+    melded = Program(
+        [
+            new_proc if name == procedure else program.procedures[name]
+            for name in program.order
+        ],
+        entry=program.entry,
+    )
+    return melded, record
+
+
+def meldable_sites(
+    program: Program, analyses: Optional[ProgramAnalyses] = None
+) -> Sequence[SiteLegality]:
+    """Convenience: the analyzer-approved sites of ``program``."""
+    return analyze_program(program, analyses).approved()

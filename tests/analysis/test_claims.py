@@ -174,3 +174,99 @@ class TestRenderClaims:
         fake = [ClaimResult("x", "some quote from the paper", False, "detail")]
         assert "FAIL" in render_claims(fake)
         assert "0/1" in render_claims(fake)
+
+
+class TestMeldingClaim:
+    def _evidence(self, **overrides):
+        base = {
+            "melds_applied": 2,
+            "blocked_sites": 3,
+            "prove_identity": True,
+            "prove_layouts": {"greedy": True, "try15-btb": True},
+            "oracle_passed": True,
+            "lint_clean": True,
+            "probes": [
+                {"label": "fault:meld:a:1", "prover_rejected": True,
+                 "oracle_rejected": True, "flagged": ["RL018", "RL021"]},
+                {"label": "fault:meld:b:2", "prover_rejected": True,
+                 "oracle_rejected": True, "flagged": ["RL018", "RL020"]},
+            ],
+            "interaction": [
+                {"arch": "fallthrough", "compounds": True},
+                {"arch": "btfnt", "compounds": True},
+            ],
+        }
+        base.update(overrides)
+        return base
+
+    def _check(self, evidence):
+        from repro.analysis.claims import _Context, _check_melding
+
+        return _check_melding(
+            _Context(experiments=[], figure4_rows=[],
+                     meld_checks={"eqntott": evidence})
+        )
+
+    def test_melding_claim_present_and_passing(self, results):
+        claim = next(
+            r for r in results
+            if r.claim_id == "melding-preserves-semantics-and-costs"
+        )
+        assert claim.passed
+        assert "forced illegal melds" in claim.detail
+
+    def test_clean_evidence_passes(self):
+        claim = self._check(self._evidence())
+        assert claim.passed
+        assert "rejected by the prover and flagged RL018" in claim.detail
+
+    def test_unproved_meld_fails(self):
+        assert not self._check(self._evidence(prove_identity=False)).passed
+
+    def test_unproved_layout_fails(self):
+        claim = self._check(
+            self._evidence(prove_layouts={"greedy": True, "try15-btb": False})
+        )
+        assert not claim.passed
+        assert "try15-btb" in claim.detail
+
+    def test_stream_divergence_fails(self):
+        assert not self._check(self._evidence(oracle_passed=False)).passed
+
+    def test_escaped_probe_fails(self):
+        evidence = self._evidence()
+        evidence["probes"][0] = {
+            "label": "fault:meld:a:1", "prover_rejected": False,
+            "oracle_rejected": True, "flagged": ["RL018"],
+        }
+        claim = self._check(evidence)
+        assert not claim.passed
+        assert "escaped" in claim.detail
+
+    def test_unflagged_probe_fails(self):
+        evidence = self._evidence()
+        evidence["probes"][1] = {
+            "label": "fault:meld:b:2", "prover_rejected": True,
+            "oracle_rejected": True, "flagged": [],
+        }
+        assert not self._check(evidence).passed
+
+    def test_shrinking_interaction_fails(self):
+        evidence = self._evidence(interaction=[
+            {"arch": "fallthrough", "compounds": False},
+        ])
+        claim = self._check(evidence)
+        assert not claim.passed
+        assert "shrinks" in claim.detail
+
+    def test_too_few_probes_fails_rather_than_vacuously_passes(self):
+        evidence = self._evidence()
+        evidence["probes"] = evidence["probes"][:1]
+        assert not self._check(evidence).passed
+
+    def test_no_evidence_fails_rather_than_vacuously_passes(self):
+        from repro.analysis.claims import _Context, _check_melding
+
+        assert not _check_melding(
+            _Context(experiments=[], figure4_rows=[])
+        ).passed

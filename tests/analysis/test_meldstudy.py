@@ -1,0 +1,68 @@
+"""Tests for the alignment x melding interaction study."""
+
+import pytest
+
+from repro.analysis import render_meld_studies, run_meld_study
+from repro.analysis.meldstudy import STUDY_ARCHS, VARIANTS
+
+ARCHS = ("fallthrough", "btfnt")
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_meld_study("eqntott", scale=0.08, seed=0, window=10, archs=ARCHS)
+
+
+class TestStudy:
+    def test_all_four_variants_present(self, study):
+        assert {c.variant for c in study.cells} == set(VARIANTS)
+        assert set(VARIANTS) == {"baseline", "align", "meld", "meld+align"}
+
+    def test_cells_cover_requested_archs(self, study):
+        assert study.archs() == sorted(ARCHS)
+
+    def test_shared_base_normalisation(self, study):
+        # The baseline cell is the original program in its original
+        # layout, so its cycles relate to the shared base directly.
+        baseline = study.best("baseline", "fallthrough")
+        assert baseline.relative_cpi == pytest.approx(
+            baseline.cycles / study.base_instructions
+        )
+
+    def test_interaction_rows_computed(self, study):
+        for arch in ARCHS:
+            row = study.interaction(arch)
+            assert row is not None
+            assert row["combined_win"] == pytest.approx(
+                row["baseline"] - row["meld_align"]
+            )
+
+    def test_eqntott_melding_compounds_the_alignment_win(self, study):
+        assert study.melds_applied == 2
+        assert all(study.interaction(a)["compounds"] for a in ARCHS)
+
+    def test_to_dict_round_trip(self, study):
+        payload = study.to_dict()
+        assert payload["benchmark"] == "eqntott"
+        assert len(payload["interaction"]) == len(ARCHS)
+        assert len(payload["cells"]) == len(study.cells)
+
+
+class TestRender:
+    def test_markdown_table(self, study):
+        text = render_meld_studies([study])
+        assert "# Alignment x melding interaction study" in text
+        assert "| eqntott |" in text
+        assert "compounds" in text
+        assert f"{study.melds_applied} meld(s) applied" in text
+
+    def test_no_meldable_sites_verdict(self, study):
+        # compress has no approved sites at any tested scale.
+        empty = run_meld_study("compress", scale=0.05, seed=0, window=6,
+                               archs=("fallthrough",))
+        assert empty.melds_applied == 0
+        text = render_meld_studies([empty])
+        assert "no meldable sites" in text
+
+    def test_default_archs_constant(self):
+        assert set(STUDY_ARCHS) == {"fallthrough", "btfnt", "pht-direct"}

@@ -1,0 +1,123 @@
+"""Unit tests for the branch-melding transform tier."""
+
+import pytest
+
+from repro.cfg import Program, TerminatorKind
+from repro.oracle.meldcheck import capture_observations, verify_meld
+from repro.staticcheck import analyze_program
+from repro.staticcheck.binary import prove_meld
+from repro.transforms import (
+    MeldError,
+    force_meld,
+    meld_program,
+    meldable_sites,
+)
+from repro.workloads import generate_benchmark
+from tests.conftest import diamond_procedure
+from tests.staticcheck.test_legality import (
+    bid_of,
+    empty_triangle,
+    symmetric_diamond,
+)
+
+
+class TestMeldProgram:
+    def test_symmetric_diamond_melds_to_straight_line(self):
+        program = Program([symmetric_diamond()])
+        melded, report = meld_program(program)
+        assert len(report.applied) == 1
+        (applied,) = report.applied
+        assert applied.action == "meld"
+        assert applied.shape == "diamond"
+        proc = melded.procedures["main"]
+        site = proc.blocks[applied.site]
+        assert site.kind is TerminatorKind.UNCOND
+        assert site.behavior is None
+        # The fall-through arm survives; the taken arm (else) was dropped.
+        assert applied.removed == (bid_of(program.procedures["main"], "else"),)
+        assert len(proc.blocks) == len(program.procedures["main"].blocks) - 1
+
+    def test_triangle_records_if_convert_action(self):
+        melded, report = meld_program(Program([empty_triangle()]))
+        (applied,) = report.applied
+        assert applied.action == "if-convert"
+        assert applied.shape == "triangle"
+        # The fall arm survives as the new unconditional path.
+        assert applied.site in melded.procedures["main"].blocks
+
+    def test_blocked_program_is_untouched(self):
+        program = Program([diamond_procedure("main")])
+        melded, report = meld_program(program)
+        assert not report.applied
+        assert report.blocked
+        assert melded.procedures["main"].blocks.keys() == \
+            program.procedures["main"].blocks.keys()
+
+    def test_melded_program_revalidates(self):
+        # Procedure.__init__ validates; a meld that survived construction
+        # is structurally legal by definition.  Exercise a multi-site one.
+        program = generate_benchmark("cfront", 0.25)
+        melded, report = meld_program(program)
+        assert len(report.applied) == 4
+        assert melded.static_conditional_sites() == (
+            program.static_conditional_sites() - 4
+        )
+
+    def test_meldable_sites_lists_approved_only(self):
+        program = generate_benchmark("eqntott", 0.25)
+        sites = meldable_sites(program)
+        assert sites
+        assert all(s.approved for s in sites)
+
+
+class TestForceMeld:
+    def test_unknown_procedure_raises(self):
+        with pytest.raises(MeldError):
+            force_meld(Program([symmetric_diamond()]), "nope", 0)
+
+    def test_forced_meld_changes_the_event_stream(self):
+        # p_then=0 makes the conditional always take the (bigger) else
+        # arm; the forced meld pins control to the then arm instead.
+        program = Program([diamond_procedure("main", p_then=0.0)])
+        (site,) = analyze_program(program).blocked()
+        forced, record = force_meld(program, site.procedure, site.site)
+        assert record.shape == "complex"
+        report = verify_meld(program, forced, benchmark="diamond")
+        assert not report.passed
+        assert report.divergence is not None
+
+
+class TestMeldOracle:
+    def test_legal_meld_streams_match(self):
+        program = generate_benchmark("eqntott", 0.25)
+        melded, meld_report = meld_program(program)
+        assert meld_report.applied
+        report = verify_meld(program, melded, benchmark="eqntott")
+        assert report.passed
+        assert report.events_original == report.events_melded
+        # Melding removes branch events, never operations.
+        assert report.instructions_melded <= report.instructions_original
+
+    def test_observation_capture_is_deterministic(self):
+        program = Program([symmetric_diamond()])
+        first, n1 = capture_observations(program, seed=3)
+        second, n2 = capture_observations(program, seed=3)
+        assert first == second and n1 == n2
+
+
+class TestMeldProver:
+    def test_legal_meld_proves_bisimilar(self):
+        program = Program([symmetric_diamond()])
+        melded, report = meld_program(program)
+        assert report.applied
+        proof = prove_meld(program, melded)
+        assert proof.bisimilar
+        (row,) = proof.procedures
+        assert row.elided_original  # the melded site was elided as glue
+
+    def test_illegal_meld_is_rejected(self):
+        program = Program([diamond_procedure("main")])
+        (site,) = analyze_program(program).blocked()
+        forced, _record = force_meld(program, site.procedure, site.site)
+        proof = prove_meld(program, forced)
+        assert not proof.bisimilar

@@ -1,0 +1,102 @@
+"""Property tests: region detection and meld round-trip soundness.
+
+Two obligations from the melding tier:
+
+* the analyzer's region shapes must agree with a brute-force
+  enumeration of each conditional's arms (independent BFS plus a
+  cut-vertex postdominance check) on arbitrary structured CFGs;
+* every analyzer-approved meld must round-trip — link the melded
+  program, recover its CFG from the raw instruction stream, and prove
+  it bisimilar to the unmelded original — and replay the identical
+  observable event stream.
+"""
+
+from hypothesis import given, settings
+
+from repro.cfg import TerminatorKind
+from repro.oracle.meldcheck import verify_meld
+from repro.staticcheck import analyze_program
+from repro.staticcheck.binary import prove_meld
+from repro.staticcheck.dataflow import AnalysisManager
+from repro.staticcheck.legality import (
+    SHAPE_DIAMOND,
+    SHAPE_TRIANGLE,
+    compute_region_shapes,
+)
+from repro.transforms import meld_program
+
+from .strategies import programs
+
+
+def brute_reachable(proc, start, barrier):
+    """Every block reachable from ``start`` without entering ``barrier``."""
+    seen = set()
+    stack = [start]
+    while stack:
+        bid = stack.pop()
+        if bid in seen or bid == barrier:
+            continue
+        seen.add(bid)
+        stack.extend(proc.successors(bid))
+    return seen
+
+
+def brute_exits_reachable(proc, start, barrier):
+    """Return blocks reachable from ``start`` when ``barrier`` is cut."""
+    return {
+        bid
+        for bid in brute_reachable(proc, start, barrier)
+        if proc.blocks[bid].kind is TerminatorKind.RETURN
+    }
+
+
+@settings(max_examples=50, deadline=None)
+@given(program=programs())
+def test_region_shapes_agree_with_brute_force(program):
+    proc = program.procedures["main"]
+    shapes = compute_region_shapes(proc, AnalysisManager(proc))
+    for site, region in shapes.items():
+        taken = proc.taken_edge(site).dst
+        fall = proc.fallthrough_edge(site).dst
+        if region.shape not in (SHAPE_TRIANGLE, SHAPE_DIAMOND):
+            continue
+        join = region.join
+        assert join is not None
+        # The join postdominates both arms: cutting it strands every
+        # return block (brute-force cut-vertex check, no dominator tree).
+        assert not brute_exits_reachable(proc, taken, join)
+        assert not brute_exits_reachable(proc, fall, join)
+        # Arms are exactly the blocks reachable short of the join.
+        assert set(region.taken_arm) == brute_reachable(proc, taken, join)
+        assert set(region.fall_arm) == brute_reachable(proc, fall, join)
+        # The site itself sits outside its own region (acyclic region).
+        assert site not in region.taken_arm and site not in region.fall_arm
+        if region.shape == SHAPE_TRIANGLE:
+            assert join in (taken, fall)
+        else:
+            assert join not in (taken, fall)
+            assert set(region.taken_arm).isdisjoint(region.fall_arm)
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs())
+def test_approved_melds_round_trip_through_the_prover(program):
+    legality = analyze_program(program)
+    melded, report = meld_program(program, legality=legality)
+    if not report.applied:
+        # Nothing approved: the program must come back unchanged.
+        assert melded.procedures["main"].blocks.keys() == \
+            program.procedures["main"].blocks.keys()
+        return
+    proof = prove_meld(program, melded)
+    assert proof.bisimilar, proof.failures()[:1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(program=programs())
+def test_approved_melds_preserve_the_event_stream(program):
+    melded, report = meld_program(program)
+    oracle = verify_meld(program, melded, max_events=20_000)
+    assert oracle.passed, oracle.divergence
+    if report.applied:
+        assert oracle.instructions_melded <= oracle.instructions_original

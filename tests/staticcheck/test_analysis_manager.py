@@ -55,3 +55,61 @@ class TestDefensiveness:
                 assert bid in proc.blocks, "reachable() never invents blocks"
             am.unreachable()
             am.loop_depths()
+
+
+class TestFingerprintKeying:
+    """The pool is keyed by structural fingerprint, not ``id(proc)``.
+
+    CPython reuses object ids: a procedure created after another was
+    garbage-collected can occupy the same address, and an id-keyed pool
+    would then serve the old procedure's cached dominators for the new
+    CFG.  Fingerprint keying makes that impossible and, as a bonus,
+    lets structural twins share one manager.
+    """
+
+    def test_structural_twins_share_a_manager(self):
+        from tests.conftest import diamond_procedure
+
+        pool = ProgramAnalyses()
+        first = diamond_procedure("main")
+        second = diamond_procedure("main")
+        assert first is not second
+        assert pool.for_procedure(first) is pool.for_procedure(second)
+
+    def test_different_structure_never_shares(self):
+        from repro.staticcheck import cfg_fingerprint
+        from tests.conftest import diamond_procedure, loop_procedure
+
+        pool = ProgramAnalyses()
+        diamond = diamond_procedure("main")
+        loop = loop_procedure("main")  # same name, different CFG
+        assert cfg_fingerprint(diamond) != cfg_fingerprint(loop)
+        assert pool.for_procedure(diamond) is not pool.for_procedure(loop)
+
+    def test_id_reuse_cannot_serve_stale_analyses(self):
+        import gc
+
+        from tests.conftest import diamond_procedure, loop_procedure
+
+        pool = ProgramAnalyses()
+        victim = diamond_procedure("main")
+        stale_doms = pool.for_procedure(victim).dominators()
+        del victim
+        gc.collect()
+        # Whatever id the fresh procedure lands on, its manager must be
+        # derived from its own CFG, never the dead diamond's cache.
+        fresh = loop_procedure("main")
+        manager = pool.for_procedure(fresh)
+        assert manager.dominators() != stale_doms
+        assert set(manager.dominators()) == set(fresh.blocks)
+
+    def test_fingerprint_is_structure_sensitive(self):
+        from repro.staticcheck import cfg_fingerprint
+        from tests.conftest import diamond_procedure
+
+        base = cfg_fingerprint(diamond_procedure("main"))
+        assert base == cfg_fingerprint(diamond_procedure("main"))
+        assert base != cfg_fingerprint(diamond_procedure("other"))
+        # Behaviours are not part of the structural key: two CFGs that
+        # differ only in branch probability share analyses soundly.
+        assert base == cfg_fingerprint(diamond_procedure("main", p_then=0.3))

@@ -1,0 +1,182 @@
+"""Unit tests for the static branch-melding legality analyzer."""
+
+from repro.cfg import Program
+from repro.sim.behaviors import Bernoulli, Loop
+from repro.staticcheck import analyze_procedure, analyze_program
+from repro.staticcheck.dataflow import AnalysisManager
+from repro.staticcheck.legality import (
+    BLOCKED,
+    CHAIN_RETURN,
+    IF_CONVERTIBLE,
+    MELDABLE,
+    REASON_CHAINS_DIVERGE,
+    REASON_LOOP_REGION,
+    REASON_SHARED_BEHAVIOR,
+    SHAPE_DIAMOND,
+    SHAPE_TRIANGLE,
+    behavior_root,
+    compute_block_effects,
+    compute_live_control_sites,
+    compute_region_shapes,
+    compute_site_chains,
+)
+from repro.workloads import generate_benchmark
+from tests.conftest import diamond_procedure, loop_procedure
+
+from repro.cfg import CallSite, ProcedureBuilder
+
+
+def symmetric_diamond(name="main", behavior=None):
+    """A diamond whose two arms are observationally identical."""
+    b = ProcedureBuilder(name)
+    b.fall("entry", 2)
+    b.cond("test", 3, taken="else", behavior=behavior or Bernoulli(0.5))
+    b.fall("then", 4)
+    b.uncond("endthen", 1, target="join")
+    b.fall("else", 4)
+    b.fall("join", 2)
+    b.ret("exit", 1)
+    return b.build()
+
+
+def empty_triangle(name="main"):
+    """A triangle whose fall arm is a single size-1 jump (pure glue)."""
+    b = ProcedureBuilder(name)
+    b.fall("entry", 2)
+    b.cond("test", 3, taken="join", behavior=Bernoulli(0.5))
+    b.uncond("skip", 1, target="join")
+    b.fall("join", 2)
+    b.ret("exit", 1)
+    return b.build()
+
+
+def bid_of(proc, label):
+    return next(b.bid for b in proc if b.label == label)
+
+
+class TestChains:
+    def test_symmetric_arms_produce_equal_chains(self):
+        proc = symmetric_diamond()
+        chains = compute_site_chains(proc)
+        taken, fall = chains[bid_of(proc, "test")]
+        assert taken.observables == fall.observables
+        assert taken.kind == fall.kind == CHAIN_RETURN
+
+    def test_asymmetric_arms_diverge(self):
+        proc = diamond_procedure("main")  # then=4 ops, else=5 ops
+        chains = compute_site_chains(proc)
+        taken, fall = chains[bid_of(proc, "test")]
+        assert taken.observables != fall.observables
+
+    def test_glue_blocks_are_unobservable(self):
+        proc = empty_triangle()
+        chains = compute_site_chains(proc)
+        taken, fall = chains[bid_of(proc, "test")]
+        # The skip block is a size-1 unconditional jump: zero observables.
+        assert taken.observables == fall.observables
+
+
+class TestEffects:
+    def test_pure_and_calling_blocks(self):
+        b = ProcedureBuilder("main")
+        b.fall("entry", 3, calls=[CallSite(1, "leaf")])
+        b.ret("exit", 1)
+        proc = b.build()
+        effects = compute_block_effects(proc)
+        assert effects[bid_of(proc, "entry")].direct_calls == ("leaf",)
+        assert not effects[bid_of(proc, "entry")].pure
+        assert effects[bid_of(proc, "exit")].pure
+
+    def test_live_control_sites_cover_all_conditionals(self):
+        proc = symmetric_diamond()
+        live = compute_live_control_sites(proc)
+        assert bid_of(proc, "test") in live[bid_of(proc, "entry")]
+
+
+class TestRegions:
+    def test_diamond_shape(self):
+        proc = symmetric_diamond()
+        region = compute_region_shapes(proc, AnalysisManager(proc))[
+            bid_of(proc, "test")
+        ]
+        assert region.shape == SHAPE_DIAMOND
+        assert region.join == bid_of(proc, "join")
+        assert set(region.taken_arm).isdisjoint(region.fall_arm)
+
+    def test_triangle_shape(self):
+        proc = empty_triangle()
+        region = compute_region_shapes(proc, AnalysisManager(proc))[
+            bid_of(proc, "test")
+        ]
+        assert region.shape == SHAPE_TRIANGLE
+        assert region.join == bid_of(proc, "join")
+        assert region.taken_arm == ()
+
+    def test_loop_site_is_not_a_region(self):
+        proc = loop_procedure("main")
+        shapes = compute_region_shapes(proc, AnalysisManager(proc))
+        latch = bid_of(proc, "latch")
+        assert shapes[latch].shape not in (SHAPE_TRIANGLE, SHAPE_DIAMOND)
+
+
+class TestVerdicts:
+    def test_symmetric_diamond_is_meldable(self):
+        proc = symmetric_diamond()
+        verdicts = {s.site: s for s in analyze_procedure(proc)}
+        site = verdicts[bid_of(proc, "test")]
+        assert site.verdict == MELDABLE
+        assert site.shape == SHAPE_DIAMOND
+        assert site.approved
+
+    def test_empty_triangle_is_if_convertible(self):
+        sites = analyze_procedure(empty_triangle())
+        assert [s.verdict for s in sites] == [IF_CONVERTIBLE]
+
+    def test_asymmetric_diamond_blocked_chains_diverge(self):
+        (site,) = analyze_procedure(diamond_procedure("main"))
+        assert site.verdict == BLOCKED
+        assert site.reason == REASON_CHAINS_DIVERGE
+
+    def test_loop_blocked(self):
+        (site,) = analyze_procedure(loop_procedure("main"))
+        assert site.verdict == BLOCKED
+        assert site.reason == REASON_LOOP_REGION
+
+    def test_shared_behavior_blocks_both_sites(self):
+        shared = Bernoulli(0.5)
+        p1 = symmetric_diamond("one", behavior=shared)
+        b = ProcedureBuilder("two")
+        b.fall("entry", 2)
+        b.cond("test", 3, taken="else", behavior=shared)
+        b.fall("then", 4)
+        b.uncond("endthen", 1, target="join")
+        b.fall("else", 4)
+        b.fall("join", 2)
+        b.ret("exit", 1)
+        program = Program([p1, b.build()], entry="one")
+        report = analyze_program(program)
+        assert {s.reason for s in report.sites} == {REASON_SHARED_BEHAVIOR}
+        assert not report.approved()
+
+    def test_behavior_root_unwraps_inversion(self):
+        from repro.sim.behaviors import Inverted
+
+        inner = Loop(5)
+        assert behavior_root(Inverted(inner)) is inner
+        assert behavior_root(inner) is inner
+
+
+class TestProgramReport:
+    def test_eqntott_finds_the_cmppt_diamonds(self):
+        program = generate_benchmark("eqntott", 0.25)
+        report = analyze_program(program)
+        approved = {(s.procedure, s.verdict) for s in report.approved()}
+        assert approved == {("cmppt", MELDABLE)}
+        assert len(report.approved()) == 2
+        assert report.verdict_counts()[BLOCKED] == len(report.blocked())
+
+    def test_report_round_trips_to_dict(self):
+        report = analyze_program(Program([symmetric_diamond()]))
+        payload = report.to_dict()
+        assert payload["verdicts"][MELDABLE] == 1
+        assert payload["sites"][0]["taken_chain"]["kind"] == CHAIN_RETURN

@@ -1,0 +1,156 @@
+"""RL018–RL021: the meld-audit verifier passes."""
+
+from dataclasses import replace
+
+from repro.cfg import Program
+from repro.staticcheck import MeldContext, pass_count, pass_ids, run_lint
+from repro.staticcheck.binary import check_proof, prove_cfgs, recover
+from repro.staticcheck.binary import BinaryImage
+from repro.staticcheck.binary.equiv import EquivalenceError
+from repro.isa import link_identity
+from repro.transforms import force_meld, meld_program
+from repro.workloads import generate_benchmark
+from tests.conftest import diamond_procedure
+from tests.staticcheck.test_legality import symmetric_diamond
+
+import pytest
+
+MELD_CODES = {"RL018", "RL019", "RL020", "RL021"}
+
+
+def lint_meld(original, melded, records):
+    ctx = MeldContext(original=original, melded=melded, records=tuple(records))
+    return run_lint(melded, subject="meld-audit", meld=ctx)
+
+
+class TestRegistry:
+    def test_pass_count_matches_registry(self):
+        assert pass_count() == len(pass_ids()) == 18
+
+    def test_meld_passes_registered(self):
+        assert {"meld-legality", "meld-liveness", "meld-effects",
+                "meld-region"} <= set(pass_ids())
+
+    def test_meld_passes_skip_without_context(self):
+        program = Program([symmetric_diamond()])
+        report = run_lint(program, subject="no-meld")
+        assert not any(o.pass_id.startswith("meld-") for o in report.outcomes)
+
+
+class TestLegalMeld:
+    def test_approved_meld_lints_clean(self):
+        program = generate_benchmark("eqntott", 0.25)
+        melded, report = meld_program(program)
+        assert report.applied
+        lint = lint_meld(program, melded, report.applied)
+        assert lint.ok
+        assert {o.pass_id for o in lint.outcomes} >= {
+            "meld-legality", "meld-liveness", "meld-effects", "meld-region"
+        }
+
+
+class TestIllegalMeld:
+    def probe(self, program):
+        from repro.staticcheck import analyze_program
+
+        blocked = analyze_program(program).blocked()
+        site = next(s for s in blocked if s.reason == "chains-diverge")
+        forced, record = force_meld(program, site.procedure, site.site)
+        return forced, record
+
+    def test_forced_meld_flags_rl018(self):
+        program = Program([diamond_procedure("main")])
+        forced, record = self.probe(program)
+        lint = lint_meld(program, forced, [record])
+        assert not lint.ok
+        assert "RL018" in lint.codes()
+
+    def test_forced_meld_flags_region_or_effects(self):
+        program = generate_benchmark("eqntott", 0.25)
+        forced, record = self.probe(program)
+        lint = lint_meld(program, forced, [record])
+        codes = set(lint.codes())
+        assert "RL018" in codes
+        assert codes & {"RL019", "RL020", "RL021"}
+
+    def test_phantom_removed_block_flags_rl019(self):
+        # A transcript claiming to have removed a block that still exists
+        # (and still decides control flow) is lying about liveness.
+        program = generate_benchmark("eqntott", 0.25)
+        melded, report = meld_program(program)
+        (first, *rest) = report.applied
+        proc = program.procedures[first.procedure]
+        from repro.cfg import TerminatorKind
+
+        surviving_cond = next(
+            b.bid for b in proc
+            if b.bid != first.site and b.bid not in first.removed
+            and b.kind is TerminatorKind.COND
+        )
+        tampered = replace(
+            first, removed=tuple(first.removed) + (surviving_cond,)
+        )
+        lint = lint_meld(program, melded, [tampered] + rest)
+        assert "RL019" in lint.codes()
+
+    def test_call_bearing_arm_erasure_flags_rl020(self):
+        from repro.cfg import CallSite, ProcedureBuilder
+        from repro.sim.behaviors import Bernoulli
+
+        b = ProcedureBuilder("main")
+        b.fall("entry", 2)
+        b.cond("test", 3, taken="else", behavior=Bernoulli(1.0))
+        b.fall("then", 4)
+        b.uncond("endthen", 1, target="join")
+        b.fall("else", 4, calls=[CallSite(1, "leaf")])
+        b.fall("join", 2)
+        b.ret("exit", 1)
+        leaf = ProcedureBuilder("leaf")
+        leaf.ret("body", 2)
+        program = Program([b.build(), leaf.build()], entry="main")
+        forced, record = self.probe(program)
+        lint = lint_meld(program, forced, [record])
+        assert "RL020" in lint.codes()
+
+
+class TestElisionChecker:
+    def cfgs(self, original, melded):
+        return (
+            recover(BinaryImage.from_linked(link_identity(original))),
+            recover(BinaryImage.from_linked(link_identity(melded))),
+        )
+
+    def test_elision_sets_are_recorded_and_checked(self):
+        program = Program([symmetric_diamond()])
+        melded, _report = meld_program(program)
+        original_cfg, melded_cfg = self.cfgs(program, melded)
+        proof = prove_cfgs(original_cfg, melded_cfg, elide_trivial=True)
+        assert proof.bisimilar
+        payload = proof.to_dict()
+        assert payload["procedures"][0]["elided_original"]
+        check_proof(payload, original_cfg, melded_cfg)  # must not raise
+
+    def test_tampered_elision_set_is_rejected(self):
+        program = Program([diamond_procedure("main")])
+        original_cfg, identity_cfg = self.cfgs(program, program)
+        proof = prove_cfgs(original_cfg, identity_cfg, elide_trivial=True)
+        assert proof.bisimilar
+        payload = proof.to_dict()
+        # Claim the asymmetric diamond's conditional is trivial glue.
+        row = payload["procedures"][0]
+        site = next(
+            block.start for block in original_cfg.procedure("main").blocks
+            if block.fall_target is not None and block.taken_target is not None
+        )
+        row["elided_original"] = [site]
+        row["elided_aligned"] = [site]
+        with pytest.raises(EquivalenceError, match="not a trivial"):
+            check_proof(payload, original_cfg, identity_cfg)
+
+    def test_alignment_proofs_keep_elision_off(self):
+        # Claim-15 alignment proofs must not silently absorb conditionals.
+        program = Program([symmetric_diamond()])
+        melded, _report = meld_program(program)
+        original_cfg, melded_cfg = self.cfgs(program, melded)
+        proof = prove_cfgs(original_cfg, melded_cfg)
+        assert not proof.bisimilar
