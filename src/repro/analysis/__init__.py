@@ -51,6 +51,13 @@ from .reporting import (
 from .stability import StabilityCell, cross_input_generalisation, seed_stability
 from .sweeps import SweepPoint, issue_width_sweep, mispredict_penalty_sweep
 from .table2 import Table2Row, category_break_density, compute_table2, measure_program
+from .tournament import (
+    METRICS,
+    Tournament,
+    render_tournament,
+    run_tournament,
+    win_matrix,
+)
 
 __all__ = [
     "ALIGNER_KEYS",
@@ -72,6 +79,7 @@ __all__ = [
     "format_table",
     "make_arch_sims",
     "MELD_BENCHMARKS",
+    "METRICS",
     "MeldStudy",
     "STUDY_ARCHS",
     "VariantCell",
@@ -96,6 +104,10 @@ __all__ = [
     "records_to_csv",
     "run_suite_experiment",
     "StabilityCell",
+    "Tournament",
+    "render_tournament",
+    "run_tournament",
+    "win_matrix",
     "table2_records",
     "write_csv",
     "SweepPoint",

@@ -93,11 +93,78 @@ def bench_pipeline(
     }
 
 
+def bench_tournament(
+    benchmarks: Sequence[str] = BENCH_BENCHMARKS,
+    scale: float = 0.25,
+    seed: int = 0,
+    window: int = 15,
+    repeats: int = 3,
+    trace_cache: Optional[str] = None,
+) -> Dict[str, object]:
+    """Time the full-registry tournament: shared trace vs re-execution.
+
+    The PR 4 measurement covered 3 hard-coded algorithms; the registry
+    makes the line-up N-wide, and this measures what that costs.  Under
+    ``execute`` every variant layout re-runs the workload (the more
+    algorithms, the more executions); under ``replay`` all of them share
+    the benchmark's one captured decision trace, so adding an algorithm
+    costs only its replays.  Results are compared for equality before
+    timing, same as :func:`bench_pipeline`.
+    """
+    from ..core.registry import aligner_names
+    from ..runner import RunnerConfig
+    from .tournament import run_tournament
+
+    names = list(benchmarks)
+    algorithms = list(aligner_names())
+
+    def run(engine: str, cache: Optional[str]) -> List[object]:
+        config = RunnerConfig(fail_fast=True, engine=engine, trace_cache=cache)
+        return run_tournament(
+            benchmarks=names, scale=scale, seed=seed, window=window,
+            algorithms=algorithms, runner=config,
+        ).experiments
+
+    with tempfile.TemporaryDirectory() as fallback_cache:
+        cache = trace_cache if trace_cache is not None else fallback_cache
+
+        legacy = run("execute", None)
+        replayed = run("replay", cache)  # also warms the trace cache
+        results_identical = legacy == replayed
+
+        execute_s = _time_best(lambda: run("execute", None), repeats)
+        replay_cold_s = _time_best(lambda: run("replay", None), repeats)
+        replay_warm_s = _time_best(lambda: run("replay", cache), repeats)
+
+    speedup_warm = execute_s / replay_warm_s if replay_warm_s > 0 else float("inf")
+    speedup_cold = execute_s / replay_cold_s if replay_cold_s > 0 else float("inf")
+    return {
+        "benchmark": "run_tournament",
+        "benchmarks": names,
+        "algorithms": algorithms,
+        "scale": scale,
+        "seed": seed,
+        "window": window,
+        "repeats": repeats,
+        "results_identical": results_identical,
+        "execute_seconds": round(execute_s, 4),
+        "replay_cold_seconds": round(replay_cold_s, 4),
+        "replay_warm_seconds": round(replay_warm_s, 4),
+        "speedup_cold": round(speedup_cold, 2),
+        "speedup_warm": round(speedup_warm, 2),
+        "replay_not_slower": speedup_warm >= 1.0 and results_identical,
+    }
+
+
 def render_bench(report: Dict[str, object]) -> str:
     """Human-readable summary of one bench report."""
     lines = [
         f"suite: {', '.join(report['benchmarks'])} @ scale "
         f"{report['scale']:g} (best of {report['repeats']})",
+    ]
+    if "algorithms" in report:
+        lines.append(f"tournament: {', '.join(report['algorithms'])}")
+    lines += [
         f"{'engine':<16}{'seconds':>10}{'speedup':>10}",
         f"{'execute':<16}{report['execute_seconds']:>10.3f}{'1.00x':>10}",
         f"{'replay (cold)':<16}{report['replay_cold_seconds']:>10.3f}"

@@ -4,24 +4,34 @@ For one benchmark this runs the paper's full methodology:
 
 1. trace the original binary once to collect an edge profile (ATOM pass);
 2. simulate the original layout against all seven architectures;
-3. align with Pettis–Hansen Greedy — highest-executed-first chain order
-   for every architecture except BT/FNT, which uses the Pettis–Hansen
-   precedence order (section 6.1);
-4. align with Try15 *per architecture cost model* (FALLTHROUGH, BT/FNT,
-   LIKELY, PHT, BTB) — "the cost model algorithm is different for each
-   architecture" — and simulate each aligned binary on its architectures;
+3. iterate the aligner registry (:mod:`repro.core.registry`): every
+   registered algorithm plans its concrete variants for the requested
+   architectures — Greedy fields a highest-executed-first variant plus
+   the Pettis–Hansen precedence-order variant for BT/FNT (section 6.1),
+   Try15 fields one windowed search per architecture cost model ("the
+   cost model algorithm is different for each architecture"), and the
+   modern arena entries (ext-TSP, disptree) field one
+   architecture-blind layout each;
+4. align, link and simulate every variant on the architectures it
+   serves, replaying one shared decision trace; architectures an
+   algorithm cannot serve are recorded as structured skips rather than
+   silently omitted;
 5. report relative CPI = (aligned instructions + BEP) / original
    instructions, plus the fall-through percentage of executed
    conditionals.
+
+The driver has no per-algorithm code: registering a new
+:class:`~repro.core.registry.AlignerSpec` is enough to enter it in
+every experiment and tournament.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..cfg import Program
-from ..core import GreedyAligner, OriginalAligner, TryNAligner, make_model
+from ..core.registry import ALIGNER_KEYS, TRY_MODEL_ARCHS, plan_algorithms
 from ..isa.encoder import LinkedProgram, link, link_identity
 from ..profiling import EdgeProfile, profile_program
 from ..sim.decisions import DecisionTrace, load_or_capture
@@ -36,16 +46,16 @@ from ..sim.predictors import (
 )
 from ..workloads import SUITE, generate_benchmark
 
-#: Which simulated architectures each Try15 cost model serves.
-TRY_MODEL_ARCHS: Dict[str, Tuple[str, ...]] = {
-    "fallthrough": ("fallthrough",),
-    "btfnt": ("btfnt",),
-    "likely": ("likely",),
-    "pht": ("pht-direct", "pht-correlation"),
-    "btb": ("btb-64x2", "btb-256x4"),
-}
-
-ALIGNER_KEYS = ("orig", "greedy", "try15")
+__all__ = [
+    "ALIGNER_KEYS",
+    "TRY_MODEL_ARCHS",
+    "ArchOutcome",
+    "BenchmarkExperiment",
+    "category_average",
+    "make_arch_sims",
+    "run_benchmark_experiment",
+    "run_suite_experiment",
+]
 
 
 def make_arch_sims(
@@ -93,9 +103,11 @@ class BenchmarkExperiment:
     original_instructions: int
     #: outcomes[aligner_key][arch_name]
     outcomes: Dict[str, Dict[str, ArchOutcome]] = field(default_factory=dict)
+    #: skips[aligner_key][arch_name] -> structured reason the registry
+    #: gave for not fielding that algorithm on that architecture.
+    skips: Dict[str, Dict[str, str]] = field(default_factory=dict)
 
     def cell(self, aligner: str, arch: str) -> ArchOutcome:
-        """The outcome for one (aligner, architecture) table cell."""
         """The outcome for one (aligner, architecture) table cell."""
         return self.outcomes[aligner][arch]
 
@@ -132,6 +144,7 @@ def run_benchmark_experiment(
     trace: Optional[DecisionTrace] = None,
     trace_store: Optional[object] = None,
     replay_check: Optional[bool] = None,
+    algorithms: Optional[Sequence[str]] = None,
 ) -> BenchmarkExperiment:
     """Run the full Tables 3/4 methodology for one benchmark.
 
@@ -144,9 +157,14 @@ def run_benchmark_experiment(
     profile flow conservation on entry, layout-permutation and
     address-coverage checks after each align+link.
 
+    ``algorithms`` selects which registered aligners compete (default:
+    every algorithm in the registry).  Each algorithm's registry spec
+    plans its variants for ``archs``; architectures it cannot serve land
+    in :attr:`BenchmarkExperiment.skips` with the registry's reason.
+
     With the default ``engine="replay"`` the workload's decisions are
     captured **once** (or loaded from ``trace_store``/``trace``) and
-    replayed through every layout — 8 aligned binaries cost one
+    replayed through every layout — N aligned binaries cost one
     execution.  The edge profile then comes straight from the trace (bit
     for bit what a profiling run records).  ``engine="execute"`` keeps
     the legacy one-execution-per-layout path for one release;
@@ -187,7 +205,8 @@ def run_benchmark_experiment(
 
     experiment = BenchmarkExperiment(name=name, category=category, original_instructions=0)
 
-    # --- original layout -------------------------------------------------
+    # The original layout is simulated unconditionally: it is both the
+    # identity algorithm's result and the relative-CPI denominator.
     orig_linked = link_identity(program)
     orig_report = simulate(
         orig_linked,
@@ -200,63 +219,28 @@ def run_benchmark_experiment(
     )
     base = orig_report.instructions
     experiment.original_instructions = base
-    experiment.outcomes["orig"] = _report_outcomes(orig_report, archs, base)
 
-    # --- Pettis-Hansen greedy --------------------------------------------
-    greedy_archs = tuple(a for a in archs if a != "btfnt")
-    experiment.outcomes["greedy"] = {}
-    if greedy_archs:
-        layout = GreedyAligner(chain_order="weight").align(program, profile)
-        linked = checked_link(layout)
-        report = simulate(
-            linked,
-            profile,
-            archs=make_arch_sims(greedy_archs, linked, profile),
-            seed=seed,
-            trace=trace,
-            engine=engine,
-            replay_check=replay_check,
-        )
-        experiment.outcomes["greedy"].update(
-            _report_outcomes(report, greedy_archs, base)
-        )
-    if "btfnt" in archs:
-        layout = GreedyAligner(chain_order="btfnt").align(program, profile)
-        linked = checked_link(layout)
-        report = simulate(
-            linked,
-            profile,
-            archs=make_arch_sims(("btfnt",), linked, profile),
-            seed=seed,
-            trace=trace,
-            engine=engine,
-            replay_check=replay_check,
-        )
-        experiment.outcomes["greedy"].update(
-            _report_outcomes(report, ("btfnt",), base)
-        )
-
-    # --- Try15, one alignment per architecture cost model -----------------
-    experiment.outcomes["try15"] = {}
-    for model_name, served in TRY_MODEL_ARCHS.items():
-        wanted = tuple(a for a in served if a in archs)
-        if not wanted:
+    for plan in plan_algorithms(algorithms, archs, window=window, min_weight=min_weight):
+        bucket = experiment.outcomes.setdefault(plan.spec.name, {})
+        if plan.skips:
+            experiment.skips[plan.spec.name] = dict(plan.skips)
+        if plan.spec.identity:
+            served = tuple(a for v in plan.variants for a in v.archs)
+            bucket.update(_report_outcomes(orig_report, served, base))
             continue
-        aligner = TryNAligner.for_architecture(
-            model_name, window=window, min_weight=min_weight
-        )
-        layout = aligner.align(program, profile)
-        linked = checked_link(layout)
-        report = simulate(
-            linked,
-            profile,
-            archs=make_arch_sims(wanted, linked, profile),
-            seed=seed,
-            trace=trace,
-            engine=engine,
-            replay_check=replay_check,
-        )
-        experiment.outcomes["try15"].update(_report_outcomes(report, wanted, base))
+        for variant in plan.variants:
+            layout = variant.aligner.align(program, profile)
+            linked = checked_link(layout)
+            report = simulate(
+                linked,
+                profile,
+                archs=make_arch_sims(variant.archs, linked, profile),
+                seed=seed,
+                trace=trace,
+                engine=engine,
+                replay_check=replay_check,
+            )
+            bucket.update(_report_outcomes(report, variant.archs, base))
 
     return experiment
 
@@ -268,6 +252,7 @@ def run_suite_experiment(
     window: int = 15,
     archs: Sequence[str] = ALL_ARCHS,
     runner: Optional[object] = None,
+    algorithms: Optional[Sequence[str]] = None,
 ) -> List[BenchmarkExperiment]:
     """Run the experiment across several benchmarks (default: all 24).
 
@@ -282,6 +267,8 @@ def run_suite_experiment(
     to route the suite through the fault-tolerant fabric (durable lease
     queue, supervised workers, poison quarantine); use
     :func:`repro.fabric.run_fabric` directly for the full provenance.
+    ``algorithms`` restricts the competing aligners (default: the whole
+    registry) and is threaded through both execution paths.
     """
     from ..fabric import FabricConfig, run_fabric
     from ..runner import RunnerConfig, run_suite_resilient
@@ -294,6 +281,7 @@ def run_suite_experiment(
             UnitTask(
                 kind="experiment", benchmark=name, scale=scale, seed=seed,
                 window=window, archs=tuple(archs),
+                algorithms=tuple(algorithms) if algorithms is not None else None,
             )
             for name in (list(names) if names is not None else list(SUITE))
         ]
@@ -301,7 +289,8 @@ def run_suite_experiment(
 
     config = runner if runner is not None else RunnerConfig(fail_fast=True)
     result = run_suite_resilient(
-        names, scale=scale, seed=seed, window=window, archs=archs, config=config
+        names, scale=scale, seed=seed, window=window, archs=archs, config=config,
+        algorithms=algorithms,
     )
     return result.results
 

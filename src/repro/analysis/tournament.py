@@ -1,0 +1,304 @@
+"""The alignment arena: every registered algorithm, head to head.
+
+A tournament runs the Tables 3/4 methodology once per benchmark — one
+shared decision trace replayed through every registered algorithm's
+layout on every architecture — then scores the algorithms pairwise on
+two axes:
+
+* **branch-cost** — lower relative CPI wins (the paper's Table 3/4
+  metric);
+* **fallthrough** — higher fall-through percentage of executed
+  conditionals wins (the ext-TSP paper's headline metric, claim 19).
+
+The scoring is a per-architecture win matrix: ``matrix[(a, b)]`` counts
+the benchmarks where algorithm ``a`` strictly beats ``b``; ties score
+for neither side.  Architectures an algorithm cannot serve (registry
+compatibility flags) are excluded pairwise, and the skip reasons are
+carried into the report rather than silently dropped.
+
+``run_tournament`` accepts any runner the suite experiment does; pass a
+:class:`repro.fabric.FabricConfig` (the CLI's ``--arena``) to shard the
+tournament across the fabric as one unit per benchmark x algorithm,
+merged back into per-benchmark experiments here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.registry import aligner_names, get_spec
+from ..sim.metrics import ALL_ARCHS
+from .claims import DEFAULT_BENCHMARKS
+from .experiment import BenchmarkExperiment, run_suite_experiment
+
+__all__ = [
+    "METRICS",
+    "Tournament",
+    "render_tournament",
+    "run_tournament",
+    "win_matrix",
+]
+
+#: The two scoring axes, in report order.
+METRICS = ("branch-cost", "fallthrough")
+
+
+def _score(experiment: BenchmarkExperiment, algorithm: str, arch: str,
+           metric: str) -> Optional[float]:
+    """One algorithm's score for one benchmark cell; None when unserved.
+
+    Scores are oriented so that **higher is better** on both axes.
+    """
+    outcome = experiment.outcomes.get(algorithm, {}).get(arch)
+    if outcome is None:
+        return None
+    if metric == "branch-cost":
+        return -outcome.relative_cpi
+    if metric == "fallthrough":
+        return outcome.percent_fallthrough
+    raise ValueError(f"unknown tournament metric {metric!r}")
+
+
+def win_matrix(
+    experiments: Sequence[BenchmarkExperiment],
+    algorithms: Sequence[str],
+    arch: str,
+    metric: str,
+) -> Dict[Tuple[str, str], int]:
+    """Pairwise wins on one architecture: ``matrix[(a, b)]`` = benchmarks
+    where ``a`` strictly beats ``b`` on ``metric``.  Benchmarks where
+    either side has no outcome on ``arch`` are excluded from that pair.
+    """
+    matrix = {
+        (a, b): 0 for a in algorithms for b in algorithms if a != b
+    }
+    for experiment in experiments:
+        for a in algorithms:
+            for b in algorithms:
+                if a == b:
+                    continue
+                sa = _score(experiment, a, arch, metric)
+                sb = _score(experiment, b, arch, metric)
+                if sa is None or sb is None:
+                    continue
+                if sa > sb:
+                    matrix[(a, b)] += 1
+    return matrix
+
+
+@dataclass
+class Tournament:
+    """One full arena run: experiments plus derived win matrices."""
+
+    benchmarks: Tuple[str, ...]
+    archs: Tuple[str, ...]
+    algorithms: Tuple[str, ...]
+    scale: float
+    seed: int
+    window: int
+    experiments: List[BenchmarkExperiment] = field(default_factory=list)
+
+    def matrix(self, arch: str, metric: str) -> Dict[Tuple[str, str], int]:
+        """The pairwise win matrix for one architecture and metric."""
+        return win_matrix(self.experiments, self.algorithms, arch, metric)
+
+    def standings(self, metric: str) -> List[Tuple[str, int]]:
+        """Total wins per algorithm over every architecture and opponent,
+        best first (ties broken by registry order)."""
+        totals = {a: 0 for a in self.algorithms}
+        for arch in self.archs:
+            for (a, _b), wins in self.matrix(arch, metric).items():
+                totals[a] += wins
+        order = {a: i for i, a in enumerate(self.algorithms)}
+        return sorted(totals.items(), key=lambda kv: (-kv[1], order[kv[0]]))
+
+    def skips(self) -> Dict[str, Dict[str, str]]:
+        """Union of the per-benchmark registry skips (identical per
+        benchmark — the registry, not the workload, decides them)."""
+        merged: Dict[str, Dict[str, str]] = {}
+        for experiment in self.experiments:
+            for algorithm, reasons in experiment.skips.items():
+                merged.setdefault(algorithm, {}).update(reasons)
+        return merged
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: matrices, standings, skips and raw cells."""
+        return {
+            "benchmarks": list(self.benchmarks),
+            "archs": list(self.archs),
+            "algorithms": list(self.algorithms),
+            "scale": self.scale,
+            "seed": self.seed,
+            "window": self.window,
+            "skips": self.skips(),
+            "matrices": {
+                metric: {
+                    arch: {
+                        f"{a}>{b}": wins
+                        for (a, b), wins in self.matrix(arch, metric).items()
+                    }
+                    for arch in self.archs
+                }
+                for metric in METRICS
+            },
+            "standings": {
+                metric: [[name, wins] for name, wins in self.standings(metric)]
+                for metric in METRICS
+            },
+            "cells": {
+                e.name: {
+                    algorithm: {
+                        arch: {
+                            "relative_cpi": outcome.relative_cpi,
+                            "percent_fallthrough": outcome.percent_fallthrough,
+                        }
+                        for arch, outcome in by_arch.items()
+                    }
+                    for algorithm, by_arch in e.outcomes.items()
+                }
+                for e in self.experiments
+            },
+        }
+
+
+def _merge_arena(
+    per_unit: Sequence[BenchmarkExperiment], benchmarks: Sequence[str]
+) -> List[BenchmarkExperiment]:
+    """Fold per-(benchmark x algorithm) fabric units back into one
+    experiment per benchmark.  Every unit carries the same original
+    baseline (same trace, same seed), so overlapping ``orig`` rows are
+    identical and merging is idempotent."""
+    by_name: Dict[str, BenchmarkExperiment] = {}
+    for unit in per_unit:
+        merged = by_name.get(unit.name)
+        if merged is None:
+            by_name[unit.name] = unit
+            continue
+        for algorithm, by_arch in unit.outcomes.items():
+            merged.outcomes.setdefault(algorithm, {}).update(by_arch)
+        for algorithm, reasons in unit.skips.items():
+            merged.skips.setdefault(algorithm, {}).update(reasons)
+    return [by_name[name] for name in benchmarks if name in by_name]
+
+
+def run_tournament(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.25,
+    seed: int = 0,
+    window: int = 15,
+    archs: Sequence[str] = ALL_ARCHS,
+    algorithms: Optional[Sequence[str]] = None,
+    runner: Optional[object] = None,
+    arena: bool = False,
+) -> Tournament:
+    """Run the arena: every algorithm x architecture x benchmark.
+
+    ``algorithms`` defaults to the whole registry (names are validated
+    against it).  ``arena=True`` requires a
+    :class:`repro.fabric.FabricConfig` ``runner`` and shards the run as
+    one fabric unit per benchmark x algorithm instead of one per
+    benchmark — wider fan-out for big tournaments.
+    """
+    names = tuple(benchmarks if benchmarks is not None else DEFAULT_BENCHMARKS)
+    selected = tuple(algorithms if algorithms is not None else aligner_names())
+    for name in selected:
+        get_spec(name)  # validates; raises with the known-name list
+    if arena:
+        from ..fabric import FabricConfig, run_fabric
+        from ..runner.runner import UnitTask
+
+        if not isinstance(runner, FabricConfig):
+            raise ValueError("arena sharding needs a FabricConfig runner")
+        tasks = [
+            UnitTask(
+                kind="experiment", benchmark=name, scale=scale, seed=seed,
+                window=window, archs=tuple(archs),
+                algorithms=("orig", algorithm)
+                if algorithm != "orig" else ("orig",),
+            )
+            for name in names
+            for algorithm in selected
+        ]
+        experiments = _merge_arena(list(run_fabric(tasks, runner).results), names)
+    else:
+        experiments = run_suite_experiment(
+            list(names), scale=scale, seed=seed, window=window, archs=archs,
+            runner=runner, algorithms=selected,
+        )
+    return Tournament(
+        benchmarks=names,
+        archs=tuple(archs),
+        algorithms=selected,
+        scale=scale,
+        seed=seed,
+        window=window,
+        experiments=experiments,
+    )
+
+
+def _md_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def render_tournament(tournament: Tournament) -> str:
+    """Render the arena report (``results/tournament.md``) as markdown."""
+    t = tournament
+    lines = [
+        "# Alignment tournament",
+        "",
+        f"{len(t.algorithms)} algorithms x {len(t.benchmarks)} benchmarks x "
+        f"{len(t.archs)} architectures, one shared decision trace per "
+        f"benchmark (scale {t.scale:g}, seed {t.seed}, window {t.window}).",
+        "",
+        "Cells count benchmarks where the row algorithm strictly beats the "
+        "column algorithm; ties score for neither.",
+        "",
+        "## Contestants",
+        "",
+    ]
+    lines.extend(_md_table(
+        ["name", "year", "provenance"],
+        [
+            [name, str(get_spec(name).year), get_spec(name).provenance]
+            for name in t.algorithms
+        ],
+    ))
+    for metric in METRICS:
+        better = ("lower relative CPI wins" if metric == "branch-cost"
+                  else "higher fall-through % wins")
+        lines += ["", f"## {metric} ({better})", ""]
+        standings = t.standings(metric)
+        lines.extend(_md_table(
+            ["rank", "algorithm", "total wins"],
+            [[str(i + 1), name, str(wins)]
+             for i, (name, wins) in enumerate(standings)],
+        ))
+        for arch in t.archs:
+            matrix = t.matrix(arch, metric)
+            lines += ["", f"### {arch}", ""]
+            header = [f"{metric} wins"] + [b for b in t.algorithms]
+            rows = []
+            for a in t.algorithms:
+                row = [a]
+                for b in t.algorithms:
+                    row.append("-" if a == b else str(matrix[(a, b)]))
+                rows.append(row)
+            lines.extend(_md_table(header, rows))
+    skips = t.skips()
+    if skips:
+        lines += ["", "## Skips", ""]
+        lines.extend(_md_table(
+            ["algorithm", "architecture", "reason"],
+            [
+                [algorithm, arch, reason]
+                for algorithm in sorted(skips)
+                for arch, reason in sorted(skips[algorithm].items())
+            ],
+        ))
+    lines.append("")
+    return "\n".join(lines)

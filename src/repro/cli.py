@@ -4,8 +4,14 @@ Gives the library's main workflows a shell entry point:
 
 * ``list`` — the 24-benchmark suite and its categories;
 * ``profile`` — trace a benchmark, write an edge profile (JSON);
-* ``align`` — align a benchmark and report per-architecture relative CPI
-  (optionally reusing a saved profile, the paper's two-pass workflow);
+* ``align`` — align a benchmark with any registered algorithm and report
+  per-architecture relative CPI (optionally reusing a saved profile, the
+  paper's two-pass workflow);
+* ``tournament`` — the alignment arena: every registered algorithm
+  (``repro.core.registry``) against every architecture and benchmark off
+  one shared decision trace, scored as pairwise win matrices over branch
+  cost and fall-through rate (``--arena`` shards benchmark x algorithm
+  units across the fabric);
 * ``table2`` / ``table3`` / ``table4`` / ``figure4`` — regenerate the
   paper's evaluation artifacts (through the resilient runner: per-
   benchmark isolation, timeouts, retries, checkpoint/resume);
@@ -235,13 +241,39 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _make_aligner(algorithm: str, arch: str, window: int):
-    if algorithm == "greedy":
-        return GreedyAligner()
+    """Build one aligner: a registered name, or the legacy cost/tryn spellings."""
+    from .core import aligner_names, make_aligner
+
     if algorithm == "cost":
         return CostAligner(make_model(arch))
     if algorithm == "tryn":
         return TryNAligner.for_architecture(arch, window=window)
+    if algorithm in aligner_names():
+        return make_aligner(algorithm, arch=arch, window=window)
     raise UsageError(f"unknown algorithm {algorithm!r}")
+
+
+def _algorithm_choices() -> tuple:
+    """Registry names plus the legacy model-parameterised spellings."""
+    from .core import aligner_names
+
+    return tuple(aligner_names()) + ("cost", "tryn")
+
+
+def _algorithm_list(value: Optional[str]) -> Optional[List[str]]:
+    """Parse ``--algorithms a,b,c`` against the registry."""
+    from .core import aligner_names
+
+    if value is None:
+        return None
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    unknown = [name for name in names if name not in aligner_names()]
+    if unknown:
+        raise UsageError(
+            f"unknown algorithms: {', '.join(unknown)}; registered: "
+            + ", ".join(aligner_names())
+        )
+    return names
 
 
 def cmd_align(args: argparse.Namespace) -> int:
@@ -1007,10 +1039,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"tier; add --listen [HOST:]PORT"
             )
 
+    algorithms = _algorithm_list(args.algorithms)
     tasks = [
         UnitTask(
             kind="experiment", benchmark=name, scale=args.scale, seed=seed,
             window=args.window, archs=archs,
+            algorithms=tuple(algorithms) if algorithms is not None else None,
         )
         for seed in seeds
         for name in names
@@ -1179,11 +1213,58 @@ def _doctor_fabric(args: argparse.Namespace) -> int:
     return EXIT_OK if not problems else EXIT_RUNTIME
 
 
+def cmd_tournament(args: argparse.Namespace) -> int:
+    """Run the alignment arena: every registered algorithm head to head."""
+    import json as _json
+
+    from .analysis import render_tournament, run_tournament
+
+    names = _benchmark_list(args.benchmarks)
+    algorithms = _algorithm_list(args.algorithms)
+    if args.archs:
+        archs = tuple(a.strip() for a in args.archs.split(",") if a.strip())
+        unknown = [a for a in archs if a not in ALL_ARCHS]
+        if unknown:
+            raise UsageError(f"unknown architectures: {', '.join(unknown)}")
+    else:
+        archs = ALL_ARCHS
+    runner = None
+    if args.arena:
+        from .fabric import FabricConfig
+
+        if args.workers < 1:
+            raise UsageError("--workers must be >= 1")
+        runner = FabricConfig(
+            workers=args.workers,
+            retry=RetryPolicy(max_attempts=args.retries),
+            queue_dir=args.queue,
+            seed=args.seed,
+        )
+    try:
+        tournament = run_tournament(
+            benchmarks=names, scale=args.scale, seed=args.seed,
+            window=args.window, archs=archs, algorithms=algorithms,
+            runner=runner, arena=args.arena,
+        )
+    except ValueError as exc:
+        raise UsageError(str(exc))
+    if args.json:
+        _write(_json.dumps(tournament.to_dict(), indent=2), args.output)
+    else:
+        _write(render_tournament(tournament), args.output)
+    return EXIT_OK
+
+
 def cmd_quality(args: argparse.Namespace) -> int:
+    from .core import aligner_names, get_spec
+
     program = _workload(args)
     profile = profile_program(program, seed=args.seed)
     qualities = {"orig": layout_quality(link_identity(program), profile)}
-    for algorithm in ("greedy", "cost", "tryn"):
+    competitors = [
+        name for name in aligner_names() if not get_spec(name).identity
+    ] + ["cost"]
+    for algorithm in competitors:
         aligner = _make_aligner(algorithm, args.arch, args.window)
         linked = link(aligner.align(program, profile))
         qualities[algorithm] = layout_quality(linked, profile)
@@ -1217,11 +1298,16 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """Time the replay engine against the legacy engine (BENCH_PR4.json)."""
+    """Time the replay engine against the legacy engine (BENCH_PR4.json).
+
+    ``--tournament`` times the full-registry tournament instead — shared
+    trace vs per-algorithm re-execution — and writes ``BENCH_PR9.json``.
+    """
     from .analysis.bench import (
         BENCH_BENCHMARKS,
         QUICK_BENCHMARKS,
         bench_pipeline,
+        bench_tournament,
         render_bench,
         write_bench_json,
     )
@@ -1232,7 +1318,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
     if repeats < 1:
         raise UsageError("--repeats must be >= 1")
-    report = bench_pipeline(
+    measure = bench_tournament if args.tournament else bench_pipeline
+    report = measure(
         benchmarks=names,
         scale=args.scale,
         seed=args.seed,
@@ -1240,7 +1327,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=repeats,
         trace_cache=args.trace_cache,
     )
-    path = write_bench_json(report, args.json_output)
+    json_output = args.json_output
+    if json_output is None:
+        json_output = "BENCH_PR9.json" if args.tournament else "BENCH_PR4.json"
+    path = write_bench_json(report, json_output)
     print(render_bench(report))
     print(f"wrote {path}")
     return EXIT_OK if report["replay_not_slower"] else EXIT_RUNTIME
@@ -1288,7 +1378,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("align", help="align a benchmark and compare CPI")
     p.add_argument("benchmark")
-    p.add_argument("--algorithm", choices=("greedy", "cost", "tryn"), default="tryn")
+    p.add_argument("--algorithm", choices=_algorithm_choices(), default="tryn",
+                   help="a registered aligner (see `repro tournament`) or "
+                        "the legacy model-parameterised cost/tryn spellings")
     p.add_argument("--arch", choices=("fallthrough", "btfnt", "likely", "pht", "btb"),
                    default="btb", help="cost-model architecture")
     p.add_argument("--profile", help="reuse a saved profile instead of tracing")
@@ -1391,6 +1483,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "sweep is benchmarks x seeds units")
     p.add_argument("--archs", default=None,
                    help="comma-separated architecture subset (default: all)")
+    p.add_argument("--algorithms", default=None,
+                   help="comma-separated registered aligners each unit "
+                        "competes (default: the whole registry)")
     g = p.add_argument_group("fabric")
     g.add_argument("--workers", type=int, default=2, metavar="N",
                    help="supervised worker processes (default 2)")
@@ -1566,6 +1661,35 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, window=True)
     p.set_defaults(func=cmd_doctor)
 
+    p = sub.add_parser(
+        "tournament",
+        help="run the alignment arena: every registered algorithm x "
+             "architecture x benchmark off one shared decision trace, "
+             "scored as pairwise win matrices (branch cost + fall-through)",
+    )
+    p.add_argument("--benchmarks", help="comma-separated subset "
+                                        "(default: the verify nine)")
+    p.add_argument("--algorithms", default=None,
+                   help="comma-separated registered aligners "
+                        "(default: the whole registry)")
+    p.add_argument("--archs", default=None,
+                   help="comma-separated architecture subset (default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report (win matrices, "
+                        "standings, per-cell scores)")
+    g = p.add_argument_group("arena sharding")
+    g.add_argument("--arena", action="store_true",
+                   help="shard through the fault-tolerant fabric as one "
+                        "unit per benchmark x algorithm")
+    g.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="fabric workers with --arena (default 2)")
+    g.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="max attempts per fabric unit (default 3)")
+    g.add_argument("--queue", metavar="DIR",
+                   help="durable fabric queue directory with --arena")
+    common(p, window=True)
+    p.set_defaults(func=cmd_tournament)
+
     p = sub.add_parser("quality", help="layout-quality internals per algorithm")
     p.add_argument("benchmark")
     p.add_argument("--arch", choices=("fallthrough", "btfnt", "likely", "pht", "btb"),
@@ -1596,14 +1720,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmarks", help="comma-separated subset")
     p.add_argument("--quick", action="store_true",
                    help="one benchmark, one repeat (CI smoke mode)")
+    p.add_argument("--tournament", action="store_true",
+                   help="time the full-registry tournament (shared trace vs "
+                        "per-algorithm re-execution) instead of the 3-layout "
+                        "pipeline")
     p.add_argument("--repeats", type=int, default=None, metavar="N",
                    help="timing repeats, best-of (default 3; 1 with --quick)")
     p.add_argument("--trace-cache", metavar="DIR",
                    help="persistent trace cache (default: a temp dir "
                         "warmed in-run)")
-    p.add_argument("--json-output", default="BENCH_PR4.json", metavar="PATH",
+    p.add_argument("--json-output", default=None, metavar="PATH",
                    help="where to write the JSON report (default "
-                        "BENCH_PR4.json)")
+                        "BENCH_PR4.json; BENCH_PR9.json with --tournament)")
     common(p, window=True)
     p.set_defaults(func=cmd_bench)
 

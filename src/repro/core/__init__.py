@@ -3,7 +3,9 @@
 from .align import Aligner, OriginalAligner, align_program
 from .chains import ChainSet
 from .cost import AlignmentOption, CostAligner, block_options
+from .disptree import DispTreeAligner
 from .exhaustive import ExhaustiveAligner
+from .exttsp import ExtTSPAligner, jump_score
 from .costmodel import (
     ArchModel,
     BranchCosts,
@@ -19,11 +21,29 @@ from .costmodel import (
 from .greedy import GreedyAligner
 from .layout_order import order_chains
 from .refine import refine_senses
+from .registry import (
+    ALIGNER_KEYS,
+    AlignerPlan,
+    AlignerSpec,
+    AlignerVariant,
+    PlanRequest,
+    TRY_MODEL_ARCHS,
+    aligner_names,
+    get_spec,
+    make_aligner,
+    plan_algorithms,
+    register_aligner,
+    unregister_aligner,
+)
 from .trace_packing import TraceAligner
 from .tryn import TryNAligner
 
 __all__ = [
+    "ALIGNER_KEYS",
     "Aligner",
+    "AlignerPlan",
+    "AlignerSpec",
+    "AlignerVariant",
     "AlignmentOption",
     "ArchModel",
     "BTBModel",
@@ -32,18 +52,29 @@ __all__ = [
     "ChainSet",
     "CostAligner",
     "DEFAULT_COSTS",
+    "DispTreeAligner",
     "ExhaustiveAligner",
+    "ExtTSPAligner",
     "FallthroughModel",
     "GreedyAligner",
     "LikelyModel",
     "MODELS",
     "OriginalAligner",
     "PHTModel",
+    "PlanRequest",
+    "TRY_MODEL_ARCHS",
     "TraceAligner",
     "TryNAligner",
     "align_program",
+    "aligner_names",
     "block_options",
+    "get_spec",
+    "jump_score",
+    "make_aligner",
     "make_model",
     "order_chains",
+    "plan_algorithms",
     "refine_senses",
+    "register_aligner",
+    "unregister_aligner",
 ]

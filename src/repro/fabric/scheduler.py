@@ -85,6 +85,7 @@ def unit_fingerprint(task: UnitTask) -> str:
         "archs": list(task.archs),
         "min_weight": task.min_weight,
         "engine": task.engine,
+        "algorithms": list(task.algorithms) if task.algorithms is not None else None,
     }
     return config_fingerprint(summary)
 

@@ -217,6 +217,8 @@ class UnitTask:
     engine: str = "replay"
     replay_check: bool = False
     trace_cache: Optional[Union[str, Path]] = None
+    #: Registered aligner names to compete (None = the whole registry).
+    algorithms: Optional[Tuple[str, ...]] = None
 
 
 @contextmanager
@@ -326,6 +328,7 @@ def execute_unit(task: UnitTask) -> dict:
                 engine=task.engine,
                 trace=trace,
                 replay_check=task.replay_check,
+                algorithms=task.algorithms,
             )
             injector.fire("simulate", name, attempt)
             payload = {"unit": "experiment", "data": experiment_to_dict(experiment)}
@@ -390,6 +393,7 @@ def _oracle_layouts(task: UnitTask, program, profile) -> dict:
         include_greedy=any(arch != "btfnt" for arch in task.archs),
         include_greedy_btfnt="btfnt" in task.archs,
         min_weight=task.min_weight,
+        algorithms=task.algorithms,
     )
 
 
@@ -457,6 +461,10 @@ def experiment_to_dict(experiment: BenchmarkExperiment) -> dict:
             }
             for aligner, cells in experiment.outcomes.items()
         },
+        "skips": {
+            aligner: dict(reasons)
+            for aligner, reasons in experiment.skips.items()
+        },
     }
 
 
@@ -471,6 +479,11 @@ def experiment_from_dict(data: dict) -> BenchmarkExperiment:
                     arch: ArchOutcome(**cell) for arch, cell in cells.items()
                 }
                 for aligner, cells in data["outcomes"].items()
+            },
+            # Absent in pre-registry checkpoints; tolerate those.
+            skips={
+                aligner: dict(reasons)
+                for aligner, reasons in data.get("skips", {}).items()
             },
         )
     except (KeyError, TypeError) as exc:
@@ -716,6 +729,7 @@ def _fingerprint(tasks: Sequence[UnitTask]) -> Tuple[str, dict]:
         "archs": list(head.archs),
         "min_weight": head.min_weight,
         "meld": head.meld,
+        "algorithms": list(head.algorithms) if head.algorithms is not None else None,
     }
     return config_fingerprint(summary), summary
 
@@ -843,6 +857,7 @@ def run_suite_resilient(
     archs: Sequence[str] = ALL_ARCHS,
     min_weight: int = 2,
     config: Optional[RunnerConfig] = None,
+    algorithms: Optional[Sequence[str]] = None,
 ) -> SuiteRunResult:
     """The Tables 3/4 suite experiment under the resilient runner."""
     selected = list(names) if names is not None else list(SUITE)
@@ -855,6 +870,7 @@ def run_suite_resilient(
             window=window,
             archs=tuple(archs),
             min_weight=min_weight,
+            algorithms=tuple(algorithms) if algorithms is not None else None,
         )
         for name in selected
     ]

@@ -1,0 +1,152 @@
+"""Tournament scoring, arena merging and report rendering."""
+
+import pytest
+
+from repro.analysis.experiment import ArchOutcome, BenchmarkExperiment
+from repro.analysis.tournament import (
+    METRICS,
+    Tournament,
+    _merge_arena,
+    render_tournament,
+    run_tournament,
+    win_matrix,
+)
+
+
+def outcome(cpi, fallthrough=50.0):
+    return ArchOutcome(
+        relative_cpi=cpi, percent_fallthrough=fallthrough,
+        bep=0, instructions=1000, cond_accuracy=1.0,
+    )
+
+
+def experiment(name, cells, skips=None):
+    """cells: {algorithm: {arch: ArchOutcome}}"""
+    return BenchmarkExperiment(
+        name=name, category="int", original_instructions=1000,
+        outcomes=cells, skips=skips or {},
+    )
+
+
+@pytest.fixture
+def arena():
+    """Two benchmarks: greedy wins the first on both axes; exttsp is
+    missing entirely from the likely arch of the second benchmark."""
+    e1 = experiment("first", {
+        "greedy": {"likely": outcome(1.10, fallthrough=70.0)},
+        "exttsp": {"likely": outcome(1.20, fallthrough=60.0)},
+    })
+    e2 = experiment("second", {
+        "greedy": {"likely": outcome(1.15, fallthrough=55.0)},
+        "exttsp": {},
+    }, skips={"exttsp": {"likely": "unserved"}})
+    return [e1, e2]
+
+
+class TestWinMatrix:
+    def test_lower_cpi_wins_branch_cost(self, arena):
+        matrix = win_matrix(arena, ("greedy", "exttsp"), "likely", "branch-cost")
+        assert matrix[("greedy", "exttsp")] == 1
+        assert matrix[("exttsp", "greedy")] == 0
+
+    def test_higher_fallthrough_wins_fallthrough(self, arena):
+        matrix = win_matrix(arena, ("greedy", "exttsp"), "likely", "fallthrough")
+        assert matrix[("greedy", "exttsp")] == 1
+
+    def test_missing_cells_excluded_pairwise(self, arena):
+        # "second" has no exttsp outcome, so it counts for neither side.
+        matrix = win_matrix(arena, ("greedy", "exttsp"), "likely", "branch-cost")
+        assert matrix[("greedy", "exttsp")] + matrix[("exttsp", "greedy")] == 1
+
+    def test_ties_score_for_neither(self):
+        e = experiment("t", {
+            "greedy": {"likely": outcome(1.10)},
+            "exttsp": {"likely": outcome(1.10)},
+        })
+        matrix = win_matrix([e], ("greedy", "exttsp"), "likely", "branch-cost")
+        assert matrix == {("greedy", "exttsp"): 0, ("exttsp", "greedy"): 0}
+
+    def test_unknown_metric_rejected(self, arena):
+        with pytest.raises(ValueError, match="metric"):
+            win_matrix(arena, ("greedy", "exttsp"), "likely", "geomean")
+
+
+class TestTournament:
+    def tournament(self, arena):
+        return Tournament(
+            benchmarks=("first", "second"), archs=("likely",),
+            algorithms=("greedy", "exttsp"), scale=0.05, seed=0, window=6,
+            experiments=arena,
+        )
+
+    def test_standings_sorted_by_total_wins(self, arena):
+        t = self.tournament(arena)
+        for metric in METRICS:
+            assert t.standings(metric)[0][0] == "greedy"
+
+    def test_skips_unioned_across_benchmarks(self, arena):
+        assert self.tournament(arena).skips() == {"exttsp": {"likely": "unserved"}}
+
+    def test_to_dict_round_trips_through_json(self, arena):
+        import json
+
+        d = self.tournament(arena).to_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["standings"]["branch-cost"][0] == ["greedy", 1]
+        assert d["matrices"]["fallthrough"]["likely"]["greedy>exttsp"] == 1
+
+    def test_render_contains_all_tables(self, arena):
+        text = render_tournament(self.tournament(arena))
+        assert "## Contestants" in text
+        assert "## branch-cost" in text
+        assert "## fallthrough" in text
+        assert "## Skips" in text
+        assert "| exttsp | likely | unserved |" in text
+
+
+class TestMergeArena:
+    def test_per_algorithm_units_fold_into_one_experiment(self):
+        u1 = experiment("bench", {
+            "orig": {"likely": outcome(1.0)},
+            "greedy": {"likely": outcome(1.1)},
+        })
+        u2 = experiment("bench", {
+            "orig": {"likely": outcome(1.0)},
+            "exttsp": {"likely": outcome(1.2)},
+        }, skips={"exttsp": {"btfnt": "unserved"}})
+        (merged,) = _merge_arena([u1, u2], ["bench"])
+        assert set(merged.outcomes) == {"orig", "greedy", "exttsp"}
+        assert merged.skips == {"exttsp": {"btfnt": "unserved"}}
+
+    def test_output_follows_requested_benchmark_order(self):
+        units = [
+            experiment("z", {"orig": {"likely": outcome(1.0)}}),
+            experiment("b", {"orig": {"likely": outcome(1.0)}}),
+        ]
+        merged = _merge_arena(units, ["b", "z"])
+        assert [e.name for e in merged] == ["b", "z"]
+
+
+class TestRunTournament:
+    def test_small_end_to_end_run(self):
+        t = run_tournament(
+            benchmarks=("eqntott",), scale=0.05, window=6,
+            archs=("fallthrough", "btfnt"),
+            algorithms=("orig", "greedy", "exttsp"),
+        )
+        assert t.algorithms == ("orig", "greedy", "exttsp")
+        assert len(t.experiments) == 1
+        cells = t.experiments[0].outcomes
+        assert set(cells) == {"orig", "greedy", "exttsp"}
+        for by_arch in cells.values():
+            assert set(by_arch) == {"fallthrough", "btfnt"}
+        # Alignment never loses to the original layout here.
+        assert t.standings("branch-cost")[-1][0] == "orig"
+
+    def test_unknown_algorithm_rejected_before_running(self):
+        with pytest.raises(ValueError, match="registered"):
+            run_tournament(benchmarks=("eqntott",), algorithms=("nope",))
+
+    def test_arena_requires_fabric_config(self):
+        with pytest.raises(ValueError, match="FabricConfig"):
+            run_tournament(benchmarks=("eqntott",), arena=True)

@@ -1,0 +1,94 @@
+"""Unit tests for the extended-TSP aligner (arena entrant, 2018)."""
+
+from repro.core.exttsp import (
+    BACKWARD_WEIGHT,
+    BACKWARD_WINDOW,
+    ExtTSPAligner,
+    FALLTHROUGH_WEIGHT,
+    FORWARD_WEIGHT,
+    FORWARD_WINDOW,
+    UNCOND_FALLTHROUGH_WEIGHT,
+    jump_score,
+)
+from repro.profiling import EdgeProfile, profile_program
+from repro.workloads import generate_benchmark
+from tests.conftest import diamond_procedure
+
+
+def _labels(proc):
+    return {b.label: b.bid for b in proc}
+
+
+class TestJumpScore:
+    def test_fallthrough_credit_is_peak_and_kind_aware(self):
+        assert jump_score(0, conditional=True) == FALLTHROUGH_WEIGHT
+        assert jump_score(0, conditional=False) == UNCOND_FALLTHROUGH_WEIGHT
+        assert jump_score(0, conditional=False) < jump_score(0, conditional=True)
+
+    def test_forward_credit_decays_to_window_edge(self):
+        near = jump_score(8)
+        far = jump_score(FORWARD_WINDOW // 2)
+        assert FORWARD_WEIGHT >= near > far > 0.0
+        assert jump_score(FORWARD_WINDOW) == 0.0
+        assert jump_score(FORWARD_WINDOW + 8) == 0.0
+
+    def test_backward_credit_smaller_than_forward(self):
+        assert 0.0 < jump_score(-8) <= BACKWARD_WEIGHT
+        assert jump_score(-8) < jump_score(8)
+        assert jump_score(-BACKWARD_WINDOW) == 0.0
+        assert jump_score(-BACKWARD_WINDOW - 8) == 0.0
+
+    def test_any_jump_credit_below_fallthrough(self):
+        # The lexicographic merge gain depends on this: no pile of jump
+        # credits may outrank an adjacency fall-through.
+        assert max(jump_score(8), jump_score(-8)) < UNCOND_FALLTHROUGH_WEIGHT
+
+
+class TestExtTSPChains:
+    def test_hot_else_side_becomes_fallthrough(self):
+        proc = diamond_procedure(p_then=0.1)
+        ids = _labels(proc)
+        profile = EdgeProfile()
+        profile.set_weight(proc.name, ids["entry"], ids["test"], 100)
+        profile.set_weight(proc.name, ids["test"], ids["else"], 90)
+        profile.set_weight(proc.name, ids["test"], ids["then"], 10)
+        profile.set_weight(proc.name, ids["else"], ids["join"], 90)
+        profile.set_weight(proc.name, ids["then"], ids["endthen"], 10)
+        profile.set_weight(proc.name, ids["endthen"], ids["join"], 10)
+        profile.set_weight(proc.name, ids["join"], ids["exit"], 100)
+        chains, _ = ExtTSPAligner().build_chains(proc, profile)
+        chains.check()
+        assert chains.succ[ids["test"]] == ids["else"]
+        assert chains.succ[ids["else"]] == ids["join"]
+
+    def test_cold_blocks_still_threaded(self):
+        proc = diamond_procedure()
+        chains, _ = ExtTSPAligner().build_chains(proc, EdgeProfile())
+        chains.check()
+        assert sum(1 for b in proc.blocks if chains.succ[b] is not None) >= 4
+
+    def test_architecture_blind(self):
+        assert ExtTSPAligner().model is None
+
+
+class TestExtTSPLayout:
+    def test_layout_is_valid_on_benchmark(self):
+        program = generate_benchmark("eqntott", 0.05)
+        profile = profile_program(program, seed=0)
+        layout = ExtTSPAligner().align(program, profile)
+        for name in program.order:
+            layout[name].check()
+
+    def test_beats_or_ties_greedy_on_fallthrough_rate(self):
+        """The registry's claim 19, in miniature: one shared trace
+        replayed through both layouts, ext-TSP makes at least as many
+        executed conditionals fall through as Greedy."""
+        from repro.analysis import run_benchmark_experiment
+
+        experiment = run_benchmark_experiment(
+            "eqntott", scale=0.05, seed=0, archs=("fallthrough",),
+            algorithms=("orig", "greedy", "exttsp"),
+        )
+        ext = experiment.cell("exttsp", "fallthrough").percent_fallthrough
+        greedy = experiment.cell("greedy", "fallthrough").percent_fallthrough
+        assert ext >= greedy

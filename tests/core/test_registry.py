@@ -1,0 +1,126 @@
+"""Aligner registry: planning, compatibility skips, factory surface."""
+
+import pytest
+
+from repro.core import GreedyAligner, OriginalAligner
+from repro.core.registry import (
+    AlignerSpec,
+    AlignerVariant,
+    aligner_names,
+    get_spec,
+    make_aligner,
+    plan_algorithms,
+    register_aligner,
+    unregister_aligner,
+)
+from repro.sim.metrics import ALL_ARCHS
+
+
+class TestRegistryContents:
+    def test_builtin_lineup_in_registration_order(self):
+        assert aligner_names() == ("orig", "greedy", "try15", "exttsp", "disptree")
+
+    def test_only_orig_is_identity(self):
+        assert get_spec("orig").identity
+        assert not any(get_spec(n).identity for n in aligner_names() if n != "orig")
+
+    def test_unknown_name_lists_the_registry(self):
+        with pytest.raises(ValueError, match="exttsp"):
+            get_spec("simulated-annealing")
+
+    def test_provenance_is_populated(self):
+        for name in aligner_names():
+            spec = get_spec(name)
+            assert spec.provenance and spec.year > 1980
+
+
+class TestPlanning:
+    def test_greedy_splits_btfnt_off_to_precedence_variant(self):
+        plan = get_spec("greedy").plan(ALL_ARCHS)
+        labels = {v.label: v for v in plan.variants}
+        assert set(labels) == {"greedy", "greedy-btfnt"}
+        assert labels["greedy-btfnt"].archs == ("btfnt",)
+        assert "btfnt" not in labels["greedy"].archs
+        assert not plan.skips
+
+    def test_try15_plans_one_variant_per_cost_model(self):
+        plan = get_spec("try15").plan(ALL_ARCHS, window=9)
+        labels = [v.label for v in plan.variants]
+        assert labels == [
+            "try9-fallthrough", "try9-btfnt", "try9-likely", "try9-pht", "try9-btb",
+        ]
+        covered = [a for v in plan.variants for a in v.archs]
+        assert sorted(covered) == sorted(ALL_ARCHS)
+
+    def test_blind_algorithms_serve_every_arch_with_one_variant(self):
+        for name in ("orig", "exttsp", "disptree"):
+            plan = get_spec(name).plan(ALL_ARCHS)
+            assert len(plan.variants) == 1
+            assert plan.variants[0].archs == ALL_ARCHS
+            assert not plan.skips
+
+    def test_plan_algorithms_defaults_to_whole_registry(self):
+        plans = plan_algorithms(None, ALL_ARCHS)
+        assert [p.spec.name for p in plans] == list(aligner_names())
+
+    def test_variants_restricted_to_requested_archs(self):
+        plan = get_spec("greedy").plan(("likely",))
+        assert [v.label for v in plan.variants] == ["greedy"]
+        assert plan.variants[0].archs == ("likely",)
+
+
+class TestCompatibilitySkips:
+    @pytest.fixture
+    def picky(self):
+        """A temporary algorithm that refuses BT/FNT outright."""
+        spec = AlignerSpec(
+            name="picky",
+            title="test-only",
+            provenance="this test",
+            year=2026,
+            cost_models=(),
+            incompatible={"btfnt": "senses are fixed by direction"},
+            factory=lambda request: [
+                AlignerVariant("picky", GreedyAligner(), request.archs)
+            ],
+        )
+        register_aligner(spec)
+        yield spec
+        unregister_aligner("picky")
+
+    def test_incompatible_arch_becomes_structured_skip(self, picky):
+        plan = picky.plan(ALL_ARCHS)
+        assert plan.skips == {"btfnt": "senses are fixed by direction"}
+        assert "btfnt" not in plan.variants[0].archs
+
+    def test_unserved_arch_gets_default_skip_reason(self):
+        spec = AlignerSpec(
+            name="lazy", title="t", provenance="p", year=2026,
+            cost_models=(), incompatible={}, factory=lambda request: [],
+        )
+        plan = spec.plan(("likely",))
+        assert not plan.variants
+        assert "no registered variant" in plan.skips["likely"]
+
+    def test_duplicate_registration_rejected(self, picky):
+        with pytest.raises(ValueError, match="already registered"):
+            register_aligner(picky)
+
+
+class TestMakeAligner:
+    def test_returns_concrete_aligner_for_cost_model(self):
+        aligner = make_aligner("greedy", arch="btfnt")
+        assert isinstance(aligner, GreedyAligner)
+        assert make_aligner("orig").__class__ is OriginalAligner
+
+    def test_window_reaches_tryn(self):
+        aligner = make_aligner("try15", arch="likely", window=7)
+        assert aligner.window == 7
+
+    def test_unknown_cost_model_rejected(self):
+        with pytest.raises(ValueError, match="cost-model architecture"):
+            make_aligner("greedy", arch="btb-64x2")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="registered"):
+            make_aligner("nope")
