@@ -49,6 +49,14 @@ from .reporting import (
     render_table4,
 )
 from .stability import StabilityCell, cross_input_generalisation, seed_stability
+from .staticstudy import (
+    RECOVERY_ARCHS,
+    RECOVERY_TARGET,
+    STATIC_STUDY_ARCHS,
+    StaticStudy,
+    render_static_study,
+    run_static_study,
+)
 from .sweeps import SweepPoint, issue_width_sweep, mispredict_penalty_sweep
 from .table2 import Table2Row, category_break_density, compute_table2, measure_program
 from .tournament import (
@@ -81,7 +89,13 @@ __all__ = [
     "MELD_BENCHMARKS",
     "METRICS",
     "MeldStudy",
+    "RECOVERY_ARCHS",
+    "RECOVERY_TARGET",
+    "STATIC_STUDY_ARCHS",
     "STUDY_ARCHS",
+    "StaticStudy",
+    "render_static_study",
+    "run_static_study",
     "VariantCell",
     "measure_program",
     "LayoutQuality",

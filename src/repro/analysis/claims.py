@@ -83,6 +83,9 @@ class _Context:
     #: Per-benchmark melding evidence (claim 18); see
     #: :func:`_meld_evidence` for the keys.
     meld_checks: Dict[str, dict] = field(default_factory=dict)
+    #: Profile-free alignment evidence (claim 20); see
+    #: :func:`_static_profile_evidence` for the keys.
+    static_check: Dict[str, object] = field(default_factory=dict)
 
     def avg(self, aligner: str, arch: str) -> float:
         cells = [e.cell(aligner, arch).relative_cpi for e in self.experiments]
@@ -587,6 +590,58 @@ def _check_exttsp_fallthrough(ctx: _Context) -> ClaimResult:
     )
 
 
+def _check_static_recovery(ctx: _Context) -> ClaimResult:
+    """Claim 20: profile-free alignment recovers the measured win."""
+    claim_id = "static-profile-alignment-recovers-win"
+    quote = (
+        "[profile-free] alignment driven by static heuristic prediction "
+        "and Wu-Larus frequency propagation recovers at least 70% of the "
+        "measured-profile cost reduction on suite average and never "
+        "regresses below the original layout on any benchmark x "
+        "architecture"
+    )
+    sc = ctx.static_check
+    if not sc:
+        return ClaimResult(claim_id, quote, False, "no static-profile evidence")
+    recovery = dict(sc.get("recovery", {}))  # type: ignore[arg-type]
+    average = sc.get("average")
+    target = float(sc.get("target", 0.70))  # type: ignore[arg-type]
+    regressions = list(sc.get("regressions", []))  # type: ignore[arg-type]
+    cells = int(sc.get("cells", 0))  # type: ignore[arg-type]
+    unrecovered = sorted(a for a, r in recovery.items() if r is None)
+    ok = (
+        cells > 0
+        and not unrecovered
+        and isinstance(average, float)
+        and average >= target
+        and not regressions
+    )
+    if not recovery or cells == 0:
+        detail = "no benchmark x architecture cells collected"
+    elif unrecovered:
+        detail = (
+            "measured alignment wins nothing on "
+            + ", ".join(unrecovered)
+            + " — recovery undefined there"
+        )
+    elif regressions:
+        worst = regressions[0]
+        detail = (
+            f"{len(regressions)} cell(s) regress below the original "
+            f"layout; worst {worst['benchmark']}/{worst['arch']} by "
+            f"{worst['delta']:+.5f}"
+        )
+    else:
+        per_arch = ", ".join(
+            f"{a}: {recovery[a]:+.2f}" for a in recovery
+        )
+        detail = (
+            f"recovery {per_arch}; average {average:+.3f} >= {target:+.2f} "
+            f"with 0/{cells} cells regressing below the original layout"
+        )
+    return ClaimResult(claim_id, quote, ok, detail)
+
+
 CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_static_help,
     _check_static_ordering,
@@ -607,6 +662,7 @@ CHECKS: Sequence[Callable[[_Context], ClaimResult]] = (
     _check_remote_fabric,
     _check_melding,
     _check_exttsp_fallthrough,
+    _check_static_recovery,
 )
 
 
@@ -649,6 +705,9 @@ def verify_claims(
         for name in MELD_BENCHMARKS
         if name in benchmarks
     }
+    static_check = _static_profile_evidence(
+        experiments, benchmarks, scale=scale, seed=seed, window=window
+    )
     ctx = _Context(
         experiments=experiments,
         figure4_rows=figure4_rows,
@@ -659,8 +718,72 @@ def verify_claims(
         fabric_check=fabric_check,
         remote_check=remote_check,
         meld_checks=meld_checks,
+        static_check=static_check,
     )
     return [check(ctx) for check in CHECKS]
+
+
+def _static_profile_evidence(
+    experiments: List[BenchmarkExperiment],
+    benchmarks: Sequence[str],
+    scale: float,
+    seed: int,
+    window: int,
+) -> Dict[str, object]:
+    """Run the claim-20 experiment: align on the profile-free profile.
+
+    One extra suite run with ``profile_source="static"`` over the
+    recovery architectures; the measured side reuses the main suite
+    experiments (same traces, same seed, so the ``orig`` baselines are
+    identical).  The BTB architectures are deliberately absent: the flat
+    BTB-miss cost model makes even measured-profile alignment
+    non-monotone there, so recovery against it is meaningless (see
+    ``results/static_profile.md``).
+    """
+    from .staticstudy import RECOVERY_ARCHS, RECOVERY_TARGET
+
+    aligner = "try15"
+    static_runs = run_suite_experiment(
+        list(benchmarks), scale=scale, seed=seed, window=window,
+        archs=RECOVERY_ARCHS, algorithms=("orig", aligner),
+        profile_source="static",
+    )
+    static_by_name = {e.name: e for e in static_runs}
+    measured_by_name = {e.name: e for e in experiments}
+    recovery: Dict[str, Optional[float]] = {}
+    regressions: List[Dict[str, object]] = []
+    cells = 0
+    for arch in RECOVERY_ARCHS:
+        meas_win = stat_win = 0.0
+        for name in benchmarks:
+            meas = measured_by_name.get(name)
+            stat = static_by_name.get(name)
+            if meas is None or stat is None:
+                continue
+            orig = meas.cell("orig", arch).relative_cpi
+            aligned = meas.cell(aligner, arch).relative_cpi
+            synthetic = stat.cell(aligner, arch).relative_cpi
+            cells += 1
+            meas_win += orig - aligned
+            stat_win += orig - synthetic
+            if synthetic > orig + 1e-9:
+                regressions.append(
+                    {"benchmark": name, "arch": arch, "delta": synthetic - orig}
+                )
+        recovery[arch] = (
+            stat_win / meas_win if abs(meas_win) > 1e-12 else None
+        )
+    defined = [r for r in recovery.values() if r is not None]
+    average = sum(defined) / len(defined) if defined else None
+    regressions.sort(key=lambda r: -float(r["delta"]))  # type: ignore[arg-type]
+    return {
+        "recovery": recovery,
+        "average": average,
+        "target": RECOVERY_TARGET,
+        "regressions": regressions,
+        "cells": cells,
+        "archs": list(RECOVERY_ARCHS),
+    }
 
 
 def _fabric_evidence(scale: float, seed: int, window: int) -> Dict[str, object]:

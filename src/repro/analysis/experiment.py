@@ -145,6 +145,7 @@ def run_benchmark_experiment(
     trace_store: Optional[object] = None,
     replay_check: Optional[bool] = None,
     algorithms: Optional[Sequence[str]] = None,
+    profile_source: str = "measured",
 ) -> BenchmarkExperiment:
     """Run the full Tables 3/4 methodology for one benchmark.
 
@@ -170,7 +171,20 @@ def run_benchmark_experiment(
     the legacy one-execution-per-layout path for one release;
     ``replay_check`` (or ``REPRO_REPLAY_CHECK=1``) runs both and asserts
     identical reports.
+
+    ``profile_source`` selects what the *aligners* see: ``"measured"``
+    (default) hands them the traced edge profile; ``"static"`` hands
+    them a :class:`~repro.profiling.StaticProfile` predicted from
+    program structure alone.  Everything else — the measured profile
+    driving the simulators, the decision trace, the relative-CPI
+    denominator — is unchanged, so static-profile results are evaluated
+    against the *real* execution, which is exactly the cross-validation
+    the profile-free claim needs.
     """
+    if profile_source not in ("measured", "static"):
+        raise ValueError(
+            f"profile_source must be 'measured' or 'static', got {profile_source!r}"
+        )
     if program is None:
         program = generate_benchmark(name, scale)
         category = SUITE[name].category
@@ -203,6 +217,13 @@ def run_benchmark_experiment(
         validate_linked(linked)
         return linked
 
+    if profile_source == "static":
+        from ..profiling import StaticProfile
+
+        align_profile: EdgeProfile = StaticProfile.from_program(program)
+    else:
+        align_profile = profile
+
     experiment = BenchmarkExperiment(name=name, category=category, original_instructions=0)
 
     # The original layout is simulated unconditionally: it is both the
@@ -229,7 +250,7 @@ def run_benchmark_experiment(
             bucket.update(_report_outcomes(orig_report, served, base))
             continue
         for variant in plan.variants:
-            layout = variant.aligner.align(program, profile)
+            layout = variant.aligner.align(program, align_profile)
             linked = checked_link(layout)
             report = simulate(
                 linked,
@@ -253,6 +274,7 @@ def run_suite_experiment(
     archs: Sequence[str] = ALL_ARCHS,
     runner: Optional[object] = None,
     algorithms: Optional[Sequence[str]] = None,
+    profile_source: str = "measured",
 ) -> List[BenchmarkExperiment]:
     """Run the experiment across several benchmarks (default: all 24).
 
@@ -282,6 +304,7 @@ def run_suite_experiment(
                 kind="experiment", benchmark=name, scale=scale, seed=seed,
                 window=window, archs=tuple(archs),
                 algorithms=tuple(algorithms) if algorithms is not None else None,
+                profile_source=profile_source,
             )
             for name in (list(names) if names is not None else list(SUITE))
         ]
@@ -290,7 +313,7 @@ def run_suite_experiment(
     config = runner if runner is not None else RunnerConfig(fail_fast=True)
     result = run_suite_resilient(
         names, scale=scale, seed=seed, window=window, archs=archs, config=config,
-        algorithms=algorithms,
+        algorithms=algorithms, profile_source=profile_source,
     )
     return result.results
 

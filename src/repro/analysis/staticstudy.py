@@ -1,0 +1,268 @@
+"""Profile-free alignment: how much of the measured win survives?
+
+The static-prediction tier (claim 20) promises that alignment driven by
+the profile-free predictor — structural heuristics fused per site, then
+Wu–Larus frequency propagation — recovers most of the cost reduction
+that measured-profile alignment achieves, without ever regressing below
+the unaligned original.  This module runs that study: two tournaments
+over the same benchmarks with the same captured traces, one aligning on
+the measured edge profile and one on the synthetic
+:class:`~repro.profiling.StaticProfile`, then scores
+
+``recovery(arch) = sum_b (orig_b - static_b) / sum_b (orig_b - meas_b)``
+
+per architecture (suite totals, so big benchmarks weigh more, exactly
+like the paper's suite averages).  ``render_static_study`` produces the
+committed ``results/static_profile.md``.
+
+The BTB architectures are reported but excluded from the recovery
+average: under the flat BTB-miss cost model even *measured*-profile
+alignment is non-monotone there (see the report's notes), so recovery
+against it is not meaningful evidence about the predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.metrics import STATIC_ARCHS
+from .experiment import ArchOutcome
+from .tournament import Tournament, _md_table, run_tournament
+
+__all__ = [
+    "RECOVERY_ARCHS",
+    "RECOVERY_TARGET",
+    "STATIC_STUDY_ARCHS",
+    "StaticStudy",
+    "render_static_study",
+    "run_static_study",
+]
+
+#: Architectures whose recovery feeds the claim-20 average.
+RECOVERY_ARCHS = ("fallthrough", "btfnt", "likely", "pht-direct")
+
+#: Architectures the study runs by default: the recovery evidence plus
+#: one BTB, shown (not averaged) so the report stays honest about where
+#: profile-free alignment does not help.
+STATIC_STUDY_ARCHS = STATIC_ARCHS + ("pht-direct", "btb-64x2")
+
+#: Claim 20's bar: static alignment recovers at least this fraction of
+#: the measured-profile win, averaged over :data:`RECOVERY_ARCHS`.
+RECOVERY_TARGET = 0.70
+
+
+@dataclass
+class StaticStudy:
+    """Measured-vs-static tournament pair plus derived recovery scores."""
+
+    measured: Tournament
+    static: Tournament
+    algorithm: str = "try15"
+
+    @property
+    def benchmarks(self) -> Tuple[str, ...]:
+        return self.measured.benchmarks
+
+    @property
+    def archs(self) -> Tuple[str, ...]:
+        return self.measured.archs
+
+    def cells(
+        self, benchmark: str, arch: str
+    ) -> Optional[Tuple[ArchOutcome, ArchOutcome, ArchOutcome]]:
+        """``(orig, measured-aligned, static-aligned)`` for one cell."""
+        meas = next(
+            (e for e in self.measured.experiments if e.name == benchmark), None
+        )
+        stat = next(
+            (e for e in self.static.experiments if e.name == benchmark), None
+        )
+        if meas is None or stat is None:
+            return None
+        orig = meas.outcomes.get("orig", {}).get(arch)
+        aligned = meas.outcomes.get(self.algorithm, {}).get(arch)
+        synthetic = stat.outcomes.get(self.algorithm, {}).get(arch)
+        if orig is None or aligned is None or synthetic is None:
+            return None
+        return orig, aligned, synthetic
+
+    def recovery(self, arch: str) -> Optional[float]:
+        """Suite-total recovered fraction of the measured win on ``arch``."""
+        meas_win = stat_win = 0.0
+        seen = False
+        for benchmark in self.benchmarks:
+            row = self.cells(benchmark, arch)
+            if row is None:
+                continue
+            orig, aligned, synthetic = row
+            meas_win += orig.relative_cpi - aligned.relative_cpi
+            stat_win += orig.relative_cpi - synthetic.relative_cpi
+            seen = True
+        if not seen or abs(meas_win) < 1e-12:
+            return None
+        return stat_win / meas_win
+
+    def average_recovery(self) -> Optional[float]:
+        """Mean recovery over the :data:`RECOVERY_ARCHS` present."""
+        values = [
+            r for r in (self.recovery(a) for a in RECOVERY_ARCHS if a in self.archs)
+            if r is not None
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def regressions(self, tolerance: float = 1e-9) -> List[Tuple[str, str, float]]:
+        """Cells where static alignment lands *above* the original layout.
+
+        Returns ``(benchmark, arch, static_cpi - orig_cpi)`` rows over
+        every architecture in the study, worst first.
+        """
+        rows = []
+        for benchmark in self.benchmarks:
+            for arch in self.archs:
+                cell = self.cells(benchmark, arch)
+                if cell is None:
+                    continue
+                orig, _aligned, synthetic = cell
+                delta = synthetic.relative_cpi - orig.relative_cpi
+                if delta > tolerance:
+                    rows.append((benchmark, arch, delta))
+        return sorted(rows, key=lambda r: -r[2])
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: the scores plus both tournaments' cells."""
+        return {
+            "algorithm": self.algorithm,
+            "benchmarks": list(self.benchmarks),
+            "archs": list(self.archs),
+            "recovery_archs": [a for a in RECOVERY_ARCHS if a in self.archs],
+            "recovery_target": RECOVERY_TARGET,
+            "recovery": {
+                arch: self.recovery(arch) for arch in self.archs
+            },
+            "average_recovery": self.average_recovery(),
+            "regressions": [
+                {"benchmark": b, "arch": a, "delta": d}
+                for b, a, d in self.regressions()
+            ],
+            "measured": self.measured.to_dict(),
+            "static": self.static.to_dict(),
+        }
+
+
+def run_static_study(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 0.08,
+    seed: int = 0,
+    window: int = 10,
+    archs: Sequence[str] = STATIC_STUDY_ARCHS,
+    algorithm: str = "try15",
+    runner: Optional[object] = None,
+) -> StaticStudy:
+    """Run both tournaments and pair them into a :class:`StaticStudy`.
+
+    Both runs replay the *same* captured traces (same benchmarks, scale
+    and seed); only the profile handed to the aligner differs, so every
+    relative-CPI delta is attributable to the prediction quality alone.
+    """
+    common = dict(
+        benchmarks=benchmarks, scale=scale, seed=seed, window=window,
+        archs=archs, algorithms=("orig", algorithm), runner=runner,
+    )
+    measured = run_tournament(profile_source="measured", **common)
+    static = run_tournament(profile_source="static", **common)
+    return StaticStudy(measured=measured, static=static, algorithm=algorithm)
+
+
+def render_static_study(study: StaticStudy) -> str:
+    """Render the recovery report (``results/static_profile.md``)."""
+    t = study.measured
+    lines = [
+        "# Profile-free alignment: static prediction recovery",
+        "",
+        f"`{study.algorithm}` alignment driven by the profile-free "
+        "`StaticProfile` (heuristic prediction + Wu–Larus frequency "
+        "propagation) versus the same aligner fed the measured edge "
+        f"profile, over {len(study.benchmarks)} benchmarks (scale "
+        f"{t.scale:g}, seed {t.seed}, window {t.window}).  Both runs "
+        "replay the same captured decision traces; only the profile the "
+        "aligner sees differs, so every delta below is prediction "
+        "quality, not workload noise.",
+        "",
+        "`recovery = (orig − static) / (orig − measured)`, summed "
+        "over the suite per architecture.",
+        "",
+        "## Recovery per architecture",
+        "",
+    ]
+    rows = []
+    for arch in study.archs:
+        r = study.recovery(arch)
+        scored = "yes" if arch in RECOVERY_ARCHS else "no (see notes)"
+        rows.append([
+            arch,
+            "n/a" if r is None else f"{r:+.3f}",
+            scored,
+        ])
+    lines.extend(_md_table(["architecture", "recovery", "in claim-20 average"], rows))
+    avg = study.average_recovery()
+    lines += [
+        "",
+        f"**Average over {', '.join(a for a in RECOVERY_ARCHS if a in study.archs)}: "
+        + ("n/a" if avg is None else f"{avg:+.3f}")
+        + f" (claim 20 requires ≥ {RECOVERY_TARGET:+.2f}).**",
+    ]
+    for arch in study.archs:
+        lines += ["", f"## {arch}", ""]
+        rows = []
+        for benchmark in study.benchmarks:
+            cell = study.cells(benchmark, arch)
+            if cell is None:
+                continue
+            orig, aligned, synthetic = cell
+            meas_win = orig.relative_cpi - aligned.relative_cpi
+            stat_win = orig.relative_cpi - synthetic.relative_cpi
+            share = "n/a" if abs(meas_win) < 1e-12 else f"{stat_win / meas_win:+.2f}"
+            rows.append([
+                benchmark,
+                f"{orig.relative_cpi:.4f}",
+                f"{aligned.relative_cpi:.4f}",
+                f"{synthetic.relative_cpi:.4f}",
+                share,
+            ])
+        lines.extend(_md_table(
+            ["benchmark", "orig", "measured-aligned", "static-aligned", "recovery"],
+            rows,
+        ))
+    regressions = study.regressions()
+    lines += ["", "## Regressions below the original layout", ""]
+    if regressions:
+        lines.extend(_md_table(
+            ["benchmark", "architecture", "static − orig"],
+            [[b, a, f"{d:+.5f}"] for b, a, d in regressions],
+        ))
+    else:
+        lines.append(
+            "None — static-profile alignment never lands above the "
+            "unaligned original on any cell."
+        )
+    lines += [
+        "",
+        "## Notes",
+        "",
+        "* The BTB architectures are shown but excluded from the claim-20 "
+        "average: the flat BTB-miss cost model makes even "
+        "*measured*-profile alignment non-monotone there (on some cells "
+        "the measured-profile layout itself lands above the original), "
+        "so “recovery of the measured win” is not a meaningful "
+        "yardstick.",
+        "* Diamond sites whose true bias is invisible to structure (e.g. "
+        "data-dependent 50/50 guards) are where the static profile loses "
+        "its share of the win; the loop-driven wins survive because "
+        "loop-branch/loop-exit heuristics and frequency propagation "
+        "dominate the synthetic counts.",
+        "",
+    ]
+    return "\n".join(lines)

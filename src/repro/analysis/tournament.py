@@ -98,6 +98,10 @@ class Tournament:
     seed: int
     window: int
     experiments: List[BenchmarkExperiment] = field(default_factory=list)
+    #: Which profile drove the aligners: ``measured`` (the replayed
+    #: trace's own edge counts) or ``static`` (the profile-free
+    #: predictor).  Scoring always uses the measured execution.
+    profile_source: str = "measured"
 
     def matrix(self, arch: str, metric: str) -> Dict[Tuple[str, str], int]:
         """The pairwise win matrix for one architecture and metric."""
@@ -131,6 +135,7 @@ class Tournament:
             "scale": self.scale,
             "seed": self.seed,
             "window": self.window,
+            "profile_source": self.profile_source,
             "skips": self.skips(),
             "matrices": {
                 metric: {
@@ -191,6 +196,7 @@ def run_tournament(
     algorithms: Optional[Sequence[str]] = None,
     runner: Optional[object] = None,
     arena: bool = False,
+    profile_source: str = "measured",
 ) -> Tournament:
     """Run the arena: every algorithm x architecture x benchmark.
 
@@ -199,6 +205,11 @@ def run_tournament(
     :class:`repro.fabric.FabricConfig` ``runner`` and shards the run as
     one fabric unit per benchmark x algorithm instead of one per
     benchmark — wider fan-out for big tournaments.
+
+    ``profile_source="static"`` feeds the aligners the profile-free
+    :class:`~repro.profiling.StaticProfile` instead of the measured
+    edge counts; scoring still replays the measured trace, so the
+    matrices grade static predictions against real execution.
     """
     names = tuple(benchmarks if benchmarks is not None else DEFAULT_BENCHMARKS)
     selected = tuple(algorithms if algorithms is not None else aligner_names())
@@ -216,6 +227,7 @@ def run_tournament(
                 window=window, archs=tuple(archs),
                 algorithms=("orig", algorithm)
                 if algorithm != "orig" else ("orig",),
+                profile_source=profile_source,
             )
             for name in names
             for algorithm in selected
@@ -224,7 +236,7 @@ def run_tournament(
     else:
         experiments = run_suite_experiment(
             list(names), scale=scale, seed=seed, window=window, archs=archs,
-            runner=runner, algorithms=selected,
+            runner=runner, algorithms=selected, profile_source=profile_source,
         )
     return Tournament(
         benchmarks=names,
@@ -234,6 +246,7 @@ def run_tournament(
         seed=seed,
         window=window,
         experiments=experiments,
+        profile_source=profile_source,
     )
 
 

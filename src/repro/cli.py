@@ -18,6 +18,11 @@ Gives the library's main workflows a shell entry point:
 * ``lint`` — run the static verifier passes (``repro.staticcheck``)
   over a benchmark's CFG, profile and layouts; ``--estimate`` adds the
   trace-free branch-cost estimate cross-validated against the simulator;
+* ``predict`` — profile-free branch prediction: heuristic per-site
+  taken-probabilities, Wu–Larus frequency propagation, layout-
+  opportunity hints at meld-blocked sites (``--compare`` grades the
+  predictions against a measured trace; feeds ``tournament
+  --profile-source static`` and claim 20);
 * ``prove`` — recover a CFG from each aligned layout's raw linked
   instruction stream and statically prove it bisimilar to the original
   binary (translation validation; ``--json`` emits the proof artifacts);
@@ -452,6 +457,28 @@ def _lint_layouts(program, profile, arch: str, window: int, injector=None,
     return layouts, notes
 
 
+def _static_context(program, notes: Optional[list] = None):
+    """Build the RL022–RL024 static-prediction context, or None.
+
+    A CFG corrupted by fault injection can defeat the predictor before
+    any pass runs; linting must still terminate with a report, so the
+    failure becomes a note instead of a crash.
+    """
+    from .staticcheck import StaticContext
+
+    try:
+        from .profiling import StaticProfile
+
+        return StaticContext(profile=StaticProfile.from_program(program))
+    except Exception as exc:
+        if notes is not None:
+            notes.append(
+                f"note: static prediction unavailable "
+                f"({type(exc).__name__}: {exc})"
+            )
+        return None
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the static verifier passes (and optionally the estimator)."""
     import json as _json
@@ -478,7 +505,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
         program, profile, args.arch, args.window,
         injector=injector, benchmark=args.benchmark,
     )
-    report = run_lint(program, profile, layouts, subject=args.benchmark)
+    static = _static_context(program, notes)
+    report = run_lint(
+        program, profile, layouts, subject=args.benchmark, static=static
+    )
 
     estimate_block = None
     if args.estimate and report.ok:
@@ -520,6 +550,168 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 )
         _write("\n".join(lines), args.output)
     return EXIT_OK if report.ok else EXIT_RUNTIME
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """Profile-free branch prediction: per-site probabilities and flow.
+
+    Runs the heuristic predictor and Wu–Larus frequency propagation over
+    a benchmark without tracing it.  ``--compare`` traces the benchmark
+    once and grades the predictions against the measured taken rates;
+    ``--json`` emits the full machine-readable report, including
+    layout-opportunity hints for sites the melding legality analyzer
+    blocks but the predictor still orients.
+    """
+    import json as _json
+
+    from .staticcheck import (
+        ProgramAnalyses,
+        analyze_program,
+        predict_program,
+        propagate_program,
+    )
+
+    program = _workload(args)
+    analyses = ProgramAnalyses()
+    report = predict_program(program, analyses)
+    frequencies = propagate_program(program, report=report, analyses=analyses)
+
+    def site_freq(procedure: str, block) -> float:
+        fmap = frequencies.get(procedure)
+        return fmap.block_freq.get(block, 0.0) if fmap else 0.0
+
+    # Rank sites by propagated frequency — the weight each prediction
+    # carries in the synthetic profile the aligners consume.
+    sites = sorted(
+        report.sites,
+        key=lambda s: (-site_freq(s.procedure, s.block), s.procedure, s.block),
+    )
+
+    # Layout-opportunity hints: sites the legality analyzer blocks from
+    # melding (their arms' observation chains diverge, or worse) are
+    # exactly where alignment is the only remaining lever — and a
+    # skewed prediction says which arm to keep hot.
+    legality = analyze_program(program)
+    hints = []
+    for blocked in legality.blocked():
+        pred = report.site(blocked.procedure, blocked.site)
+        if pred is None:
+            continue
+        hints.append({
+            "procedure": blocked.procedure,
+            "site": blocked.site,
+            "blocked_reason": blocked.reason,
+            "p_taken": pred.p_taken,
+            "confidence": pred.confidence,
+            "frequency": site_freq(blocked.procedure, blocked.site),
+            "high_skew": pred.confidence >= 0.5,
+            "hot_arm": "taken" if pred.predicts_taken else "fallthrough",
+        })
+    hints.sort(key=lambda h: -(h["frequency"] * h["confidence"]))
+
+    compare_block = None
+    if args.compare:
+        if args.profile:
+            profile = load_profile(args.profile)
+        else:
+            profile = profile_program(program, seed=args.seed)
+        rows = []
+        total_w = agree_w = 0.0
+        for s in report.sites:
+            proc = program.procedure(s.procedure)
+            try:
+                w_taken, w_fall = profile.cond_mix(proc, s.block)
+            except (KeyError, ValueError):
+                continue
+            executed = w_taken + w_fall
+            if not executed:
+                continue
+            measured = w_taken / executed
+            agree = (s.p_taken >= 0.5) == (measured >= 0.5)
+            total_w += executed
+            if agree:
+                agree_w += executed
+            rows.append({
+                "procedure": s.procedure,
+                "block": s.block,
+                "predicted": s.p_taken,
+                "measured": measured,
+                "weight": executed,
+                "agree": agree,
+            })
+        rows.sort(key=lambda r: -r["weight"])
+        compare_block = {
+            "sites": len(rows),
+            "weighted_agreement": agree_w / total_w if total_w else None,
+            "rows": rows,
+        }
+
+    if args.json:
+        payload = {
+            "benchmark": args.benchmark,
+            "scale": args.scale,
+            "site_count": len(report.sites),
+            "sites": [
+                dict(s.to_dict(), frequency=site_freq(s.procedure, s.block))
+                for s in sites
+            ],
+            "cyclic": {
+                name: {str(b): cp for b, cp in fmap.cyclic.items()}
+                for name, fmap in frequencies.items()
+                if fmap.cyclic
+            },
+            "hints": hints,
+        }
+        if compare_block is not None:
+            payload["compare"] = compare_block
+        _write(_json.dumps(payload, indent=2), args.output)
+        return EXIT_OK
+
+    lines = [
+        f"{args.benchmark}: {len(report.sites)} conditional site(s) "
+        f"predicted, {len(frequencies)} procedure(s) propagated",
+        "",
+        f"{'procedure':<16}{'block':>6}{'p(taken)':>10}{'conf':>7}"
+        f"{'freq':>12}  heuristics",
+    ]
+    for s in sites[: args.top]:
+        lines.append(
+            f"{s.procedure:<16}{str(s.block):>6}{s.p_taken:>10.3f}"
+            f"{s.confidence:>7.2f}{site_freq(s.procedure, s.block):>12.1f}"
+            f"  {'+'.join(s.heuristics)}"
+        )
+    if len(sites) > args.top:
+        lines.append(f"... {len(sites) - args.top} more site(s); --top to widen")
+    if hints:
+        lines += ["", "layout opportunities at meld-blocked sites:"]
+        for h in hints[: args.top]:
+            skew = "high-skew" if h["high_skew"] else "weak"
+            lines.append(
+                f"  {h['procedure']}:{h['site']} blocked ({h['blocked_reason']}) "
+                f"— keep {h['hot_arm']} arm hot "
+                f"(p={h['p_taken']:.2f}, {skew}, freq {h['frequency']:.1f})"
+            )
+    if compare_block is not None:
+        pct = compare_block["weighted_agreement"]
+        lines += [
+            "",
+            f"vs measured profile: {compare_block['sites']} executed "
+            f"site(s), weighted direction agreement "
+            + ("n/a" if pct is None else f"{100 * pct:.1f}%"),
+        ]
+        worst = sorted(
+            compare_block["rows"],
+            key=lambda r: -abs(r["predicted"] - r["measured"]) * r["weight"],
+        )[:5]
+        for r in worst:
+            verdict = "ok" if r["agree"] else "MISS"
+            lines.append(
+                f"  {r['procedure']}:{r['block']} predicted "
+                f"{r['predicted']:.2f} vs measured {r['measured']:.2f} "
+                f"(weight {r['weight']}, {verdict})"
+            )
+    _write("\n".join(lines), args.output)
+    return EXIT_OK
 
 
 def cmd_prove(args: argparse.Namespace) -> int:
@@ -761,7 +953,10 @@ def _doctor_lint(args: argparse.Namespace) -> int:
             original=program, melded=melded,
             records=tuple(meld_report.applied),
         )
-        report = run_lint(program, profile, layouts, subject=name, meld=meld)
+        report = run_lint(
+            program, profile, layouts, subject=name, meld=meld,
+            static=_static_context(program),
+        )
         clean &= report.ok
         for outcome in report.outcomes:
             descriptions[outcome.pass_id] = outcome.description
@@ -1228,6 +1423,34 @@ def cmd_tournament(args: argparse.Namespace) -> int:
             raise UsageError(f"unknown architectures: {', '.join(unknown)}")
     else:
         archs = ALL_ARCHS
+    if args.profile_source == "static":
+        # The static arena is a *study*: the same benchmarks run twice,
+        # aligned on the measured profile and on the profile-free
+        # StaticProfile, and the report scores how much of the measured
+        # win the predictions recover (results/static_profile.md).
+        from .analysis import STATIC_STUDY_ARCHS, render_static_study, run_static_study
+
+        if args.arena:
+            raise UsageError(
+                "--arena sharding is not supported with --profile-source "
+                "static (the study already runs two full tournaments)"
+            )
+        if algorithms is not None and len(algorithms) != 1:
+            raise UsageError(
+                "--profile-source static studies exactly one aligner; "
+                "pass a single --algorithms entry (default try15)"
+            )
+        study = run_static_study(
+            benchmarks=names, scale=args.scale, seed=args.seed,
+            window=args.window,
+            archs=archs if args.archs else STATIC_STUDY_ARCHS,
+            algorithm=algorithms[0] if algorithms else "try15",
+        )
+        if args.json:
+            _write(_json.dumps(study.to_dict(), indent=2), args.output)
+        else:
+            _write(render_static_study(study), args.output)
+        return EXIT_OK
     runner = None
     if args.arena:
         from .fabric import FabricConfig
@@ -1416,6 +1639,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "(e.g. eqntott:lint:break-cfg)")
     common(p, window=True)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "predict",
+        help="profile-free branch prediction: heuristic per-site "
+             "probabilities fused Dempster–Shafer style, Wu–Larus "
+             "frequency propagation, and layout-opportunity hints at "
+             "meld-blocked sites",
+    )
+    p.add_argument("benchmark")
+    p.add_argument("--compare", action="store_true",
+                   help="trace the benchmark once and grade the "
+                        "predictions against the measured taken rates")
+    p.add_argument("--profile", help="with --compare, grade against a "
+                                     "saved profile instead of tracing")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report (sites, "
+                        "frequencies, hints, comparison)")
+    p.add_argument("--top", type=int, default=20,
+                   help="sites to show in the text report (default 20)")
+    common(p)
+    p.set_defaults(func=cmd_predict)
 
     p = sub.add_parser(
         "prove",
@@ -1674,6 +1918,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: the whole registry)")
     p.add_argument("--archs", default=None,
                    help="comma-separated architecture subset (default: all)")
+    p.add_argument("--profile-source", choices=("measured", "static"),
+                   default="measured", dest="profile_source",
+                   help="profile fed to the aligners: the measured trace "
+                        "(default) or the profile-free static prediction; "
+                        "'static' renders the recovery study "
+                        "(results/static_profile.md) instead of win "
+                        "matrices")
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable report (win matrices, "
                         "standings, per-cell scores)")

@@ -33,7 +33,22 @@ from typing import Dict, Optional, Set, Tuple
 
 from ..cfg import BlockId, Procedure, TerminatorKind
 from ..isa.encoder import LinkedProgram
+from ..profiling.condmix import stationary_two_bit_rates
 from ..profiling.edge_profile import EdgeProfile
+
+__all__ = [
+    "ArchModel",
+    "BTBModel",
+    "BTFNTModel",
+    "BranchCosts",
+    "DEFAULT_COSTS",
+    "FallthroughModel",
+    "LikelyModel",
+    "MODELS",
+    "PHTModel",
+    "make_model",
+    "stationary_two_bit_rates",
+]
 
 
 @dataclass(frozen=True)
@@ -257,37 +272,6 @@ class BTBModel(ArchModel):
         hit = 1.0 - self.mispredict_rate
         correct = w_fall * self.costs.correct_fallthrough + w_taken * self._taken_cost()
         return hit * correct + self.mispredict_rate * (w_fall + w_taken) * self.costs.mispredicted
-
-
-def stationary_two_bit_rates(p_taken: float) -> Tuple[float, float]:
-    """Steady-state behaviour of a 2-bit saturating counter on a
-    Bernoulli(``p_taken``) branch.
-
-    The counter is a birth–death chain on states {0,1,2,3} with up-rate
-    ``p`` and down-rate ``1 - p``; its stationary distribution gives the
-    probability ``P_T`` of predicting taken (states 2 and 3):
-
-        r = p / (1 - p);   P_T = (r^2 + r^3) / (1 + r + r^2 + r^3)
-
-    Returns ``(P_T, mispredict_rate)`` where the mispredict rate is
-    ``P_T * (1 - p) + (1 - P_T) * p``.  The static branch-cost estimator
-    uses this to model the PHT and BTB direction counters without a
-    trace; the model is exact for independent outcomes and a known upper
-    bound miscount for strictly alternating or loop-exit patterns.
-    """
-    if not 0.0 <= p_taken <= 1.0:
-        raise ValueError(f"taken probability must be in [0, 1], got {p_taken}")
-    if p_taken == 0.0:
-        return 0.0, 0.0
-    if p_taken == 1.0:
-        return 1.0, 0.0
-    r = p_taken / (1.0 - p_taken)
-    r2 = r * r
-    p_predict_taken = (r2 + r2 * r) / (1.0 + r + r2 + r2 * r)
-    mispredict_rate = p_predict_taken * (1.0 - p_taken) + (
-        1.0 - p_predict_taken
-    ) * p_taken
-    return p_predict_taken, mispredict_rate
 
 
 #: Factory registry: model name -> constructor.

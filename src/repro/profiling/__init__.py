@@ -1,8 +1,9 @@
 """Profile collection (the ATOM substitute)."""
 
-from .condmix import CondMix, CondMixListener
+from .condmix import CondMix, CondMixListener, stationary_two_bit_rates
 from .edge_profile import EdgeProfile
 from .profiler import profile_program, profile_program_with_result
+from .staticprofile import StaticProfile
 from .storage import (
     FORMAT_VERSION,
     ProfileCorruptError,
@@ -28,4 +29,6 @@ __all__ = [
     "profile_program_with_result",
     "profile_to_dict",
     "save_profile",
+    "stationary_two_bit_rates",
+    "StaticProfile",
 ]

@@ -7,11 +7,16 @@ module is that single definition; :meth:`EdgeProfile.cond_mix` returns
 one and :class:`CondMixListener` accumulates one, replacing the two
 private implementations that used to live in ``sim/metrics.py`` and
 ``profiling/edge_profile.py``.
+
+It is also the canonical home of :func:`stationary_two_bit_rates`, the
+closed-form 2-bit-counter model shared by the static cost estimator and
+the static branch predictor; ``condmix`` is a leaf module both layers
+may import without cycling through ``core``.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import NamedTuple, Tuple
 
 #: Event-kind code of a conditional branch.  Mirrors
 #: :data:`repro.sim.trace.COND`; hardcoded here because the profiling
@@ -65,3 +70,34 @@ class CondMixListener:
     def mix(self) -> CondMix:
         """The accumulated counts as a :class:`CondMix`."""
         return CondMix(self.taken, self.fall)
+
+
+def stationary_two_bit_rates(p_taken: float) -> Tuple[float, float]:
+    """Steady-state behaviour of a 2-bit saturating counter on a
+    Bernoulli(``p_taken``) branch.
+
+    The counter is a birth–death chain on states {0,1,2,3} with up-rate
+    ``p`` and down-rate ``1 - p``; its stationary distribution gives the
+    probability ``P_T`` of predicting taken (states 2 and 3):
+
+        r = p / (1 - p);   P_T = (r^2 + r^3) / (1 + r + r^2 + r^3)
+
+    Returns ``(P_T, mispredict_rate)`` where the mispredict rate is
+    ``P_T * (1 - p) + (1 - P_T) * p``.  The static branch-cost estimator
+    uses this to model the PHT and BTB direction counters without a
+    trace; the model is exact for independent outcomes and a known upper
+    bound miscount for strictly alternating or loop-exit patterns.
+    """
+    if not 0.0 <= p_taken <= 1.0:
+        raise ValueError(f"taken probability must be in [0, 1], got {p_taken}")
+    if p_taken == 0.0:
+        return 0.0, 0.0
+    if p_taken == 1.0:
+        return 1.0, 0.0
+    r = p_taken / (1.0 - p_taken)
+    r2 = r * r
+    p_predict_taken = (r2 + r2 * r) / (1.0 + r + r2 + r2 * r)
+    mispredict_rate = p_predict_taken * (1.0 - p_taken) + (
+        1.0 - p_predict_taken
+    ) * p_taken
+    return p_predict_taken, mispredict_rate

@@ -1,0 +1,96 @@
+"""A profile synthesised from static prediction instead of execution.
+
+:class:`StaticProfile` subclasses :class:`EdgeProfile` and fills its
+edge counts from the static predictor + frequency propagator
+(:mod:`repro.staticcheck.predict`, :mod:`repro.staticcheck.propagate`)
+instead of from an instrumented run.  Because it *is* an
+``EdgeProfile``, every consumer — the cost models, all aligners, the
+static estimator, the experiment drivers — works unchanged; profile-free
+alignment is a one-line swap of the profile object.
+
+Frequencies are per-procedure (entry frequency 1.0), which is all the
+aligners need: alignment decisions are made one procedure at a time, so
+only relative intra-procedure weights matter.  The float frequencies
+are quantised onto an integer grid (``scale`` counts per procedure
+entry) because the ``EdgeProfile`` contract is integer counts; the
+default grid of 2**20 keeps three-decimal-place probability
+distinctions representable even inside damped 200-trip loops.
+
+The imports of the staticcheck machinery happen lazily inside
+:meth:`StaticProfile.from_program`: ``staticcheck`` imports the
+profiling layer (the estimator consumes measured profiles), so a
+module-level import here would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..cfg import Program
+from .edge_profile import EdgeProfile
+
+__all__ = ["DEFAULT_SCALE", "StaticProfile"]
+
+#: Integer counts per procedure entry when quantising frequencies.
+DEFAULT_SCALE = 1 << 20
+
+
+class StaticProfile(EdgeProfile):
+    """An :class:`EdgeProfile` predicted from program structure alone.
+
+    Instances also retain the intermediate artefacts (the per-site
+    :class:`~repro.staticcheck.predict.PredictionReport` and per-procedure
+    :class:`~repro.staticcheck.propagate.FrequencyMap` objects) so the CLI
+    and the lint passes can audit how the counts came about without
+    re-running the predictor.
+    """
+
+    def __init__(self, scale: int = DEFAULT_SCALE) -> None:
+        super().__init__()
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        #: :class:`repro.staticcheck.predict.PredictionReport` (set by
+        #: :meth:`from_program`; ``None`` for a hand-built instance).
+        self.report: Optional[Any] = None
+        #: procedure name -> :class:`repro.staticcheck.propagate.FrequencyMap`.
+        self.frequencies: Dict[str, Any] = {}
+
+    @classmethod
+    def from_program(
+        cls,
+        program: Program,
+        scale: int = DEFAULT_SCALE,
+        config: Optional[Any] = None,
+        cp_max: Optional[float] = None,
+    ) -> "StaticProfile":
+        """Predict every branch and propagate flow over ``program``.
+
+        ``config`` is a :class:`~repro.staticcheck.predict.HeuristicConfig`
+        and ``cp_max`` the loop-damping bound; both default to the module
+        defaults.  Deterministic: same program, same profile.
+        """
+        from ..staticcheck.dataflow import ProgramAnalyses
+        from ..staticcheck.predict import DEFAULT_CONFIG, predict_program
+        from ..staticcheck.propagate import CP_MAX, propagate_program
+
+        analyses = ProgramAnalyses()
+        report = predict_program(
+            program, analyses, DEFAULT_CONFIG if config is None else config
+        )
+        frequencies = propagate_program(
+            program,
+            report,
+            analyses,
+            cp_max=CP_MAX if cp_max is None else cp_max,
+        )
+        profile = cls(scale=scale)
+        profile.report = report
+        profile.frequencies = frequencies
+        for proc in program:
+            fmap = frequencies[proc.name]
+            for (src, dst), freq in fmap.edge_freq.items():
+                count = int(round(freq * scale))
+                if count > 0:
+                    profile.set_weight(proc.name, src, dst, count)
+        return profile

@@ -219,6 +219,8 @@ class UnitTask:
     trace_cache: Optional[Union[str, Path]] = None
     #: Registered aligner names to compete (None = the whole registry).
     algorithms: Optional[Tuple[str, ...]] = None
+    #: What the aligners see: the measured profile or a static prediction.
+    profile_source: str = "measured"
 
 
 @contextmanager
@@ -329,6 +331,7 @@ def execute_unit(task: UnitTask) -> dict:
                 trace=trace,
                 replay_check=task.replay_check,
                 algorithms=task.algorithms,
+                profile_source=task.profile_source,
             )
             injector.fire("simulate", name, attempt)
             payload = {"unit": "experiment", "data": experiment_to_dict(experiment)}
@@ -730,6 +733,7 @@ def _fingerprint(tasks: Sequence[UnitTask]) -> Tuple[str, dict]:
         "min_weight": head.min_weight,
         "meld": head.meld,
         "algorithms": list(head.algorithms) if head.algorithms is not None else None,
+        "profile_source": head.profile_source,
     }
     return config_fingerprint(summary), summary
 
@@ -858,6 +862,7 @@ def run_suite_resilient(
     min_weight: int = 2,
     config: Optional[RunnerConfig] = None,
     algorithms: Optional[Sequence[str]] = None,
+    profile_source: str = "measured",
 ) -> SuiteRunResult:
     """The Tables 3/4 suite experiment under the resilient runner."""
     selected = list(names) if names is not None else list(SUITE)
@@ -871,6 +876,7 @@ def run_suite_resilient(
             archs=tuple(archs),
             min_weight=min_weight,
             algorithms=tuple(algorithms) if algorithms is not None else None,
+            profile_source=profile_source,
         )
         for name in selected
     ]

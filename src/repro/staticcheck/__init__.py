@@ -8,6 +8,10 @@ Three parts:
   postdominators, natural loops) behind an ``AnalysisManager``;
 * :mod:`.estimator` — a trace-free branch-cost estimator computed from
   the edge profile, cross-validated against the simulator;
+* :mod:`.predict` / :mod:`.propagate` — profile-free branch prediction:
+  structural heuristics vote on every conditional site and Wu–Larus
+  frequency propagation turns the probabilities into synthetic edge
+  counts (surfaced as :class:`repro.profiling.StaticProfile`);
 * :mod:`.binary` — binary-level translation validation: CFG recovery
   from the linked instruction stream, encoding checks (RL013-RL017) and
   static bisimulation proofs for every alignment rewrite.
@@ -61,10 +65,29 @@ from .passes import (
     LintContext,
     MeldContext,
     PassManager,
+    StaticContext,
     VerifierPass,
     pass_count,
     pass_ids,
     run_lint,
+)
+from .predict import (
+    DEFAULT_CONFIG,
+    HEURISTICS,
+    HeuristicConfig,
+    HeuristicVote,
+    PredictionReport,
+    SitePrediction,
+    combine_votes,
+    predict_procedure,
+    predict_program,
+)
+from .propagate import (
+    CP_MAX,
+    FrequencyMap,
+    edge_probabilities,
+    propagate_procedure,
+    propagate_program,
 )
 
 __all__ = [
@@ -74,10 +97,16 @@ __all__ = [
     "BinaryImage",
     "BranchSiteEstimate",
     "CODES",
+    "CP_MAX",
     "CostEstimate",
+    "DEFAULT_CONFIG",
     "Diagnostic",
     "EquivalenceError",
     "EquivalenceProof",
+    "FrequencyMap",
+    "HEURISTICS",
+    "HeuristicConfig",
+    "HeuristicVote",
     "LegalityReport",
     "LintContext",
     "LintReport",
@@ -85,6 +114,7 @@ __all__ = [
     "PASSES",
     "PassManager",
     "PassOutcome",
+    "PredictionReport",
     "ProcedureProof",
     "ProgramAnalyses",
     "RecoveredBlock",
@@ -94,16 +124,24 @@ __all__ = [
     "REPORT_SCHEMA_VERSION",
     "Severity",
     "SiteLegality",
+    "SitePrediction",
+    "StaticContext",
     "VerifierPass",
     "analyze_procedure",
     "analyze_program",
     "cfg_fingerprint",
     "check_proof",
+    "combine_votes",
     "cross_validate",
+    "edge_probabilities",
     "estimate_costs",
     "pass_count",
     "pass_ids",
+    "predict_procedure",
+    "predict_program",
     "proof_key",
+    "propagate_procedure",
+    "propagate_program",
     "prove_cfgs",
     "prove_layouts",
     "prove_meld",

@@ -217,21 +217,35 @@ def _site_is_trivial(side: _Side, address: int) -> bool:
 
 
 def _trivial_elision(cfg: RecoveredCFG, proc: RecoveredProcedure) -> FrozenSet[int]:
-    """The largest self-supporting set of elidable conditional sites.
+    """A self-supporting set of elidable conditional sites.
 
-    Computed as a greatest fixpoint: start from every conditional site
-    and repeatedly discard the ones whose arms are not observationally
-    identical *under the current elision set*.  The final set is a
-    post-fixpoint of :func:`_site_is_trivial`, which is exactly what the
-    coinductive reading of bisimilarity needs — and exactly what
+    :func:`_site_is_trivial` is *not* monotone in the elision set:
+    eliding a non-trivial conditional (a loop header, say) reroutes
+    other sites' chains around the loop and back into themselves, so a
+    sweep that starts from every conditional can poison — and then
+    discard — sites that are genuinely trivial on their own.  Instead,
+    grow the set inside-out: repeatedly admit sites whose arms are
+    observationally identical under the current set, so innermost melded
+    diamonds enter first and enable the diamonds that enclose them.
+    Then prune back to a post-fixpoint of :func:`_site_is_trivial`
+    (later admissions can perturb earlier ones), which is exactly what
+    the coinductive reading of bisimilarity needs — and exactly what
     :func:`check_proof` re-verifies for a claimed set.
     """
-    side = _Side(cfg, proc)
-    elide = frozenset(
+    conds = frozenset(
         address
-        for address, block in side.sites.items()
+        for address, block in _Side(cfg, proc).sites.items()
         if block.kind is Opcode.COND_BRANCH
     )
+    elide: FrozenSet[int] = frozenset()
+    while True:
+        side = _Side(cfg, proc, elide=elide)
+        grown = elide | frozenset(
+            a for a in conds - elide if _site_is_trivial(side, a)
+        )
+        if grown == elide:
+            break
+        elide = grown
     while True:
         side = _Side(cfg, proc, elide=elide)
         kept = frozenset(a for a in elide if _site_is_trivial(side, a))

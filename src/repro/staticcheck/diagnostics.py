@@ -61,6 +61,9 @@ CODES: Dict[str, str] = {
     "RL019": "meld clobbers a decision stream that is still live",
     "RL020": "meld reorders observable side effects across region arms",
     "RL021": "recorded meld region shape contradicts the dominator tree",
+    "RL022": "static branch prediction diverges from the measured profile",
+    "RL023": "static probability or propagated flow violates an invariant",
+    "RL024": "static prediction confidence is miscalibrated (report)",
 }
 
 

@@ -19,7 +19,7 @@ Exact quantities (derivable from flow counts and the layout):
 Modelled quantities (documented approximations):
 
 * PHT conditionals use the stationary 2-bit-counter model
-  (:func:`repro.core.costmodel.stationary_two_bit_rates`) per site —
+  (:func:`repro.profiling.condmix.stationary_two_bit_rates`) per site —
   exact for independent outcomes, slightly pessimistic for loop exits,
   optimistic for alternating patterns the gshare history can learn;
   table aliasing is ignored, so both PHTs share one estimate.
@@ -39,8 +39,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..cfg import Procedure, TerminatorKind
-from ..core.costmodel import stationary_two_bit_rates
 from ..isa.encoder import LinkedProgram
+from ..profiling.condmix import stationary_two_bit_rates
 from ..profiling.edge_profile import EdgeProfile
 from ..sim.metrics import ALL_ARCHS, SimulationReport
 from ..sim.predictors.base import MISFETCH_CYCLES, MISPREDICT_CYCLES

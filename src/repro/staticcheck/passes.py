@@ -61,6 +61,20 @@ class MeldContext:
 
 
 @dataclass
+class StaticContext:
+    """A static-prediction run under audit (the RL022–RL024 passes).
+
+    ``profile`` is the :class:`~repro.profiling.staticprofile.StaticProfile`
+    whose prediction report and frequency maps the passes inspect.  The
+    divergence (RL022) and calibration (RL024) passes additionally need
+    the *measured* profile from :class:`LintContext` to compare against;
+    the sanity pass (RL023) works from the static artefacts alone.
+    """
+
+    profile: Any  # StaticProfile; typed loosely to avoid an import cycle
+
+
+@dataclass
 class LintContext:
     """Everything one lint run inspects.
 
@@ -69,6 +83,8 @@ class LintContext:
     label.  ``profile`` may be ``None`` when only structural CFG checks
     are wanted.  ``meld`` carries an applied branch-melding transcript
     for the RL018–RL021 audit passes; without it those passes skip.
+    ``static`` carries a static-prediction run for the RL022–RL024
+    audit passes; without it those passes skip.
     """
 
     program: Program
@@ -76,6 +92,7 @@ class LintContext:
     layouts: Dict[str, ProgramLayout] = field(default_factory=dict)
     analyses: ProgramAnalyses = field(default_factory=ProgramAnalyses)
     meld: Optional[MeldContext] = None
+    static: Optional[StaticContext] = None
 
     def procedures(self) -> Iterator[Procedure]:
         for name in self.program.order:
@@ -95,10 +112,11 @@ class VerifierPass:
     pass_id: str
     description: str
     run: PassFn
-    #: Passes needing a profile/layouts/meld are skipped when absent.
+    #: Passes needing a profile/layouts/meld/static are skipped when absent.
     needs_profile: bool = False
     needs_layouts: bool = False
     needs_meld: bool = False
+    needs_static: bool = False
 
     def applicable(self, ctx: LintContext) -> bool:
         if self.needs_profile and ctx.profile is None:
@@ -106,6 +124,8 @@ class VerifierPass:
         if self.needs_layouts and not ctx.layouts:
             return False
         if self.needs_meld and ctx.meld is None:
+            return False
+        if self.needs_static and ctx.static is None:
             return False
         return True
 
@@ -822,6 +842,201 @@ def _pass_meld_region(ctx: LintContext) -> List[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
+# Static-prediction audit passes (RL022-RL024)
+# ----------------------------------------------------------------------
+
+#: Absolute probability gap above which RL022 flags a divergent site.
+DIVERGENCE_GAP = 0.35
+#: Minimum measured executions before a site's divergence is reported.
+DIVERGENCE_MIN_WEIGHT = 8
+#: Calibration: high-confidence sites must predict the measured majority
+#: direction at least this often.
+CALIBRATION_FLOOR = 0.75
+#: Confidence at or above which a site counts as high-confidence.
+CALIBRATION_CONFIDENCE = 0.80
+#: Propagated flow residual tolerance, relative to the block frequency.
+FLOW_TOLERANCE = 1e-6
+
+
+def _static_sites(ctx: LintContext) -> Iterator[Tuple[Procedure, Any]]:
+    """(procedure, SitePrediction) pairs of the context's static run."""
+    assert ctx.static is not None
+    report = ctx.static.profile.report
+    if report is None:
+        return
+    for proc in ctx.procedures():
+        for site in report.for_procedure(proc.name):
+            if site.block in proc.blocks:
+                yield proc, site
+
+
+def _measured_mix(
+    ctx: LintContext, proc: Procedure, bid: int
+) -> Optional[Tuple[int, int]]:
+    """Measured (taken, fall) weights of a conditional, or None."""
+    assert ctx.profile is not None
+    taken = proc.taken_edge(bid)
+    fall = proc.fallthrough_edge(bid)
+    if taken is None or fall is None:
+        return None
+    return (
+        ctx.profile.weight(proc.name, bid, taken.dst),
+        ctx.profile.weight(proc.name, bid, fall.dst),
+    )
+
+
+def _pass_predict_divergence(ctx: LintContext) -> List[Diagnostic]:
+    """RL022: predicted vs measured taken-probability audit.
+
+    Warnings, not errors: a heuristic predictor is *expected* to miss
+    sites — the audit exists so a workload whose static profile is badly
+    wrong is visible in ``repro lint`` instead of silently costing CPI.
+    """
+    out: List[Diagnostic] = []
+    for proc, site in _static_sites(ctx):
+        mix = _measured_mix(ctx, proc, site.block)
+        if mix is None:
+            continue
+        w_taken, w_fall = mix
+        weight = w_taken + w_fall
+        if weight < DIVERGENCE_MIN_WEIGHT:
+            continue
+        measured = w_taken / weight
+        gap = abs(site.p_taken - measured)
+        if gap > DIVERGENCE_GAP:
+            out.append(_diag(
+                "RL022",
+                f"predicted p(taken)={site.p_taken:.2f} "
+                f"({'+'.join(site.heuristics)}) but the profile measured "
+                f"{measured:.2f} over {weight} executions",
+                "predict-divergence", severity=Severity.WARNING,
+                procedure=proc.name, block=site.block,
+            ))
+    return out
+
+
+def _pass_predict_sanity(ctx: LintContext) -> List[Diagnostic]:
+    """RL023: probabilities legal, synthetic counts flow-conserved.
+
+    These are hard invariants of the predictor/propagator pair, so any
+    violation is an error: probabilities must be honest probabilities,
+    votes must cite registered heuristics, and the propagated block
+    frequencies must equal their in-flow (the Wu–Larus fixed point).
+    """
+    from .predict import HEURISTICS
+
+    assert ctx.static is not None
+    out: List[Diagnostic] = []
+    known = set(HEURISTICS)
+    for proc, site in _static_sites(ctx):
+        if not 0.0 <= site.p_taken <= 1.0:
+            out.append(_diag(
+                "RL023",
+                f"predicted probability {site.p_taken!r} outside [0, 1]",
+                "predict-sanity", procedure=proc.name, block=site.block,
+            ))
+        for vote in site.votes:
+            if vote.heuristic not in known:
+                out.append(_diag(
+                    "RL023",
+                    f"vote cites unregistered heuristic {vote.heuristic!r}",
+                    "predict-sanity", procedure=proc.name, block=site.block,
+                ))
+            if not 0.5 <= vote.hit_rate <= 1.0:
+                out.append(_diag(
+                    "RL023",
+                    f"{vote.heuristic} hit-rate {vote.hit_rate!r} "
+                    "outside [0.5, 1]",
+                    "predict-sanity", procedure=proc.name, block=site.block,
+                ))
+    frequencies = ctx.static.profile.frequencies
+    for proc in ctx.procedures():
+        fmap = frequencies.get(proc.name)
+        if fmap is None:
+            continue
+        for bid, freq in sorted(fmap.block_freq.items()):
+            if freq < 0.0:
+                out.append(_diag(
+                    "RL023",
+                    f"negative propagated frequency {freq!r}",
+                    "predict-sanity", procedure=proc.name, block=bid,
+                ))
+        residuals = fmap.conservation_residuals(proc)
+        for bid, residual in sorted(residuals.items()):
+            bound = FLOW_TOLERANCE * max(fmap.block_freq.get(bid, 0.0), 1.0)
+            damped = fmap.cyclic.get(bid, 0.0) >= fmap.cp_cap
+            if residual > bound and not damped:
+                out.append(_diag(
+                    "RL023",
+                    f"propagated flow not conserved: |in - freq| = "
+                    f"{residual:.3e} exceeds {bound:.3e}",
+                    "predict-sanity", procedure=proc.name, block=bid,
+                ))
+    return out
+
+
+def _pass_predict_calibration(ctx: LintContext) -> List[Diagnostic]:
+    """RL024: confidence calibration against the measured profile.
+
+    Buckets the predictor's sites by confidence and reports each
+    bucket's measured direction-agreement rate (INFO).  When the
+    high-confidence bucket agrees on fewer than ``CALIBRATION_FLOOR`` of
+    its weighted executions, the predictor is overconfident and the
+    report escalates to a warning.
+    """
+    out: List[Diagnostic] = []
+    buckets: Dict[str, List[Tuple[float, bool, int]]] = {
+        "low": [], "mid": [], "high": [],
+    }
+    for proc, site in _static_sites(ctx):
+        mix = _measured_mix(ctx, proc, site.block)
+        if mix is None:
+            continue
+        w_taken, w_fall = mix
+        weight = w_taken + w_fall
+        if not weight:
+            continue
+        agree = site.predicts_taken == (w_taken > w_fall)
+        conf = site.confidence
+        key = (
+            "high" if conf >= CALIBRATION_CONFIDENCE
+            else "mid" if conf >= 0.4 else "low"
+        )
+        buckets[key].append((conf, agree, weight))
+    parts: List[str] = []
+    for key in ("high", "mid", "low"):
+        entries = buckets[key]
+        total = sum(w for _, _, w in entries)
+        if not total:
+            continue
+        hit = sum(w for _, agree, w in entries if agree)
+        parts.append(
+            f"{key}: {len(entries)} site(s), "
+            f"{100.0 * hit / total:.0f}% weighted agreement"
+        )
+    if parts:
+        out.append(_diag(
+            "RL024", "confidence calibration — " + "; ".join(parts),
+            "predict-calibration", severity=Severity.INFO,
+        ))
+    high = buckets["high"]
+    high_total = sum(w for _, _, w in high)
+    if high_total:
+        high_hit = sum(w for _, agree, w in high if agree)
+        rate = high_hit / high_total
+        if rate < CALIBRATION_FLOOR:
+            out.append(_diag(
+                "RL024",
+                f"high-confidence sites agree with the measured direction "
+                f"on only {100.0 * rate:.0f}% of weighted executions "
+                f"(floor {100.0 * CALIBRATION_FLOOR:.0f}%) — the predictor "
+                "is overconfident on this workload",
+                "predict-calibration", severity=Severity.WARNING,
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
 # The catalog and the pass manager
 # ----------------------------------------------------------------------
 PASSES: Tuple[VerifierPass, ...] = (
@@ -861,6 +1076,12 @@ PASSES: Tuple[VerifierPass, ...] = (
                  _pass_meld_effects, needs_meld=True),
     VerifierPass("meld-region", "recorded region shapes match the dominators",
                  _pass_meld_region, needs_meld=True),
+    VerifierPass("predict-divergence", "static prediction tracks the measured profile",
+                 _pass_predict_divergence, needs_profile=True, needs_static=True),
+    VerifierPass("predict-sanity", "static probabilities legal and flow-conserved",
+                 _pass_predict_sanity, needs_static=True),
+    VerifierPass("predict-calibration", "prediction confidence is calibrated",
+                 _pass_predict_calibration, needs_profile=True, needs_static=True),
 )
 
 
@@ -907,6 +1128,7 @@ def run_lint(
     layouts: Optional[Mapping[str, ProgramLayout]] = None,
     subject: str = "program",
     meld: Optional[MeldContext] = None,
+    static: Optional[StaticContext] = None,
 ) -> LintReport:
     """Run the full verifier-pass catalog and return the report."""
     ctx = LintContext(
@@ -914,5 +1136,6 @@ def run_lint(
         profile=profile,
         layouts=dict(layouts or {}),
         meld=meld,
+        static=static,
     )
     return PassManager().run(ctx, subject)

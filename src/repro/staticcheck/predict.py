@@ -1,0 +1,391 @@
+"""Static branch prediction from program structure alone.
+
+The measured-profile pipeline needs an execution before it can align a
+single block.  This module removes that dependency: every conditional
+site is scored by *structural* heuristics in the Ball–Larus tradition,
+computed entirely from the cached :class:`AnalysisManager` dataflow
+(dominators, postdominators, natural loops).  Behaviour objects — the
+ground truth the simulator consults — are never read; two programs with
+the same CFG shape get the same predictions, so the predictor is fully
+deterministic and genuinely trace-free.
+
+Each heuristic that fires casts a vote: a predicted direction plus the
+fixed hit-rate assumed for that heuristic.  Votes are fused with the
+Dempster–Shafer evidence combination Wu & Larus used for the same job:
+starting from an uninformative 0.5, each vote with taken-probability
+``h`` updates the estimate ``p`` to ``p·h / (p·h + (1-p)·(1-h))``.  The
+result is a per-site taken-probability in (0, 1) plus a confidence
+(how far the evidence moved us from 50/50), which downstream consumers
+use to damp low-evidence decisions.
+
+The heuristics (all structural, in evaluation order):
+
+* **loop-branch** — the taken edge is a natural-loop back edge; loops
+  iterate, so predict taken (the paper's originals run 54–97% taken
+  precisely because of these edges).
+* **loop-exit** — the site sits inside a loop and exactly one successor
+  leaves the loop body; predict the in-loop side.
+* **guard-size** — a diamond whose arms are both pure straight-line
+  code (no calls, no sub-loops, no nested control) but lopsided in
+  size; predict the larger arm — the small one is fixup code.
+* **opcode-class** — one successor terminates in a return; error/early
+  exits are rare, predict the other side.
+* **call-adjacent** — exactly one successor block performs a call and
+  does not postdominate the site; calls guard rarely-entered
+  subsystems, predict the call-free side.
+* **taken-prior** — for diamonds with no stronger signal the paper's
+  measurement stands in as a prior: 1993 compilers put the common case
+  of an if/else on the *taken* edge often enough that conditionals ran
+  62% taken overall.
+* **layout-prior** — the weakest signal of all: the original
+  fall-through placement is itself a (poor) prediction.  It fires at
+  every site and only decides when nothing else votes, biasing
+  no-evidence sites toward the existing layout so a downstream aligner
+  leaves them alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cfg import (
+    BlockId,
+    NaturalLoop,
+    Procedure,
+    Program,
+    TerminatorKind,
+    postdominates,
+)
+from .dataflow import AnalysisManager, ProgramAnalyses
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "HEURISTICS",
+    "HeuristicConfig",
+    "HeuristicVote",
+    "PredictionReport",
+    "SitePrediction",
+    "combine_votes",
+    "predict_procedure",
+    "predict_program",
+]
+
+#: Every heuristic name, in evaluation order (stable: reports and the
+#: calibration lint key off these strings).
+HEURISTICS = (
+    "loop-branch",
+    "loop-exit",
+    "guard-size",
+    "opcode-class",
+    "call-adjacent",
+    "taken-prior",
+    "layout-prior",
+)
+
+
+@dataclass(frozen=True)
+class HeuristicConfig:
+    """Assumed hit-rates per heuristic (all tunable, all in (0.5, 1]).
+
+    The defaults follow the Ball–Larus measurements where one exists
+    (loop branches ~88%, loop exits ~80%).  ``taken_prior`` is pitched
+    *above* the source paper's 62% overall-taken figure on purpose: a
+    barely-taken prior leaves the alignment cost model statically
+    near-tied at diamond sites, and the windowed search then resolves
+    the tie with whatever orientation suits its chain building — which
+    can be a 95%-mispredicted placement at a site the prior actually
+    called correctly.  A decisive prior makes the search commit to the
+    taken-hot orientation, which empirically never loses to the original
+    layout on the suite (see results/static_profile.md).  ``guard_ratio``
+    is the minimum size imbalance before guard-size fires;
+    ``layout_prior`` is deliberately barely above 0.5 so it never
+    overrules evidence.
+    """
+
+    loop_branch: float = 0.88
+    loop_exit: float = 0.80
+    guard_size: float = 0.70
+    guard_ratio: float = 2.0
+    opcode_class: float = 0.72
+    call_adjacent: float = 0.60
+    taken_prior: float = 0.72
+    layout_prior: float = 0.52
+
+    def __post_init__(self) -> None:
+        for name in (
+            "loop_branch", "loop_exit", "guard_size", "opcode_class",
+            "call_adjacent", "taken_prior", "layout_prior",
+        ):
+            rate = getattr(self, name)
+            if not 0.5 <= rate <= 1.0:
+                raise ValueError(f"heuristic hit-rate {name}={rate} not in [0.5, 1]")
+        if self.guard_ratio < 1.0:
+            raise ValueError(f"guard_ratio must be >= 1, got {self.guard_ratio}")
+
+
+#: The configuration every pipeline entry point defaults to.
+DEFAULT_CONFIG = HeuristicConfig()
+
+
+@dataclass(frozen=True)
+class HeuristicVote:
+    """One heuristic's verdict at one site."""
+
+    heuristic: str
+    #: True when the heuristic predicts the taken edge.
+    taken: bool
+    #: Assumed probability that this heuristic is right.
+    hit_rate: float
+
+    @property
+    def p_taken(self) -> float:
+        """The vote as a taken-probability."""
+        return self.hit_rate if self.taken else 1.0 - self.hit_rate
+
+
+def combine_votes(votes: Sequence[HeuristicVote]) -> float:
+    """Dempster–Shafer fusion of independent votes, starting at 0.5."""
+    p = 0.5
+    for vote in votes:
+        h = vote.p_taken
+        num = p * h
+        p = num / (num + (1.0 - p) * (1.0 - h))
+    return p
+
+
+@dataclass(frozen=True)
+class SitePrediction:
+    """The fused prediction for one conditional branch site."""
+
+    procedure: str
+    block: BlockId
+    p_taken: float
+    votes: Tuple[HeuristicVote, ...]
+
+    @property
+    def confidence(self) -> float:
+        """How far the evidence moved us from 50/50, in [0, 1]."""
+        return abs(2.0 * self.p_taken - 1.0)
+
+    @property
+    def predicts_taken(self) -> bool:
+        return self.p_taken > 0.5
+
+    @property
+    def heuristics(self) -> Tuple[str, ...]:
+        """Names of the heuristics that fired, in evaluation order."""
+        return tuple(v.heuristic for v in self.votes)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "procedure": self.procedure,
+            "block": self.block,
+            "p_taken": self.p_taken,
+            "confidence": self.confidence,
+            "heuristics": [
+                {"name": v.heuristic, "taken": v.taken, "hit_rate": v.hit_rate}
+                for v in self.votes
+            ],
+        }
+
+
+@dataclass
+class PredictionReport:
+    """Every site prediction for one program."""
+
+    sites: List[SitePrediction]
+    config: HeuristicConfig = DEFAULT_CONFIG
+
+    def site(self, procedure: str, block: BlockId) -> Optional[SitePrediction]:
+        """The prediction at one site, or None for non-conditional ids."""
+        for prediction in self.sites:
+            if prediction.procedure == procedure and prediction.block == block:
+                return prediction
+        return None
+
+    def for_procedure(self, procedure: str) -> List[SitePrediction]:
+        return [s for s in self.sites if s.procedure == procedure]
+
+    def taken_probabilities(self, procedure: str) -> Dict[BlockId, float]:
+        """block id -> p_taken for one procedure (propagation input)."""
+        return {s.block: s.p_taken for s in self.for_procedure(procedure)}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sites": [s.to_dict() for s in self.sites],
+            "site_count": len(self.sites),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Per-site heuristic evaluation
+# ---------------------------------------------------------------------------
+
+
+def _innermost_loop(
+    loops: Sequence[NaturalLoop], bid: BlockId
+) -> Optional[NaturalLoop]:
+    """The smallest natural loop containing ``bid``, if any."""
+    best: Optional[NaturalLoop] = None
+    for loop in loops:
+        if bid in loop.body and (best is None or loop.size < best.size):
+            best = loop
+    return best
+
+
+def _dominated_blocks(
+    root: BlockId, children: Dict[BlockId, List[BlockId]]
+) -> Set[BlockId]:
+    """All blocks in ``root``'s dominator subtree, ``root`` included."""
+    out: Set[BlockId] = set()
+    stack = [root]
+    while stack:
+        bid = stack.pop()
+        if bid in out:
+            continue
+        out.add(bid)
+        stack.extend(children.get(bid, ()))
+    return out
+
+
+def _straightline_arm_size(
+    proc: Procedure, arm: Set[BlockId], headers: Set[BlockId]
+) -> Optional[int]:
+    """Total size of a pure straight-line arm, or None if it is not one.
+
+    A guard's fixup arm is plain code: no calls, no nested control flow,
+    no loops.  Anything richer disqualifies the guard-size heuristic —
+    arm size stops being a proxy for "rarely executed fixup".
+    """
+    total = 0
+    for bid in arm:
+        block = proc.blocks.get(bid)
+        if block is None:
+            return None
+        if block.calls or bid in headers:
+            return None
+        if block.kind not in (TerminatorKind.FALLTHROUGH, TerminatorKind.UNCOND):
+            return None
+        total += block.size
+    return total
+
+
+def predict_procedure(
+    proc: Procedure,
+    manager: Optional[AnalysisManager] = None,
+    config: HeuristicConfig = DEFAULT_CONFIG,
+) -> List[SitePrediction]:
+    """Score every conditional site of one procedure."""
+    if manager is None:
+        manager = AnalysisManager(proc)
+    loops = manager.loops()
+    ipdom = manager.postdominators()
+    idom = manager.dominators()
+    back_edges: Set[Tuple[BlockId, BlockId]] = set()
+    headers: Set[BlockId] = set()
+    for loop in loops:
+        headers.add(loop.header)
+        back_edges.update(loop.back_edges)
+    children: Dict[BlockId, List[BlockId]] = {}
+    for bid, parent in idom.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(bid)
+
+    predictions: List[SitePrediction] = []
+    for bid in proc.conditional_sites():
+        taken_edge = proc.taken_edge(bid)
+        fall_edge = proc.fallthrough_edge(bid)
+        if taken_edge is None or fall_edge is None:
+            continue  # corrupted CFG; the lint passes flag it elsewhere
+        succ_t, succ_f = taken_edge.dst, fall_edge.dst
+        block_t = proc.blocks.get(succ_t)
+        block_f = proc.blocks.get(succ_f)
+        if block_t is None or block_f is None:
+            continue  # dangling edge in a corrupted CFG
+        votes: List[HeuristicVote] = []
+
+        # loop-branch: a back edge iterates.
+        if (bid, succ_t) in back_edges:
+            votes.append(HeuristicVote("loop-branch", True, config.loop_branch))
+        elif (bid, succ_f) in back_edges:
+            votes.append(HeuristicVote("loop-branch", False, config.loop_branch))
+
+        # loop-exit: stay inside the loop.
+        loop = _innermost_loop(loops, bid)
+        if loop is not None:
+            t_in = succ_t in loop.body
+            f_in = succ_f in loop.body
+            if t_in != f_in:
+                votes.append(HeuristicVote("loop-exit", t_in, config.loop_exit))
+
+        # The taken successor of an if-without-else postdominates the
+        # site (it is the join); a diamond has an arm on both edges.
+        diamond = not (
+            postdominates(ipdom, succ_t, bid) or postdominates(ipdom, succ_f, bid)
+        )
+
+        if diamond:
+            taken_arm = _straightline_arm_size(
+                proc, _dominated_blocks(succ_t, children), headers
+            )
+            fall_arm = _straightline_arm_size(
+                proc, _dominated_blocks(succ_f, children), headers
+            )
+            if taken_arm and fall_arm:
+                if taken_arm >= config.guard_ratio * fall_arm:
+                    votes.append(HeuristicVote("guard-size", True, config.guard_size))
+                elif fall_arm >= config.guard_ratio * taken_arm:
+                    votes.append(HeuristicVote("guard-size", False, config.guard_size))
+
+        # opcode-class: a return successor is an early/error exit.
+        t_ret = block_t.kind is TerminatorKind.RETURN
+        f_ret = block_f.kind is TerminatorKind.RETURN
+        if t_ret != f_ret:
+            votes.append(HeuristicVote("opcode-class", f_ret, config.opcode_class))
+
+        # call-adjacent: a call-bearing successor guards a subsystem.
+        t_call = bool(block_t.calls)
+        f_call = bool(block_f.calls)
+        if t_call != f_call:
+            call_succ = succ_t if t_call else succ_f
+            if not postdominates(ipdom, call_succ, bid):
+                votes.append(
+                    HeuristicVote("call-adjacent", f_call, config.call_adjacent)
+                )
+
+        if diamond:
+            votes.append(HeuristicVote("taken-prior", True, config.taken_prior))
+
+        # layout-prior always fires: the original placement is itself a
+        # weak prediction, and it breaks no-evidence ties toward the
+        # existing layout.
+        votes.append(HeuristicVote("layout-prior", False, config.layout_prior))
+
+        p = combine_votes(votes)
+        # Clamp away from the poles so propagation multipliers and the
+        # downstream 2-bit-counter model stay finite.
+        p = min(max(p, 0.01), 0.99)
+        predictions.append(
+            SitePrediction(
+                procedure=proc.name,
+                block=bid,
+                p_taken=p,
+                votes=tuple(votes),
+            )
+        )
+    return predictions
+
+
+def predict_program(
+    program: Program,
+    analyses: Optional[ProgramAnalyses] = None,
+    config: HeuristicConfig = DEFAULT_CONFIG,
+) -> PredictionReport:
+    """Score every conditional site of every procedure."""
+    if analyses is None:
+        analyses = ProgramAnalyses()
+    sites: List[SitePrediction] = []
+    for proc in program:
+        sites.extend(predict_procedure(proc, analyses.for_procedure(proc), config))
+    return PredictionReport(sites=sites, config=config)

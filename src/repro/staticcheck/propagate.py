@@ -1,0 +1,245 @@
+"""Wu–Larus frequency propagation: site probabilities to flow counts.
+
+The aligners do not consume branch probabilities — they consume *edge
+weights*, because a 90%-taken branch executed twice matters less than a
+60%-taken branch executed a million times.  This module turns the
+per-site taken-probabilities of :mod:`repro.staticcheck.predict` into
+synthetic block and edge frequencies by solving the CFG flow equations
+the way Wu & Larus proposed:
+
+* every edge gets a local branch probability (conditionals from the
+  prediction, single-successor blocks 1.0, indirect jumps a uniform
+  split);
+* natural loops are solved innermost first: one symbolic pass through
+  the loop body with the header pinned at frequency 1 yields the
+  *cyclic probability* — the expected flow arriving back at the header
+  per entry — and the header's true frequency is the geometric-series
+  sum ``in_flow / (1 - cyclic_probability)``;
+* the cyclic probability is damped below :data:`CP_MAX` so a
+  (mis)predicted near-certain back edge yields a large finite trip
+  count instead of an infinite one;
+* a final pass over the whole procedure in reverse postorder assigns
+  every block ``freq = in_flow`` (amplified at loop headers) and every
+  edge ``freq(src) * prob(edge)``.
+
+On a reducible CFG the result conserves flow *exactly* (up to damping
+and float rounding): every block's frequency equals its in-flow plus
+the entry injection, and equals its out-flow unless it returns.  That
+invariant is what the RL023 lint pass and the Hypothesis property
+tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..cfg import BlockId, Procedure, Program, TerminatorKind
+from .dataflow import AnalysisManager, ProgramAnalyses
+from .predict import DEFAULT_CONFIG, HeuristicConfig, PredictionReport, predict_program
+
+__all__ = [
+    "CP_MAX",
+    "FrequencyMap",
+    "edge_probabilities",
+    "propagate_procedure",
+    "propagate_program",
+]
+
+#: Cyclic-probability damping bound: a loop is never credited with more
+#: than 1/(1 - CP_MAX) = 200 expected iterations per entry.
+CP_MAX = 0.995
+
+EdgeKey = Tuple[BlockId, BlockId]
+
+
+@dataclass
+class FrequencyMap:
+    """Synthetic execution frequencies for one procedure."""
+
+    procedure: str
+    block_freq: Dict[BlockId, float] = field(default_factory=dict)
+    edge_freq: Dict[EdgeKey, float] = field(default_factory=dict)
+    #: Damped cyclic probability per natural-loop header.
+    cyclic: Dict[BlockId, float] = field(default_factory=dict)
+    #: Frequency injected at the procedure entry.
+    entry_freq: float = 1.0
+    #: The damping bound applied to cyclic probabilities; a header whose
+    #: stored cyclic probability equals this bound was capped, and flow
+    #: conservation legitimately breaks there by the truncated mass.
+    cp_cap: float = CP_MAX
+
+    def conservation_residuals(self, proc: Procedure) -> Dict[BlockId, float]:
+        """Per-block |in-flow - frequency|, for the sanity lint and tests.
+
+        In-flow counts every incoming edge frequency plus the entry
+        injection; on a reducible CFG with undamped loops every residual
+        is zero up to float error.
+        """
+        inflow: Dict[BlockId, float] = {bid: 0.0 for bid in proc.blocks}
+        inflow[proc.entry] += self.entry_freq
+        for (src, dst), freq in self.edge_freq.items():
+            if dst in inflow:
+                inflow[dst] += freq
+        return {
+            bid: abs(inflow[bid] - self.block_freq.get(bid, 0.0))
+            for bid in proc.blocks
+        }
+
+
+def edge_probabilities(
+    proc: Procedure, taken_probability: Mapping[BlockId, float]
+) -> Dict[EdgeKey, float]:
+    """Local transition probability of every CFG edge.
+
+    Conditional sites missing from ``taken_probability`` fall back to an
+    uninformative 0.5 split, so the propagation is total even when the
+    predictor skipped a corrupted site.
+    """
+    probs: Dict[EdgeKey, float] = {}
+    for block in proc:
+        out = proc.out_edges(block.bid)
+        if not out:
+            continue
+        if block.kind is TerminatorKind.COND:
+            p = float(taken_probability.get(block.bid, 0.5))
+            taken = proc.taken_edge(block.bid)
+            fall = proc.fallthrough_edge(block.bid)
+            if taken is None or fall is None:
+                share = 1.0 / len(out)
+                for edge in out:
+                    probs[(edge.src, edge.dst)] = share
+                continue
+            probs[(taken.src, taken.dst)] = p
+            probs[(fall.src, fall.dst)] = 1.0 - p
+        elif block.kind is TerminatorKind.INDIRECT:
+            share = 1.0 / len(out)
+            for edge in out:
+                probs[(edge.src, edge.dst)] = share
+        else:
+            for edge in out:
+                probs[(edge.src, edge.dst)] = 1.0
+    return probs
+
+
+def _region_frequencies(
+    blocks: List[BlockId],
+    head: Optional[BlockId],
+    preds: Dict[BlockId, List[BlockId]],
+    probs: Dict[EdgeKey, float],
+    back_edges: Set[EdgeKey],
+    cyclic: Dict[BlockId, float],
+    entry: BlockId,
+    entry_freq: float,
+) -> Dict[BlockId, float]:
+    """One flow-equation pass over ``blocks`` (given in reverse postorder).
+
+    ``head`` pins a loop header at frequency 1 (the symbolic
+    cyclic-probability pass); ``head=None`` is the final whole-procedure
+    pass, where the entry injects ``entry_freq``.  Back edges never
+    contribute to in-flow — their mass lives in the headers' cached
+    cyclic probabilities.
+    """
+    freq: Dict[BlockId, float] = {}
+    members = set(blocks)
+    for bid in blocks:
+        if bid == head:
+            freq[bid] = 1.0
+            continue
+        in_flow = 0.0
+        if head is None and bid == entry:
+            in_flow += entry_freq
+        for pred in preds.get(bid, ()):
+            if pred not in members or (pred, bid) in back_edges:
+                continue
+            in_flow += freq.get(pred, 0.0) * probs.get((pred, bid), 0.0)
+        cp = cyclic.get(bid, 0.0)
+        freq[bid] = in_flow / (1.0 - cp) if cp else in_flow
+    return freq
+
+
+def propagate_procedure(
+    proc: Procedure,
+    taken_probability: Mapping[BlockId, float],
+    manager: Optional[AnalysisManager] = None,
+    entry_freq: float = 1.0,
+    cp_max: float = CP_MAX,
+) -> FrequencyMap:
+    """Solve the flow equations of one procedure."""
+    if manager is None:
+        manager = AnalysisManager(proc)
+    if not 0.0 <= cp_max < 1.0:
+        raise ValueError(f"cp_max must be in [0, 1), got {cp_max}")
+    probs = edge_probabilities(proc, taken_probability)
+    rpo = manager.rpo()
+    rpo_index = {bid: i for i, bid in enumerate(rpo)}
+    preds: Dict[BlockId, List[BlockId]] = {
+        bid: [p for p in proc.predecessors(bid) if p in rpo_index]
+        for bid in rpo
+    }
+    loops = manager.loops()
+    back_edges: Set[EdgeKey] = set()
+    for loop in loops:
+        back_edges.update(loop.back_edges)
+    # Any residual retreating edge (irreducible cycle) must also be cut,
+    # or the single reverse-postorder pass would read unset frequencies.
+    for bid in rpo:
+        for pred in preds[bid]:
+            if rpo_index[pred] >= rpo_index[bid]:
+                back_edges.add((pred, bid))
+
+    # Cyclic probability per header, innermost loop first (a nested
+    # loop's body is a strict subset of its parent's, so size order is
+    # nesting order).
+    cyclic: Dict[BlockId, float] = {}
+    for loop in sorted(loops, key=lambda lp: (lp.size, lp.header)):
+        body = sorted(
+            (b for b in loop.body if b in rpo_index), key=lambda b: rpo_index[b]
+        )
+        local = _region_frequencies(
+            body, loop.header, preds, probs, back_edges, cyclic,
+            proc.entry, entry_freq,
+        )
+        cp = sum(
+            local.get(src, 0.0) * probs.get((src, dst), 0.0)
+            for src, dst in loop.back_edges
+        )
+        cyclic[loop.header] = min(cp, cp_max)
+
+    freq = _region_frequencies(
+        rpo, None, preds, probs, back_edges, cyclic, proc.entry, entry_freq,
+    )
+    result = FrequencyMap(procedure=proc.name, entry_freq=entry_freq, cp_cap=cp_max)
+    for bid in proc.blocks:
+        result.block_freq[bid] = freq.get(bid, 0.0)
+    for edge in proc.edges:
+        result.edge_freq[(edge.src, edge.dst)] = (
+            freq.get(edge.src, 0.0) * probs.get((edge.src, edge.dst), 0.0)
+        )
+    result.cyclic = cyclic
+    return result
+
+
+def propagate_program(
+    program: Program,
+    report: Optional[PredictionReport] = None,
+    analyses: Optional[ProgramAnalyses] = None,
+    entry_freq: float = 1.0,
+    cp_max: float = CP_MAX,
+    config: HeuristicConfig = DEFAULT_CONFIG,
+) -> Dict[str, FrequencyMap]:
+    """Predict (unless given a report) and propagate every procedure."""
+    if analyses is None:
+        analyses = ProgramAnalyses()
+    if report is None:
+        report = predict_program(program, analyses, config)
+    out: Dict[str, FrequencyMap] = {}
+    for proc in program:
+        out[proc.name] = propagate_procedure(
+            proc,
+            report.taken_probabilities(proc.name),
+            analyses.for_procedure(proc),
+            entry_freq=entry_freq,
+            cp_max=cp_max,
+        )
+    return out

@@ -165,6 +165,60 @@ class TestSaveLayout:
         assert "alignment map written" in capsys.readouterr().out
 
 
+class TestPredictCommand:
+    def test_text_report(self, capsys):
+        assert main(["predict", "eqntott", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "conditional site(s) predicted" in out
+        assert "p(taken)" in out
+        assert "layout opportunities at meld-blocked sites" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(["predict", "eqntott", "--scale", "0.05", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["site_count"] == len(payload["sites"])
+        for site in payload["sites"]:
+            assert 0.0 <= site["p_taken"] <= 1.0
+            assert site["frequency"] >= 0.0
+        for hint in payload["hints"]:
+            assert hint["blocked_reason"]
+            assert hint["hot_arm"] in ("taken", "fallthrough")
+
+    def test_compare_grades_against_trace(self, capsys):
+        import json
+
+        assert main(["predict", "eqntott", "--scale", "0.05",
+                     "--compare", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        compare = payload["compare"]
+        assert compare["sites"] > 0
+        assert compare["weighted_agreement"] > 0.5
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        assert main(["predict", "nope"]) == 2
+
+
+class TestTournamentProfileSource:
+    def test_static_renders_recovery_study(self, capsys):
+        assert main(["tournament", "--benchmarks", "eqntott",
+                     "--scale", "0.08", "--window", "10",
+                     "--archs", "fallthrough",
+                     "--profile-source", "static"]) == 0
+        out = capsys.readouterr().out
+        assert "# Profile-free alignment" in out
+        assert "recovery" in out
+
+    def test_static_rejects_arena(self, capsys):
+        assert main(["tournament", "--profile-source", "static",
+                     "--arena"]) == 2
+
+    def test_static_rejects_multiple_algorithms(self, capsys):
+        assert main(["tournament", "--profile-source", "static",
+                     "--algorithms", "greedy,try15"]) == 2
+
+
 class TestVerifyCommand:
     def test_verify_reports_claims(self, capsys):
         code = main(["verify", "--scale", "0.05", "--window", "8"])

@@ -1,0 +1,82 @@
+"""Tests for the synthetic profile-free StaticProfile adapter."""
+
+import pytest
+
+from repro.cfg import TerminatorKind
+from repro.profiling import EdgeProfile, StaticProfile
+from repro.workloads import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_benchmark("eqntott", 0.08)
+
+
+@pytest.fixture(scope="module")
+def static(program):
+    return StaticProfile.from_program(program)
+
+
+class TestFromProgram:
+    def test_is_an_edge_profile(self, static):
+        assert isinstance(static, EdgeProfile)
+
+    def test_carries_its_provenance(self, static):
+        assert static.report is not None
+        assert static.report.sites
+        assert static.frequencies
+        for fmap in static.frequencies.values():
+            assert fmap.block_freq
+
+    def test_counts_positive_integers(self, static):
+        for proc_name in static.procedures():
+            for count in static.proc_edges(proc_name).values():
+                assert isinstance(count, int)
+                assert count > 0
+
+    def test_every_procedure_profiled(self, program, static):
+        assert set(static.procedures()) == {proc.name for proc in program}
+
+    def test_scale_validated(self, program):
+        with pytest.raises(ValueError):
+            StaticProfile.from_program(program, scale=0)
+
+    def test_deterministic(self, program):
+        assert StaticProfile.from_program(program) == StaticProfile.from_program(
+            program
+        )
+
+    def test_hot_loop_outweighs_entry(self, program, static):
+        # Propagated loop amplification must survive the integer
+        # quantisation: the hot loop's edges dominate the entry edge.
+        weights = static.proc_edges("cmppt").values()
+        assert max(weights) > 10 * min(weights)
+
+
+class TestConsumerInterface:
+    def test_cond_mix_matches_predictions(self, program, static):
+        # For every conditional the profile kept, the implied taken
+        # probability must match the predictor's (up to quantisation).
+        for proc in program:
+            for block in proc:
+                if block.kind is not TerminatorKind.COND:
+                    continue
+                site = static.report.site(proc.name, block.bid)
+                w_taken, w_fall = static.cond_mix(proc, block.bid)
+                if not (w_taken and w_fall):
+                    continue
+                implied = w_taken / (w_taken + w_fall)
+                assert implied == pytest.approx(site.p_taken, abs=0.01)
+
+    def test_sorted_edges_usable_by_aligners(self, program, static):
+        for proc in program:
+            weights = [w for _, w in static.sorted_edges(proc)]
+            assert weights == sorted(weights, reverse=True)
+
+    def test_aligner_accepts_static_profile(self, program, static):
+        from repro.core import GreedyAligner
+
+        layout = GreedyAligner().align(program, static)
+        for proc in program:
+            placed = [p.bid for p in layout[proc.name].placements]
+            assert sorted(placed) == sorted(proc.blocks)

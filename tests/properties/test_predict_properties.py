@@ -1,0 +1,99 @@
+"""Property tests: the profile-free prediction tier obeys its axioms.
+
+Three invariants on randomly generated CFGs: every predicted
+probability is a probability (and the per-block edge probabilities sum
+to one), Wu–Larus propagation conserves flow exactly wherever damping
+did not fire, and a :class:`~repro.profiling.StaticProfile` is
+indistinguishable from a hand-built :class:`~repro.profiling.EdgeProfile`
+holding the same counts — the whole downstream pipeline (cost model,
+estimator, aligners) must not be able to tell them apart.
+"""
+
+from hypothesis import given, settings
+
+from repro.cfg import TerminatorKind
+from repro.profiling import EdgeProfile, StaticProfile
+from repro.staticcheck import (
+    CP_MAX,
+    edge_probabilities,
+    predict_program,
+    propagate_program,
+)
+
+from .strategies import programs
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs())
+def test_predictions_are_probabilities(program):
+    report = predict_program(program)
+    conds = {
+        (proc.name, block.bid)
+        for proc in program
+        for block in proc
+        if block.kind is TerminatorKind.COND
+    }
+    seen = set()
+    for site in report.sites:
+        assert 0.0 <= site.p_taken <= 1.0
+        assert 0.0 <= site.confidence <= 1.0
+        assert site.votes, "every site carries at least the layout prior"
+        for vote in site.votes:
+            assert 0.5 <= vote.hit_rate <= 1.0
+        seen.add((site.procedure, site.block))
+    assert seen == conds, "exactly the conditional sites are predicted"
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs())
+def test_edge_probabilities_sum_to_one(program):
+    report = predict_program(program)
+    for proc in program:
+        probs = edge_probabilities(
+            proc, report.taken_probabilities(proc.name)
+        )
+        for block in proc:
+            out = proc.out_edges(block.bid)
+            if not out:
+                continue
+            total = sum(probs[(e.src, e.dst)] for e in out)
+            assert abs(total - 1.0) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs())
+def test_propagation_conserves_flow(program):
+    report = predict_program(program)
+    for name, fmap in propagate_program(program, report=report).items():
+        proc = program.procedures[name]
+        residuals = fmap.conservation_residuals(proc)
+        for bid, residual in residuals.items():
+            if fmap.cyclic.get(bid, 0.0) >= fmap.cp_cap:
+                continue  # damping legitimately truncates mass here
+            bound = 1e-6 * max(fmap.block_freq.get(bid, 0.0), 1.0)
+            assert residual <= bound, (name, bid, residual)
+        for freq in fmap.block_freq.values():
+            assert freq >= 0.0
+        for freq in fmap.edge_freq.values():
+            assert freq >= 0.0
+        for cp in fmap.cyclic.values():
+            assert 0.0 <= cp <= CP_MAX
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs())
+def test_static_profile_equals_equivalent_measured_profile(program):
+    """The synthetic profile is a plain EdgeProfile to every consumer."""
+    static = StaticProfile.from_program(program)
+    manual = EdgeProfile()
+    for proc_name in static.procedures():
+        for (src, dst), count in static.proc_edges(proc_name).items():
+            manual.set_weight(proc_name, src, dst, count)
+    assert manual == static
+    for proc in program:
+        for block in proc:
+            if block.kind is not TerminatorKind.COND:
+                continue
+            assert static.cond_mix(proc, block.bid) == manual.cond_mix(
+                proc, block.bid
+            )

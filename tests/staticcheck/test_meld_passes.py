@@ -25,7 +25,7 @@ def lint_meld(original, melded, records):
 
 class TestRegistry:
     def test_pass_count_matches_registry(self):
-        assert pass_count() == len(pass_ids()) == 18
+        assert pass_count() == len(pass_ids()) == 21
 
     def test_meld_passes_registered(self):
         assert {"meld-legality", "meld-liveness", "meld-effects",

@@ -55,8 +55,10 @@ class TestCleanWorkloads:
                           subject=name)
         assert report.ok
         assert report.findings == []
-        # Without a MeldContext the meld-audit passes are skipped entirely.
-        expected = [p for p in PASSES if not p.needs_meld]
+        # Without a MeldContext or StaticContext the meld-audit and
+        # prediction-audit passes are skipped entirely.
+        expected = [p for p in PASSES
+                    if not p.needs_meld and not p.needs_static]
         assert len(report.outcomes) == len(expected)
 
     def test_lint_without_profile_or_layouts_runs_cfg_passes_only(self):
@@ -167,7 +169,7 @@ class TestPassManager:
         assert others and all(o.passed for o in others)
 
     def test_every_pass_has_a_catalogued_code_space(self):
-        assert set(CODES) == {f"RL{i:03d}" for i in range(22)}
+        assert set(CODES) == {f"RL{i:03d}" for i in range(25)}
         for code, title in CODES.items():
             assert title and title[0].islower() or title.startswith("internal")
 
@@ -183,7 +185,8 @@ class TestReportContract:
         assert payload["summary"]["ok"] is True
         assert payload["summary"]["errors"] == 0
         assert {p["id"] for p in payload["passes"]} == {
-            p.pass_id for p in PASSES if not p.needs_meld
+            p.pass_id for p in PASSES
+            if not p.needs_meld and not p.needs_static
         }
         assert payload["findings"] == []
 

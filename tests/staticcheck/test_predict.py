@@ -1,0 +1,171 @@
+"""Tests for the profile-free predictor and Wu–Larus propagation."""
+
+import pytest
+
+from repro.cfg import TerminatorKind
+from repro.staticcheck import (
+    CP_MAX,
+    DEFAULT_CONFIG,
+    HEURISTICS,
+    HeuristicVote,
+    combine_votes,
+    edge_probabilities,
+    predict_program,
+    propagate_procedure,
+    propagate_program,
+)
+from repro.workloads import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def eqntott():
+    return generate_benchmark("eqntott", 0.08)
+
+
+@pytest.fixture(scope="module")
+def report(eqntott):
+    return predict_program(eqntott)
+
+
+class TestCombineVotes:
+    def test_no_votes_is_uninformative(self):
+        assert combine_votes([]) == 0.5
+
+    def test_single_vote_is_its_hit_rate(self):
+        vote = HeuristicVote("loop-branch", taken=True, hit_rate=0.88)
+        assert combine_votes([vote]) == pytest.approx(0.88)
+
+    def test_opposing_equal_votes_cancel(self):
+        votes = [
+            HeuristicVote("loop-branch", taken=True, hit_rate=0.8),
+            HeuristicVote("guard-size", taken=False, hit_rate=0.8),
+        ]
+        assert combine_votes(votes) == pytest.approx(0.5)
+
+    def test_agreeing_votes_reinforce(self):
+        one = [HeuristicVote("loop-branch", taken=True, hit_rate=0.8)]
+        two = one + [HeuristicVote("opcode-class", taken=True, hit_rate=0.72)]
+        assert combine_votes(two) > combine_votes(one)
+
+    def test_site_probabilities_clamped_to_open_interval(self, report):
+        # combine_votes itself can saturate; the predictor clamps each
+        # site into [0.01, 0.99] so propagation never sees certainty.
+        for site in report.sites:
+            assert 0.01 <= site.p_taken <= 0.99
+
+
+class TestPredictProgram:
+    def test_every_conditional_predicted_once(self, eqntott, report):
+        conds = {
+            (proc.name, block.bid)
+            for proc in eqntott
+            for block in proc
+            if block.kind is TerminatorKind.COND
+        }
+        assert {(s.procedure, s.block) for s in report.sites} == conds
+
+    def test_loop_latches_predicted_strongly_taken(self, report):
+        # cmppt's hot loop latch: loop-branch + loop-exit + opcode-class
+        # all vote taken, so the fused probability is decisive.
+        latch = max(
+            report.for_procedure("cmppt"), key=lambda s: s.p_taken
+        )
+        assert latch.p_taken > 0.9
+        assert "loop-branch" in latch.heuristics
+
+    def test_diamonds_lean_on_the_taken_prior(self, report):
+        # cmppt's equal-arm diamonds have no structural evidence; the
+        # decisive taken-prior (plus the weak layout prior) must still
+        # commit them to the taken side so the aligner is never torn.
+        diamonds = [
+            s for s in report.for_procedure("cmppt")
+            if "taken-prior" in s.heuristics
+        ]
+        assert diamonds
+        for site in diamonds:
+            assert 0.6 < site.p_taken < 0.8
+            assert site.predicts_taken
+
+    def test_votes_cite_registered_heuristics(self, report):
+        for site in report.sites:
+            for vote in site.votes:
+                assert vote.heuristic in HEURISTICS
+
+    def test_deterministic(self, eqntott):
+        first = predict_program(eqntott)
+        second = predict_program(eqntott)
+        assert [s.to_dict() for s in first.sites] == [
+            s.to_dict() for s in second.sites
+        ]
+
+    def test_config_threads_through(self, eqntott):
+        from repro.staticcheck import HeuristicConfig
+
+        neutral = HeuristicConfig(taken_prior=0.5, layout_prior=0.5)
+        report = predict_program(eqntott, config=neutral)
+        diamonds = [
+            s for s in report.for_procedure("cmppt")
+            if not any(
+                v.heuristic in ("loop-branch", "loop-exit")
+                for v in s.votes
+            )
+        ]
+        for site in diamonds:
+            assert site.p_taken == pytest.approx(0.5)
+
+
+class TestPropagation:
+    def test_flow_conserved_exactly(self, eqntott, report):
+        for name, fmap in propagate_program(eqntott, report=report).items():
+            proc = eqntott.procedures[name]
+            for bid, residual in fmap.conservation_residuals(proc).items():
+                if fmap.cyclic.get(bid, 0.0) >= fmap.cp_cap:
+                    continue
+                assert residual <= 1e-6 * max(fmap.block_freq[bid], 1.0)
+
+    def test_entry_gets_the_injected_frequency(self, eqntott, report):
+        maps = propagate_program(eqntott, report=report, entry_freq=7.0)
+        for name, fmap in maps.items():
+            proc = eqntott.procedures[name]
+            assert fmap.block_freq[proc.entry] >= 7.0
+            assert fmap.entry_freq == 7.0
+
+    def test_loop_bodies_amplified(self, eqntott, report):
+        # A predicted-taken back edge multiplies the loop body's
+        # frequency well above the entry's single unit of flow.
+        fmap = propagate_program(eqntott, report=report)["cmppt"]
+        proc = eqntott.procedures["cmppt"]
+        assert max(fmap.block_freq.values()) > 5.0 * fmap.block_freq[proc.entry]
+        assert fmap.cyclic, "the hot loop registers a cyclic probability"
+
+    def test_cp_damping_bounds_trip_counts(self, eqntott, report):
+        proc = eqntott.procedures["cmppt"]
+        tight = propagate_procedure(
+            proc, report.taken_probabilities("cmppt"), cp_max=0.5
+        )
+        assert all(cp <= 0.5 for cp in tight.cyclic.values())
+        assert tight.cp_cap == 0.5
+        loose = propagate_procedure(
+            proc, report.taken_probabilities("cmppt")
+        )
+        assert max(loose.block_freq.values()) >= max(tight.block_freq.values())
+
+    def test_cp_max_validated(self, eqntott, report):
+        proc = eqntott.procedures["cmppt"]
+        with pytest.raises(ValueError):
+            propagate_procedure(
+                proc, report.taken_probabilities("cmppt"), cp_max=1.0
+            )
+
+    def test_missing_sites_fall_back_to_even_split(self, eqntott):
+        proc = eqntott.procedures["cmppt"]
+        probs = edge_probabilities(proc, {})
+        for block in proc:
+            if block.kind is not TerminatorKind.COND:
+                continue
+            taken = proc.taken_edge(block.bid)
+            assert probs[(taken.src, taken.dst)] == pytest.approx(0.5)
+
+    def test_default_config_constant(self):
+        assert 0.0 < CP_MAX < 1.0
+        assert DEFAULT_CONFIG.taken_prior > 0.5

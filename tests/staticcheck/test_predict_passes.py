@@ -1,0 +1,175 @@
+"""Tests for the RL022–RL024 static-prediction lint passes."""
+
+import dataclasses
+
+import pytest
+
+from repro.profiling import StaticProfile, profile_program
+from repro.staticcheck import (
+    HeuristicVote,
+    PredictionReport,
+    SitePrediction,
+    StaticContext,
+    run_lint,
+)
+from repro.staticcheck.passes import (
+    CALIBRATION_CONFIDENCE,
+    DIVERGENCE_GAP,
+    DIVERGENCE_MIN_WEIGHT,
+    pass_ids,
+)
+from repro.workloads import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_benchmark("eqntott", 0.08)
+
+
+@pytest.fixture(scope="module")
+def profile(program):
+    return profile_program(program, seed=0)
+
+
+@pytest.fixture(scope="module")
+def static_profile(program):
+    return StaticProfile.from_program(program)
+
+
+def lint(program, profile, static_profile, subject="eqntott"):
+    return run_lint(
+        program, profile, subject=subject,
+        static=StaticContext(profile=static_profile),
+    )
+
+
+def outcome(report, pass_id):
+    return next(o for o in report.outcomes if o.pass_id == pass_id)
+
+
+def _mutate_site(static_profile, **changes):
+    """A copy of the static profile with its first site rewritten."""
+    sites = list(static_profile.report.sites)
+    sites[0] = dataclasses.replace(sites[0], **changes)
+    clone = StaticProfile()
+    for proc_name in static_profile.procedures():
+        for (src, dst), count in static_profile.proc_edges(proc_name).items():
+            clone.set_weight(proc_name, src, dst, count)
+    clone.report = PredictionReport(
+        sites=tuple(sites), config=static_profile.report.config
+    )
+    clone.frequencies = static_profile.frequencies
+    return clone
+
+
+class TestRegistration:
+    def test_passes_registered(self):
+        ids = pass_ids()
+        for pass_id in ("predict-divergence", "predict-sanity",
+                        "predict-calibration"):
+            assert pass_id in ids
+
+    def test_skipped_without_static_context(self, program, profile):
+        report = run_lint(program, profile, subject="eqntott")
+        ids = {o.pass_id for o in report.outcomes}
+        assert "predict-sanity" not in ids
+        assert "predict-divergence" not in ids
+
+    def test_clean_run_passes(self, program, profile, static_profile):
+        report = lint(program, profile, static_profile)
+        assert report.ok
+        for pass_id in ("predict-divergence", "predict-sanity",
+                        "predict-calibration"):
+            assert outcome(report, pass_id).passed
+
+
+class TestDivergence:
+    def test_wild_prediction_warns_rl022(self, program, profile, static_profile):
+        sites = static_profile.report.sites
+        # Flip the hottest site's prediction to the opposite extreme of
+        # whatever the measured profile says.
+        proc = program.procedures[sites[0].procedure]
+        measured = profile.taken_probability(proc, sites[0].block)
+        wrong = 0.01 if measured > 0.5 else 0.99
+        assert abs(wrong - measured) > DIVERGENCE_GAP
+        mutated = _mutate_site(static_profile, p_taken=wrong)
+        report = lint(program, profile, mutated)
+        diverge = outcome(report, "predict-divergence")
+        warnings = [d for d in diverge.findings if d.code == "RL022"]
+        assert warnings and all(
+            d.severity.name == "WARNING" for d in warnings
+        )
+        # Warnings do not fail the pass or the lint run as a whole.
+        assert diverge.passed
+        assert report.ok
+
+    def test_light_sites_not_audited(self, program, profile, static_profile):
+        assert DIVERGENCE_MIN_WEIGHT > 0  # the gate the pass applies
+
+
+class TestSanity:
+    def test_illegal_probability_is_an_error(self, program, profile,
+                                             static_profile):
+        mutated = _mutate_site(static_profile, p_taken=1.7)
+        report = lint(program, profile, mutated)
+        sanity = outcome(report, "predict-sanity")
+        assert not sanity.passed
+        assert any(
+            d.code == "RL023" and "outside [0, 1]" in d.message
+            for d in sanity.findings
+        )
+        assert not report.ok
+
+    def test_unregistered_heuristic_is_an_error(self, program, profile,
+                                                static_profile):
+        rogue = (HeuristicVote("vibes", taken=True, hit_rate=0.9),)
+        mutated = _mutate_site(static_profile, votes=rogue)
+        report = lint(program, profile, mutated)
+        assert any(
+            d.code == "RL023" and "vibes" in d.message
+            for d in outcome(report, "predict-sanity").findings
+        )
+
+    def test_broken_flow_is_an_error(self, program, profile, static_profile):
+        clone = _mutate_site(static_profile)  # structural copy
+        name = next(iter(clone.frequencies))
+        fmap = dataclasses.replace(clone.frequencies[name])
+        fmap.block_freq = dict(fmap.block_freq)
+        hot = max(fmap.block_freq, key=lambda b: fmap.block_freq[b])
+        fmap.block_freq[hot] += 1000.0
+        clone.frequencies = dict(clone.frequencies, **{name: fmap})
+        report = lint(program, profile, clone)
+        assert any(
+            d.code == "RL023" and "not conserved" in d.message
+            for d in outcome(report, "predict-sanity").findings
+        )
+
+
+class TestCalibration:
+    def test_clean_run_reports_info(self, program, profile, static_profile):
+        report = lint(program, profile, static_profile)
+        calib = outcome(report, "predict-calibration")
+        assert calib.passed
+        infos = [d for d in calib.findings if d.code == "RL024"]
+        assert infos and "weighted agreement" in infos[0].message
+
+    def test_overconfident_predictor_warns(self, program, profile,
+                                           static_profile):
+        # Point every site at certainty *against* the measured majority:
+        # the high-confidence bucket's agreement collapses.
+        sites = []
+        for site in static_profile.report.sites:
+            proc = program.procedures[site.procedure]
+            measured = profile.taken_probability(proc, site.block)
+            wrong = 0.01 if measured >= 0.5 else 0.99
+            sites.append(dataclasses.replace(site, p_taken=wrong))
+            assert dataclasses.replace(site, p_taken=wrong).confidence \
+                >= CALIBRATION_CONFIDENCE
+        mutated = _mutate_site(static_profile)
+        mutated.report = PredictionReport(
+            sites=tuple(sites), config=static_profile.report.config
+        )
+        report = lint(program, profile, mutated)
+        calib = outcome(report, "predict-calibration")
+        flagged = [d for d in calib.findings if "overconfident" in d.message]
+        assert flagged and flagged[0].severity.name == "WARNING"
